@@ -1,0 +1,135 @@
+"""Shared expensive artefacts for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  They share
+the training corpus and fitted models through session-scoped fixtures so
+the whole suite collects data once.
+
+Model sizes and corpus sizes are scaled down from the paper (the numpy
+substrate is CPU-only) but every method and every comparison is present.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _benchmark_every_test(request, benchmark):
+    """Register every benchmark test with pytest-benchmark.
+
+    ``--benchmark-only`` skips tests that do not touch the ``benchmark``
+    fixture; our suite's value is the experiment regeneration and shape
+    assertions, so tests without an explicit benchmarked kernel get a
+    no-op timing after their body runs.
+    """
+    yield
+    fn = request.node.function
+    if "benchmark" not in inspect.signature(fn).parameters:
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+from repro.core.instances import build_dataset
+from repro.core.lite import LITE, LITEConfig
+from repro.core.necs import NECSConfig, NECSEstimator
+from repro.core.update import UpdateConfig
+from repro.experiments.collect import collect_training_runs
+from repro.sparksim import CLUSTER_A, CLUSTER_B, CLUSTER_C
+from repro.workloads import all_workloads
+
+
+def bench_necs_config(seed: int = 0, **overrides) -> NECSConfig:
+    """The benchmark-profile NECS: small but architecturally complete."""
+    params = dict(
+        epochs=12, max_tokens=120, embed_dim=12, conv_filters=24, code_out=20,
+        gcn_hidden=12, gcn_layers=2, mlp_hidden=64, mlp_depth=3,
+        batch_size=48, lr=2e-3, seed=seed,
+    )
+    params.update(overrides)
+    return NECSConfig(**params)
+
+
+def subsample(instances, limit: int, seed: int = 0):
+    """Uniform subsample keeping the list order (for neural training cost)."""
+    if len(instances) <= limit:
+        return list(instances)
+    rng = np.random.default_rng(seed)
+    idx = np.sort(rng.choice(len(instances), size=limit, replace=False))
+    return [instances[i] for i in idx]
+
+
+@pytest.fixture(scope="session")
+def corpus_c():
+    """Training corpus on cluster C: 15 apps x 4 small sizes x 6 confs."""
+    return collect_training_runs(clusters=[CLUSTER_C], confs_per_cell=6)
+
+
+@pytest.fixture(scope="session")
+def corpus_abc():
+    """Cross-cluster corpus: 15 apps x {A,B,C} x 2 sizes x 4 confs."""
+    return collect_training_runs(
+        clusters=[CLUSTER_A, CLUSTER_B, CLUSTER_C],
+        scales=("train0", "train2"),
+        confs_per_cell=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def instances_c(corpus_c):
+    return build_dataset(corpus_c)
+
+
+@pytest.fixture(scope="session")
+def lite_c(corpus_c):
+    """LITE offline-trained on the cluster-C corpus, then adapted once.
+
+    Before any tuning, NECS is fine-tuned via Adaptive Model Update with
+    the runs a production system has for free: the applications' existing
+    default-configuration executions on mid/large data (the paper's
+    source -> target migration, Sec. IV-B).
+
+    The fixture is session-scoped and *stateful*: benches that exercise the
+    online loop (Fig. 8, Table VI) feed their production runs back, so the
+    system keeps learning across the suite — the paper's deployment story.
+    """
+    from repro.core.instances import build_dataset
+    from repro.sparksim.config import SparkConf
+
+    config = LITEConfig(
+        necs=bench_necs_config(),
+        update=UpdateConfig(epochs=6),
+        n_candidates=64,
+        feedback_batch_size=5,
+        seed=0,
+    )
+    lite = LITE(config).offline_train(corpus_c)
+    baseline_runs = []
+    for wl in all_workloads():
+        for scale in ("valid", "test"):
+            run = wl.run(SparkConf.default(), CLUSTER_C, scale=scale, seed=1)
+            if run.success:
+                baseline_runs.append(run)
+    target = build_dataset(baseline_runs)
+    if target:
+        lite.adaptive_update(target)
+    return lite
+
+
+@pytest.fixture(scope="session")
+def necs_c(lite_c):
+    return lite_c.estimator
+
+
+def print_table(title: str, header, rows) -> None:
+    """Uniform table printer for the paper-style outputs."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,131 @@
+"""Ablation of the simulator's cost-model mechanisms (DESIGN.md Sec. 5).
+
+The reproduction hinges on the substitute cost model inducing the same
+knob-learning problem as physical Spark.  This bench removes one mechanism
+at a time and checks that the corresponding knob response disappears —
+evidence that each knob's signal comes from the intended physics, not from
+an artefact:
+
+- memory penalties (spill + GC) -> `executor.memory` response at scale;
+- driver dispatch cost          -> `driver.cores` response;
+- shuffle compression CPU/IO    -> `shuffle.compress` trade-off;
+- straggler skew                -> high-parallelism preference of skewed
+  (join-heavy) stages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.sparksim import CLUSTER_C, DEFAULT_COST_PARAMS, SparkConf
+from repro.sparksim.costmodel import CostParams
+from repro.workloads import get_workload
+
+from conftest import print_table
+
+
+def response(app, knob, values, base_conf, params, scale="valid"):
+    """Max/min time ratio over a sweep of one knob."""
+    wl = get_workload(app)
+    times = []
+    for v in values:
+        conf = base_conf.with_updates({knob: v})
+        run = wl.run(conf, CLUSTER_C, scale=scale, cost_params=params, deterministic=True)
+        times.append(run.duration_s if run.success else np.inf)
+    finite = [t for t in times if np.isfinite(t)]
+    return (max(finite) / min(finite)) if len(finite) >= 2 else np.inf
+
+
+BASE = SparkConf({
+    "spark.executor.instances": 8,
+    "spark.executor.cores": 4,
+    "spark.executor.memory": 2,
+    "spark.default.parallelism": 64,
+})
+
+
+class TestCostModelAblations:
+    def test_memory_response_comes_from_spill_and_gc(self):
+        no_mem_penalty = dataclasses.replace(
+            DEFAULT_COST_PARAMS, spill_coeff=0.0, gc_coeff=0.0
+        )
+        with_penalty = response(
+            "LinearRegression", "spark.executor.memory", (1, 4, 8),
+            BASE, DEFAULT_COST_PARAMS, scale="test",
+        )
+        without_penalty = response(
+            "LinearRegression", "spark.executor.memory", (1, 4, 8),
+            BASE, no_mem_penalty, scale="test",
+        )
+        print(f"\nexecutor.memory swing: with penalties {with_penalty:.3f}x, "
+              f"ablated {without_penalty:.3f}x")
+        assert with_penalty > without_penalty
+        assert without_penalty < 1.1  # response collapses without them
+
+    def test_driver_cores_response_comes_from_dispatch(self):
+        no_dispatch = dataclasses.replace(DEFAULT_COST_PARAMS, dispatch_ms_per_task=0.0)
+        conf = BASE.with_updates({"spark.default.parallelism": 512})
+        with_dispatch = response("PageRank", "spark.driver.cores", (1, 8), conf, DEFAULT_COST_PARAMS)
+        without_dispatch = response("PageRank", "spark.driver.cores", (1, 8), conf, no_dispatch)
+        print(f"\ndriver.cores swing: with dispatch {with_dispatch:.3f}x, "
+              f"ablated {without_dispatch:.3f}x")
+        assert with_dispatch > without_dispatch
+        assert without_dispatch < 1.02
+
+    def test_compression_tradeoff_needs_both_sides(self):
+        # Free compression CPU -> compressing always wins; with CPU cost the
+        # knob is a genuine trade-off (compress may win or lose).
+        free_cpu = dataclasses.replace(DEFAULT_COST_PARAMS, compress_cpu_ns_per_byte=0.0)
+        wl = get_workload("Terasort")
+
+        def time_with(compress, params):
+            conf = BASE.with_updates({"spark.shuffle.compress": compress})
+            return wl.run(conf, CLUSTER_C, scale="test", cost_params=params,
+                          deterministic=True).duration_s
+
+        gain_free = time_with(False, free_cpu) - time_with(True, free_cpu)
+        gain_real = time_with(False, DEFAULT_COST_PARAMS) - time_with(True, DEFAULT_COST_PARAMS)
+        print(f"\ncompression gain: free-cpu {gain_free:.1f}s, realistic {gain_real:.1f}s")
+        assert gain_free >= gain_real  # CPU cost eats part of the benefit
+        assert gain_free > 0
+
+    def test_skew_drives_high_parallelism_for_joins(self):
+        # TriangleCount (join-heavy, skew ~1.6) must prefer finer tasks
+        # than the slot count; with skew ablated the preference shrinks.
+        from repro.sparksim.dag import OP_SKEW
+
+        wl = get_workload("TriangleCount")
+
+        def best_parallelism():
+            best, best_t = None, np.inf
+            for par in (32, 64, 128, 256, 512):
+                conf = BASE.with_updates({"spark.default.parallelism": par})
+                run = wl.run(conf, CLUSTER_C, scale="valid", deterministic=True)
+                t = run.duration_s if run.success else np.inf
+                if t < best_t:
+                    best, best_t = par, t
+            return best
+
+        with_skew = best_parallelism()
+        saved = dict(OP_SKEW)
+        try:
+            for key in OP_SKEW:
+                OP_SKEW[key] = 0.0
+            without_skew = best_parallelism()
+        finally:
+            OP_SKEW.update(saved)
+        print(f"\nbest parallelism: with skew {with_skew}, without {without_skew}")
+        assert with_skew >= without_skew
+
+    def test_print_summary(self):
+        rows = [
+            ["executor.memory", "spill + GC penalties", "LinearRegression @ test"],
+            ["driver.cores", "per-task dispatch cost", "PageRank @ 512 partitions"],
+            ["shuffle.compress", "I/O saving vs CPU cost", "Terasort @ test"],
+            ["default.parallelism", "straggler skew", "TriangleCount joins"],
+        ]
+        print_table("Cost-model mechanism -> knob response map",
+                    ["knob", "mechanism", "witness workload"], rows)

@@ -1,0 +1,69 @@
+"""Fig. 9: effect of Stage-based Code Organization on the training set.
+
+The paper reports the number of training instances growing 4x (Terasort)
+to 427x (SCC) after stage organisation, and the per-instance token count
+roughly tripling.  We regenerate the per-application statistics and assert
+the same shape: every application multiplies its instance count, iterative
+apps multiply it far more, and stage-level codes are denser than the
+driver programs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instances import augmentation_report
+
+from conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def report(corpus_c):
+    return augmentation_report(corpus_c)
+
+
+class TestFig9:
+    def test_print_report(self, report, corpus_c, benchmark):
+        rows = []
+        for app, stats in report.items():
+            rows.append(
+                [
+                    app[:18],
+                    int(stats["app_instances"]),
+                    int(stats["stage_instances"]),
+                    f"{stats['augmentation_factor']:.1f}x",
+                    int(stats["tokens_before"]),
+                    f"{stats['tokens_after_mean']:.0f}",
+                ]
+            )
+        print_table(
+            "Fig. 9: training instances before/after Stage-based Code Organization",
+            ["app", "#app runs", "#stage inst", "factor", "driver tokens", "stage tokens (mean)"],
+            rows,
+        )
+        benchmark.pedantic(lambda: augmentation_report(corpus_c), rounds=1, iterations=1)
+
+    def test_every_app_augmented(self, report):
+        assert len(report) == 15
+        for app, stats in report.items():
+            # Paper: 4x to 427x more instances.
+            assert stats["augmentation_factor"] >= 2.0, app
+
+    def test_iterative_apps_augment_most(self, report):
+        iterative = ("PageRank", "ConnectedComponent", "StronglyConnectedComponent", "KMeans")
+        batchy = ("Sort", "Terasort")
+        max_batch = max(report[a]["augmentation_factor"] for a in batchy)
+        for app in iterative:
+            assert report[app]["augmentation_factor"] > max_batch, app
+
+    def test_spread_covers_order_of_magnitude(self, report):
+        factors = [s["augmentation_factor"] for s in report.values()]
+        assert max(factors) / min(factors) > 5.0  # paper: 4x .. 427x
+
+    def test_stage_tokens_denser_for_sparse_drivers(self, report):
+        # Fig. 4/5's Terasort story: a terse driver expands into dense
+        # stage-level token streams.
+        ts = report["Terasort"]
+        assert ts["stage_instances"] > ts["app_instances"]
+        assert ts["tokens_after_mean"] > 10

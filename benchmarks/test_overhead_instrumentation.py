@@ -1,0 +1,63 @@
+"""Sec. V-I: instrumentation overhead for never-seen applications.
+
+A cold-start application requires one instrumented run on the smallest
+dataset before LITE can recommend.  The paper argues this overhead is
+negligible because the probe runs on the smallest possible data (~1 min).
+
+We measure the probe time for every application and compare it against
+the 2-hour iterative tuning budget and against the application's own
+large-job execution time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lite import LITE, LITEConfig
+from repro.sparksim import CLUSTER_C, SparkConf
+from repro.workloads import all_workloads
+
+from conftest import bench_necs_config, print_table
+
+
+@pytest.fixture(scope="module")
+def probe_costs(corpus_c):
+    # A trained LITE without half of the applications.
+    held_out = [wl for wl in all_workloads()][::2]
+    held_names = {wl.name for wl in held_out}
+    runs = [r for r in corpus_c if r.app_name not in held_names]
+    lite = LITE(LITEConfig(necs=bench_necs_config(epochs=4), seed=0)).offline_train(runs)
+
+    costs = {}
+    for wl in held_out:
+        probe_s = lite.cold_start_probe(wl, CLUSTER_C, seed=1)
+        large = wl.run(SparkConf.default(), CLUSTER_C, scale="test", seed=1)
+        large_t = large.duration_s if large.success else 7200.0
+        costs[wl.name] = {"probe_s": probe_s, "large_s": min(large_t, 7200.0)}
+    return costs
+
+
+class TestInstrumentationOverhead:
+    def test_print(self, probe_costs, benchmark):
+        rows = [
+            [app, f"{c['probe_s']:.1f}", f"{c['large_s']:.0f}",
+             f"{c['probe_s'] / c['large_s']:.3f}"]
+            for app, c in probe_costs.items()
+        ]
+        print_table("Sec. V-I: cold-start instrumentation probe cost",
+                    ["app", "probe (s)", "large job (s)", "ratio"], rows)
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def test_probe_is_minutes_not_hours(self, probe_costs):
+        for app, c in probe_costs.items():
+            # Smallest-dataset probes finish in about a minute (paper V-A).
+            assert c["probe_s"] < 300.0, app
+
+    def test_probe_small_vs_budget(self, probe_costs):
+        total = sum(c["probe_s"] for c in probe_costs.values())
+        assert total < 0.25 * 7200.0  # all probes together << one BO budget
+
+    def test_probe_small_vs_large_job(self, probe_costs):
+        for app, c in probe_costs.items():
+            assert c["probe_s"] < 0.6 * c["large_s"], app

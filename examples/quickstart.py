@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: train LITE on small-data runs, tune a large PageRank job.
+
+This walks the full paper pipeline end to end:
+
+1. collect training runs of a few applications on small datasizes;
+2. offline-train LITE (stage-based code organisation + NECS + ACG);
+3. ask for a configuration for PageRank on 150x larger data;
+4. execute the recommendation and compare against Spark defaults.
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import CLUSTER_C, LITE, LITEConfig, NECSConfig, SparkConf, get_workload
+from repro.experiments.collect import collect_training_runs
+
+APPS = ("WordCount", "PageRank", "KMeans", "Terasort")
+
+
+def main() -> None:
+    print("== 1. Collect training runs (small datasizes, sampled knobs) ==")
+    workloads = [get_workload(name) for name in APPS]
+    t0 = time.time()
+    runs = collect_training_runs(workloads=workloads, clusters=[CLUSTER_C], confs_per_cell=5)
+    ok = sum(r.success for r in runs)
+    print(f"   {len(runs)} runs collected ({ok} successful) in {time.time() - t0:.1f}s wall clock")
+
+    print("== 2. Offline-train LITE ==")
+    config = LITEConfig(necs=NECSConfig(epochs=10, max_tokens=120), n_candidates=48)
+    t0 = time.time()
+    lite = LITE(config).offline_train(runs)
+    print(f"   NECS trained on {len(lite._source_instances)} stage instances "
+          f"in {time.time() - t0:.1f}s; final loss {lite.estimator.train_losses_[-1]:.4f}")
+
+    print("== 3. Recommend knobs for PageRank on the large dataset ==")
+    pagerank = get_workload("PageRank")
+    data_features = pagerank.data_spec("test").features()
+    rec = lite.recommend("PageRank", data_features, CLUSTER_C, rng=np.random.default_rng(7))
+    print(f"   ranked {len(rec.ranking)} candidates in {rec.overhead_s * 1000:.0f} ms")
+    for knob, value in sorted(rec.conf.as_dict().items()):
+        print(f"     {knob} = {value}")
+
+    print("== 4. Execute and compare against defaults ==")
+    tuned = pagerank.run(rec.conf, CLUSTER_C, scale="test", seed=1)
+    default = pagerank.run(SparkConf.default(), CLUSTER_C, scale="test", seed=1)
+    t_tuned = tuned.duration_s if tuned.success else float("inf")
+    t_default = default.duration_s if default.success else float("inf")
+    print(f"   default conf : {t_default:8.1f} s (simulated)")
+    print(f"   LITE conf    : {t_tuned:8.1f} s (simulated)")
+    print(f"   speed-up     : {t_default / t_tuned:8.2f}x")
+
+
+if __name__ == "__main__":
+    main()

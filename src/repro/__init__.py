@@ -1,0 +1,31 @@
+"""repro — a full reproduction of LITE (Lin et al., ICDE 2022):
+"Adaptive Code Learning for Spark Configuration Tuning".
+
+Packages
+--------
+- :mod:`repro.sparksim` — Spark simulator substrate (RDDs, DAG scheduler,
+  knob-sensitive cost model, instrumentation, event logs).
+- :mod:`repro.workloads` — the 15 spark-bench applications.
+- :mod:`repro.nn` — numpy autodiff + layers (CNN/GCN/LSTM/Transformer/MLP).
+- :mod:`repro.ml` — classical ML (CART, random forest, GBM, GP).
+- :mod:`repro.core` — LITE itself: NECS, stage-based code organization,
+  adaptive candidate generation, adaptive model update, knob recommender.
+- :mod:`repro.tuning` — competitor tuners (Default, Manual, MLP, BO,
+  DDPG, DDPG-C) behind a budgeted interface.
+- :mod:`repro.experiments` — the paper's evaluation harness.
+"""
+
+__version__ = "1.0.0"
+
+from .core.lite import LITE, LITEConfig
+from .core.necs import NECSConfig, NECSEstimator
+from .sparksim.config import SparkConf
+from .sparksim.cluster import CLUSTER_A, CLUSTER_B, CLUSTER_C, ClusterSpec
+from .workloads.base import all_workloads, get_workload
+
+__all__ = [
+    "__version__",
+    "LITE", "LITEConfig", "NECSConfig", "NECSEstimator",
+    "SparkConf", "CLUSTER_A", "CLUSTER_B", "CLUSTER_C", "ClusterSpec",
+    "all_workloads", "get_workload",
+]

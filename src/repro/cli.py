@@ -1,0 +1,189 @@
+"""Command-line interface for the LITE reproduction.
+
+Commands
+--------
+- ``train``      collect a training corpus and offline-train LITE
+- ``recommend``  load a trained system and recommend knobs for one app
+- ``workloads``  list the available spark-bench applications
+- ``run``        execute one application under a configuration file
+
+Examples
+--------
+::
+
+    python -m repro.cli workloads
+    python -m repro.cli train --cluster C --out lite.pkl --apps WordCount PageRank
+    python -m repro.cli recommend --model lite.pkl --app PageRank --scale test
+    python -m repro.cli run --app WordCount --scale train0 --set spark.executor.cores=4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_workloads = sub.add_parser("workloads", help="list available applications")
+
+    p_train = sub.add_parser("train", help="collect a corpus and train LITE")
+    p_train.add_argument("--cluster", default="C", choices=("A", "B", "C"))
+    p_train.add_argument("--apps", nargs="*", default=None,
+                         help="application names (default: all 15)")
+    p_train.add_argument("--confs-per-cell", type=int, default=6)
+    p_train.add_argument("--epochs", type=int, default=12)
+    p_train.add_argument("--seed", type=int, default=7)
+    p_train.add_argument("--out", required=True, help="path for the saved model")
+
+    p_rec = sub.add_parser("recommend", help="recommend knobs for an application")
+    p_rec.add_argument("--model", required=True, help="saved LITE model (from train)")
+    p_rec.add_argument("--app", required=True)
+    p_rec.add_argument("--cluster", default="C", choices=("A", "B", "C"))
+    p_rec.add_argument("--scale", default="test",
+                       help="datasize scale name (train0..train3, valid, test)")
+    p_rec.add_argument("--candidates", type=int, default=None)
+    p_rec.add_argument("--seed", type=int, default=0)
+    p_rec.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_run = sub.add_parser("run", help="execute one application on the simulator")
+    p_run.add_argument("--app", required=True)
+    p_run.add_argument("--cluster", default="C", choices=("A", "B", "C"))
+    p_run.add_argument("--scale", default="train0")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--set", action="append", default=[], metavar="KNOB=VALUE",
+                       help="knob override, repeatable")
+    return parser
+
+
+def _parse_conf(overrides: List[str]):
+    from .sparksim.config import KNOB_BY_NAME, SparkConf
+
+    values = {}
+    for item in overrides:
+        if "=" not in item:
+            raise SystemExit(f"--set expects KNOB=VALUE, got {item!r}")
+        name, raw = item.split("=", 1)
+        spec = KNOB_BY_NAME.get(name)
+        if spec is None:
+            raise SystemExit(f"unknown knob {name!r}")
+        if spec.kind == "bool":
+            value = raw.strip().lower() in ("1", "true", "yes", "on")
+        elif spec.kind == "int":
+            value = int(raw)
+        else:
+            value = float(raw)
+        values[name] = value
+    return SparkConf(values)
+
+
+def cmd_workloads(_args) -> int:
+    from .workloads import all_workloads
+
+    print(f"{'abbrev':8s} {'name':30s} {'rows@1x':>10s} {'iters':>5s}")
+    for wl in all_workloads():
+        print(f"{wl.abbrev:8s} {wl.name:30s} {wl.base_rows:10.0f} {wl.iterations:5d}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    from .core.lite import LITE, LITEConfig
+    from .core.necs import NECSConfig
+    from .core.persistence import save_lite
+    from .experiments.collect import collect_training_runs
+    from .sparksim.cluster import get_cluster
+    from .workloads import get_workload
+
+    cluster = get_cluster(args.cluster)
+    workloads = [get_workload(n) for n in args.apps] if args.apps else None
+    print(f"collecting training runs on cluster {cluster.name}...")
+    t0 = time.time()
+    runs = collect_training_runs(
+        workloads=workloads, clusters=[cluster],
+        confs_per_cell=args.confs_per_cell, seed=args.seed,
+    )
+    ok = sum(r.success for r in runs)
+    print(f"  {len(runs)} runs ({ok} successful) in {time.time() - t0:.1f}s")
+
+    print("training NECS + adaptive candidate generation...")
+    t0 = time.time()
+    lite = LITE(LITEConfig(necs=NECSConfig(epochs=args.epochs), seed=args.seed))
+    lite.offline_train(runs)
+    print(f"  trained in {time.time() - t0:.1f}s "
+          f"(final loss {lite.estimator.train_losses_[-1]:.4f})")
+    path = save_lite(lite, args.out)
+    print(f"saved to {path}")
+    return 0
+
+
+def cmd_recommend(args) -> int:
+    from .core.persistence import load_lite
+    from .sparksim.cluster import get_cluster
+    from .workloads import get_workload
+
+    lite = load_lite(args.model)
+    cluster = get_cluster(args.cluster)
+    workload = get_workload(args.app)
+    if workload.name not in lite.known_apps():
+        print(f"{workload.name} is new to this model: running a cold-start probe...",
+              file=sys.stderr)
+        probe = lite.cold_start_probe(workload, cluster, seed=args.seed)
+        print(f"  probe took {probe:.1f} simulated seconds", file=sys.stderr)
+    data = workload.data_spec(args.scale).features()
+    rec = lite.recommend(
+        workload.name, data, cluster,
+        n_candidates=args.candidates, rng=np.random.default_rng(args.seed),
+    )
+    if args.json:
+        print(json.dumps({
+            "app": workload.name,
+            "cluster": cluster.name,
+            "scale": args.scale,
+            "conf": {k: v for k, v in rec.conf.as_dict().items()},
+            "predicted_time_s": rec.predicted_time_s,
+            "ranking_overhead_s": rec.overhead_s,
+        }, indent=2, default=str))
+    else:
+        print(f"recommended configuration for {workload.name} "
+              f"({args.scale} on cluster {cluster.name}):")
+        for knob, value in sorted(rec.conf.as_dict().items()):
+            print(f"  {knob} = {value}")
+        print(f"predicted time: {rec.predicted_time_s:.1f}s "
+              f"(ranked {len(rec.ranking)} candidates in {rec.overhead_s * 1e3:.0f} ms)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .sparksim.cluster import get_cluster
+    from .workloads import get_workload
+
+    conf = _parse_conf(args.set)
+    workload = get_workload(args.app)
+    run = workload.run(conf, get_cluster(args.cluster), scale=args.scale, seed=args.seed)
+    status = "OK" if run.success else f"FAILED ({run.failure_reason})"
+    print(f"{workload.name} @ {args.scale} on cluster {args.cluster}: {status}")
+    print(f"  simulated time: {run.duration_s:.1f}s over {run.num_stages} stages "
+          f"({run.num_jobs} jobs, {run.skipped_stages} skipped stages)")
+    return 0 if run.success else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "workloads": cmd_workloads,
+        "train": cmd_train,
+        "recommend": cmd_recommend,
+        "run": cmd_run,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""LITE core: NECS estimator, adaptive candidate generation, adaptive model
+update, and the knob recommender (the paper's primary contribution)."""
+
+from .tokenizer import CodeTokenizer, OOV, PAD
+from .dagfeat import DagEncoder
+from .instances import (
+    StageInstance,
+    app_instance_key,
+    augmentation_report,
+    build_dataset,
+    instances_from_run,
+)
+from .metrics import (
+    WilcoxonResult,
+    execution_time_reduction,
+    hr_at_k,
+    ndcg_at_k,
+    rank_by,
+    wilcoxon_signed_rank,
+)
+from .necs import NECSConfig, NECSEstimator, NECSNetwork
+from .encoders import FEATURE_SETS, SchedulerLSTM, TabularFeatureBuilder, TabularPredictor
+from .candidates import AdaptiveCandidateGenerator
+from .update import AdaptiveModelUpdater, DomainDiscriminator, UpdateConfig
+from .recommender import KnobRecommender, Recommendation, retarget_instances
+from .lite import LITE, LITEConfig
+from .persistence import load_lite, save_lite
+
+__all__ = [
+    "CodeTokenizer", "OOV", "PAD", "DagEncoder",
+    "StageInstance", "app_instance_key", "augmentation_report",
+    "build_dataset", "instances_from_run",
+    "WilcoxonResult", "execution_time_reduction", "hr_at_k", "ndcg_at_k",
+    "rank_by", "wilcoxon_signed_rank",
+    "NECSConfig", "NECSEstimator", "NECSNetwork",
+    "FEATURE_SETS", "SchedulerLSTM", "TabularFeatureBuilder", "TabularPredictor",
+    "AdaptiveCandidateGenerator",
+    "AdaptiveModelUpdater", "DomainDiscriminator", "UpdateConfig",
+    "KnobRecommender", "Recommendation", "retarget_instances",
+    "LITE", "LITEConfig",
+    "load_lite", "save_lite",
+]

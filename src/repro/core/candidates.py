@@ -1,0 +1,125 @@
+"""Adaptive Candidate Generation (paper Sec. IV-A).
+
+For every knob d, a Random Forest Regression model maps (input datasize,
+application) to a promising "mean value" (Eq. 6).  The search region is
+``[RFR - sigma_d, RFR + sigma_d]`` (Eq. 7) where ``sigma_d`` is the
+standard deviation of knob d over the top-40 % fastest training instances.
+Candidates are then sampled uniformly inside the region, so the recommender
+only has to rank a small, promising set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ml.forest import RandomForestRegressor
+from ..sparksim.config import KNOB_SPECS, NUM_KNOBS, SparkConf
+from ..sparksim.eventlog import AppRun
+
+TOP_FRACTION = 0.4  # paper: top 40 % instances with lowest execution time
+
+
+@dataclass
+class _AppFeaturizer:
+    """One-hot application encoding + log datasize."""
+
+    app_names: List[str]
+
+    def vector(self, app_name: str, datasize_rows: float) -> np.ndarray:
+        onehot = np.zeros(len(self.app_names))
+        if app_name in self.app_names:
+            onehot[self.app_names.index(app_name)] = 1.0
+        return np.concatenate([[np.log1p(datasize_rows)], onehot])
+
+
+class AdaptiveCandidateGenerator:
+    """Per-knob RFR + sigma span region, sampled uniformly."""
+
+    def __init__(self, n_estimators: int = 25, max_depth: int = 6, seed: int = 0):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.seed = seed
+        self.models_: List[RandomForestRegressor] = []
+        self.sigma_: np.ndarray = np.zeros(NUM_KNOBS)
+        self.featurizer_: Optional[_AppFeaturizer] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, runs: Sequence[AppRun]) -> "AdaptiveCandidateGenerator":
+        """Fit from application-level runs (knob vectors + execution times)."""
+        good = self._top_instances(runs)
+        if not good:
+            raise ValueError("no successful runs to fit candidate generation")
+        self.featurizer_ = _AppFeaturizer(sorted({r.app_name for r in runs}))
+        X = np.stack(
+            [self.featurizer_.vector(r.app_name, r.data_features[0]) for r in good]
+        )
+        knob_matrix = np.stack([r.conf.to_vector() for r in good])
+        self.sigma_ = knob_matrix.std(axis=0)
+        # Guard degenerate spans: fall back to 10 % of the knob range.
+        ranges = np.array([spec.high - spec.low for spec in KNOB_SPECS])
+        self.sigma_ = np.where(self.sigma_ < 1e-9, 0.1 * ranges, self.sigma_)
+
+        self.models_ = []
+        for d in range(NUM_KNOBS):
+            model = RandomForestRegressor(
+                n_estimators=self.n_estimators, max_depth=self.max_depth, seed=self.seed + d
+            )
+            model.fit(X, knob_matrix[:, d])
+            self.models_.append(model)
+        return self
+
+    @staticmethod
+    def _top_instances(runs: Sequence[AppRun]) -> List[AppRun]:
+        """Top-40 % fastest successful runs within each (app, datasize)."""
+        groups: Dict[Tuple[str, float], List[AppRun]] = {}
+        for run in runs:
+            if run.success:
+                groups.setdefault((run.app_name, float(run.data_features[0])), []).append(run)
+        selected: List[AppRun] = []
+        for members in groups.values():
+            members.sort(key=lambda r: r.duration_s)
+            keep = max(1, int(np.ceil(TOP_FRACTION * len(members))))
+            selected.extend(members[:keep])
+        return selected
+
+    # ------------------------------------------------------------------
+    def region(self, app_name: str, datasize_rows: float) -> List[Tuple[float, float]]:
+        """The per-knob search interval [center - sigma, center + sigma]."""
+        if not self.models_:
+            raise RuntimeError("candidate generator is not fitted")
+        x = self.featurizer_.vector(app_name, datasize_rows)[None, :]
+        bounds: List[Tuple[float, float]] = []
+        for spec, model, sigma in zip(KNOB_SPECS, self.models_, self.sigma_):
+            center = float(model.predict(x)[0])
+            low = max(spec.low, center - sigma)
+            high = min(spec.high, center + sigma)
+            if low > high:
+                low, high = spec.low, spec.high
+            bounds.append((low, high))
+        return bounds
+
+    def predict_point(self, app_name: str, datasize_rows: float) -> SparkConf:
+        """The bare-RFR competitor: round the per-knob centers to a conf."""
+        if not self.models_:
+            raise RuntimeError("candidate generator is not fitted")
+        x = self.featurizer_.vector(app_name, datasize_rows)[None, :]
+        vec = np.array([float(m.predict(x)[0]) for m in self.models_])
+        return SparkConf.from_vector(vec)
+
+    def generate(
+        self,
+        app_name: str,
+        datasize_rows: float,
+        n_candidates: int,
+        rng: np.random.Generator,
+    ) -> List[SparkConf]:
+        """Sample ``n_candidates`` configurations inside the region."""
+        bounds = self.region(app_name, datasize_rows)
+        out: List[SparkConf] = []
+        for _ in range(n_candidates):
+            vec = np.array([rng.uniform(low, high) for low, high in bounds])
+            out.append(SparkConf.from_vector(vec))
+        return out

@@ -1,0 +1,69 @@
+"""Stage-DAG featurisation (paper Sec. III-B Step 3).
+
+Each stage's scheduler DAG is ``G_i = (V_i, A_i)``: a one-hot node
+embedding matrix over the vocabulary of atomic operations — plus an
+explicit out-of-vocabulary row for operations never seen in training
+(paper Sec. V-H shows removing this oov token hurts cold-start) — and an
+adjacency matrix, pre-normalised for graph convolution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.gcn import normalized_adjacency
+
+
+class DagEncoder:
+    """One-hot node features over the atomic-operation vocabulary."""
+
+    def __init__(self, use_oov: bool = True):
+        self.use_oov = use_oov
+        self.label_to_id: Dict[str, int] = {}
+
+    def fit(self, label_lists: Iterable[Sequence[str]]) -> "DagEncoder":
+        labels = sorted({l for labels in label_lists for l in labels})
+        self.label_to_id = {label: i for i, label in enumerate(labels)}
+        return self
+
+    def is_fitted(self) -> bool:
+        return bool(self.label_to_id)
+
+    @property
+    def dim(self) -> int:
+        """Node feature dimension: S known labels (+1 oov slot)."""
+        return len(self.label_to_id) + (1 if self.use_oov else 0)
+
+    # ------------------------------------------------------------------
+    def node_features(self, labels: Sequence[str]) -> np.ndarray:
+        """(|V|, dim) one-hot matrix; unseen labels map to the oov slot
+        (or to all-zeros when ``use_oov=False`` — the Cold-UNK ablation)."""
+        if not self.is_fitted():
+            raise RuntimeError("DAG encoder is not fitted")
+        out = np.zeros((len(labels), self.dim))
+        oov_slot = len(self.label_to_id)
+        for i, label in enumerate(labels):
+            idx = self.label_to_id.get(label)
+            if idx is not None:
+                out[i, idx] = 1.0
+            elif self.use_oov:
+                out[i, oov_slot] = 1.0
+            # else: unknown label gets a zero row (ablation).
+        return out
+
+    def encode(self, labels: Sequence[str], edges: Sequence[Tuple[int, int]]) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(node_features, normalised_adjacency)`` for one DAG."""
+        n = len(labels)
+        adjacency = np.zeros((n, n))
+        for i, j in edges:
+            if not (0 <= i < n and 0 <= j < n):
+                raise IndexError(f"edge ({i},{j}) outside node range {n}")
+            adjacency[i, j] = 1.0
+        return self.node_features(labels), normalized_adjacency(adjacency)
+
+    def label_histogram(self, labels: Sequence[str]) -> np.ndarray:
+        """Mean of node one-hots — a cheap DAG summary for tabular models."""
+        feats = self.node_features(labels)
+        return feats.mean(axis=0) if len(labels) else np.zeros(self.dim)

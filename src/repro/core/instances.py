@@ -1,0 +1,112 @@
+"""Training instances and Stage-based Code Organization (paper Sec. III-B/C).
+
+One application run yields one instance per executed stage — the data
+augmentation that multiplies the training-set size (Fig. 9).  Each instance
+is the six-tuple ``x_i = <o_i, C_i, G_i, d_i, e_i, y_i>``: knobs, stage
+code tokens, stage DAG, data features, environment features and the
+stage-level execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sparksim.eventlog import AppRun, StageRecord
+
+
+@dataclass
+class StageInstance:
+    """One stage-level training instance (paper's x_i)."""
+
+    app_name: str
+    app_key: str                   # identifies the application instance w(x_i)
+    knobs: np.ndarray              # o_i, length-16 vector
+    code_tokens: List[str]         # C_i before embedding
+    dag_labels: List[str]          # node labels of G_i
+    dag_edges: List[Tuple[int, int]]
+    data_features: np.ndarray      # d_i, length 4
+    env_features: np.ndarray       # e_i, length 6
+    stage_time_s: float            # y_i
+    app_time_s: float              # execution time of the whole app instance
+    stage_name: str = ""
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self.code_tokens)
+
+
+def app_instance_key(run: AppRun) -> str:
+    """Key of the application instance w(x): same app+conf+data+env."""
+    return f"{run.app_name}|{run.conf.digest()}|{run.cluster.name}|{run.data_features.tolist()}"
+
+
+def instances_from_run(run: AppRun) -> List[StageInstance]:
+    """Stage-based code organisation: split one run into stage instances."""
+    if not run.success:
+        return []
+    knobs = run.conf.to_vector()
+    env = run.cluster.feature_vector()
+    key = app_instance_key(run)
+    out: List[StageInstance] = []
+    for stage in run.stages:
+        out.append(
+            StageInstance(
+                app_name=run.app_name,
+                app_key=key,
+                knobs=knobs,
+                code_tokens=list(stage.code_tokens),
+                dag_labels=list(stage.dag_node_labels),
+                dag_edges=list(stage.dag_edges),
+                data_features=run.data_features.copy(),
+                env_features=env.copy(),
+                stage_time_s=stage.duration_s,
+                app_time_s=run.duration_s,
+                stage_name=stage.name,
+                stats=dict(stage.stats),
+            )
+        )
+    return out
+
+
+def build_dataset(runs: Iterable[AppRun]) -> List[StageInstance]:
+    """Stage instances for a collection of runs (failed runs contribute none)."""
+    dataset: List[StageInstance] = []
+    for run in runs:
+        dataset.extend(instances_from_run(run))
+    return dataset
+
+
+def augmentation_report(runs: Sequence[AppRun]) -> Dict[str, Dict[str, float]]:
+    """Per-application augmentation statistics (paper Fig. 9).
+
+    For each app: number of application instances, number of stage
+    instances after Stage-based Code Organization, the blow-up factor, and
+    mean tokens per instance before (driver source) vs after (stage codes).
+    """
+    from ..workloads import get_workload
+
+    by_app: Dict[str, List[AppRun]] = {}
+    for run in runs:
+        if run.success:
+            by_app.setdefault(run.app_name, []).append(run)
+
+    report: Dict[str, Dict[str, float]] = {}
+    for app, app_runs in sorted(by_app.items()):
+        stage_instances = build_dataset(app_runs)
+        try:
+            source_len = len(get_workload(app).source_tokens())
+        except KeyError:
+            source_len = 0
+        stage_tokens = [si.num_tokens for si in stage_instances]
+        report[app] = {
+            "app_instances": float(len(app_runs)),
+            "stage_instances": float(len(stage_instances)),
+            "augmentation_factor": len(stage_instances) / max(len(app_runs), 1),
+            "tokens_before": float(source_len),
+            "tokens_after_mean": float(np.mean(stage_tokens)) if stage_tokens else 0.0,
+        }
+    return report

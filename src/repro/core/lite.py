@@ -1,0 +1,165 @@
+"""LITE: the lightweight knob recommender system (paper Sec. II).
+
+Ties everything together:
+
+- **offline_train** — collect application runs on small datasizes, apply
+  Stage-based Code Organization, train NECS, fit Adaptive Candidate
+  Generation.
+- **recommend** — for a (possibly never-seen) application on target data
+  and environment: obtain stage templates (from the training corpus for
+  warm-start applications, or from a cheap instrumented probe run on the
+  smallest dataset for cold-start ones), generate candidates in the ACG
+  region, rank them with NECS, return the best.
+- **feedback** — accumulate target-domain runs; once a batch is collected,
+  fine-tune NECS via Adaptive Model Update.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..sparksim.cluster import ClusterSpec
+from ..sparksim.config import SparkConf
+from ..sparksim.eventlog import AppRun
+from .candidates import AdaptiveCandidateGenerator
+from .instances import StageInstance, build_dataset, instances_from_run
+from .necs import NECSConfig, NECSEstimator
+from .recommender import KnobRecommender, Recommendation
+from .update import AdaptiveModelUpdater, UpdateConfig
+
+
+@dataclass
+class LITEConfig:
+    necs: NECSConfig = field(default_factory=NECSConfig)
+    update: UpdateConfig = field(default_factory=UpdateConfig)
+    n_candidates: int = 40
+    feedback_batch_size: int = 20   # AMU runs when this many feedback runs arrive
+    seed: int = 0
+
+
+class LITE:
+    """The end-to-end tuning system."""
+
+    def __init__(self, config: LITEConfig = None):
+        self.config = config or LITEConfig()
+        self.estimator = NECSEstimator(self.config.necs)
+        self.candidate_generator = AdaptiveCandidateGenerator(seed=self.config.seed)
+        self.recommender = KnobRecommender(self.estimator)
+        self._templates: Dict[str, List[StageInstance]] = {}
+        self._source_instances: List[StageInstance] = []
+        self._feedback_runs: List[AppRun] = []
+        self._feedback_instances: List[StageInstance] = []
+        self.trained = False
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+    def offline_train(self, runs: Sequence[AppRun], verbose: bool = False) -> "LITE":
+        """Train NECS and ACG from small-datasize training runs."""
+        instances = build_dataset(runs)
+        if not instances:
+            raise ValueError("training runs produced no stage instances")
+        self._source_instances = instances
+        self.estimator.fit(instances, verbose=verbose)
+        self.candidate_generator.fit(list(runs))
+        self._templates = {}
+        for run in runs:
+            if run.success:
+                current = self._templates.get(run.app_name)
+                # Keep the structurally richest run as the template source.
+                if current is None or run.num_stages > len(current):
+                    self._templates[run.app_name] = instances_from_run(run)
+        self.trained = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Stage templates (warm start / cold start)
+    # ------------------------------------------------------------------
+    def known_apps(self) -> List[str]:
+        return sorted(self._templates)
+
+    def stage_templates(self, app_name: str) -> List[StageInstance]:
+        if app_name not in self._templates:
+            raise KeyError(
+                f"{app_name!r} has no stage templates; run cold_start_probe first"
+            )
+        return self._templates[app_name]
+
+    def cold_start_probe(self, workload, cluster: ClusterSpec, seed: int = 0) -> float:
+        """Run a never-seen application once on the smallest dataset with
+        instrumentation to obtain stage-level codes and DAGs (Sec. IV Step 1).
+
+        Returns the probe's simulated execution time (the extra tuning
+        overhead the paper discusses in Sec. V-I).
+        """
+        run = workload.run(SparkConf.default(), cluster, scale="train0", seed=seed)
+        if not run.success:
+            # Defaults failed: probe with a minimal, safe configuration.
+            safe = SparkConf({"spark.executor.instances": 1, "spark.executor.memory": 1})
+            run = workload.run(safe, cluster, scale="train0", seed=seed)
+        self._templates[workload.name] = instances_from_run(run)
+        return run.duration_s
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        app_name: str,
+        data_features: np.ndarray,
+        cluster: ClusterSpec,
+        n_candidates: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Recommendation:
+        """Recommend knob values for an application on target data/cluster."""
+        if not self.trained:
+            raise RuntimeError("LITE must be trained before recommending")
+        rng = rng or np.random.default_rng(self.config.seed)
+        n = n_candidates or self.config.n_candidates
+        data_features = np.asarray(data_features, dtype=np.float64)
+        candidates = self.candidate_generator.generate(
+            app_name, float(data_features[0]), n, rng
+        )
+        # Free submit-time validity check (what spark-submit/YARN would
+        # reject immediately): drop candidates the cluster cannot host.
+        from ..sparksim.costmodel import SparkJobError, plan_executors
+
+        hostable = []
+        for conf in candidates:
+            try:
+                plan_executors(conf, cluster)
+            except SparkJobError:
+                continue
+            hostable.append(conf)
+        if hostable:
+            candidates = hostable
+        templates = self.stage_templates(app_name)
+        return self.recommender.rank(templates, candidates, data_features, cluster)
+
+    # ------------------------------------------------------------------
+    # Feedback / adaptive model update
+    # ------------------------------------------------------------------
+    def feedback(self, run: AppRun, update_now: bool = False) -> bool:
+        """Record a production run; fine-tune when a batch is complete.
+
+        Returns True when an adaptive update was performed.
+        """
+        if run.success:
+            self._feedback_runs.append(run)
+            self._feedback_instances.extend(instances_from_run(run))
+        ready = len(self._feedback_runs) >= self.config.feedback_batch_size
+        if (ready or update_now) and self._feedback_instances:
+            self.adaptive_update(self._feedback_instances)
+            self._feedback_runs = []
+            self._feedback_instances = []
+            return True
+        return False
+
+    def adaptive_update(self, target_instances: Sequence[StageInstance]) -> None:
+        """Adversarial fine-tuning against the accumulated source domain."""
+        updater = AdaptiveModelUpdater(self.estimator, self.config.update)
+        updater.update(self._source_instances, list(target_instances))

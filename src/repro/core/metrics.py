@@ -1,0 +1,109 @@
+"""Evaluation metrics: ETR, HR@K, NDCG@K and the Wilcoxon signed-rank test.
+
+HR@K and NDCG@K follow the paper's ranking protocol (Sec. V-C): methods
+rank a candidate-configuration list by predicted performance and are scored
+against the gold ranking induced by actual execution times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def execution_time_reduction(t_method: float, t_default: float, t_min: float) -> float:
+    """Normalised ETR (paper Eq. in Sec. V-B).
+
+    ETR = (t_default - t_method) / (t_default - t_min); 1 means the method
+    reached the best observed time, 0 means no improvement over defaults.
+    Clipped below at 0 (a method can be worse than defaults).
+    """
+    denom = t_default - t_min
+    if denom <= 0:
+        return 1.0 if t_method <= t_default else 0.0
+    return max(0.0, (t_default - t_method) / denom)
+
+
+def hr_at_k(predicted_order: Sequence[int], gold_order: Sequence[int], k: int = 5) -> float:
+    """Hit ratio: fraction of the gold top-k found in the predicted top-k."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    top_pred = set(list(predicted_order)[:k])
+    top_gold = set(list(gold_order)[:k])
+    if not top_gold:
+        return 0.0
+    return len(top_pred & top_gold) / min(k, len(top_gold))
+
+
+def ndcg_at_k(predicted_order: Sequence[int], gold_order: Sequence[int], k: int = 5) -> float:
+    """NDCG with graded relevance from the gold ranking.
+
+    Item relevance is ``k - gold_rank`` for the gold top-k and 0 otherwise
+    (the best configuration has relevance k, the k-th has 1).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    rel = {item: k - rank for rank, item in enumerate(list(gold_order)[:k])}
+    dcg = sum(
+        rel.get(item, 0) / math.log2(pos + 2)
+        for pos, item in enumerate(list(predicted_order)[:k])
+    )
+    ideal = sum((k - i) / math.log2(i + 2) for i in range(min(k, len(rel))))
+    return dcg / ideal if ideal else 0.0
+
+
+def rank_by(scores: Sequence[float]) -> list:
+    """Indices sorted ascending by score (lower predicted time = better)."""
+    return list(np.argsort(np.asarray(scores), kind="stable"))
+
+
+@dataclass(frozen=True)
+class WilcoxonResult:
+    statistic: float
+    p_value: float
+    n_effective: int
+
+
+def wilcoxon_signed_rank(before: Sequence[float], after: Sequence[float]) -> WilcoxonResult:
+    """One-sided Wilcoxon signed-rank test that ``after > before``.
+
+    Uses the normal approximation with tie/zero handling (Pratt-excluded
+    zeros).  Cross-checked against scipy in the test suite.
+    """
+    before = np.asarray(before, dtype=np.float64)
+    after = np.asarray(after, dtype=np.float64)
+    if before.shape != after.shape:
+        raise ValueError("paired samples must have the same length")
+    diff = after - before
+    diff = diff[diff != 0.0]
+    n = len(diff)
+    if n == 0:
+        return WilcoxonResult(statistic=0.0, p_value=1.0, n_effective=0)
+
+    abs_diff = np.abs(diff)
+    order = np.argsort(abs_diff)
+    ranks = np.empty(n)
+    sorted_abs = abs_diff[order]
+    # Average ranks for ties.
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_abs[j + 1] == sorted_abs[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+
+    w_plus = float(ranks[diff > 0].sum())
+    mean = n * (n + 1) / 4.0
+    # Tie correction for the variance.
+    _, counts = np.unique(sorted_abs, return_counts=True)
+    tie_term = (counts**3 - counts).sum() / 48.0
+    var = n * (n + 1) * (2 * n + 1) / 24.0 - tie_term
+    if var <= 0:
+        return WilcoxonResult(statistic=w_plus, p_value=1.0, n_effective=n)
+    z = (w_plus - mean - 0.5) / math.sqrt(var)  # continuity correction
+    p = 0.5 * math.erfc(z / math.sqrt(2.0))     # P(Z >= z)
+    return WilcoxonResult(statistic=w_plus, p_value=float(p), n_effective=n)

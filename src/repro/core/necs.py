@@ -1,0 +1,257 @@
+"""NECS: Neural Estimator via Code and Scheduler representation (Sec. III).
+
+Architecture (paper Fig. 3):
+
+- code path: token embedding matrix -> CNN (conv + global max pool) ->
+  ReLU(W_CNN ·) giving ``h_code`` (Eq. 1);
+- scheduler path: one-hot DAG nodes -> GCN layers -> max pool giving
+  ``h_DAG`` (Eq. 2);
+- estimation: ``concat(d, e, o, h_code, h_DAG)`` -> tower MLP -> predicted
+  stage execution time (Eq. 3), trained with squared error (Eq. 4).
+
+The estimator wrapper handles feature scaling (targets are modelled in
+log-space — stage times span four orders of magnitude between small
+training data and large jobs), minibatching, and exposes the hidden-layer
+feature embeddings that Adaptive Model Update discriminates on.
+
+The ``code_encoder`` knob swaps the CNN for the LSTM / Transformer
+competitors of Table VII, and ``use_dag=False`` drops the GCN path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..ml.scaler import StandardScaler
+from .dagfeat import DagEncoder
+from .instances import StageInstance
+from .tokenizer import CodeTokenizer
+
+
+@dataclass(frozen=True)
+class NECSConfig:
+    """Hyper-parameters of NECS (scaled to the numpy substrate)."""
+
+    embed_dim: int = 16
+    conv_filters: int = 32
+    kernel_size: int = 3
+    code_out: int = 24
+    gcn_hidden: int = 16
+    gcn_layers: int = 2
+    mlp_hidden: int = 96
+    mlp_depth: int = 3
+    max_tokens: int = 160          # paper uses N=1000; scaled down
+    code_encoder: str = "cnn"      # "cnn" | "lstm" | "transformer" | "none"
+    use_dag: bool = True
+    use_dag_oov: bool = True       # False = the Cold-UNK ablation
+    epochs: int = 18
+    batch_size: int = 32
+    lr: float = 2e-3
+    grad_clip: float = 5.0
+    seed: int = 0
+
+
+class NECSNetwork(nn.Module):
+    """The trainable network; inputs are pre-encoded arrays."""
+
+    def __init__(self, config: NECSConfig, vocab_size: int, dag_dim: int, numeric_dim: int):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+
+        code_dim = 0
+        if config.code_encoder != "none":
+            self.embedding = nn.Embedding(vocab_size, config.embed_dim, rng)
+            if config.code_encoder == "cnn":
+                self.conv = nn.Conv1D(config.embed_dim, config.conv_filters, config.kernel_size, rng)
+                self.code_proj = nn.Dense(config.conv_filters, config.code_out, rng, activation="relu")
+            elif config.code_encoder == "lstm":
+                self.lstm = nn.LSTMEncoder(config.embed_dim, config.conv_filters, rng)
+                self.code_proj = nn.Dense(config.conv_filters, config.code_out, rng, activation="relu")
+            elif config.code_encoder == "transformer":
+                self.transformer = nn.TransformerEncoder(
+                    config.embed_dim, num_heads=4, num_layers=2, rng=rng, max_len=config.max_tokens
+                )
+                self.code_proj = nn.Dense(config.embed_dim, config.code_out, rng, activation="relu")
+            else:
+                raise ValueError(f"unknown code encoder {config.code_encoder!r}")
+            code_dim = config.code_out
+
+        dag_out = 0
+        if config.use_dag:
+            self.gcn = nn.GCNEncoder(dag_dim, config.gcn_hidden, config.gcn_layers, rng)
+            dag_out = config.gcn_hidden
+
+        in_features = numeric_dim + code_dim + dag_out
+        self.mlp = nn.MLP(
+            in_features, config.mlp_hidden, 1, config.mlp_depth, rng, tower=True
+        )
+
+    # ------------------------------------------------------------------
+    def _encode_code(self, code_ids: np.ndarray) -> nn.Tensor:
+        emb = self.embedding(code_ids)  # (B, L, D)
+        enc = self.config.code_encoder
+        if enc == "cnn":
+            feats = nn.functional.max_pool1d_global(self.conv(emb))
+        elif enc == "lstm":
+            lengths = (code_ids != 0).sum(axis=1)
+            feats = self.lstm(emb, lengths=lengths)
+        else:  # transformer
+            pad_mask = code_ids == 0
+            feats = self.transformer(emb, pad_mask=pad_mask)
+        return self.code_proj(feats)
+
+    def _encode_dags(self, graphs: Sequence[Tuple[np.ndarray, np.ndarray]]) -> nn.Tensor:
+        pairs = [(nn.Tensor(v), a) for v, a in graphs]
+        return self.gcn.forward_batch(pairs)
+
+    def _features(
+        self,
+        numeric: np.ndarray,
+        code_ids: Optional[np.ndarray],
+        graphs: Optional[Sequence[Tuple[np.ndarray, np.ndarray]]],
+    ) -> nn.Tensor:
+        parts = [nn.Tensor(numeric)]
+        if self.config.code_encoder != "none":
+            parts.append(self._encode_code(code_ids))
+        if self.config.use_dag:
+            parts.append(self._encode_dags(graphs))
+        return nn.concat(parts, axis=-1) if len(parts) > 1 else parts[0]
+
+    def forward(self, numeric, code_ids=None, graphs=None) -> nn.Tensor:
+        x = self._features(numeric, code_ids, graphs)
+        return self.mlp(x).reshape(-1)
+
+    def forward_with_embedding(self, numeric, code_ids=None, graphs=None):
+        """Return ``(prediction, h)`` where ``h`` is the concatenation of
+        the tower MLP's hidden activations (the paper's h_i, Sec. IV-B)."""
+        x = self._features(numeric, code_ids, graphs)
+        taps = self.mlp.hidden_embeddings(x)
+        pred = self.mlp.layers[-1](taps[-1]).reshape(-1)
+        return pred, nn.concat(taps, axis=-1)
+
+
+class NECSEstimator:
+    """End-to-end estimator: featurisation + training + prediction."""
+
+    def __init__(self, config: NECSConfig = NECSConfig()):
+        self.config = config
+        self.tokenizer = CodeTokenizer(max_len=config.max_tokens)
+        self.dag_encoder = DagEncoder(use_oov=config.use_dag_oov)
+        self.numeric_scaler = StandardScaler()
+        self.network: Optional[NECSNetwork] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self.train_losses_: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Featurisation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _numeric_raw(inst: StageInstance) -> np.ndarray:
+        data = inst.data_features.copy()
+        data[0] = np.log1p(data[0])  # rows span orders of magnitude
+        return np.concatenate([data, inst.env_features, inst.knobs])
+
+    def _encode(self, instances: Sequence[StageInstance], fit: bool = False):
+        numeric = np.stack([self._numeric_raw(i) for i in instances])
+        if fit:
+            self.numeric_scaler.fit(numeric)
+        numeric = self.numeric_scaler.transform(numeric)
+
+        code_ids = None
+        if self.config.code_encoder != "none":
+            code_ids = self.tokenizer.encode_batch([i.code_tokens for i in instances])
+
+        graphs = None
+        if self.config.use_dag:
+            graphs = [self.dag_encoder.encode(i.dag_labels, i.dag_edges) for i in instances]
+        return numeric, code_ids, graphs
+
+    def _encode_targets(self, instances: Sequence[StageInstance], fit: bool = False) -> np.ndarray:
+        y = np.log1p(np.array([i.stage_time_s for i in instances]))
+        if fit:
+            self._y_mean = float(y.mean())
+            self._y_std = float(y.std()) or 1.0
+        return (y - self._y_mean) / self._y_std
+
+    # ------------------------------------------------------------------
+    def fit(self, instances: Sequence[StageInstance], verbose: bool = False) -> "NECSEstimator":
+        if not instances:
+            raise ValueError("cannot fit NECS on an empty dataset")
+        cfg = self.config
+        if cfg.code_encoder != "none":
+            self.tokenizer.fit([i.code_tokens for i in instances])
+        if cfg.use_dag:
+            self.dag_encoder.fit([i.dag_labels for i in instances])
+
+        numeric, code_ids, graphs = self._encode(instances, fit=True)
+        targets = self._encode_targets(instances, fit=True)
+        numeric_dim = numeric.shape[1]
+        self.network = NECSNetwork(
+            cfg,
+            vocab_size=self.tokenizer.vocab_size if cfg.code_encoder != "none" else 0,
+            dag_dim=self.dag_encoder.dim if cfg.use_dag else 0,
+            numeric_dim=numeric_dim,
+        )
+        self._train_loop(numeric, code_ids, graphs, targets, verbose)
+        return self
+
+    def _train_loop(self, numeric, code_ids, graphs, targets, verbose: bool) -> None:
+        cfg = self.config
+        optimizer = nn.Adam(self.network.parameters(), lr=cfg.lr)
+        rng = np.random.default_rng(cfg.seed + 1)
+        n = len(targets)
+        self.train_losses_ = []
+        for epoch in range(cfg.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                batch_graphs = [graphs[i] for i in idx] if graphs is not None else None
+                batch_codes = code_ids[idx] if code_ids is not None else None
+                pred = self.network(numeric[idx], batch_codes, batch_graphs)
+                loss = nn.mse_loss(pred, targets[idx])
+                optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(self.network.parameters(), cfg.grad_clip)
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            self.train_losses_.append(epoch_loss / max(batches, 1))
+            if verbose:
+                print(f"epoch {epoch}: loss {self.train_losses_[-1]:.4f}")
+
+    # ------------------------------------------------------------------
+    def predict(self, instances: Sequence[StageInstance]) -> np.ndarray:
+        """Predicted stage execution times in seconds."""
+        if self.network is None:
+            raise RuntimeError("NECS is not fitted")
+        self.network.eval()
+        out = np.empty(len(instances))
+        bs = max(self.config.batch_size, 64)
+        for start in range(0, len(instances), bs):
+            chunk = instances[start : start + bs]
+            numeric, code_ids, graphs = self._encode(chunk)
+            pred = self.network(numeric, code_ids, graphs).numpy()
+            out[start : start + len(chunk)] = pred
+        self.network.train()
+        return np.expm1(out * self._y_std + self._y_mean)
+
+    def feature_embeddings(self, instances: Sequence[StageInstance]) -> np.ndarray:
+        """The h_i embeddings Adaptive Model Update discriminates on."""
+        if self.network is None:
+            raise RuntimeError("NECS is not fitted")
+        numeric, code_ids, graphs = self._encode(instances)
+        _, h = self.network.forward_with_embedding(numeric, code_ids, graphs)
+        return h.numpy()
+
+    # ------------------------------------------------------------------
+    def predict_app_time(self, instances: Sequence[StageInstance]) -> float:
+        """Aggregate predicted stage times for one application (Eq. 5)."""
+        return float(self.predict(instances).sum())

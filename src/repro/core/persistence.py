@@ -1,0 +1,56 @@
+"""Saving and loading trained LITE systems.
+
+A trained LITE bundles numpy weights (NECS), fitted scikit-style objects
+(tokenizer, DAG encoder, scalers, per-knob forests) and stage templates.
+Everything is plain Python/numpy, so a pickle with a version/format guard
+is a faithful serialisation; `save_lite`/`load_lite` wrap it with
+validation so a loaded system is immediately usable.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Union
+
+from .lite import LITE
+
+FORMAT = "repro-lite"
+VERSION = 1
+
+
+def save_lite(lite: LITE, path: Union[str, Path]) -> Path:
+    """Serialise a trained LITE system to ``path``.
+
+    Raises ``ValueError`` for untrained systems — persisting an empty model
+    is almost certainly a bug at the call site.
+    """
+    if not lite.trained:
+        raise ValueError("refusing to save an untrained LITE system")
+    path = Path(path)
+    payload = {
+        "format": FORMAT,
+        "version": VERSION,
+        "lite": lite,
+    }
+    with path.open("wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_lite(path: Union[str, Path]) -> LITE:
+    """Load a LITE system saved by :func:`save_lite`."""
+    path = Path(path)
+    with path.open("rb") as fh:
+        payload = pickle.load(fh)
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT:
+        raise ValueError(f"{path} is not a saved LITE system")
+    if payload.get("version") != VERSION:
+        raise ValueError(
+            f"unsupported LITE format version {payload.get('version')} "
+            f"(this build reads version {VERSION})"
+        )
+    lite = payload["lite"]
+    if not isinstance(lite, LITE) or not lite.trained:
+        raise ValueError(f"{path} does not contain a trained LITE system")
+    return lite

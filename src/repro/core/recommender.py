@@ -1,0 +1,89 @@
+"""Knob recommendation by ranking candidate configurations (paper Eq. 5).
+
+Given the stage templates of an application (its stage-level codes and
+DAGs), each candidate configuration is scored by summing NECS's predicted
+stage times with the candidate's knob vector, the target data features and
+the target environment substituted in; candidates are ranked ascending.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sparksim.cluster import ClusterSpec
+from ..sparksim.config import SparkConf
+from .instances import StageInstance
+from .necs import NECSEstimator
+
+
+@dataclass
+class Recommendation:
+    """Result of one online recommendation."""
+
+    conf: SparkConf
+    predicted_time_s: float
+    ranking: List[Tuple[SparkConf, float]]   # (conf, predicted app time) ascending
+    overhead_s: float                        # wall-clock spent ranking
+    probe_overhead_s: float = 0.0            # cold-start instrumentation cost
+
+
+def retarget_instances(
+    templates: Sequence[StageInstance],
+    conf: SparkConf,
+    data_features: np.ndarray,
+    cluster: ClusterSpec,
+) -> List[StageInstance]:
+    """Stage instances with knobs/data/env swapped to the target setting."""
+    knobs = conf.to_vector()
+    env = cluster.feature_vector()
+    return [
+        dc_replace(
+            t,
+            knobs=knobs.copy(),
+            data_features=np.asarray(data_features, dtype=np.float64).copy(),
+            env_features=env.copy(),
+        )
+        for t in templates
+    ]
+
+
+class KnobRecommender:
+    """Rank candidate configurations with a fitted NECS estimator."""
+
+    def __init__(self, estimator: NECSEstimator):
+        self.estimator = estimator
+
+    def rank(
+        self,
+        templates: Sequence[StageInstance],
+        candidates: Sequence[SparkConf],
+        data_features: np.ndarray,
+        cluster: ClusterSpec,
+    ) -> Recommendation:
+        if not templates:
+            raise ValueError("no stage templates for the application")
+        if not candidates:
+            raise ValueError("no candidate configurations")
+        start = time.perf_counter()
+
+        batch: List[StageInstance] = []
+        for conf in candidates:
+            batch.extend(retarget_instances(templates, conf, data_features, cluster))
+        predictions = self.estimator.predict(batch)
+
+        n_stages = len(templates)
+        totals = predictions.reshape(len(candidates), n_stages).sum(axis=1)
+        order = np.argsort(totals, kind="stable")
+        ranking = [(candidates[i], float(totals[i])) for i in order]
+        overhead = time.perf_counter() - start
+        best_conf, best_time = ranking[0]
+        return Recommendation(
+            conf=best_conf,
+            predicted_time_s=best_time,
+            ranking=ranking,
+            overhead_s=overhead,
+        )

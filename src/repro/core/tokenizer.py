@@ -1,0 +1,72 @@
+"""Code-token vocabulary and encoding (paper Sec. III-B Step 2).
+
+Builds the token vocabulary from the training corpus and encodes each
+stage's instrumented code tokens as a fixed-length integer sequence that
+the CNN/LSTM/Transformer encoders consume.  Index 0 is padding, index 1 is
+the out-of-vocabulary token.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+PAD = 0
+OOV = 1
+
+
+class CodeTokenizer:
+    """Frequency-pruned token vocabulary with pad/oov handling."""
+
+    def __init__(self, max_len: int = 200, min_count: int = 1, max_vocab: int = 4096):
+        self.max_len = max_len
+        self.min_count = min_count
+        self.max_vocab = max_vocab
+        self.token_to_id: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def fit(self, corpora: Iterable[Sequence[str]]) -> "CodeTokenizer":
+        counts: Counter = Counter()
+        for tokens in corpora:
+            counts.update(tokens)
+        keep = [
+            token
+            for token, count in counts.most_common(self.max_vocab - 2)
+            if count >= self.min_count
+        ]
+        self.token_to_id = {token: i + 2 for i, token in enumerate(keep)}
+        return self
+
+    @property
+    def vocab_size(self) -> int:
+        """Total table size including pad and oov rows."""
+        return len(self.token_to_id) + 2
+
+    def is_fitted(self) -> bool:
+        return bool(self.token_to_id)
+
+    # ------------------------------------------------------------------
+    def encode(self, tokens: Sequence[str]) -> np.ndarray:
+        """Encode to a ``(max_len,)`` int array, padded or truncated."""
+        if not self.is_fitted():
+            raise RuntimeError("tokenizer is not fitted")
+        ids = [self.token_to_id.get(t, OOV) for t in tokens[: self.max_len]]
+        out = np.zeros(self.max_len, dtype=np.int64)
+        out[: len(ids)] = ids
+        return out
+
+    def encode_batch(self, token_lists: Sequence[Sequence[str]]) -> np.ndarray:
+        return np.stack([self.encode(t) for t in token_lists], axis=0)
+
+    def bag_of_words(self, tokens: Sequence[str]) -> np.ndarray:
+        """Normalised BOW vector over the vocabulary (the "WC"/"SC"
+        competitor features in Table VII)."""
+        if not self.is_fitted():
+            raise RuntimeError("tokenizer is not fitted")
+        vec = np.zeros(self.vocab_size)
+        for t in tokens:
+            vec[self.token_to_id.get(t, OOV)] += 1.0
+        total = vec.sum()
+        return vec / total if total else vec

@@ -1,0 +1,28 @@
+"""Shared experiment harness: corpus collection, ranking protocol,
+end-to-end tuning evaluation, and the paper's experimental grid."""
+
+from . import settings
+from .collect import (
+    cached_training_corpus,
+    collect_candidate_runs,
+    collect_training_runs,
+    sample_cell_confs,
+)
+from .ranking import (
+    RankingCase,
+    build_ranking_case,
+    evaluate_ranking,
+    evaluate_ranking_cases,
+    scorer_from_estimator,
+    scorer_from_tabular,
+)
+from .tuning_eval import AppTuningOutcome, evaluate_tuners, summarize
+
+__all__ = [
+    "settings",
+    "cached_training_corpus", "collect_candidate_runs", "collect_training_runs",
+    "sample_cell_confs",
+    "RankingCase", "build_ranking_case", "evaluate_ranking",
+    "evaluate_ranking_cases", "scorer_from_estimator", "scorer_from_tabular",
+    "AppTuningOutcome", "evaluate_tuners", "summarize",
+]

@@ -1,0 +1,104 @@
+"""Offline training-data collection (paper Sec. II / V-A).
+
+For every (application, small datasize, cluster) cell, execute the
+application under the default configuration plus a Latin-hypercube sample
+of knob settings, producing the AppRun corpus that Stage-based Code
+Organization turns into stage-level training instances.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sparksim.cluster import ClusterSpec
+from ..sparksim.config import SparkConf
+from ..sparksim.eventlog import AppRun
+from ..tuning.simple import lhs_configurations
+from ..workloads.base import TRAIN_SCALES, Workload, all_workloads
+from . import settings
+
+
+def sample_cell_confs(n: int, rng: np.random.Generator, include_default: bool = True) -> List[SparkConf]:
+    """Configurations to try in one collection cell."""
+    confs: List[SparkConf] = [SparkConf.default()] if include_default else []
+    need = max(0, n - len(confs))
+    confs.extend(lhs_configurations(need, rng))
+    return confs[:n]
+
+
+def _collect_cell(
+    workload: Workload,
+    cluster: ClusterSpec,
+    scale: str,
+    confs_per_cell: int,
+    rng: np.random.Generator,
+    seed: int,
+) -> List[AppRun]:
+    """Collect runs for one cell, resampling failed configurations.
+
+    Failed submissions are kept (they cost almost nothing and are recorded)
+    but do not count toward the cell's quota of *successful* observations —
+    matching how one would actually gather a training corpus.
+    """
+    runs: List[AppRun] = []
+    successes = 0
+    attempts = 0
+    batch = sample_cell_confs(confs_per_cell, rng)
+    extra = lhs_configurations(3 * confs_per_cell, rng)
+    for conf in batch + extra:
+        if successes >= confs_per_cell or attempts >= 4 * confs_per_cell:
+            break
+        run = workload.run(conf, cluster, scale=scale, seed=seed)
+        attempts += 1
+        runs.append(run)
+        if run.success:
+            successes += 1
+    return runs
+
+
+def collect_training_runs(
+    workloads: Optional[Sequence[Workload]] = None,
+    clusters: Optional[Sequence[ClusterSpec]] = None,
+    scales: Sequence[str] = TRAIN_SCALES,
+    confs_per_cell: int = settings.CONFS_PER_CELL,
+    seed: int = settings.GLOBAL_SEED,
+) -> List[AppRun]:
+    """The paper's offline training corpus: small datasizes, many knobs."""
+    workloads = list(workloads) if workloads is not None else all_workloads()
+    clusters = list(clusters) if clusters is not None else list(settings.TRAINING_CLUSTERS)
+    runs: List[AppRun] = []
+    for wl_idx, workload in enumerate(workloads):
+        for cluster in clusters:
+            for scale_idx, scale in enumerate(scales):
+                rng = np.random.default_rng(seed + 1000 * wl_idx + 10 * scale_idx + ord(cluster.name[0]))
+                runs.extend(
+                    _collect_cell(workload, cluster, scale, confs_per_cell, rng, seed)
+                )
+    return runs
+
+
+def collect_candidate_runs(
+    workload: Workload,
+    cluster: ClusterSpec,
+    scale: str,
+    candidates: Sequence[SparkConf],
+    seed: int = settings.GLOBAL_SEED,
+) -> List[AppRun]:
+    """Execute a candidate list (used to build gold rankings)."""
+    return [workload.run(conf, cluster, scale=scale, seed=seed) for conf in candidates]
+
+
+@functools.lru_cache(maxsize=8)
+def cached_training_corpus(
+    cluster_names: Tuple[str, ...] = ("A", "B", "C"),
+    confs_per_cell: int = settings.CONFS_PER_CELL,
+    seed: int = settings.GLOBAL_SEED,
+) -> Tuple[AppRun, ...]:
+    """Memoised corpus so multiple benchmarks in one process share it."""
+    from ..sparksim.cluster import get_cluster
+
+    clusters = [get_cluster(n) for n in cluster_names]
+    return tuple(collect_training_runs(clusters=clusters, confs_per_cell=confs_per_cell, seed=seed))

@@ -1,0 +1,135 @@
+"""Ranking-evaluation protocol (paper Sec. V-C).
+
+For an application on validation data: execute a candidate configuration
+list to obtain the gold ranking (ascending actual time), have each method
+rank the same candidates by predicted aggregated time, and score HR@K and
+NDCG@K against the gold list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.instances import StageInstance, instances_from_run
+from ..core.metrics import hr_at_k, ndcg_at_k
+from ..core.recommender import retarget_instances
+from ..sparksim.cluster import ClusterSpec
+from ..sparksim.config import SparkConf
+from ..sparksim.context import EXECUTION_TIME_CAP_S
+from ..sparksim.eventlog import AppRun
+from ..workloads.base import Workload
+from . import settings
+from .collect import collect_candidate_runs
+
+
+@dataclass
+class RankingCase:
+    """One (application, datasize, cluster) ranking problem."""
+
+    workload: Workload
+    cluster: ClusterSpec
+    scale: str
+    candidates: List[SparkConf]
+    candidate_runs: List[AppRun]      # actual executions (define the gold list)
+    templates: List[StageInstance]    # stage templates for prediction
+
+    @property
+    def gold_order(self) -> List[int]:
+        times = [
+            r.duration_s if r.success else EXECUTION_TIME_CAP_S
+            for r in self.candidate_runs
+        ]
+        return list(np.argsort(times, kind="stable"))
+
+    def data_features(self) -> np.ndarray:
+        return self.workload.data_spec(self.scale).features()
+
+
+def build_ranking_case(
+    workload: Workload,
+    cluster: ClusterSpec,
+    scale: str,
+    candidates: Sequence[SparkConf],
+    seed: int = settings.GLOBAL_SEED,
+    template_run: Optional[AppRun] = None,
+) -> RankingCase:
+    runs = collect_candidate_runs(workload, cluster, scale, candidates, seed=seed)
+    if template_run is None:
+        template_run = next((r for r in runs if r.success), None)
+        if template_run is None:
+            template_run = workload.run(SparkConf.default(), cluster, scale="train0", seed=seed)
+    return RankingCase(
+        workload=workload,
+        cluster=cluster,
+        scale=scale,
+        candidates=list(candidates),
+        candidate_runs=runs,
+        templates=instances_from_run(template_run),
+    )
+
+
+#: A method is any callable: (case, candidate_index) -> predicted app time.
+MethodScorer = Callable[[RankingCase, int], float]
+
+
+def scorer_from_estimator(estimator) -> MethodScorer:
+    """Scorer for NECS-style estimators (no privileged statistics)."""
+
+    def score(case: RankingCase, idx: int) -> float:
+        instances = retarget_instances(
+            case.templates, case.candidates[idx], case.data_features(), case.cluster
+        )
+        return estimator.predict_app_time(instances)
+
+    return score
+
+
+def scorer_from_tabular(predictor) -> MethodScorer:
+    """Scorer for the tabular competitors.
+
+    Stage-level feature sets (S/SC/SCG) consume the monitor-UI statistics
+    of the candidate's actual run — the privileged access the paper grants
+    these baselines.
+    """
+
+    def score(case: RankingCase, idx: int) -> float:
+        run = case.candidate_runs[idx]
+        if predictor.builder.uses_stats and run.success:
+            instances = instances_from_run(run)
+        else:
+            instances = retarget_instances(
+                case.templates, case.candidates[idx], case.data_features(), case.cluster
+            )
+        if not instances:
+            return EXECUTION_TIME_CAP_S
+        return predictor.predict_app_time(instances)
+
+    return score
+
+
+def evaluate_ranking(
+    case: RankingCase, scorer: MethodScorer, k: int = settings.RANKING_K
+) -> Dict[str, float]:
+    """HR@K and NDCG@K of one method on one case."""
+    scores = [scorer(case, i) for i in range(len(case.candidates))]
+    predicted_order = list(np.argsort(scores, kind="stable"))
+    gold = case.gold_order
+    return {
+        "hr": hr_at_k(predicted_order, gold, k),
+        "ndcg": ndcg_at_k(predicted_order, gold, k),
+    }
+
+
+def evaluate_ranking_cases(
+    cases: Sequence[RankingCase], scorer: MethodScorer, k: int = settings.RANKING_K
+) -> Dict[str, float]:
+    """Mean HR@K / NDCG@K over a set of cases."""
+    hr, ndcg = [], []
+    for case in cases:
+        result = evaluate_ranking(case, scorer, k)
+        hr.append(result["hr"])
+        ndcg.append(result["ndcg"])
+    return {"hr": float(np.mean(hr)), "ndcg": float(np.mean(ndcg))}

@@ -1,0 +1,37 @@
+"""Experimental grid shared by tests and benchmarks.
+
+Mirrors the paper's setup (Tables III-V): three clusters, four small
+training datasizes per application per cluster, a mid validation size and
+a large test size on cluster C.  Sizes here are module-level constants so
+every benchmark regenerates the same corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..sparksim.cluster import CLUSTER_A, CLUSTER_B, CLUSTER_C, ClusterSpec
+from ..workloads.base import TEST_SCALE, TRAIN_SCALES, VALID_SCALE
+
+#: Clusters used for training-data collection.
+TRAINING_CLUSTERS: Tuple[ClusterSpec, ...] = (CLUSTER_A, CLUSTER_B, CLUSTER_C)
+
+#: Cluster used for large-job testing (paper: cluster C).
+TEST_CLUSTER: ClusterSpec = CLUSTER_C
+
+#: Configurations sampled per (application, datasize, cluster) cell during
+#: offline training-data collection.
+CONFS_PER_CELL = 6
+
+#: Candidate-list length for the ranking experiments (gold vs predicted).
+RANKING_CANDIDATES = 15
+
+#: Top-K for HR@K / NDCG@K.
+RANKING_K = 5
+
+#: Seed for data generation and knob sampling.
+GLOBAL_SEED = 7
+
+#: Benchmark-speed profile: smaller NECS for the bench harness.
+FAST_EPOCHS = 10

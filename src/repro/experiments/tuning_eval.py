@@ -1,0 +1,87 @@
+"""End-to-end tuning evaluation (paper Sec. V-B, Table VI / Fig. 7).
+
+Runs every tuner on the large-datasize jobs of cluster C, recording the
+actual execution time of each tuner's recommendation and the normalised
+Execution Time Reduction against the per-application default/minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.metrics import execution_time_reduction
+from ..sparksim.cluster import ClusterSpec
+from ..sparksim.config import SparkConf
+from ..sparksim.context import EXECUTION_TIME_CAP_S
+from ..tuning.base import DEFAULT_BUDGET_S, Tuner
+from ..workloads.base import TEST_SCALE, Workload
+from . import settings
+
+
+@dataclass
+class AppTuningOutcome:
+    app_name: str
+    times: Dict[str, float]            # tuner -> actual execution time
+    overheads: Dict[str, float]        # tuner -> tuning overhead (simulated)
+    t_default: float
+    t_min: float
+
+    def etr(self, tuner: str) -> float:
+        return execution_time_reduction(self.times[tuner], self.t_default, self.t_min)
+
+
+def evaluate_tuners(
+    tuners: Sequence[Tuner],
+    workloads: Sequence[Workload],
+    cluster: Optional[ClusterSpec] = None,
+    scale: str = TEST_SCALE,
+    budget_s: float = DEFAULT_BUDGET_S,
+    seed: int = settings.GLOBAL_SEED,
+) -> List[AppTuningOutcome]:
+    """Table VI: execution times and ETR for every (tuner, application)."""
+    cluster = cluster or settings.TEST_CLUSTER
+    outcomes: List[AppTuningOutcome] = []
+    for workload in workloads:
+        default_run = workload.run(SparkConf.default(), cluster, scale=scale, seed=seed)
+        t_default = (
+            min(default_run.duration_s, EXECUTION_TIME_CAP_S)
+            if default_run.success
+            else EXECUTION_TIME_CAP_S
+        )
+        times: Dict[str, float] = {"Default": t_default}
+        overheads: Dict[str, float] = {"Default": 0.0}
+        for tuner in tuners:
+            result = tuner.tune(workload, cluster, scale, budget_s=budget_s, seed=seed)
+            times[tuner.name] = result.best_time_s
+            overheads[tuner.name] = result.overhead_s
+        t_min = min(times.values())
+        outcomes.append(
+            AppTuningOutcome(
+                app_name=workload.name,
+                times=times,
+                overheads=overheads,
+                t_default=t_default,
+                t_min=t_min,
+            )
+        )
+    return outcomes
+
+
+def summarize(outcomes: Sequence[AppTuningOutcome]) -> Dict[str, Dict[str, float]]:
+    """Mean actual time and mean ETR per tuner over the applications."""
+    tuner_names = sorted({name for o in outcomes for name in o.times})
+    summary: Dict[str, Dict[str, float]] = {}
+    for name in tuner_names:
+        times = [o.times[name] for o in outcomes if name in o.times]
+        etrs = [o.etr(name) for o in outcomes if name in o.times]
+        overheads = [o.overheads.get(name, 0.0) for o in outcomes if name in o.times]
+        summary[name] = {
+            "mean_time_s": float(np.mean(times)),
+            "mean_etr": float(np.mean(etrs)),
+            "mean_overhead_s": float(np.mean(overheads)),
+            "wins": float(sum(1 for o in outcomes if name in o.times and o.etr(name) >= 0.999)),
+        }
+    return summary

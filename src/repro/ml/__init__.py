@@ -1,0 +1,19 @@
+"""Classical ML substrate: CART, random forest, GBM, Gaussian process."""
+
+from .tree import DecisionTreeRegressor
+from .forest import RandomForestRegressor
+from .gbm import GradientBoostingRegressor
+from .gp import GaussianProcessRegressor, expected_improvement, matern52_kernel, rbf_kernel
+from .scaler import MinMaxScaler, StandardScaler
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "GradientBoostingRegressor",
+    "GaussianProcessRegressor",
+    "expected_improvement",
+    "matern52_kernel",
+    "rbf_kernel",
+    "MinMaxScaler",
+    "StandardScaler",
+]

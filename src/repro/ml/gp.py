@@ -1,0 +1,117 @@
+"""Gaussian-process regression for the Bayesian-Optimization tuner.
+
+A standard GP with an RBF (squared-exponential) or Matérn-5/2 kernel,
+Cholesky-based posterior, and the Expected Improvement acquisition used by
+the BO competitor (paper Sec. V-B, "BO(2h)" inspired by OtterTune).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, length_scale: float = 1.0, variance: float = 1.0) -> np.ndarray:
+    """Squared-exponential kernel matrix between row sets ``a`` and ``b``."""
+    sq = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=-1)
+    return variance * np.exp(-0.5 * sq / length_scale**2)
+
+
+def matern52_kernel(a: np.ndarray, b: np.ndarray, length_scale: float = 1.0, variance: float = 1.0) -> np.ndarray:
+    """Matérn-5/2 kernel matrix."""
+    sq = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=-1)
+    r = np.sqrt(np.maximum(sq, 0.0)) / length_scale
+    sqrt5_r = np.sqrt(5.0) * r
+    return variance * (1.0 + sqrt5_r + 5.0 * sq / (3.0 * length_scale**2)) * np.exp(-sqrt5_r)
+
+
+class GaussianProcessRegressor:
+    """GP regression with fixed hyper-parameters plus a light grid refit.
+
+    ``fit`` standardises the targets and, if ``tune=True``, picks the
+    marginal-likelihood-best length scale from a small grid — enough for the
+    tuner use-case without an optimiser dependency.
+    """
+
+    def __init__(
+        self,
+        kernel: str = "matern52",
+        length_scale: float = 1.0,
+        variance: float = 1.0,
+        noise: float = 1e-4,
+        tune: bool = True,
+    ):
+        kernels: dict = {"rbf": rbf_kernel, "matern52": matern52_kernel}
+        if kernel not in kernels:
+            raise ValueError(f"unknown kernel {kernel!r}")
+        self._kernel_fn: Callable = kernels[kernel]
+        self.length_scale = length_scale
+        self.variance = variance
+        self.noise = noise
+        self.tune = tune
+        self._X: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    def _log_marginal(self, X: np.ndarray, y: np.ndarray, length_scale: float) -> float:
+        k = self._kernel_fn(X, X, length_scale, self.variance)
+        k[np.diag_indices_from(k)] += self.noise
+        try:
+            chol = np.linalg.cholesky(k)
+        except np.linalg.LinAlgError:
+            return -np.inf
+        alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, y))
+        return float(
+            -0.5 * y @ alpha - np.log(np.diag(chol)).sum() - 0.5 * len(y) * np.log(2 * np.pi)
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        y_n = (y - self._y_mean) / self._y_std
+
+        if self.tune and len(X) >= 3:
+            grid = [0.1, 0.3, 1.0, 3.0, 10.0]
+            scores = [self._log_marginal(X, y_n, ls) for ls in grid]
+            self.length_scale = grid[int(np.argmax(scores))]
+
+        k = self._kernel_fn(X, X, self.length_scale, self.variance)
+        k[np.diag_indices_from(k)] += self.noise
+        self._chol = np.linalg.cholesky(k)
+        self._alpha = np.linalg.solve(self._chol.T, np.linalg.solve(self._chol, y_n))
+        self._X = X
+        return self
+
+    def predict(self, X: np.ndarray, return_std: bool = False):
+        if self._X is None:
+            raise RuntimeError("GP is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        k_star = self._kernel_fn(X, self._X, self.length_scale, self.variance)
+        mean = k_star @ self._alpha * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        v = np.linalg.solve(self._chol, k_star.T)
+        prior = self._kernel_fn(X, X, self.length_scale, self.variance)
+        var = np.clip(np.diag(prior) - (v**2).sum(axis=0), 1e-12, None)
+        return mean, np.sqrt(var) * self._y_std
+
+
+def expected_improvement(
+    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.0
+) -> np.ndarray:
+    """EI for *minimisation*: improvement over the incumbent ``best``."""
+    std = np.maximum(std, 1e-12)
+    z = (best - mean - xi) / std
+    # Standard normal pdf/cdf without scipy (keep this module self-contained).
+    pdf = np.exp(-0.5 * z**2) / np.sqrt(2 * np.pi)
+    from math import erf
+
+    cdf = 0.5 * (1.0 + np.vectorize(erf)(z / np.sqrt(2.0)))
+    return (best - mean - xi) * cdf + std * pdf

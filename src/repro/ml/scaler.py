@@ -1,0 +1,60 @@
+"""Feature scaling utilities shared by the learners."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Column-wise standardisation with constant-column protection."""
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.std_ = np.where(std < 1e-12, 1.0, std)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) / self.std_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return np.asarray(X, dtype=np.float64) * self.std_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale columns to [0, 1]; constant columns map to 0."""
+
+    def __init__(self):
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        self.min_ = X.min(axis=0)
+        rng = X.max(axis=0) - self.min_
+        self.range_ = np.where(rng < 1e-12, 1.0, rng)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return (np.asarray(X, dtype=np.float64) - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

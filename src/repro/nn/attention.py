@@ -1,0 +1,111 @@
+"""Transformer encoder (multi-head self-attention).
+
+Used as the "Transformer" code-encoder competitor in Table VII.  The
+implementation is a standard pre-LN Transformer block sized for the small
+token sequences this project works with.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dense, Dropout, LayerNorm
+from .module import Module
+from .tensor import Tensor, concat
+
+
+class MultiHeadSelfAttention(Module):
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Dense(dim, dim, rng, bias=False)
+        self.k_proj = Dense(dim, dim, rng, bias=False)
+        self.v_proj = Dense(dim, dim, rng, bias=False)
+        self.out_proj = Dense(dim, dim, rng)
+
+    def forward(self, x: Tensor, pad_mask: Optional[np.ndarray] = None) -> Tensor:
+        batch, seq_len, _ = x.shape
+        q = self.q_proj(x)
+        k = self.k_proj(x)
+        v = self.v_proj(x)
+
+        def split_heads(t: Tensor) -> Tensor:
+            return t.reshape(batch, seq_len, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        q, k, v = split_heads(q), split_heads(k), split_heads(v)  # (B, H, L, Dh)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        if pad_mask is not None:
+            # pad_mask: (B, L) True where padded -> mask out as keys.
+            key_mask = np.broadcast_to(
+                pad_mask[:, None, None, :], (batch, self.num_heads, seq_len, seq_len)
+            )
+            scores = F.masked_fill(scores, key_mask, -1e9)
+        attn = F.softmax(scores, axis=-1)
+        ctx = attn @ v  # (B, H, L, Dh)
+        merged = ctx.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.dim)
+        return self.out_proj(merged)
+
+
+class TransformerBlock(Module):
+    def __init__(self, dim: int, num_heads: int, ff_dim: int, rng: np.random.Generator, dropout: float = 0.0):
+        super().__init__()
+        self.attn = MultiHeadSelfAttention(dim, num_heads, rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.ff1 = Dense(dim, ff_dim, rng, activation="relu")
+        self.ff2 = Dense(ff_dim, dim, rng)
+        self.drop = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor, pad_mask: Optional[np.ndarray] = None) -> Tensor:
+        x = x + self.drop(self.attn(self.norm1(x), pad_mask))
+        x = x + self.drop(self.ff2(self.ff1(self.norm2(x))))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of Transformer blocks with sinusoidal positions and mean pooling."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        num_layers: int,
+        rng: np.random.Generator,
+        ff_dim: Optional[int] = None,
+        max_len: int = 2048,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        ff_dim = ff_dim or 2 * dim
+        self.blocks = [TransformerBlock(dim, num_heads, ff_dim, rng, dropout) for _ in range(num_layers)]
+        self.norm = LayerNorm(dim)
+        self._positions = _sinusoidal_positions(max_len, dim)
+
+    def forward(self, x: Tensor, pad_mask: Optional[np.ndarray] = None) -> Tensor:
+        seq_len = x.shape[1]
+        x = x + Tensor(self._positions[:seq_len])
+        for block in self.blocks:
+            x = block(x, pad_mask)
+        x = self.norm(x)
+        if pad_mask is None:
+            return x.mean(axis=1)
+        valid = (~pad_mask).astype(np.float64)  # (B, L)
+        weights = Tensor(valid[:, :, None])
+        denom = Tensor(np.maximum(valid.sum(axis=1), 1.0)[:, None])
+        return (x * weights).sum(axis=1) / denom
+
+
+def _sinusoidal_positions(max_len: int, dim: int) -> np.ndarray:
+    positions = np.arange(max_len)[:, None].astype(np.float64)
+    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    table = np.zeros((max_len, dim))
+    table[:, 0::2] = np.sin(positions * div)
+    table[:, 1::2] = np.cos(positions * div[: dim // 2])
+    return table

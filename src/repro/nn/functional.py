@@ -1,0 +1,152 @@
+"""Composite autodiff operations built on :class:`repro.nn.tensor.Tensor`.
+
+These are the building blocks that the layer classes in
+:mod:`repro.nn.layers` assemble: 1-D convolution over token embeddings
+(NECS's code encoder), pooling, softmax/log-softmax (Transformer attention
+and classifiers), and dropout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, _stash
+
+
+def conv1d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Valid (no padding, stride 1) 1-D convolution.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, length, channels_in)``.
+    weight:
+        Kernel of shape ``(kernel, channels_in, channels_out)``.
+    bias:
+        Optional ``(channels_out,)`` bias.
+
+    Returns
+    -------
+    Tensor of shape ``(batch, length - kernel + 1, channels_out)``.
+    """
+    batch, length, c_in = x.shape
+    kernel, c_in_w, c_out = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input has {c_in}, kernel expects {c_in_w}")
+    out_len = length - kernel + 1
+    if out_len <= 0:
+        raise ValueError(f"input length {length} shorter than kernel {kernel}")
+
+    # im2col: windows has shape (batch, out_len, kernel, c_in)
+    strides = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(batch, out_len, kernel, c_in),
+        strides=(strides[0], strides[1], strides[1], strides[2]),
+        writeable=False,
+    )
+    cols = windows.reshape(batch * out_len, kernel * c_in)
+    w2 = weight.data.reshape(kernel * c_in, c_out)
+    out_data = (cols @ w2).reshape(batch, out_len, c_out)
+    if bias is not None:
+        out_data = out_data + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        grad2 = grad.reshape(batch * out_len, c_out)
+        if weight.requires_grad:
+            w_grad = (cols.T @ grad2).reshape(kernel, c_in, c_out)
+            _stash(weight, w_grad)
+        if bias is not None and bias.requires_grad:
+            _stash(bias, grad2.sum(axis=0))
+        if x.requires_grad:
+            col_grad = (grad2 @ w2.T).reshape(batch, out_len, kernel, c_in)
+            x_grad = np.zeros_like(x.data)
+            for k in range(kernel):
+                x_grad[:, k : k + out_len, :] += col_grad[:, :, k, :]
+            _stash(x, x_grad)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = Tensor(out_data)
+    out.requires_grad = any(p.requires_grad for p in parents)
+    if out.requires_grad:
+        out._backward = backward
+        out._parents = parents
+    return out
+
+
+def max_pool1d_global(x: Tensor) -> Tensor:
+    """Global max pooling over the length axis: ``(B, L, C) -> (B, C)``."""
+    return x.max(axis=1)
+
+
+def mean_pool1d_global(x: Tensor) -> Tensor:
+    """Global mean pooling over the length axis: ``(B, L, C) -> (B, C)``."""
+    return x.mean(axis=1)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted_data = x.data - x.data.max(axis=axis, keepdims=True)
+    exp_data = np.exp(shifted_data)
+    out_data = exp_data / exp_data.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        # dL/dx = s * (g - sum(g * s))
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        _stash(x, out_data * (grad - inner))
+
+    out = Tensor(out_data)
+    out.requires_grad = x.requires_grad
+    if out.requires_grad:
+        out._backward = backward
+        out._parents = (x,)
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - lse
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        _stash(x, grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    out = Tensor(out_data)
+    out.requires_grad = x.requires_grad
+    if out.requires_grad:
+        out._backward = backward
+        out._parents = (x,)
+    return out
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity when not training or ``rate == 0``."""
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep) / keep
+    masked = Tensor(mask)
+    return x * masked
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Return a tensor equal to ``x`` but with ``value`` where ``mask`` is True.
+
+    Gradient flows only through unmasked entries.  Used for attention masks.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    out_data = np.where(mask, value, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        _stash(x, np.where(mask, 0.0, grad))
+
+    out = Tensor(out_data)
+    out.requires_grad = x.requires_grad
+    if out.requires_grad:
+        out._backward = backward
+        out._parents = (x,)
+    return out

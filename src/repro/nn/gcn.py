@@ -1,0 +1,78 @@
+"""Graph Convolutional Network for DAG-scheduler encoding (paper Sec. III-E).
+
+Implements the propagation rule
+
+    H^{l+1} = ReLU( D^{-1/2} (A + I) D^{-1/2} H^l W^l )
+
+followed by a global max-pool over nodes to obtain the scheduler
+representation ``h_DAG`` (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .layers import Dense
+from .module import Module
+from .tensor import Tensor
+
+
+def normalized_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Return ``D^{-1/2} (A + I) D^{-1/2}`` for a (possibly directed) DAG.
+
+    The adjacency is symmetrised first — graph convolution propagates
+    information both along and against edge direction, which is what we want
+    for stage DAGs where both producers and consumers matter.
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError(f"adjacency must be square, got {adjacency.shape}")
+    n = adjacency.shape[0]
+    sym = np.maximum(adjacency, adjacency.T)
+    a_hat = sym + np.eye(n)
+    degree = a_hat.sum(axis=1)
+    d_inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+    return a_hat * d_inv_sqrt[:, None] * d_inv_sqrt[None, :]
+
+
+class GCNEncoder(Module):
+    """Encode one DAG ``(V, A)`` to a fixed-size vector.
+
+    Parameters
+    ----------
+    in_features:
+        Node feature dimension (one-hot over atomic operations + oov).
+    hidden:
+        Output dimension of every graph-convolution layer.
+    num_layers:
+        Number of propagation steps.
+    """
+
+    def __init__(self, in_features: int, hidden: int, num_layers: int, rng: np.random.Generator):
+        super().__init__()
+        self.layers: List[Dense] = []
+        prev = in_features
+        for _ in range(num_layers):
+            self.layers.append(Dense(prev, hidden, rng, bias=False))
+            prev = hidden
+        self.out_dim = hidden
+
+    def forward(self, node_features: Tensor, norm_adjacency: np.ndarray) -> Tensor:
+        """``node_features``: (|V|, in_features); returns (hidden,)."""
+        prop = Tensor(norm_adjacency)
+        h = node_features
+        for layer in self.layers:
+            h = (prop @ layer(h)).relu()
+        return h.max(axis=0)
+
+    def forward_batch(self, graphs: List[tuple]) -> Tensor:
+        """Encode a list of ``(node_features, norm_adjacency)`` pairs.
+
+        Returns a ``(len(graphs), hidden)`` tensor.  Graphs are ragged so we
+        encode one at a time and stack.
+        """
+        from .tensor import stack
+
+        return stack([self.forward(v, a) for v, a in graphs], axis=0)

@@ -1,0 +1,195 @@
+"""Core neural-network layers: Dense, Embedding, Conv1D, LayerNorm, Dropout.
+
+Initialisation follows standard practice (Glorot for dense/conv, scaled
+normal for embeddings) and every layer takes an explicit
+``numpy.random.Generator`` so model construction is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .module import Module, Parameter
+from .tensor import Tensor, embedding_lookup
+
+
+def glorot(rng: np.random.Generator, fan_in: int, fan_out: int, shape) -> np.ndarray:
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+class Dense(Module):
+    """Affine layer ``y = x W + b`` with optional activation.
+
+    ``activation`` is one of ``None``, ``"relu"``, ``"tanh"``, ``"sigmoid"``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: Optional[str] = None,
+        bias: bool = True,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        self.weight = Parameter(glorot(rng, in_features, out_features, (in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        if self.activation == "relu":
+            out = out.relu()
+        elif self.activation == "tanh":
+            out = out.tanh()
+        elif self.activation == "sigmoid":
+            out = out.sigmoid()
+        elif self.activation is not None:
+            raise ValueError(f"unknown activation {self.activation!r}")
+        return out
+
+
+class Embedding(Module):
+    """Token embedding table with index 0 conventionally used for padding."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: np.random.Generator, pad_zero: bool = True):
+        super().__init__()
+        self.vocab_size = vocab_size
+        self.dim = dim
+        table = rng.normal(0.0, 1.0 / np.sqrt(dim), size=(vocab_size, dim))
+        if pad_zero:
+            table[0] = 0.0
+        self.table = Parameter(table)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.vocab_size):
+            raise IndexError(
+                f"token index out of range [0, {self.vocab_size}): "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        return embedding_lookup(self.table, indices)
+
+
+class Conv1D(Module):
+    """1-D convolution (valid padding, stride 1) over ``(B, L, C_in)``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.kernel_size = kernel_size
+        fan_in = kernel_size * in_channels
+        self.weight = Parameter(
+            glorot(rng, fan_in, out_channels, (kernel_size, in_channels, out_channels))
+        )
+        self.bias = Parameter(np.zeros(out_channels))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv1d(x, self.weight, self.bias)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gain = Parameter(np.ones(dim))
+        self.shift = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered * ((var + self.eps) ** -0.5)
+        return normed * self.gain + self.shift
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        super().__init__()
+        self.rate = rate
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, self.rng, self.training)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class MLP(Module):
+    """A stack of Dense layers with a shared hidden activation.
+
+    ``tower=True`` halves the width at every hidden layer, matching the
+    "tower MLP" in the paper's performance-estimation module (Sec. III-F).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        out_features: int,
+        depth: int,
+        rng: np.random.Generator,
+        activation: str = "relu",
+        tower: bool = False,
+        out_activation: Optional[str] = None,
+    ):
+        super().__init__()
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        widths = []
+        w = hidden
+        for _ in range(depth):
+            widths.append(max(2, w))
+            if tower:
+                w = w // 2
+        layers = []
+        prev = in_features
+        for width in widths:
+            layers.append(Dense(prev, width, rng, activation=activation))
+            prev = width
+        layers.append(Dense(prev, out_features, rng, activation=out_activation))
+        self.layers = layers
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def hidden_embeddings(self, x: Tensor) -> list:
+        """Return the activations of every hidden layer (used by the
+        Adaptive Model Update discriminator, Sec. IV-B)."""
+        taps = []
+        for layer in self.layers[:-1]:
+            x = layer(x)
+            taps.append(x)
+        return taps

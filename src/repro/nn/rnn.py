@@ -1,0 +1,74 @@
+"""LSTM sequence encoder.
+
+Used as the "LSTM" code-encoder competitor in Table VII of the paper and as
+the pre-training model for the "SCG" scheduler features (scheduler DAGs
+trained to predict the next DAG operation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .module import Module, Parameter
+from .layers import glorot
+from .tensor import Tensor, concat, stack
+
+
+class LSTMCell(Module):
+    """Single LSTM cell with fused gate weights."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        fan_in = input_size + hidden_size
+        self.weight = Parameter(glorot(rng, fan_in, 4 * hidden_size, (fan_in, 4 * hidden_size)))
+        bias = np.zeros(4 * hidden_size)
+        # Forget-gate bias of 1.0 helps gradient flow early in training.
+        bias[hidden_size : 2 * hidden_size] = 1.0
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        z = concat([x, h_prev], axis=-1) @ self.weight + self.bias
+        hs = self.hidden_size
+        i = z[:, 0 * hs : 1 * hs].sigmoid()
+        f = z[:, 1 * hs : 2 * hs].sigmoid()
+        g = z[:, 2 * hs : 3 * hs].tanh()
+        o = z[:, 3 * hs : 4 * hs].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        return h, c
+
+
+class LSTMEncoder(Module):
+    """Encode ``(B, L, D)`` sequences to a ``(B, H)`` representation.
+
+    The representation is the mean of hidden states over valid (non-padded)
+    positions, which is more robust for variable-length code than taking the
+    last state.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor, lengths: Optional[np.ndarray] = None) -> Tensor:
+        batch, seq_len, _ = x.shape
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        c = Tensor(np.zeros((batch, self.hidden_size)))
+        outputs = []
+        for t in range(seq_len):
+            h, c = self.cell(x[:, t, :], (h, c))
+            outputs.append(h)
+        hidden = stack(outputs, axis=1)  # (B, L, H)
+        if lengths is None:
+            return hidden.mean(axis=1)
+        lengths = np.asarray(lengths, dtype=np.float64)
+        mask = np.arange(seq_len)[None, :] < lengths[:, None]  # (B, L)
+        mask_t = Tensor(mask[:, :, None].astype(np.float64))
+        denom = Tensor(np.maximum(lengths, 1.0)[:, None])
+        return (hidden * mask_t).sum(axis=1) / denom

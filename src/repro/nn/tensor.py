@@ -1,0 +1,503 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This is the foundation of :mod:`repro.nn`, the small deep-learning substrate
+used to implement NECS and the neural competitors (MLP, LSTM, Transformer,
+GCN, DDPG actor/critic).  It provides a :class:`Tensor` that records the
+operations applied to it and can back-propagate gradients through the
+resulting computation graph.
+
+Design notes
+------------
+- Data is always stored as ``float64`` numpy arrays, which keeps gradient
+  checks tight at the cost of some speed; the models in this project are
+  deliberately small.
+- Broadcasting follows numpy semantics.  On the backward pass gradients are
+  "un-broadcast" (summed over broadcast axes) so shapes always line up.
+- The graph is dynamic (define-by-run).  ``backward`` performs a topological
+  sort and accumulates ``grad`` on every tensor that ``requires_grad``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype != np.float64:
+            return value.astype(np.float64)
+        return value
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over axes that were broadcast to reach ``grad.shape``.
+
+    ``shape`` is the original operand shape; the result has exactly that
+    shape so that accumulation into ``Tensor.grad`` is well-defined.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array plus an autodiff tape entry.
+
+    Parameters
+    ----------
+    data:
+        Array contents (copied to float64 if necessary).
+    requires_grad:
+        Whether gradients should be accumulated for this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_pending_grad")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self._pending_grad: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(shape: Tuple[int, ...], requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape: Tuple[int, ...], requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    def _make_child(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        out = Tensor(data)
+        out.requires_grad = any(p.requires_grad for p in parents)
+        if out.requires_grad:
+            out._backward = backward
+            out._parents = parents
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate from this tensor.
+
+        ``grad`` defaults to ones (appropriate for scalar losses).
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+
+        # Topological order over the reachable sub-graph.
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf tensor: accumulate into .grad
+                node._accumulate(node_grad)
+                continue
+            # Interior node: route gradient to parents via the op closure,
+            # which stashes contributions on each parent's _pending_grad.
+            node._backward(node_grad)
+            for parent in node._parents:
+                if parent._pending_grad is not None:
+                    existing = grads.get(id(parent))
+                    grads[id(parent)] = (
+                        parent._pending_grad
+                        if existing is None
+                        else existing + parent._pending_grad
+                    )
+                    parent._pending_grad = None
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic ops
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            _stash(self, _unbroadcast(grad, self.shape))
+            _stash(other_t, _unbroadcast(grad, other_t.shape))
+
+        return self._make_child(data, (self, other_t), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            _stash(self, -grad)
+
+        return self._make_child(data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other_t)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return (-self) + other
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            _stash(self, _unbroadcast(grad * other_t.data, self.shape))
+            _stash(other_t, _unbroadcast(grad * self.data, other_t.shape))
+
+        return self._make_child(data, (self, other_t), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            _stash(self, _unbroadcast(grad / other_t.data, self.shape))
+            _stash(
+                other_t,
+                _unbroadcast(-grad * self.data / (other_t.data**2), other_t.shape),
+            )
+
+        return self._make_child(data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            _stash(self, grad * exponent * self.data ** (exponent - 1))
+
+        return self._make_child(data, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            a, b = self.data, other_t.data
+            if a.ndim == 1 and b.ndim == 1:
+                _stash(self, grad * b)
+                _stash(other_t, grad * a)
+                return
+            if a.ndim == 1:
+                a2 = a[None, :]
+                grad2 = grad[None, ...] if grad.ndim == b.ndim - 1 else grad
+                _stash(self, (grad2 @ np.swapaxes(b, -1, -2)).reshape(a.shape))
+                _stash(other_t, _unbroadcast(a2.T @ grad2, b.shape))
+                return
+            if b.ndim == 1:
+                b2 = b[:, None]
+                grad2 = grad[..., None]
+                _stash(self, _unbroadcast(grad2 @ b2.T, a.shape))
+                _stash(other_t, _unbroadcast((np.swapaxes(a, -1, -2) @ grad2)[..., 0], b.shape))
+                return
+            _stash(self, _unbroadcast(grad @ np.swapaxes(b, -1, -2), a.shape))
+            _stash(other_t, _unbroadcast(np.swapaxes(a, -1, -2) @ grad, b.shape))
+
+        return self._make_child(data, (self, other_t), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            _stash(self, grad * data)
+
+        return self._make_child(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            _stash(self, grad / self.data)
+
+        return self._make_child(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            _stash(self, grad * (1.0 - data**2))
+
+        return self._make_child(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(grad: np.ndarray) -> None:
+            _stash(self, grad * data * (1.0 - data))
+
+        return self._make_child(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            _stash(self, grad * mask)
+
+        return self._make_child(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray) -> None:
+            _stash(self, grad * mask)
+
+        return self._make_child(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    g = np.expand_dims(g, a)
+            _stash(self, np.broadcast_to(g, self.shape).copy())
+
+        return self._make_child(data, (self,), backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = data if keepdims else np.expand_dims(data, axis)
+            g = grad if keepdims else np.expand_dims(grad, axis)
+            mask = self.data == expanded
+            # Split gradient equally among ties (rare with float inputs).
+            counts = mask.sum(axis=axis, keepdims=True)
+            _stash(self, mask * g / counts)
+
+        return self._make_child(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            _stash(self, grad.reshape(self.shape))
+
+        return self._make_child(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_t = axes if axes else tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(axes_t)
+        inverse = np.argsort(axes_t)
+
+        def backward(grad: np.ndarray) -> None:
+            _stash(self, grad.transpose(inverse))
+
+        return self._make_child(data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            _stash(self, full)
+
+        return self._make_child(data, (self,), backward)
+
+
+def _stash(tensor: Tensor, grad: np.ndarray) -> None:
+    """Stage a gradient on ``tensor`` for collection by ``backward``."""
+    if not tensor.requires_grad:
+        return
+    pending = tensor._pending_grad
+    tensor._pending_grad = grad if pending is None else pending + grad
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            _stash(tensor, grad[tuple(index)])
+
+    out = Tensor(data)
+    out.requires_grad = any(t.requires_grad for t in tensors)
+    if out.requires_grad:
+        out._backward = backward
+        out._parents = tuple(tensors)
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            _stash(tensor, np.squeeze(piece, axis=axis))
+
+    out = Tensor(data)
+    out.requires_grad = any(t.requires_grad for t in tensors)
+    if out.requires_grad:
+        out._backward = backward
+        out._parents = tuple(tensors)
+    return out
+
+
+def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup ``table[indices]`` with scatter-add backward.
+
+    ``indices`` is an integer array of any shape; the result has shape
+    ``indices.shape + (table.shape[1],)``.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    data = table.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(table.data)
+        np.add.at(full, indices.reshape(-1), grad.reshape(-1, table.data.shape[1]))
+        _stash(table, full)
+
+    out = Tensor(data)
+    out.requires_grad = table.requires_grad
+    if out.requires_grad:
+        out._backward = backward
+        out._parents = (table,)
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable selection; ``condition`` is a constant boolean mask."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    condition = np.asarray(condition, dtype=bool)
+    data = np.where(condition, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        _stash(a, _unbroadcast(np.where(condition, grad, 0.0), a.shape))
+        _stash(b, _unbroadcast(np.where(condition, 0.0, grad), b.shape))
+
+    out = Tensor(data)
+    out.requires_grad = a.requires_grad or b.requires_grad
+    if out.requires_grad:
+        out._backward = backward
+        out._parents = (a, b)
+    return out

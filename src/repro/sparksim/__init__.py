@@ -1,0 +1,26 @@
+"""Spark simulator substrate: RDD lineage, DAG scheduler, knob-sensitive cost model.
+
+This package replaces the paper's physical Spark clusters.  Workloads are
+real driver programs executed on small samples; stage timing comes from an
+analytical cost model that responds to the 16 knobs of paper Table IV.
+"""
+
+from .cluster import CLUSTER_A, CLUSTER_B, CLUSTER_C, CLUSTERS, ClusterSpec, get_cluster
+from .config import KNOB_BY_NAME, KNOB_NAMES, KNOB_SPECS, NUM_KNOBS, KnobSpec, SparkConf
+from .context import EXECUTION_TIME_CAP_S, SparkContext, run_app
+from .costmodel import CostParams, DEFAULT_COST_PARAMS, SparkJobError, StageCostModel, plan_executors
+from .dag import DAGScheduler, Stage, StageMetrics
+from .eventlog import AppRun, StageRecord
+from .instrument import ALL_DAG_LABELS, DAG_NODE_LABEL, OP_EXPANSION, dag_label, expand_op
+from .rdd import RDD, estimate_record_bytes
+
+__all__ = [
+    "CLUSTER_A", "CLUSTER_B", "CLUSTER_C", "CLUSTERS", "ClusterSpec", "get_cluster",
+    "KNOB_BY_NAME", "KNOB_NAMES", "KNOB_SPECS", "NUM_KNOBS", "KnobSpec", "SparkConf",
+    "EXECUTION_TIME_CAP_S", "SparkContext", "run_app",
+    "CostParams", "DEFAULT_COST_PARAMS", "SparkJobError", "StageCostModel", "plan_executors",
+    "DAGScheduler", "Stage", "StageMetrics",
+    "AppRun", "StageRecord",
+    "ALL_DAG_LABELS", "DAG_NODE_LABEL", "OP_EXPANSION", "dag_label", "expand_op",
+    "RDD", "estimate_record_bytes",
+]

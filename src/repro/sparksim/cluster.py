@@ -1,0 +1,69 @@
+"""Cluster environments (paper Table III) and environment feature vectors.
+
+The environment feature is the six-dimensional vector of paper Table II:
+(#nodes, #cores per node, CPU frequency, memory size, memory speed,
+network bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Hardware description of one Spark cluster."""
+
+    name: str
+    num_nodes: int
+    cores_per_node: int
+    cpu_ghz: float
+    memory_gb_per_node: float
+    memory_mts: float  # memory speed in MT/s
+    network_gbps: float
+
+    def __post_init__(self):
+        if self.num_nodes < 1 or self.cores_per_node < 1:
+            raise ValueError("cluster must have at least one node and one core")
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.cores_per_node
+
+    @property
+    def total_memory_gb(self) -> float:
+        return self.num_nodes * self.memory_gb_per_node
+
+    def feature_vector(self) -> np.ndarray:
+        """Environment features (Table II) as a length-6 array."""
+        return np.array(
+            [
+                float(self.num_nodes),
+                float(self.cores_per_node),
+                self.cpu_ghz,
+                self.memory_gb_per_node,
+                self.memory_mts,
+                self.network_gbps,
+            ]
+        )
+
+
+#: The paper's three evaluation clusters (Table III).
+CLUSTER_A = ClusterSpec("A", num_nodes=1, cores_per_node=16, cpu_ghz=3.2,
+                        memory_gb_per_node=64.0, memory_mts=2400.0, network_gbps=1.0)
+CLUSTER_B = ClusterSpec("B", num_nodes=3, cores_per_node=16, cpu_ghz=3.2,
+                        memory_gb_per_node=64.0, memory_mts=2400.0, network_gbps=1.0)
+CLUSTER_C = ClusterSpec("C", num_nodes=8, cores_per_node=16, cpu_ghz=2.9,
+                        memory_gb_per_node=16.0, memory_mts=2666.0, network_gbps=10.0)
+
+CLUSTERS: Dict[str, ClusterSpec] = {"A": CLUSTER_A, "B": CLUSTER_B, "C": CLUSTER_C}
+
+
+def get_cluster(name: str) -> ClusterSpec:
+    try:
+        return CLUSTERS[name]
+    except KeyError:
+        raise KeyError(f"unknown cluster {name!r}; available: {sorted(CLUSTERS)}") from None

@@ -1,0 +1,237 @@
+"""SparkContext: the driver-side facade tying the simulator together.
+
+A workload driver program creates RDDs through the context, applies
+transformations, and triggers actions; each action submits a job to the
+DAG scheduler, charges stage costs through the cost model, and appends
+stage records to the event log.  ``run_app`` wraps a driver function and
+produces an :class:`~repro.sparksim.eventlog.AppRun`, converting
+configuration-induced failures into a failed run with the paper's 7200 s
+cap semantics applied downstream.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from .cluster import ClusterSpec
+from .config import SparkConf
+from .costmodel import DEFAULT_COST_PARAMS, CostParams, SparkJobError, StageCostModel, plan_executors
+from .dag import DAGScheduler, SHUFFLE_MAP, Stage
+from .eventlog import AppRun, StageRecord
+from .rdd import RDD, estimate_record_bytes
+
+#: Wall-clock cap for failed / overlong applications (paper Sec. V-B).
+EXECUTION_TIME_CAP_S = 7200.0
+
+
+class SparkContext:
+    """Driver context for one application run."""
+
+    def __init__(
+        self,
+        app_name: str,
+        conf: SparkConf,
+        cluster: ClusterSpec,
+        data_features: Optional[Sequence[float]] = None,
+        cost_params: CostParams = DEFAULT_COST_PARAMS,
+        seed: int = 0,
+        deterministic: bool = False,
+    ):
+        self.app_name = app_name
+        self.conf = conf
+        self.cluster = cluster
+        self.data_features = np.asarray(
+            data_features if data_features is not None else [0.0, 0.0, 0.0, 0.0],
+            dtype=np.float64,
+        )
+        self.cost_model = StageCostModel(cost_params)
+        self.seed = seed
+        self.deterministic = deterministic
+
+        self._rdds: List[RDD] = []
+        self._materialized_shuffles: Set[int] = set()
+        self._available_cache: Set[int] = set()
+        self._records: List[StageRecord] = []
+        self._job_counter = 0
+        self._stage_counter = 0
+        self._skipped = 0
+        self.total_time_s = 0.0
+        # Validate executor placement up front, as YARN would at submit.
+        plan_executors(conf, cluster)
+
+    # ------------------------------------------------------------------
+    # RDD creation
+    # ------------------------------------------------------------------
+    def _register_rdd(self, rdd: RDD) -> None:
+        self._rdds.append(rdd)
+
+    def parallelize(
+        self,
+        data: Sequence[Any],
+        logical_rows: Optional[float] = None,
+        numSlices: Optional[int] = None,
+    ) -> RDD:
+        """Create an RDD from driver-local data.
+
+        ``logical_rows`` declares how many records the dataset has at full
+        scale; ``data`` is the executed sample.
+        """
+        data = list(data)
+        if numSlices is None:
+            numSlices = int(self.conf["spark.default.parallelism"])
+        return RDD(
+            self,
+            "parallelize",
+            deps=[],
+            sample=data,
+            logical_rows=float(logical_rows if logical_rows is not None else len(data)),
+            num_partitions=max(1, numSlices),
+        )
+
+    def textFile(
+        self,
+        sample_lines: Sequence[str],
+        logical_rows: float,
+        logical_bytes: Optional[float] = None,
+    ) -> RDD:
+        """Create an RDD backed by simulated file storage.
+
+        Partitioning follows ``spark.files.maxPartitionBytes`` applied to
+        the *logical* file size, like Spark's file splitting.
+        """
+        sample_lines = list(sample_lines)
+        row_bytes = (
+            (logical_bytes / logical_rows)
+            if logical_bytes and logical_rows
+            else (sum(len(s) + 1 for s in sample_lines) / max(len(sample_lines), 1))
+        )
+        total_bytes = logical_bytes if logical_bytes is not None else logical_rows * row_bytes
+        max_part = float(self.conf["spark.files.maxPartitionBytes"]) * 1e6
+        partitions = max(1, int(np.ceil(total_bytes / max_part)))
+        rdd = RDD(
+            self,
+            "textFile",
+            deps=[],
+            sample=sample_lines,
+            logical_rows=float(logical_rows),
+            num_partitions=partitions,
+        )
+        rdd.row_bytes = row_bytes  # trust the declared file size
+        return rdd
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+    def _execute_job(self, final_rdd: RDD, action: str, result_sample_bytes: float) -> None:
+        job_id = self._job_counter
+        self._job_counter += 1
+
+        scheduler = DAGScheduler(self._materialized_shuffles, self._available_cache)
+        stages = scheduler.build(final_rdd)
+        self._skipped += scheduler.skipped_stages
+
+        cached_bytes_total = sum(
+            r.logical_bytes for r in self._rdds if r.cached and r.id in self._available_cache
+        )
+        self.total_time_s += self.cost_model.params.job_overhead_s
+
+        for stage in stages:
+            metrics = stage.metrics(
+                action_result_bytes=result_sample_bytes if stage.kind != SHUFFLE_MAP else 0.0,
+                action=action,
+            )
+            noise_seed = None
+            if not self.deterministic:
+                key = f"{self.app_name}|{self.conf.digest()}|{self.cluster.name}|{self.seed}|{job_id}|{stage.id}"
+                noise_seed = zlib.adler32(key.encode())
+            duration, stats = self.cost_model.stage_time(
+                metrics,
+                self.conf,
+                self.cluster,
+                cached_bytes_total=cached_bytes_total,
+                noise_seed=noise_seed,
+            )
+            labels, edges = stage.dag_nodes_edges()
+            self._records.append(
+                StageRecord(
+                    stage_id=self._stage_counter,
+                    job_id=job_id,
+                    name=stage.name,
+                    kind=stage.kind,
+                    code_tokens=stage.code_tokens(),
+                    dag_node_labels=labels,
+                    dag_edges=edges,
+                    duration_s=duration,
+                    num_tasks=metrics.num_tasks,
+                    stats=stats,
+                )
+            )
+            self._stage_counter += 1
+            self.total_time_s += duration
+
+            # Materialise side effects of this stage.
+            if stage.kind == SHUFFLE_MAP:
+                self._materialized_shuffles.add(stage.shuffle_id)
+            for rdd in stage.rdds:
+                if rdd.cached:
+                    self._available_cache.add(rdd.id)
+
+    # ------------------------------------------------------------------
+    def app_run(self, success: bool = True, failure_reason: Optional[str] = None) -> AppRun:
+        return AppRun(
+            app_name=self.app_name,
+            conf=self.conf,
+            cluster=self.cluster,
+            data_features=self.data_features,
+            stages=list(self._records),
+            duration_s=self.total_time_s,
+            success=success,
+            failure_reason=failure_reason,
+            num_jobs=self._job_counter,
+            skipped_stages=self._skipped,
+        )
+
+
+def run_app(
+    app_name: str,
+    driver: Callable[[SparkContext], Any],
+    conf: SparkConf,
+    cluster: ClusterSpec,
+    data_features: Optional[Sequence[float]] = None,
+    cost_params: CostParams = DEFAULT_COST_PARAMS,
+    seed: int = 0,
+    deterministic: bool = False,
+) -> AppRun:
+    """Run ``driver`` under ``conf`` on ``cluster`` and return the AppRun.
+
+    Configuration-induced failures (:class:`SparkJobError`) yield a failed
+    run rather than an exception; the evaluation layer applies the paper's
+    7200 s execution-time cap to failed runs.
+    """
+    try:
+        sc = SparkContext(
+            app_name, conf, cluster,
+            data_features=data_features, cost_params=cost_params,
+            seed=seed, deterministic=deterministic,
+        )
+    except SparkJobError as exc:
+        return AppRun(
+            app_name=app_name,
+            conf=conf,
+            cluster=cluster,
+            data_features=np.asarray(data_features if data_features is not None else [0, 0, 0, 0], dtype=np.float64),
+            stages=[],
+            duration_s=EXECUTION_TIME_CAP_S,
+            success=False,
+            failure_reason=exc.reason,
+        )
+    try:
+        driver(sc)
+    except SparkJobError as exc:
+        run = sc.app_run(success=False, failure_reason=exc.reason)
+        run.duration_s = EXECUTION_TIME_CAP_S
+        return run
+    return sc.app_run()

@@ -1,0 +1,207 @@
+"""DAG scheduler: split a job's lineage into stages at shuffle boundaries.
+
+Mirrors Spark's ``DAGScheduler``: a job (triggered by an action) ends in a
+``ResultStage``; every shuffle dependency encountered while walking narrow
+dependencies spawns a parent ``ShuffleMapStage``.  Stages whose shuffle
+output was already materialised by an earlier job are *skipped* — this is
+what makes caching and iterative workloads cheap, and it is faithfully
+charged by the engine.
+
+Each stage also yields the two artefacts LITE consumes:
+
+- the stage-level *code tokens* (instrumented expansion of every op in the
+  stage, Sec. III-B Step 2), and
+- the stage-level *scheduler DAG* (op-labelled RDD nodes + edges,
+  Sec. III-B Step 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .instrument import dag_label, stage_code_tokens
+from .rdd import NARROW, RDD, SHUFFLE, Dependency
+
+RESULT = "result"
+SHUFFLE_MAP = "shuffle_map"
+
+#: Task-time imbalance per operation: key-partitioned ops over skewed (e.g.
+#: power-law) key distributions produce straggler tasks.  A stage's skew is
+#: the maximum over its ops; the cost model rewards finer task granularity
+#: for high-skew stages — the app-specific knob response generic tuning
+#: guides cannot capture (paper challenge C1).
+OP_SKEW = {
+    "join": 1.6,
+    "leftOuterJoin": 1.6,
+    "cogroup": 1.5,
+    "groupByKey": 1.4,
+    "aggregateByKey": 0.8,
+    "reduceByKey": 0.7,
+    "distinct": 0.5,
+    "sortByKey": 0.45,  # range partitioner samples to balance
+    "sortBy": 0.45,
+    "partitionBy": 0.9,
+    "repartition": 0.2,
+    "flatMap": 0.4,
+    "flatMapValues": 0.4,
+}
+DEFAULT_OP_SKEW = 0.1
+
+
+@dataclass
+class StageMetrics:
+    """Logical work performed by one stage (inputs to the cost model)."""
+
+    input_bytes: float = 0.0        # bytes read from storage (HDFS-like)
+    cache_read_bytes: float = 0.0   # bytes served from the block cache
+    shuffle_read_bytes: float = 0.0
+    shuffle_write_bytes: float = 0.0
+    cache_write_bytes: float = 0.0
+    result_bytes: float = 0.0       # bytes returned to the driver
+    output_bytes: float = 0.0       # bytes written by sink actions
+    cpu_work: float = 0.0           # sum of logical_rows * op cpu_weight
+    num_tasks: int = 1
+    oom_risky: bool = False         # stage contains grouping-style ops
+    num_ops: int = 0
+    skew: float = 0.1               # task-time imbalance of the stage's ops
+
+
+class Stage:
+    """A pipelined set of RDDs executed together."""
+
+    def __init__(self, stage_id: int, kind: str, boundary: RDD, shuffle_id: int = -1):
+        self.id = stage_id
+        self.kind = kind
+        self.boundary = boundary
+        self.shuffle_id = shuffle_id
+        self.parents: List["Stage"] = []
+        self.rdds: List[RDD] = []          # topological (parents-first) order
+        self.shuffle_parent_rdds: List[RDD] = []
+        self.cache_cut_rdds: List[RDD] = []
+
+    @property
+    def name(self) -> str:
+        return f"{self.boundary.op}@{self.boundary.id}"
+
+    # ------------------------------------------------------------------
+    def code_tokens(self) -> List[str]:
+        """Instrumented stage-level code tokens (Fig. 5 analogue)."""
+        return stage_code_tokens(self.rdds)
+
+    def dag_nodes_edges(self) -> Tuple[List[str], List[Tuple[int, int]]]:
+        """Op-labelled node list and local edge list of the stage DAG."""
+        index = {rdd.id: i for i, rdd in enumerate(self.rdds)}
+        labels = [dag_label(rdd.op) for rdd in self.rdds]
+        edges: List[Tuple[int, int]] = []
+        for rdd in self.rdds:
+            for dep in rdd.deps:
+                if dep.kind == NARROW and dep.rdd.id in index:
+                    edges.append((index[dep.rdd.id], index[rdd.id]))
+        return labels, edges
+
+    def metrics(self, action_result_bytes: float = 0.0, action: Optional[str] = None) -> StageMetrics:
+        m = StageMetrics(num_tasks=self.boundary.num_partitions, num_ops=len(self.rdds))
+        for rdd in self.rdds:
+            m.cpu_work += rdd.logical_rows * rdd.cpu_weight
+            if not rdd.deps:
+                m.input_bytes += rdd.logical_bytes
+            if rdd.op in ("groupByKey", "cogroup", "join", "leftOuterJoin"):
+                m.oom_risky = True
+            if rdd.cached:
+                m.cache_write_bytes += rdd.logical_bytes
+            m.skew = max(m.skew, OP_SKEW.get(rdd.op, DEFAULT_OP_SKEW))
+        for parent in self.shuffle_parent_rdds:
+            m.shuffle_read_bytes += parent.logical_bytes
+        for cut in self.cache_cut_rdds:
+            m.cache_read_bytes += cut.logical_bytes
+        if self.kind == SHUFFLE_MAP:
+            m.shuffle_write_bytes = self.boundary.logical_bytes
+        else:
+            m.result_bytes = action_result_bytes
+            if action == "saveAsTextFile":
+                m.output_bytes = self.boundary.logical_bytes
+        return m
+
+
+class DAGScheduler:
+    """Builds the stage graph for one job.
+
+    Parameters
+    ----------
+    materialized_shuffles:
+        Shuffle ids whose map output already exists (stages re-using them
+        are skipped).
+    available_cache:
+        Ids of cached RDDs already computed by earlier jobs in this app;
+        lineage traversal stops there.
+    """
+
+    def __init__(self, materialized_shuffles: Set[int], available_cache: Set[int]):
+        self.materialized = materialized_shuffles
+        self.cache = available_cache
+        self._stage_counter = 0
+        self._shuffle_stage: Dict[int, Stage] = {}
+        self.skipped_stages = 0
+
+    # ------------------------------------------------------------------
+    def build(self, final_rdd: RDD) -> List[Stage]:
+        """Return executable stages in dependency order (parents first)."""
+        result_stage = self._new_stage(RESULT, final_rdd)
+        ordered: List[Stage] = []
+        seen: Set[int] = set()
+
+        def visit(stage: Stage) -> None:
+            if stage.id in seen:
+                return
+            seen.add(stage.id)
+            for parent in stage.parents:
+                visit(parent)
+            ordered.append(stage)
+
+        visit(result_stage)
+        return ordered
+
+    # ------------------------------------------------------------------
+    def _new_stage(self, kind: str, boundary: RDD, shuffle_id: int = -1) -> Stage:
+        stage = Stage(self._stage_counter, kind, boundary, shuffle_id)
+        self._stage_counter += 1
+        self._populate(stage)
+        return stage
+
+    def _stage_for_shuffle(self, dep: Dependency) -> Optional[Stage]:
+        """Stage producing the map output of ``dep`` (None if materialised)."""
+        if dep.shuffle_id in self.materialized:
+            self.skipped_stages += 1
+            return None
+        existing = self._shuffle_stage.get(dep.shuffle_id)
+        if existing is not None:
+            return existing
+        stage = self._new_stage(SHUFFLE_MAP, dep.rdd, dep.shuffle_id)
+        self._shuffle_stage[dep.shuffle_id] = stage
+        return stage
+
+    def _populate(self, stage: Stage) -> None:
+        """Collect the stage's RDDs (narrow-reachable from the boundary)."""
+        topo: List[RDD] = []
+        visited: Set[int] = set()
+
+        def walk(rdd: RDD) -> None:
+            if rdd.id in visited:
+                return
+            visited.add(rdd.id)
+            if rdd.cached and rdd.id in self.cache and rdd is not stage.boundary:
+                stage.cache_cut_rdds.append(rdd)
+                return
+            for dep in rdd.deps:
+                if dep.kind == NARROW:
+                    walk(dep.rdd)
+                else:
+                    parent_stage = self._stage_for_shuffle(dep)
+                    if parent_stage is not None and parent_stage not in stage.parents:
+                        stage.parents.append(parent_stage)
+                    stage.shuffle_parent_rdds.append(dep.rdd)
+            topo.append(rdd)
+
+        walk(stage.boundary)
+        stage.rdds = topo

@@ -1,0 +1,76 @@
+"""Event-log records emitted by the engine (the artefacts LITE parses).
+
+In real Spark, LITE parses application event logs to extract stage-level
+DAGs and metrics.  Here the engine emits the same information as plain
+dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .cluster import ClusterSpec
+from .config import SparkConf
+
+
+@dataclass
+class StageRecord:
+    """Everything known about one executed stage."""
+
+    stage_id: int
+    job_id: int
+    name: str
+    kind: str                              # "shuffle_map" | "result"
+    code_tokens: List[str]
+    dag_node_labels: List[str]
+    dag_edges: List[Tuple[int, int]]
+    duration_s: float
+    num_tasks: int
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_dag_nodes(self) -> int:
+        return len(self.dag_node_labels)
+
+    def adjacency(self) -> np.ndarray:
+        n = len(self.dag_node_labels)
+        a = np.zeros((n, n))
+        for i, j in self.dag_edges:
+            a[i, j] = 1.0
+        return a
+
+
+@dataclass
+class AppRun:
+    """One execution of an application under a configuration."""
+
+    app_name: str
+    conf: SparkConf
+    cluster: ClusterSpec
+    data_features: np.ndarray              # (#rows, #cols, #iterations, #partitions)
+    stages: List[StageRecord] = field(default_factory=list)
+    duration_s: float = 0.0
+    success: bool = True
+    failure_reason: Optional[str] = None
+    num_jobs: int = 0
+    skipped_stages: int = 0
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def inner_status(self) -> np.ndarray:
+        """Aggregate runtime metrics — the "inner status of Spark" the DDPG
+        competitors use as state (paper Sec. V-B)."""
+        if not self.stages:
+            return np.zeros(8)
+        keys = ("utilization", "spill_ratio", "gc_factor", "pressure",
+                "shuffle_read_mb", "shuffle_write_mb", "waves", "cache_fit")
+        rows = np.array([[s.stats.get(k, 0.0) for k in keys] for s in self.stages])
+        return rows.mean(axis=0)
+
+    def stage_durations(self) -> np.ndarray:
+        return np.array([s.duration_s for s in self.stages])

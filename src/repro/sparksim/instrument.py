@@ -1,0 +1,189 @@
+"""Stage-level code instrumentation (paper Sec. III-B, Step 1).
+
+The paper attaches a Java agent that records which Spark-core classes each
+stage loads, expanding a terse driver program into dense stage-level token
+streams (their Fig. 5 shows ``sortByKey`` expanding into partitioner /
+map / write-path internals).  The simulator reproduces the same artefact:
+``OP_EXPANSION`` maps every user-level operation to the internal call-path
+tokens it exercises, and :func:`stage_code_tokens` concatenates them (plus
+any UDF tokens) for all RDDs in a stage.
+
+``DAG_NODE_LABEL`` gives the atomic operation label of each RDD node in the
+stage-level scheduler DAG (the vocabulary the GCN one-hot encodes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Internal call-path tokens loaded per user-level op.  Deliberately shares
+#: common plumbing tokens (iterator/compute/TaskContext/serializer) across
+#: ops — the density the paper observes after instrumentation — while each
+#: op keeps a few distinguishing tokens.
+OP_EXPANSION: Dict[str, List[str]] = {
+    "parallelize": [
+        "ParallelCollectionRDD", "slice", "iterator", "compute", "TaskContext",
+        "Partition", "getPartitions",
+    ],
+    "textFile": [
+        "HadoopRDD", "InputFormat", "LineRecordReader", "TextInputFormat", "split",
+        "iterator", "compute", "map", "Text", "deserialize", "InputSplit",
+    ],
+    "map": [
+        "MapPartitionsRDD", "map", "iterator", "compute", "f", "TaskContext",
+        "InterruptibleIterator",
+    ],
+    "filter": [
+        "MapPartitionsRDD", "filter", "iterator", "compute", "predicate",
+        "TaskContext", "InterruptibleIterator",
+    ],
+    "flatMap": [
+        "MapPartitionsRDD", "flatMap", "iterator", "compute", "f", "TraversableOnce",
+        "TaskContext",
+    ],
+    "mapPartitions": [
+        "MapPartitionsRDD", "mapPartitions", "iterator", "compute", "preservesPartitioning",
+        "TaskContext",
+    ],
+    "mapValues": [
+        "MapPartitionsRDD", "PairRDDFunctions", "mapValues", "iterator", "compute",
+        "TaskContext",
+    ],
+    "flatMapValues": [
+        "MapPartitionsRDD", "PairRDDFunctions", "flatMapValues", "iterator", "compute",
+        "TraversableOnce",
+    ],
+    "keyBy": ["MapPartitionsRDD", "keyBy", "map", "iterator", "compute"],
+    "keys": ["MapPartitionsRDD", "keys", "map", "iterator", "compute"],
+    "values": ["MapPartitionsRDD", "values", "map", "iterator", "compute"],
+    "union": ["UnionRDD", "UnionPartition", "iterator", "compute", "getPartitions"],
+    "zipWithIndex": ["ZippedWithIndexRDD", "zipWithIndex", "iterator", "compute", "startIndices"],
+    "sample": ["PartitionwiseSampledRDD", "BernoulliSampler", "sample", "iterator", "compute", "XORShiftRandom"],
+    "coalesce": ["CoalescedRDD", "coalesce", "PartitionCoalescer", "iterator", "compute"],
+    "glom": ["MapPartitionsRDD", "glom", "iterator", "compute", "Array"],
+    "distinct": [
+        "ShuffledRDD", "distinct", "map", "reduceByKey", "HashPartitioner",
+        "ExternalAppendOnlyMap", "ShuffleWriter", "ShuffleReader", "serializer",
+    ],
+    "repartition": [
+        "ShuffledRDD", "repartition", "coalesce", "HashPartitioner", "ShuffleWriter",
+        "ShuffleReader", "serializer",
+    ],
+    "partitionBy": [
+        "ShuffledRDD", "partitionBy", "HashPartitioner", "ShuffleWriter",
+        "ShuffleReader", "serializer", "PairRDDFunctions",
+    ],
+    "reduceByKey": [
+        "ShuffledRDD", "reduceByKey", "combineByKey", "Aggregator", "HashPartitioner",
+        "ExternalAppendOnlyMap", "ShuffleWriter", "ShuffleReader", "serializer",
+        "mergeValue", "mergeCombiners", "PairRDDFunctions", "map",
+    ],
+    "groupByKey": [
+        "ShuffledRDD", "groupByKey", "combineByKey", "CompactBuffer", "HashPartitioner",
+        "ExternalAppendOnlyMap", "ShuffleWriter", "ShuffleReader", "serializer",
+        "PairRDDFunctions",
+    ],
+    "aggregateByKey": [
+        "ShuffledRDD", "aggregateByKey", "combineByKey", "Aggregator", "HashPartitioner",
+        "ExternalAppendOnlyMap", "ShuffleWriter", "ShuffleReader", "serializer",
+        "zeroValue", "seqOp", "combOp", "PairRDDFunctions",
+    ],
+    "sortByKey": [
+        "ShuffledRDD", "sortByKey", "RangePartitioner", "sketch", "sample",
+        "determineBounds", "ShuffleWriter", "ShuffleReader", "serializer",
+        "ExternalSorter", "TimSort", "OrderedRDDFunctions", "map", "collect",
+    ],
+    "sortBy": [
+        "ShuffledRDD", "sortBy", "keyBy", "RangePartitioner", "sketch", "sample",
+        "determineBounds", "ShuffleWriter", "ShuffleReader", "ExternalSorter",
+        "TimSort", "map",
+    ],
+    "join": [
+        "CoGroupedRDD", "join", "cogroup", "HashPartitioner", "flatMapValues",
+        "ShuffleWriter", "ShuffleReader", "serializer", "CompactBuffer",
+        "PairRDDFunctions", "iterator",
+    ],
+    "leftOuterJoin": [
+        "CoGroupedRDD", "leftOuterJoin", "cogroup", "HashPartitioner", "flatMapValues",
+        "ShuffleWriter", "ShuffleReader", "serializer", "CompactBuffer", "Option",
+    ],
+    "cogroup": [
+        "CoGroupedRDD", "cogroup", "HashPartitioner", "ShuffleWriter", "ShuffleReader",
+        "serializer", "CompactBuffer", "PairRDDFunctions",
+    ],
+    # Result-stage actions.
+    "collect": ["runJob", "collect", "DAGScheduler", "submitJob", "TaskSet", "ResultTask", "serializer"],
+    "count": ["runJob", "count", "DAGScheduler", "submitJob", "TaskSet", "ResultTask", "sum"],
+    "reduce": ["runJob", "reduce", "DAGScheduler", "submitJob", "TaskSet", "ResultTask", "f"],
+    "take": ["runJob", "take", "DAGScheduler", "submitJob", "TaskSet", "ResultTask", "limit"],
+    "countByKey": ["runJob", "countByKey", "collect", "DAGScheduler", "ResultTask", "mapValues"],
+    "saveAsTextFile": [
+        "runJob", "saveAsTextFile", "TextOutputFormat", "RecordWriter", "DAGScheduler",
+        "ResultTask", "HadoopMapRedWriteConfigUtil", "serializer",
+    ],
+    "foreach": ["runJob", "foreach", "DAGScheduler", "ResultTask", "f"],
+}
+
+#: Atomic operation label of each RDD node in the scheduler DAG — the GCN's
+#: node vocabulary (paper Sec. III-B Step 3 one-hot encodes these).
+DAG_NODE_LABEL: Dict[str, str] = {
+    "parallelize": "ParallelCollection",
+    "textFile": "HadoopRDD",
+    "map": "MapPartition",
+    "filter": "MapPartition",
+    "flatMap": "MapPartition",
+    "mapPartitions": "MapPartition",
+    "mapValues": "MapValues",
+    "flatMapValues": "MapValues",
+    "keyBy": "MapPartition",
+    "keys": "MapPartition",
+    "values": "MapPartition",
+    "union": "Union",
+    "zipWithIndex": "ZipPartition",
+    "sample": "PartitionwiseSampled",
+    "coalesce": "Coalesced",
+    "glom": "MapPartition",
+    "distinct": "Shuffled",
+    "repartition": "Shuffled",
+    "partitionBy": "Shuffled",
+    "reduceByKey": "Shuffled",
+    "groupByKey": "Shuffled",
+    "aggregateByKey": "Shuffled",
+    "sortByKey": "RangeShuffled",
+    "sortBy": "RangeShuffled",
+    "join": "CoGrouped",
+    "leftOuterJoin": "CoGrouped",
+    "cogroup": "CoGrouped",
+    "collect": "Result",
+    "count": "Result",
+    "reduce": "Result",
+    "take": "Result",
+    "countByKey": "Result",
+    "saveAsTextFile": "Result",
+    "foreach": "Result",
+}
+
+ALL_DAG_LABELS: Tuple[str, ...] = tuple(sorted(set(DAG_NODE_LABEL.values())))
+
+
+def expand_op(op: str, udf_tokens: Sequence[str] = ()) -> List[str]:
+    """Instrumented token stream for one operation (internals + UDF tokens)."""
+    base = OP_EXPANSION.get(op)
+    if base is None:
+        raise KeyError(f"no instrumentation expansion for op {op!r}")
+    return list(base) + list(udf_tokens)
+
+
+def dag_label(op: str) -> str:
+    label = DAG_NODE_LABEL.get(op)
+    if label is None:
+        raise KeyError(f"no DAG label for op {op!r}")
+    return label
+
+
+def stage_code_tokens(rdds_in_topo_order) -> List[str]:
+    """Concatenate instrumented tokens for every RDD in a stage."""
+    tokens: List[str] = []
+    for rdd in rdds_in_topo_order:
+        tokens.extend(expand_op(rdd.op, rdd.udf_tokens))
+    return tokens

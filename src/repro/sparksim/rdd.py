@@ -1,0 +1,492 @@
+"""RDD lineage with sampled execution and logical-scale tracking.
+
+The simulator executes every transformation *for real* on a small in-memory
+sample, so workloads (PageRank, KMeans, ...) produce genuine results that
+tests can assert on.  At the same time each RDD tracks *logical* row counts
+and byte sizes at the declared datasize; those drive the analytical cost
+model.  Logical sizes are propagated by measuring the sample's selectivity:
+if a ``filter`` keeps 30 % of sample rows it keeps 30 % of logical rows.
+
+Wide (shuffle) dependencies are what the DAG scheduler later turns into
+stage boundaries, exactly as in Spark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+NARROW = "narrow"
+SHUFFLE = "shuffle"
+
+
+def estimate_record_bytes(record: Any, depth: int = 0) -> float:
+    """Rough serialized size of a record in bytes (Kryo-like estimate)."""
+    if depth > 4:
+        return 8.0
+    if record is None:
+        return 4.0
+    if isinstance(record, bool):
+        return 1.0
+    if isinstance(record, (int, float)):
+        return 8.0
+    if isinstance(record, str):
+        return 4.0 + len(record)
+    if isinstance(record, (tuple, list)):
+        head = list(itertools.islice(record, 8))
+        if not head:
+            return 8.0
+        per = sum(estimate_record_bytes(r, depth + 1) for r in head) / len(head)
+        return 8.0 + per * len(record)
+    if isinstance(record, dict):
+        items = list(itertools.islice(record.items(), 8))
+        if not items:
+            return 8.0
+        per = sum(estimate_record_bytes(kv, depth + 1) for kv in items) / len(items)
+        return 8.0 + per * len(record)
+    if hasattr(record, "__len__"):
+        try:
+            return 8.0 + 8.0 * len(record)  # e.g. numpy vectors
+        except TypeError:
+            return 16.0
+    return 16.0
+
+
+def _avg_record_bytes(sample: Sequence[Any]) -> float:
+    if not sample:
+        return 8.0
+    head = sample[: min(len(sample), 32)]
+    return sum(estimate_record_bytes(r) for r in head) / len(head)
+
+
+class Dependency:
+    """Edge in the lineage graph."""
+
+    __slots__ = ("rdd", "kind", "shuffle_id")
+    _shuffle_counter = itertools.count()
+
+    def __init__(self, rdd: "RDD", kind: str):
+        self.rdd = rdd
+        self.kind = kind
+        self.shuffle_id = next(Dependency._shuffle_counter) if kind == SHUFFLE else -1
+
+
+class RDD:
+    """A node in the lineage graph.
+
+    Parameters
+    ----------
+    context:
+        The owning :class:`~repro.sparksim.context.SparkContext`.
+    op:
+        User-level operation name (``"map"``, ``"reduceByKey"``...).
+    deps:
+        Lineage dependencies.
+    sample:
+        The real sampled records of this dataset.
+    logical_rows:
+        Estimated record count at the declared (full) datasize.
+    num_partitions:
+        Logical partition count used by the cost model.
+    cpu_weight:
+        Per-record CPU cost multiplier of this op (workloads can raise it
+        for heavy UDFs such as gradient computations).
+    udf_tokens:
+        Extra code tokens contributed by the user function, surfaced in the
+        instrumented stage-level codes.
+    """
+
+    _id_counter = itertools.count()
+
+    def __init__(
+        self,
+        context,
+        op: str,
+        deps: List[Dependency],
+        sample: List[Any],
+        logical_rows: float,
+        num_partitions: int,
+        cpu_weight: float = 1.0,
+        udf_tokens: Optional[List[str]] = None,
+    ):
+        self.id = next(RDD._id_counter)
+        self.context = context
+        self.op = op
+        self.deps = deps
+        self.sample = sample
+        self.logical_rows = max(0.0, float(logical_rows))
+        self.num_partitions = max(1, int(num_partitions))
+        self.cpu_weight = cpu_weight
+        self.udf_tokens = list(udf_tokens or [])
+        self.row_bytes = _avg_record_bytes(sample)
+        self.cached = False
+        context._register_rdd(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def logical_bytes(self) -> float:
+        return self.logical_rows * self.row_bytes
+
+    def persist(self) -> "RDD":
+        """Mark for caching (storage-memory pressure in the cost model)."""
+        self.cached = True
+        return self
+
+    cache = persist
+
+    def unpersist(self) -> "RDD":
+        self.cached = False
+        return self
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _child(
+        self,
+        op: str,
+        sample: List[Any],
+        kind: str = NARROW,
+        parents: Optional[List["RDD"]] = None,
+        num_partitions: Optional[int] = None,
+        cpu_weight: float = 1.0,
+        udf_tokens: Optional[List[str]] = None,
+        logical_rows: Optional[float] = None,
+    ) -> "RDD":
+        parents = parents or [self]
+        deps = [Dependency(p, kind) for p in parents]
+        if logical_rows is None:
+            parent_sample = sum(len(p.sample) for p in parents)
+            parent_logical = sum(p.logical_rows for p in parents)
+            ratio = len(sample) / parent_sample if parent_sample else 1.0
+            logical_rows = parent_logical * ratio
+        if num_partitions is None:
+            if kind == SHUFFLE:
+                num_partitions = int(self.context.conf["spark.default.parallelism"])
+            else:
+                num_partitions = max(p.num_partitions for p in parents)
+        return RDD(
+            self.context,
+            op,
+            deps,
+            sample,
+            logical_rows,
+            num_partitions,
+            cpu_weight=cpu_weight,
+            udf_tokens=udf_tokens,
+        )
+
+    def _agg_logical_rows(self, out_distinct: int) -> float:
+        """Logical output cardinality of a key-aggregating op.
+
+        Interpolates between two regimes using the sample's key uniqueness
+        ``u = distinct / sample_rows``: when keys are (almost) all unique
+        (``u -> 1``) output scales with input rows; when the sample shows a
+        bounded vocabulary (``u -> 0``) output saturates at the observed
+        distinct count.  Geometric interpolation matches both endpoints.
+        """
+        n = len(self.sample)
+        if n == 0 or out_distinct == 0:
+            return float(out_distinct)
+        u = min(1.0, out_distinct / n)
+        return float(max(self.logical_rows, 1.0) ** u * float(out_distinct) ** (1.0 - u))
+
+    def _require_pairs(self, op: str) -> None:
+        for record in self.sample[:4]:
+            if not (isinstance(record, tuple) and len(record) == 2):
+                raise TypeError(f"{op} requires an RDD of (key, value) pairs")
+
+    # ------------------------------------------------------------------
+    # Narrow transformations
+    # ------------------------------------------------------------------
+    def map(self, f: Callable, cpu_weight: float = 1.0, tokens: Optional[List[str]] = None) -> "RDD":
+        return self._child("map", [f(r) for r in self.sample], cpu_weight=cpu_weight, udf_tokens=tokens)
+
+    def filter(self, f: Callable, tokens: Optional[List[str]] = None) -> "RDD":
+        return self._child("filter", [r for r in self.sample if f(r)], cpu_weight=0.6, udf_tokens=tokens)
+
+    def flatMap(self, f: Callable, cpu_weight: float = 1.5, tokens: Optional[List[str]] = None) -> "RDD":
+        out: List[Any] = []
+        for r in self.sample:
+            out.extend(f(r))
+        return self._child("flatMap", out, cpu_weight=cpu_weight, udf_tokens=tokens)
+
+    def mapPartitions(self, f: Callable, cpu_weight: float = 1.0, tokens: Optional[List[str]] = None) -> "RDD":
+        return self._child(
+            "mapPartitions", list(f(iter(self.sample))), cpu_weight=cpu_weight, udf_tokens=tokens
+        )
+
+    def mapValues(self, f: Callable, tokens: Optional[List[str]] = None) -> "RDD":
+        self._require_pairs("mapValues")
+        return self._child("mapValues", [(k, f(v)) for k, v in self.sample], udf_tokens=tokens)
+
+    def flatMapValues(self, f: Callable, tokens: Optional[List[str]] = None) -> "RDD":
+        self._require_pairs("flatMapValues")
+        out = [(k, v2) for k, v in self.sample for v2 in f(v)]
+        return self._child("flatMapValues", out, cpu_weight=1.4, udf_tokens=tokens)
+
+    def keyBy(self, f: Callable, tokens: Optional[List[str]] = None) -> "RDD":
+        return self._child("keyBy", [(f(r), r) for r in self.sample], udf_tokens=tokens)
+
+    def keys(self) -> "RDD":
+        self._require_pairs("keys")
+        return self._child("keys", [k for k, _ in self.sample], cpu_weight=0.4)
+
+    def values(self) -> "RDD":
+        self._require_pairs("values")
+        return self._child("values", [v for _, v in self.sample], cpu_weight=0.4)
+
+    def union(self, other: "RDD") -> "RDD":
+        sample = list(self.sample) + list(other.sample)
+        return self._child(
+            "union",
+            sample,
+            parents=[self, other],
+            num_partitions=self.num_partitions + other.num_partitions,
+            cpu_weight=0.2,
+            logical_rows=self.logical_rows + other.logical_rows,
+        )
+
+    def zipWithIndex(self) -> "RDD":
+        return self._child("zipWithIndex", [(r, i) for i, r in enumerate(self.sample)], cpu_weight=0.4)
+
+    def sample_fraction(self, fraction: float, seed: int = 17) -> "RDD":
+        """Bernoulli sampling (named to avoid clashing with the data attr)."""
+        import random
+
+        rng = random.Random(seed)
+        kept = [r for r in self.sample if rng.random() < fraction]
+        return self._child(
+            "sample", kept, cpu_weight=0.4, logical_rows=self.logical_rows * fraction
+        )
+
+    def coalesce(self, num_partitions: int) -> "RDD":
+        return self._child(
+            "coalesce", list(self.sample), num_partitions=max(1, num_partitions), cpu_weight=0.2
+        )
+
+    def glom(self) -> "RDD":
+        return self._child("glom", [list(self.sample)], cpu_weight=0.3)
+
+    # ------------------------------------------------------------------
+    # Wide (shuffle) transformations
+    # ------------------------------------------------------------------
+    def distinct(self, numPartitions: Optional[int] = None, logical_rows: Optional[float] = None) -> "RDD":
+        seen: Dict[Any, None] = dict.fromkeys(self.sample)
+        return self._child(
+            "distinct", list(seen), kind=SHUFFLE, num_partitions=numPartitions,
+            cpu_weight=1.6,
+            logical_rows=logical_rows if logical_rows is not None else self._agg_logical_rows(len(seen)),
+        )
+
+    def repartition(self, num_partitions: int) -> "RDD":
+        return self._child(
+            "repartition",
+            list(self.sample),
+            kind=SHUFFLE,
+            num_partitions=max(1, num_partitions),
+            cpu_weight=0.5,
+        )
+
+    def partitionBy(self, num_partitions: int) -> "RDD":
+        self._require_pairs("partitionBy")
+        return self._child(
+            "partitionBy",
+            list(self.sample),
+            kind=SHUFFLE,
+            num_partitions=max(1, num_partitions),
+            cpu_weight=0.7,
+        )
+
+    def reduceByKey(
+        self,
+        f: Callable,
+        numPartitions: Optional[int] = None,
+        tokens: Optional[List[str]] = None,
+        logical_rows: Optional[float] = None,
+    ) -> "RDD":
+        self._require_pairs("reduceByKey")
+        acc: Dict[Any, Any] = {}
+        for k, v in self.sample:
+            acc[k] = f(acc[k], v) if k in acc else v
+        return self._child(
+            "reduceByKey",
+            list(acc.items()),
+            kind=SHUFFLE,
+            num_partitions=numPartitions,
+            cpu_weight=2.0,
+            udf_tokens=tokens,
+            logical_rows=logical_rows if logical_rows is not None else self._agg_logical_rows(len(acc)),
+        )
+
+    def groupByKey(self, numPartitions: Optional[int] = None, logical_rows: Optional[float] = None) -> "RDD":
+        self._require_pairs("groupByKey")
+        groups: Dict[Any, List[Any]] = defaultdict(list)
+        for k, v in self.sample:
+            groups[k].append(v)
+        return self._child(
+            "groupByKey",
+            [(k, tuple(vs)) for k, vs in groups.items()],
+            kind=SHUFFLE,
+            num_partitions=numPartitions,
+            cpu_weight=1.8,
+            logical_rows=logical_rows if logical_rows is not None else self._agg_logical_rows(len(groups)),
+        )
+
+    def aggregateByKey(
+        self,
+        zero: Any,
+        seq_fn: Callable,
+        comb_fn: Callable,
+        numPartitions: Optional[int] = None,
+        tokens: Optional[List[str]] = None,
+        logical_rows: Optional[float] = None,
+    ) -> "RDD":
+        self._require_pairs("aggregateByKey")
+        import copy
+
+        acc: Dict[Any, Any] = {}
+        for k, v in self.sample:
+            if k not in acc:
+                acc[k] = copy.deepcopy(zero)
+            acc[k] = seq_fn(acc[k], v)
+        return self._child(
+            "aggregateByKey",
+            list(acc.items()),
+            kind=SHUFFLE,
+            num_partitions=numPartitions,
+            cpu_weight=2.2,
+            udf_tokens=tokens,
+            logical_rows=logical_rows if logical_rows is not None else self._agg_logical_rows(len(acc)),
+        )
+
+    def sortByKey(self, ascending: bool = True, numPartitions: Optional[int] = None) -> "RDD":
+        self._require_pairs("sortByKey")
+        ordered = sorted(self.sample, key=lambda kv: kv[0], reverse=not ascending)
+        return self._child(
+            "sortByKey", ordered, kind=SHUFFLE, num_partitions=numPartitions, cpu_weight=3.0
+        )
+
+    def sortBy(
+        self,
+        keyfunc: Callable,
+        ascending: bool = True,
+        numPartitions: Optional[int] = None,
+        tokens: Optional[List[str]] = None,
+    ) -> "RDD":
+        ordered = sorted(self.sample, key=keyfunc, reverse=not ascending)
+        return self._child(
+            "sortBy", ordered, kind=SHUFFLE, num_partitions=numPartitions,
+            cpu_weight=3.0, udf_tokens=tokens,
+        )
+
+    def join(self, other: "RDD", numPartitions: Optional[int] = None) -> "RDD":
+        self._require_pairs("join")
+        other._require_pairs("join")
+        left: Dict[Any, List[Any]] = defaultdict(list)
+        for k, v in self.sample:
+            left[k].append(v)
+        out = [(k, (lv, rv)) for k, rv in other.sample for lv in left.get(k, ())]
+        return self._child(
+            "join",
+            out,
+            kind=SHUFFLE,
+            parents=[self, other],
+            num_partitions=numPartitions,
+            cpu_weight=2.5,
+        )
+
+    def leftOuterJoin(self, other: "RDD", numPartitions: Optional[int] = None) -> "RDD":
+        self._require_pairs("leftOuterJoin")
+        other._require_pairs("leftOuterJoin")
+        right: Dict[Any, List[Any]] = defaultdict(list)
+        for k, v in other.sample:
+            right[k].append(v)
+        out = []
+        for k, v in self.sample:
+            matches = right.get(k)
+            if matches:
+                out.extend((k, (v, m)) for m in matches)
+            else:
+                out.append((k, (v, None)))
+        return self._child(
+            "leftOuterJoin",
+            out,
+            kind=SHUFFLE,
+            parents=[self, other],
+            num_partitions=numPartitions,
+            cpu_weight=2.5,
+        )
+
+    def cogroup(self, other: "RDD", numPartitions: Optional[int] = None) -> "RDD":
+        self._require_pairs("cogroup")
+        other._require_pairs("cogroup")
+        left: Dict[Any, List[Any]] = defaultdict(list)
+        right: Dict[Any, List[Any]] = defaultdict(list)
+        for k, v in self.sample:
+            left[k].append(v)
+        for k, v in other.sample:
+            right[k].append(v)
+        keys = dict.fromkeys(list(left) + list(right))
+        out = [(k, (tuple(left.get(k, ())), tuple(right.get(k, ())))) for k in keys]
+        return self._child(
+            "cogroup",
+            out,
+            kind=SHUFFLE,
+            parents=[self, other],
+            num_partitions=numPartitions,
+            cpu_weight=2.3,
+        )
+
+    # ------------------------------------------------------------------
+    # Actions (trigger a job via the DAG scheduler)
+    # ------------------------------------------------------------------
+    def _run_job(self, action: str, result_sample_bytes: float = 0.0):
+        self.context._execute_job(self, action, result_sample_bytes)
+
+    def collect(self) -> List[Any]:
+        result = list(self.sample)
+        # Result size at full scale is what hits driver.maxResultSize.
+        self._run_job("collect", result_sample_bytes=self.logical_bytes)
+        return result
+
+    def count(self) -> int:
+        self._run_job("count", result_sample_bytes=8.0)
+        return len(self.sample)
+
+    def reduce(self, f: Callable) -> Any:
+        if not self.sample:
+            raise ValueError("reduce of empty RDD")
+        acc = self.sample[0]
+        for r in self.sample[1:]:
+            acc = f(acc, r)
+        self._run_job("reduce", result_sample_bytes=estimate_record_bytes(acc))
+        return acc
+
+    def take(self, n: int) -> List[Any]:
+        out = list(self.sample[:n])
+        self._run_job("take", result_sample_bytes=sum(estimate_record_bytes(r) for r in out))
+        return out
+
+    def first(self) -> Any:
+        got = self.take(1)
+        if not got:
+            raise ValueError("first on empty RDD")
+        return got[0]
+
+    def countByKey(self) -> Dict[Any, int]:
+        self._require_pairs("countByKey")
+        counts: Dict[Any, int] = defaultdict(int)
+        for k, _ in self.sample:
+            counts[k] += 1
+        self._run_job("countByKey", result_sample_bytes=16.0 * len(counts))
+        return dict(counts)
+
+    def saveAsTextFile(self, path: str = "") -> None:
+        # Sink action: full output is written back out, charged as I/O.
+        self._run_job("saveAsTextFile", result_sample_bytes=0.0)
+
+    def foreach(self, f: Callable) -> None:
+        for r in self.sample:
+            f(r)
+        self._run_job("foreach", result_sample_bytes=0.0)

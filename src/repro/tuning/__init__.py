@@ -1,0 +1,23 @@
+"""Competitor tuners (paper Sec. V-B) behind a shared budgeted interface."""
+
+from .base import DEFAULT_BUDGET_S, Trial, TrialRunner, Tuner, TuningResult
+from .simple import (
+    DefaultTuner,
+    LHSTuner,
+    ManualTuner,
+    RandomSearchTuner,
+    expert_configurations,
+    latin_hypercube,
+    lhs_configurations,
+)
+from .bo import BOTuner
+from .ddpg import DDPGCTuner, DDPGTuner
+from .mlp_baseline import MLPBaselineTuner
+from .lite_tuner import LITETuner
+
+__all__ = [
+    "DEFAULT_BUDGET_S", "Trial", "TrialRunner", "Tuner", "TuningResult",
+    "DefaultTuner", "LHSTuner", "ManualTuner", "RandomSearchTuner",
+    "expert_configurations", "latin_hypercube", "lhs_configurations",
+    "BOTuner", "DDPGCTuner", "DDPGTuner", "MLPBaselineTuner", "LITETuner",
+]

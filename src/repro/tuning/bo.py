@@ -1,0 +1,101 @@
+"""Bayesian Optimization tuner: GP surrogate + Expected Improvement.
+
+The paper's "BO(2h)" competitor — OtterTune-inspired: the Gaussian Process
+is initialised with observations from the most similar training instances
+(same application / closest datasize), then iteratively proposes the EI
+maximiser over a random candidate pool, executing each proposal against
+the simulated budget.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ml.gp import GaussianProcessRegressor, expected_improvement
+from ..sparksim.config import NUM_KNOBS, SparkConf
+from ..sparksim.eventlog import AppRun
+from .base import DEFAULT_BUDGET_S, TrialRunner, Tuner, TuningResult
+
+
+class BOTuner(Tuner):
+    """GP-EI Bayesian optimisation over the unit knob cube."""
+
+    name = "BO"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        warm_runs: Optional[Sequence[AppRun]] = None,
+        n_similar: int = 5,
+        n_init: int = 4,
+        candidate_pool: int = 256,
+        max_trials: int = 60,
+    ):
+        super().__init__(seed)
+        self.warm_runs = list(warm_runs or [])
+        self.n_similar = n_similar
+        self.n_init = n_init
+        self.candidate_pool = candidate_pool
+        self.max_trials = max_trials
+
+    # ------------------------------------------------------------------
+    def _warm_start_confs(self, app_name: str, datasize: float) -> List[SparkConf]:
+        """OtterTune-style warm start: the GP's initial design points are
+        the best configurations observed on the most similar training
+        instances (same application, closest datasize, fastest runs).
+
+        Small-data *times* are not fed into the GP — they live on a
+        different scale; only the configurations transfer.
+        """
+        scored = []
+        for run in self.warm_runs:
+            if not run.success:
+                continue
+            same_app = 0.0 if run.app_name == app_name else 1.0
+            size_gap = abs(np.log1p(run.data_features[0]) - np.log1p(datasize))
+            scored.append((same_app, size_gap, run.duration_s, run))
+        scored.sort(key=lambda t: (t[0], t[1], t[2]))
+        picked: List[SparkConf] = []
+        for _, _, _, run in scored[: self.n_similar]:
+            if run.conf not in picked:
+                picked.append(run.conf)
+        return picked
+
+    # ------------------------------------------------------------------
+    def tune(self, workload, cluster, scale, budget_s=DEFAULT_BUDGET_S, seed=0) -> TuningResult:
+        rng = np.random.default_rng(seed + self.seed)
+        runner = TrialRunner(self.name, workload, cluster, scale, budget_s, seed)
+        datasize = workload.data_spec(scale).rows
+
+        X_obs: List[np.ndarray] = []
+        y_obs: List[float] = []
+
+        # Initial design: configurations of the most similar training
+        # instances, padded with random probes.
+        init_confs = self._warm_start_confs(workload.name, datasize)[: self.n_init]
+        while len(init_confs) < self.n_init:
+            init_confs.append(SparkConf.random(rng))
+        for conf in init_confs:
+            if runner.exhausted:
+                break
+            trial = runner.run(conf)
+            X_obs.append(conf.to_unit_vector())
+            y_obs.append(np.log1p(trial.duration_s))
+
+        while not runner.exhausted and len(runner.result.trials) < self.max_trials:
+            X = np.array(X_obs)
+            y = np.array(y_obs)
+            gp = GaussianProcessRegressor(noise=1e-3)
+            gp.fit(X, y)
+            pool = rng.random((self.candidate_pool, NUM_KNOBS))
+            mean, std = gp.predict(pool, return_std=True)
+            best = float(np.min(y_obs)) if y_obs else float(np.min(y))
+            ei = expected_improvement(mean, std, best)
+            pick = pool[int(np.argmax(ei))]
+            conf = SparkConf.from_unit_vector(pick)
+            trial = runner.run(conf)
+            X_obs.append(conf.to_unit_vector())
+            y_obs.append(np.log1p(trial.duration_s))
+        return runner.result

@@ -1,0 +1,177 @@
+"""Deep Deterministic Policy Gradient tuners (the CDBTune/QTune analogues).
+
+``DDPGTuner`` follows the paper's "DDPG(2h)" competitor: the action space
+is the 16-knob unit cube, the state is the inner-status summary of the
+last Spark run (utilisation, spill, GC, shuffle volume...) concatenated
+with data/environment features, and the reward is the (negative, log)
+execution time improvement.  ``DDPGCTuner`` ("DDPG-C", QTune-style) adds a
+code-feature digest to the state.
+
+Every environment step executes the application — the expensive trial loop
+that charges the tuning budget.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..sparksim.config import NUM_KNOBS, SparkConf
+from ..workloads.base import Workload
+from .base import DEFAULT_BUDGET_S, TrialRunner, Tuner, TuningResult
+
+STATE_STATUS_DIM = 8  # AppRun.inner_status()
+
+
+class _Actor(nn.Module):
+    def __init__(self, state_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.l1 = nn.Dense(state_dim, 48, rng, activation="relu")
+        self.l2 = nn.Dense(48, 32, rng, activation="relu")
+        self.out = nn.Dense(32, NUM_KNOBS, rng, activation="sigmoid")
+
+    def forward(self, state: nn.Tensor) -> nn.Tensor:
+        return self.out(self.l2(self.l1(state)))
+
+
+class _Critic(nn.Module):
+    def __init__(self, state_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.l1 = nn.Dense(state_dim + NUM_KNOBS, 48, rng, activation="relu")
+        self.l2 = nn.Dense(48, 32, rng, activation="relu")
+        self.out = nn.Dense(32, 1, rng)
+
+    def forward(self, state: nn.Tensor, action: nn.Tensor) -> nn.Tensor:
+        return self.out(self.l2(self.l1(nn.concat([state, action], axis=-1)))).reshape(-1)
+
+
+class DDPGTuner(Tuner):
+    """Actor-critic tuner with a replay buffer and exploration noise."""
+
+    name = "DDPG"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        max_trials: int = 60,
+        noise: float = 0.35,
+        noise_decay: float = 0.95,
+        batch_size: int = 16,
+        train_steps: int = 4,
+        gamma: float = 0.0,   # tuning is effectively a contextual bandit
+        random_warmup: int = 5,
+    ):
+        super().__init__(seed)
+        self.max_trials = max_trials
+        self.noise = noise
+        self.noise_decay = noise_decay
+        self.batch_size = batch_size
+        self.train_steps = train_steps
+        self.gamma = gamma
+        self.random_warmup = random_warmup
+
+    # ------------------------------------------------------------------
+    def _code_features(self, workload: Workload) -> np.ndarray:
+        """Overridden by DDPG-C; plain DDPG has no code features."""
+        return np.empty(0)
+
+    def _state(self, workload: Workload, cluster, data_rows: float, status: np.ndarray) -> np.ndarray:
+        base = np.concatenate(
+            [
+                status,
+                [np.log1p(data_rows)],
+                cluster.feature_vector(),
+                self._code_features(workload),
+            ]
+        )
+        return base
+
+    # ------------------------------------------------------------------
+    def tune(self, workload, cluster, scale, budget_s=DEFAULT_BUDGET_S, seed=0) -> TuningResult:
+        rng = np.random.default_rng(seed + self.seed)
+        runner = TrialRunner(self.name, workload, cluster, scale, budget_s, seed)
+        data_rows = workload.data_spec(scale).rows
+
+        status = np.zeros(STATE_STATUS_DIM)
+        state_dim = len(self._state(workload, cluster, data_rows, status))
+        actor = _Actor(state_dim, np.random.default_rng(seed + 11))
+        critic = _Critic(state_dim, np.random.default_rng(seed + 13))
+        opt_actor = nn.Adam(actor.parameters(), lr=1e-3)
+        opt_critic = nn.Adam(critic.parameters(), lr=2e-3)
+
+        replay: List[Tuple[np.ndarray, np.ndarray, float]] = []
+        noise = self.noise
+        baseline: Optional[float] = None
+
+        # Exploration is centred on the default configuration (CDBTune-style
+        # warm start): a raw mid-cube action would request mid-range memory,
+        # which smaller clusters cannot even host.
+        default_unit = SparkConf.default().to_unit_vector()
+
+        while not runner.exhausted and len(runner.result.trials) < self.max_trials:
+            state = self._state(workload, cluster, data_rows, status)
+            if len(runner.result.trials) < self.random_warmup:
+                # Pure exploration first: fills the replay buffer with
+                # diverse rewards before the actor is trusted.
+                action = rng.random(NUM_KNOBS)
+            else:
+                raw = actor(nn.Tensor(state[None, :])).numpy()[0]
+                action = default_unit + (raw - 0.5) + rng.normal(0.0, noise, size=NUM_KNOBS)
+                action = np.clip(action, 0.0, 1.0)
+                noise *= self.noise_decay
+            conf = SparkConf.from_unit_vector(action)
+
+            trial = runner.run(conf)
+            log_t = np.log1p(trial.duration_s)
+            if baseline is None:
+                baseline = log_t
+            reward = float(baseline - log_t)  # improvement over the first run
+            replay.append((state, action, reward))
+
+            run = runner.last_run
+            status = run.inner_status() if run.success else np.zeros(STATE_STATUS_DIM)
+
+            # Off-policy updates from the replay buffer.
+            if len(replay) >= 4:
+                for _ in range(self.train_steps):
+                    idx = rng.integers(0, len(replay), size=min(self.batch_size, len(replay)))
+                    states = np.stack([replay[i][0] for i in idx])
+                    actions = np.stack([replay[i][1] for i in idx])
+                    rewards = np.array([replay[i][2] for i in idx])
+
+                    q = critic(nn.Tensor(states), nn.Tensor(actions))
+                    critic_loss = nn.mse_loss(q, rewards)
+                    opt_critic.zero_grad()
+                    critic_loss.backward()
+                    nn.clip_grad_norm(critic.parameters(), 5.0)
+                    opt_critic.step()
+
+                    # Apply the same default-centred transform the rollout uses.
+                    pred_actions = actor(nn.Tensor(states)) + nn.Tensor(default_unit - 0.5)
+                    actor_loss = -critic(nn.Tensor(states), pred_actions).mean()
+                    opt_actor.zero_grad()
+                    actor_loss.backward()
+                    for p in critic.parameters():
+                        p.zero_grad()
+                    nn.clip_grad_norm(actor.parameters(), 5.0)
+                    opt_actor.step()
+        return runner.result
+
+
+class DDPGCTuner(DDPGTuner):
+    """DDPG with code features in the state (the paper's DDPG-C / QTune)."""
+
+    name = "DDPG-C"
+    CODE_DIM = 16
+
+    def _code_features(self, workload: Workload) -> np.ndarray:
+        """Hashed bag-of-words digest of the application source code."""
+        import zlib
+
+        digest = np.zeros(self.CODE_DIM)
+        for token in workload.source_tokens():
+            digest[zlib.adler32(token.encode()) % self.CODE_DIM] += 1.0
+        total = digest.sum()
+        return digest / total if total else digest

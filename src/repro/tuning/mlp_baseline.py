@@ -1,0 +1,60 @@
+"""The "MLP" competitor of Table VI.
+
+A Multi-Layer Perceptron fed with application name, data features,
+environment features and stage-level data statistics from the Spark
+monitor UI — the same prediction module as LITE but *without code
+features* and without adaptive candidate generation (it ranks uniformly
+sampled configurations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.encoders import TabularPredictor
+from ..core.instances import StageInstance, build_dataset, instances_from_run
+from ..core.recommender import retarget_instances
+from ..sparksim.cluster import ClusterSpec
+from ..sparksim.config import SparkConf
+from ..sparksim.eventlog import AppRun
+from .base import DEFAULT_BUDGET_S, TrialRunner, Tuner, TuningResult
+
+
+class MLPBaselineTuner(Tuner):
+    """Model-based one-shot tuner on non-code stage features."""
+
+    name = "MLP"
+
+    def __init__(self, training_runs: Sequence[AppRun], seed: int = 0, n_candidates: int = 40):
+        super().__init__(seed)
+        self.n_candidates = n_candidates
+        self.predictor = TabularPredictor("S", model="mlp", seed=seed)
+        instances = build_dataset(training_runs)
+        if not instances:
+            raise ValueError("no training instances for the MLP baseline")
+        self.predictor.fit(instances)
+        self._templates: Dict[str, List[StageInstance]] = {}
+        for run in training_runs:
+            if run.success:
+                current = self._templates.get(run.app_name)
+                if current is None or run.num_stages > len(current):
+                    self._templates[run.app_name] = instances_from_run(run)
+
+    def tune(self, workload, cluster, scale, budget_s=DEFAULT_BUDGET_S, seed=0) -> TuningResult:
+        rng = np.random.default_rng(seed + self.seed)
+        runner = TrialRunner(self.name, workload, cluster, scale, budget_s, seed)
+        templates = self._templates.get(workload.name)
+        if not templates:
+            runner.run(SparkConf.default())
+            return runner.result
+        data_features = workload.data_spec(scale).features()
+        candidates = [SparkConf.random(rng) for _ in range(self.n_candidates)]
+        scores = []
+        for conf in candidates:
+            instances = retarget_instances(templates, conf, data_features, cluster)
+            scores.append(self.predictor.predict_app_time(instances))
+        best = candidates[int(np.argmin(scores))]
+        runner.run(best)
+        return runner.result

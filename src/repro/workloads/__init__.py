@@ -1,0 +1,40 @@
+"""The spark-bench workload suite (paper Table V): 15 applications across
+MapReduce, graph analytics and machine learning.
+"""
+
+from .base import (
+    DataSpec,
+    SCALES,
+    TEST_SCALE,
+    TRAIN_SCALES,
+    VALID_SCALE,
+    Workload,
+    all_workloads,
+    get_workload,
+    register,
+    tokenize_code,
+)
+
+# Importing the modules registers the workloads.
+from . import mapreduce, graph, mllib  # noqa: F401,E402
+
+from .mapreduce import Sort, Terasort, WordCount
+from .graph import (
+    ConnectedComponent,
+    LabelPropagation,
+    PageRank,
+    ShortestPaths,
+    StronglyConnectedComponent,
+    SVDPlusPlus,
+    TriangleCount,
+)
+from .mllib import DecisionTree, KMeans, LinearRegression, LogisticRegression, SVM
+
+__all__ = [
+    "DataSpec", "SCALES", "TEST_SCALE", "TRAIN_SCALES", "VALID_SCALE",
+    "Workload", "all_workloads", "get_workload", "register", "tokenize_code",
+    "Sort", "Terasort", "WordCount",
+    "ConnectedComponent", "LabelPropagation", "PageRank", "ShortestPaths",
+    "StronglyConnectedComponent", "SVDPlusPlus", "TriangleCount",
+    "DecisionTree", "KMeans", "LinearRegression", "LogisticRegression", "SVM",
+]

@@ -1,0 +1,176 @@
+"""Workload interface and registry (the spark-bench suite of paper Table V).
+
+A workload bundles a driver program (written against the simulator's RDD
+API), a synthetic data generator, and the datasize grid of the paper:
+four small *training* sizes, a mid *validation* size and a large *testing*
+size per application (Table V's protocol: same seed, same distribution,
+different scales).
+"""
+
+from __future__ import annotations
+
+import abc
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sparksim.cluster import ClusterSpec
+from ..sparksim.config import SparkConf
+from ..sparksim.context import run_app
+from ..sparksim.costmodel import CostParams, DEFAULT_COST_PARAMS
+from ..sparksim.eventlog import AppRun
+
+#: Datasize grid: name -> multiplier over the workload's base rows.
+#: Four small training sizes, one mid validation size, one large test size.
+SCALES: Dict[str, float] = {
+    "train0": 1.0,
+    "train1": 2.0,
+    "train2": 3.0,
+    "train3": 4.0,
+    "valid": 10.0,
+    "test": 150.0,
+}
+
+TRAIN_SCALES: Tuple[str, ...] = ("train0", "train1", "train2", "train3")
+VALID_SCALE = "valid"
+TEST_SCALE = "test"
+
+
+@dataclass(frozen=True)
+class DataSpec:
+    """Data features of one input (paper Table I) plus the executed sample."""
+
+    rows: float
+    cols: int
+    iterations: int
+    partitions: int
+    sample_rows: int
+    scale: str
+
+    def features(self) -> np.ndarray:
+        """The four-dimensional data feature vector d_i."""
+        return np.array(
+            [self.rows, float(self.cols), float(self.iterations), float(self.partitions)]
+        )
+
+
+class Workload(abc.ABC):
+    """One benchmark application."""
+
+    #: Full name, e.g. "PageRank".
+    name: str = ""
+    #: Short code used in the paper's tables, e.g. "PR".
+    abbrev: str = ""
+    #: Base logical rows at scale multiplier 1.0.
+    base_rows: float = 1e6
+    #: Number of columns of the input data (0 when not meaningful).
+    cols: int = 0
+    #: Iteration count (0 when the app is not iterative).
+    iterations: int = 0
+    #: Declared input partitions (0 when not configured by the generator).
+    partitions: int = 0
+    #: Executed sample size.
+    sample_rows: int = 120
+
+    def data_spec(self, scale: str) -> DataSpec:
+        if scale not in SCALES:
+            raise KeyError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+        return DataSpec(
+            rows=self.base_rows * SCALES[scale],
+            cols=self.cols,
+            iterations=self.iterations,
+            partitions=self.partitions,
+            sample_rows=self.sample_rows,
+            scale=scale,
+        )
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        """The application's driver program."""
+
+    def run(
+        self,
+        conf: SparkConf,
+        cluster: ClusterSpec,
+        scale: str = "train0",
+        seed: int = 0,
+        cost_params: CostParams = DEFAULT_COST_PARAMS,
+        deterministic: bool = False,
+    ) -> AppRun:
+        """Execute this workload once and return its AppRun."""
+        data = self.data_spec(scale)
+        rng = np.random.default_rng(seed)  # paper: same seed across scales
+
+        def entry(sc):
+            self.driver(sc, data, rng)
+
+        return run_app(
+            self.name,
+            entry,
+            conf,
+            cluster,
+            data_features=data.features(),
+            cost_params=cost_params,
+            seed=seed,
+            deterministic=deterministic,
+        )
+
+    # ------------------------------------------------------------------
+    def source_tokens(self) -> List[str]:
+        """Tokenized driver source — the application-level "program codes"
+        used by the WC/SC baseline features (paper Sec. V-C)."""
+        import inspect
+
+        source = inspect.getsource(type(self).driver)
+        return tokenize_code(source)
+
+    def __repr__(self) -> str:
+        return f"<Workload {self.name} ({self.abbrev})>"
+
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z_0-9]*|\d+|[^\sA-Za-z_0-9]")
+
+
+def tokenize_code(source: str) -> List[str]:
+    """Lexical tokens of a code snippet (identifiers, numbers, operators)."""
+    tokens: List[str] = []
+    for line in source.splitlines():
+        stripped = line.split("#", 1)[0]
+        tokens.extend(_IDENT.findall(stripped))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload_cls) -> type:
+    """Class decorator adding a workload to the global registry."""
+    instance = workload_cls()
+    if not instance.name or not instance.abbrev:
+        raise ValueError(f"{workload_cls.__name__} must define name and abbrev")
+    if instance.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {instance.name}")
+    _REGISTRY[instance.name] = instance
+    return workload_cls
+
+
+def get_workload(name: str) -> Workload:
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    for wl in _REGISTRY.values():
+        if wl.abbrev == name:
+            return wl
+    raise KeyError(f"unknown workload {name!r}; available: {sorted(_REGISTRY)}")
+
+
+def all_workloads() -> List[Workload]:
+    """All registered workloads in a stable order."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]

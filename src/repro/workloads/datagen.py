@@ -1,0 +1,93 @@
+"""Deterministic synthetic data generators for the workload samples.
+
+All generators are pure functions of a ``numpy.random.Generator``, so the
+paper's protocol — "the same seed sampling the same distribution" for the
+train/validation/test datasizes — holds by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+_WORDS = (
+    "data spark stage task shuffle rdd node edge graph rank vector point "
+    "cluster label weight learn model train test key value map reduce sort "
+    "count page user item rating feature tree split gain loss grad"
+).split()
+
+
+def text_lines(rng: np.random.Generator, n: int, words_per_line: int = 6) -> List[str]:
+    """Random natural-ish text lines (WordCount input)."""
+    picks = rng.choice(len(_WORDS), size=(n, words_per_line))
+    return [" ".join(_WORDS[j] for j in row) for row in picks]
+
+
+def sort_records(rng: np.random.Generator, n: int, payload: int = 12) -> List[str]:
+    """TeraSort-style records: 10-char key + payload."""
+    alphabet = np.array(list("abcdefghijklmnopqrstuvwxyz"))
+    keys = rng.choice(26, size=(n, 10))
+    return ["".join(alphabet[k]) + "#" + "x" * payload for k in keys]
+
+
+def integers(rng: np.random.Generator, n: int, high: int = 10**6) -> List[int]:
+    return [int(v) for v in rng.integers(0, high, size=n)]
+
+
+def powerlaw_edges(rng: np.random.Generator, n_edges: int, n_nodes: int) -> List[Tuple[int, int]]:
+    """Directed edges with skewed (Zipf-ish) degree distribution."""
+    # Draw endpoints with preferential weights ~ 1/(rank+1).
+    weights = 1.0 / np.arange(1, n_nodes + 1)
+    weights /= weights.sum()
+    src = rng.choice(n_nodes, size=n_edges, p=weights)
+    dst = rng.choice(n_nodes, size=n_edges, p=weights)
+    # Avoid self loops deterministically.
+    dst = np.where(dst == src, (dst + 1) % n_nodes, dst)
+    return [(int(s), int(d)) for s, d in zip(src, dst)]
+
+
+def undirected_edges(rng: np.random.Generator, n_edges: int, n_nodes: int) -> List[Tuple[int, int]]:
+    """Canonicalised (u < v) undirected edges without duplicates."""
+    edges = set()
+    raw = powerlaw_edges(rng, n_edges * 2, n_nodes)
+    for u, v in raw:
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+        if len(edges) >= n_edges:
+            break
+    return sorted(edges)
+
+
+def labeled_points(
+    rng: np.random.Generator, n: int, dim: int, classification: bool = True
+) -> List[Tuple[float, np.ndarray]]:
+    """(label, feature-vector) rows for the ML workloads.
+
+    Classification: two Gaussian blobs with labels ±1.
+    Regression: linear target with noise.
+    """
+    if classification:
+        labels = rng.choice([-1.0, 1.0], size=n)
+        centers = labels[:, None] * 1.5
+        x = rng.normal(0.0, 1.0, size=(n, dim)) + centers
+        return [(float(l), x[i]) for i, l in enumerate(labels)]
+    true_w = rng.normal(0.0, 1.0, size=dim)
+    x = rng.normal(0.0, 1.0, size=(n, dim))
+    y = x @ true_w + rng.normal(0.0, 0.1, size=n)
+    return [(float(y[i]), x[i]) for i in range(n)]
+
+
+def cluster_points(rng: np.random.Generator, n: int, dim: int, k: int) -> List[np.ndarray]:
+    """Points from k well-separated Gaussian clusters (KMeans input)."""
+    centers = rng.normal(0.0, 6.0, size=(k, dim))
+    assign = rng.integers(0, k, size=n)
+    return [centers[assign[i]] + rng.normal(0.0, 0.6, size=dim) for i in range(n)]
+
+
+def ratings(rng: np.random.Generator, n: int, n_users: int, n_items: int) -> List[Tuple[int, int, float]]:
+    """(user, item, rating) triples (SVD++ input)."""
+    users = rng.integers(0, n_users, size=n)
+    items = rng.integers(0, n_items, size=n)
+    score = np.clip(rng.normal(3.5, 1.0, size=n), 1.0, 5.0)
+    return [(int(u), int(i), float(r)) for u, i, r in zip(users, items, score)]

@@ -1,0 +1,275 @@
+"""Graph workloads: PageRank, TriangleCount, connectivity, label
+propagation, shortest paths and SVD++ (spark-bench's GraphX suite).
+
+Each driver is a faithful RDD-level formulation of the classic algorithm;
+results are exact on the executed sample, so tests can assert on them
+(e.g. PageRank mass conservation, triangle counts on known graphs).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from . import datagen
+from .base import DataSpec, Workload, register
+
+
+@register
+class PageRank(Workload):
+    """Iterative PageRank over a power-law directed graph."""
+
+    name = "PageRank"
+    abbrev = "PR"
+    base_rows = 2e6       # edges
+    cols = 2
+    iterations = 8
+    sample_rows = 160
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        n_nodes = max(8, data.sample_rows // 6)
+        nodes_logical = data.rows / 6.0
+        edges = datagen.powerlaw_edges(rng, data.sample_rows, n_nodes)
+        links = (
+            sc.parallelize(edges, logical_rows=data.rows)
+            .groupByKey(logical_rows=nodes_logical)
+            .cache()
+        )
+        ranks = links.mapValues(lambda _: 1.0, tokens=["init", "one"])
+        for _ in range(data.iterations):
+            contribs = links.join(ranks).flatMap(
+                lambda kv: [(dst, kv[1][1] / len(kv[1][0])) for dst in kv[1][0]],
+                tokens=["contrib", "rank", "outDegree", "divide"],
+            )
+            ranks = contribs.reduceByKey(
+                lambda a, b: a + b, tokens=["add"], logical_rows=nodes_logical
+            ).mapValues(lambda r: 0.15 + 0.85 * r, tokens=["damping", "teleport"])
+        ranks.saveAsTextFile("pagerank-out")
+        self.last_ranks = dict(ranks.sample)
+
+
+@register
+class TriangleCount(Workload):
+    """Count triangles via the wedge-join formulation."""
+
+    name = "TriangleCount"
+    abbrev = "TC"
+    base_rows = 8e5       # edges
+    cols = 2
+    sample_rows = 90
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        n_nodes = max(8, data.sample_rows // 4)
+        edge_list = datagen.undirected_edges(rng, data.sample_rows, n_nodes)
+        edges = sc.parallelize(edge_list, logical_rows=data.rows)
+        # Wedges centred at u: for canonical edges (u,v),(u,w) with v < w.
+        by_low = edges.map(lambda e: (e[0], e[1]), cpu_weight=0.8, tokens=["canonical"])
+        wedges = (
+            by_low.join(by_low)
+            .filter(lambda kv: kv[1][0] < kv[1][1], tokens=["dedup", "less"])
+            .map(lambda kv: ((kv[1][0], kv[1][1]), kv[0]), tokens=["closingEdge"])
+        )
+        closing = edges.map(lambda e: (e, 1), tokens=["pair", "one"])
+        triangles = wedges.join(closing).map(lambda kv: 1, cpu_weight=1.2, tokens=["triangle"])
+        self.last_count = triangles.count()
+
+
+@register
+class ConnectedComponent(Workload):
+    """Minimum-label propagation for connected components."""
+
+    name = "ConnectedComponent"
+    abbrev = "CC"
+    base_rows = 1.5e6
+    cols = 2
+    iterations = 6
+    sample_rows = 130
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        n_nodes = max(8, data.sample_rows // 5)
+        nodes_logical = data.rows / 5.0
+        edge_list = datagen.undirected_edges(rng, data.sample_rows, n_nodes)
+        both = edge_list + [(v, u) for u, v in edge_list]
+        adjacency = (
+            sc.parallelize(both, logical_rows=data.rows * 2)
+            .groupByKey(logical_rows=nodes_logical)
+            .cache()
+        )
+        labels = adjacency.mapValues(lambda _: None).map(
+            lambda kv: (kv[0], kv[0]), tokens=["initLabel", "selfId"]
+        )
+        for _ in range(data.iterations):
+            candidates = adjacency.join(labels).flatMap(
+                lambda kv: [(nbr, kv[1][1]) for nbr in kv[1][0]],
+                tokens=["propagate", "neighborLabel"],
+            )
+            merged = candidates.union(labels)
+            labels = merged.reduceByKey(min, tokens=["min"], logical_rows=nodes_logical)
+        labels.saveAsTextFile("cc-out")
+        self.last_labels = dict(labels.sample)
+
+
+@register
+class StronglyConnectedComponent(Workload):
+    """Forward/backward reachability colouring (simplified FB-SCC)."""
+
+    name = "StronglyConnectedComponent"
+    abbrev = "SCC"
+    base_rows = 1.2e6
+    cols = 2
+    iterations = 4
+    sample_rows = 110
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        n_nodes = max(8, data.sample_rows // 5)
+        nodes_logical = data.rows / 5.0
+        edge_list = datagen.powerlaw_edges(rng, data.sample_rows, n_nodes)
+        fwd = (
+            sc.parallelize(edge_list, logical_rows=data.rows)
+            .groupByKey(logical_rows=nodes_logical)
+            .cache()
+        )
+        bwd = (
+            sc.parallelize([(v, u) for u, v in edge_list], logical_rows=data.rows)
+            .groupByKey(logical_rows=nodes_logical)
+            .cache()
+        )
+        results: Dict[str, Dict[int, int]] = {}
+        for direction, adjacency in (("fwd", fwd), ("bwd", bwd)):
+            labels = adjacency.map(lambda kv: (kv[0], kv[0]), tokens=["initColor"])
+            for _ in range(data.iterations):
+                pushed = adjacency.join(labels).flatMap(
+                    lambda kv: [(nbr, kv[1][1]) for nbr in kv[1][0]],
+                    tokens=["reach", "color"],
+                )
+                labels = pushed.union(labels).reduceByKey(
+                    min, tokens=["min"], logical_rows=nodes_logical
+                )
+            labels.saveAsTextFile(f"scc-{direction}-out")
+            results[direction] = dict(labels.sample)
+        # SCC id: the pair of forward/backward colours.
+        self.last_scc = {
+            node: (results["fwd"].get(node), results["bwd"].get(node))
+            for node in set(results["fwd"]) | set(results["bwd"])
+        }
+
+
+@register
+class LabelPropagation(Workload):
+    """Community detection by majority label propagation.
+
+    The paper records #nodes (not bytes) as the datasize for this app.
+    """
+
+    name = "LabelPropagation"
+    abbrev = "LP"
+    base_rows = 4e5      # nodes
+    cols = 2
+    iterations = 5
+    sample_rows = 100
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        n_nodes = max(8, data.sample_rows)
+        edge_list = datagen.undirected_edges(rng, n_nodes * 3, n_nodes)
+        both = edge_list + [(v, u) for u, v in edge_list]
+        adjacency = (
+            sc.parallelize(both, logical_rows=data.rows * 6)
+            .groupByKey(logical_rows=data.rows)
+            .cache()
+        )
+        labels = adjacency.map(lambda kv: (kv[0], kv[0]), tokens=["initCommunity"])
+        for _ in range(data.iterations):
+            votes = adjacency.join(labels).flatMap(
+                lambda kv: [(nbr, kv[1][1]) for nbr in kv[1][0]],
+                tokens=["vote", "neighbor"],
+            )
+            labels = votes.groupByKey(logical_rows=data.rows).mapValues(
+                lambda vs: Counter(vs).most_common(1)[0][0],
+                tokens=["majority", "mode", "counter"],
+            )
+        labels.saveAsTextFile("lp-out")
+        self.last_labels = dict(labels.sample)
+
+
+@register
+class ShortestPaths(Workload):
+    """Single-source shortest paths (Bellman-Ford relaxation rounds)."""
+
+    name = "ShortestPaths"
+    abbrev = "SP"
+    base_rows = 1.8e6
+    cols = 3
+    iterations = 6
+    sample_rows = 140
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        n_nodes = max(8, data.sample_rows // 5)
+        raw = datagen.powerlaw_edges(rng, data.sample_rows, n_nodes)
+        nodes_logical = data.rows / 5.0
+        weighted = [(u, (v, 1.0 + (u + v) % 5)) for u, v in raw]
+        adjacency = (
+            sc.parallelize(weighted, logical_rows=data.rows)
+            .groupByKey(logical_rows=nodes_logical)
+            .cache()
+        )
+        source = min(u for u, _ in raw)
+        dists = adjacency.map(
+            lambda kv, s=source: (kv[0], 0.0 if kv[0] == s else float("inf")),
+            tokens=["initDist", "source", "infinity"],
+        )
+        for _ in range(data.iterations):
+            relaxed = adjacency.join(dists).flatMap(
+                lambda kv: [(v, kv[1][1] + w) for v, w in kv[1][0]],
+                tokens=["relax", "distance", "add"],
+            )
+            dists = relaxed.union(dists).reduceByKey(
+                min, tokens=["min"], logical_rows=nodes_logical
+            )
+        dists.saveAsTextFile("sssp-out")
+        self.last_dists = dict(dists.sample)
+
+
+@register
+class SVDPlusPlus(Workload):
+    """SVD++-style latent-factor training on (user, item, rating) triples."""
+
+    name = "SVDPlusPlus"
+    abbrev = "SVD"
+    base_rows = 1e6      # ratings
+    cols = 3
+    iterations = 5
+    sample_rows = 150
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        n_users, n_items, dim = 24, 16, 8
+        triples = datagen.ratings(rng, data.sample_rows, n_users, n_items)
+        ratings = sc.parallelize(triples, logical_rows=data.rows).cache()
+        user_f = {u: rng.normal(0, 0.1, dim) for u in range(n_users)}
+        item_f = {i: rng.normal(0, 0.1, dim) for i in range(n_items)}
+        lr, reg = 0.05, 0.02
+        for _ in range(data.iterations):
+            # Heavy per-record gradient computation; factors broadcast.
+            grads = ratings.map(
+                lambda t, uf=dict(user_f), itf=dict(item_f): (
+                    t[0],
+                    (t[1], float(t[2] - uf[t[0]] @ itf[t[1]])),
+                ),
+                cpu_weight=14.0,
+                tokens=["gradient", "dot", "error", "broadcast", "factors"],
+            )
+            per_user = grads.aggregateByKey(
+                0.0,
+                lambda acc, v: acc + v[1],
+                lambda a, b: a + b,
+                tokens=["accumulate", "error"],
+                logical_rows=data.rows / 40.0,
+            )
+            updates = dict(per_user.collect())
+            for u, err in updates.items():
+                step = lr * err / max(1, len(triples))
+                user_f[u] = user_f[u] * (1 - lr * reg) + step
+            for i in item_f:
+                item_f[i] = item_f[i] * (1 - lr * reg)
+        self.last_user_factors = user_f

@@ -1,0 +1,72 @@
+"""MapReduce-style workloads: Terasort, Sort, WordCount."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import datagen
+from .base import DataSpec, Workload, register
+
+
+@register
+class Terasort(Workload):
+    """Sort fixed-width records by their 10-byte key (spark-bench Terasort).
+
+    The paper's Fig. 4/5 motivating example: the driver body is three
+    functional lines, but instrumentation expands the ``sortByKey`` stage
+    into a dense internal token stream.
+    """
+
+    name = "Terasort"
+    abbrev = "TS"
+    base_rows = 2.5e6
+    cols = 2  # key + payload
+    sample_rows = 120
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        lines = datagen.sort_records(rng, data.sample_rows, payload=90)
+        records = sc.textFile(lines, logical_rows=data.rows, logical_bytes=data.rows * 101)
+        pairs = records.map(
+            lambda line: (line[:10], line),
+            tokens=["TeraSortPartitioner", "key", "slice"],
+        )
+        ordered = pairs.sortByKey()
+        ordered.saveAsTextFile("terasort-out")
+
+
+@register
+class Sort(Workload):
+    """Sort a collection of integers (spark-bench Sort)."""
+
+    name = "Sort"
+    abbrev = "SO"
+    base_rows = 4e6
+    cols = 1
+    sample_rows = 150
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        values = datagen.integers(rng, data.sample_rows)
+        numbers = sc.parallelize(values, logical_rows=data.rows)
+        ordered = numbers.sortBy(lambda v: v, tokens=["identity"])
+        ordered.saveAsTextFile("sort-out")
+
+
+@register
+class WordCount(Workload):
+    """Count word frequencies in text (spark-bench WordCount)."""
+
+    name = "WordCount"
+    abbrev = "WC"
+    base_rows = 3e6
+    cols = 1
+    sample_rows = 140
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        lines = datagen.text_lines(rng, data.sample_rows)
+        text = sc.textFile(lines, logical_rows=data.rows, logical_bytes=data.rows * 40)
+        counts = (
+            text.flatMap(lambda line: line.split(), tokens=["split", "whitespace"])
+            .map(lambda word: (word, 1), tokens=["pair", "one"])
+            .reduceByKey(lambda a, b: a + b, tokens=["add"])
+        )
+        counts.sortBy(lambda kv: -kv[1]).take(20)

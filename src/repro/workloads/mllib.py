@@ -1,0 +1,222 @@
+"""MLlib-style workloads: SVM, linear/logistic regression, KMeans and
+DecisionTree — the iterative machine-learning half of spark-bench.
+
+Each iteration is a full pass over the cached training RDD with a
+CPU-heavy gradient/statistics map, followed by a driver-side model update:
+exactly the access pattern that makes ML workloads knob-sensitive
+(cache-fit, parallelism, executor sizing).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from . import datagen
+from .base import DataSpec, Workload, register
+
+
+def _gradient_sum(points_rdd, weights: np.ndarray, grad_fn, tokens: List[str], cpu_weight: float):
+    """One distributed gradient aggregation: map + treeReduce pattern."""
+    w = weights.copy()
+    grads = points_rdd.map(
+        lambda p, w=w: grad_fn(w, p[0], p[1]),
+        cpu_weight=cpu_weight,
+        tokens=tokens,
+    )
+    total = grads.reduce(lambda a, b: a + b)
+    return total
+
+
+@register
+class SVM(Workload):
+    """Linear SVM via hinge-loss sub-gradient descent."""
+
+    name = "SVM"
+    abbrev = "SVM"
+    base_rows = 8e5
+    cols = 20
+    iterations = 8
+    sample_rows = 140
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        points = datagen.labeled_points(rng, data.sample_rows, data.cols, classification=True)
+        train = sc.parallelize(points, logical_rows=data.rows).cache()
+        w = np.zeros(data.cols)
+        lr, reg = 0.1, 0.01
+
+        def hinge_grad(w, label, x):
+            margin = label * (x @ w)
+            return (-label * x if margin < 1.0 else np.zeros_like(x)) + reg * w
+
+        for step in range(data.iterations):
+            grad = _gradient_sum(
+                train, w, hinge_grad,
+                tokens=["hinge", "margin", "subgradient", "regularize"],
+                cpu_weight=float(data.cols),
+            )
+            w = w - lr / (1 + step) * grad / data.sample_rows
+        self.last_weights = w
+
+
+@register
+class LinearRegression(Workload):
+    """Least-squares linear regression via batch gradient descent."""
+
+    name = "LinearRegression"
+    abbrev = "LR"
+    base_rows = 1e6
+    cols = 16
+    iterations = 8
+    sample_rows = 150
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        points = datagen.labeled_points(rng, data.sample_rows, data.cols, classification=False)
+        train = sc.parallelize(points, logical_rows=data.rows).cache()
+        w = np.zeros(data.cols)
+        lr = 0.05
+
+        def lsq_grad(w, y, x):
+            return (x @ w - y) * x
+
+        for _ in range(data.iterations):
+            grad = _gradient_sum(
+                train, w, lsq_grad,
+                tokens=["residual", "leastSquares", "dot"],
+                cpu_weight=float(data.cols) * 0.8,
+            )
+            w = w - lr * grad / data.sample_rows
+        self.last_weights = w
+
+
+@register
+class LogisticRegression(Workload):
+    """Binary logistic regression via batch gradient descent."""
+
+    name = "LogisticRegression"
+    abbrev = "LoR"
+    base_rows = 9e5
+    cols = 16
+    iterations = 8
+    sample_rows = 150
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        points = datagen.labeled_points(rng, data.sample_rows, data.cols, classification=True)
+        labeled01 = [(0.0 if y < 0 else 1.0, x) for y, x in points]
+        train = sc.parallelize(labeled01, logical_rows=data.rows).cache()
+        w = np.zeros(data.cols)
+        lr = 0.2
+
+        def logit_grad(w, y, x):
+            p = 1.0 / (1.0 + np.exp(-np.clip(x @ w, -30, 30)))
+            return (p - y) * x
+
+        for _ in range(data.iterations):
+            grad = _gradient_sum(
+                train, w, logit_grad,
+                tokens=["sigmoid", "logLoss", "probability"],
+                cpu_weight=float(data.cols) * 1.1,
+            )
+            w = w - lr * grad / data.sample_rows
+        self.last_weights = w
+
+
+@register
+class KMeans(Workload):
+    """Lloyd's algorithm with k centroids."""
+
+    name = "KMeans"
+    abbrev = "KM"
+    base_rows = 1.2e6
+    cols = 12
+    iterations = 8
+    sample_rows = 160
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        k = 5
+        pts = datagen.cluster_points(rng, data.sample_rows, data.cols, k)
+        train = sc.parallelize(pts, logical_rows=data.rows).cache()
+        centroids = [pts[i].copy() for i in range(k)]
+
+        def closest(p, cs):
+            dists = [float(((p - c) ** 2).sum()) for c in cs]
+            return int(np.argmin(dists))
+
+        for _ in range(data.iterations):
+            assigned = train.map(
+                lambda p, cs=[c.copy() for c in centroids]: (closest(p, cs), (p, 1)),
+                cpu_weight=float(k * data.cols) * 0.6,
+                tokens=["closestCenter", "squaredDistance", "argmin"],
+            )
+            sums = assigned.reduceByKey(
+                lambda a, b: (a[0] + b[0], a[1] + b[1]), tokens=["sumVectors", "count"]
+            )
+            for idx, (vec, cnt) in sums.collect():
+                centroids[idx] = vec / cnt
+        self.last_centroids = centroids
+
+
+@register
+class DecisionTree(Workload):
+    """Level-wise decision-tree training with distributed split statistics.
+
+    Each depth level aggregates class histograms per (node, feature, bin)
+    across the cluster — the classic MLlib tree pattern with a wide
+    aggregate-by-key per level.
+    """
+
+    name = "DecisionTree"
+    abbrev = "DT"
+    base_rows = 7e5
+    cols = 10
+    iterations = 4  # tree depth levels
+    sample_rows = 150
+
+    def driver(self, sc, data: DataSpec, rng: np.random.Generator) -> None:
+        bins = 8
+        points = datagen.labeled_points(rng, data.sample_rows, data.cols, classification=True)
+        train = sc.parallelize(points, logical_rows=data.rows).cache()
+        # node assignment of every sample row, refined level by level.
+        assignment = {i: 0 for i in range(len(points))}
+        splits: dict = {}
+
+        edges = np.linspace(-3.0, 3.0, bins - 1)
+
+        def bin_of(v: float) -> int:
+            return int(np.searchsorted(edges, v))
+
+        for level in range(data.iterations):
+            assign_snapshot = dict(assignment)
+            indexed = train.zipWithIndex()
+            stats = indexed.flatMap(
+                lambda row, asn=assign_snapshot: [
+                    ((asn[row[1]], f, bin_of(row[0][1][f])), (1, 1 if row[0][0] > 0 else 0))
+                    for f in range(data.cols)
+                ],
+                cpu_weight=float(data.cols * 2),
+                tokens=["histogram", "bin", "split", "impurity", "nodeStats"],
+            )
+            agg = stats.reduceByKey(
+                lambda a, b: (a[0] + b[0], a[1] + b[1]), tokens=["mergeStats"]
+            )
+            collected = agg.collect()
+            # Driver-side: pick best split per node by 0/1 purity gain.
+            best: dict = {}
+            for (node, feature, b), (n, pos) in collected:
+                purity = abs(pos / n - 0.5) if n else 0.0
+                key = (node, feature)
+                if purity > best.get(key, (-1.0, 0))[0]:
+                    best[key] = (purity, b)
+            per_node: dict = {}
+            for (node, feature), (purity, b) in best.items():
+                if purity > per_node.get(node, (-1.0, 0, 0))[0]:
+                    per_node[node] = (purity, feature, b)
+            splits[level] = per_node
+            # Refine assignments: children ids 2k+1 / 2k+2.
+            for i, (label, x) in enumerate(points):
+                node = assignment[i]
+                if node in per_node:
+                    _, feature, b = per_node[node]
+                    assignment[i] = 2 * node + (1 if bin_of(x[feature]) <= b else 2)
+        self.last_splits = splits

@@ -1,0 +1,49 @@
+"""Shared fixtures: small training corpora and fitted models.
+
+Expensive artefacts (collected runs, trained estimators) are session-scoped
+so the whole suite pays for them once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CLUSTER_A, CLUSTER_C, SparkConf, get_workload
+from repro.core.instances import build_dataset
+from repro.core.necs import NECSConfig, NECSEstimator
+from repro.experiments.collect import collect_training_runs
+
+
+TEST_WORKLOADS = ("WordCount", "PageRank", "KMeans")
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A small but real training corpus: 3 apps x 2 scales x 4 confs on C."""
+    wls = [get_workload(n) for n in TEST_WORKLOADS]
+    return collect_training_runs(
+        workloads=wls,
+        clusters=[CLUSTER_C],
+        scales=("train0", "train1"),
+        confs_per_cell=4,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_instances(small_corpus):
+    instances = build_dataset(small_corpus)
+    assert instances, "corpus produced no instances"
+    return instances
+
+
+@pytest.fixture(scope="session")
+def fitted_necs(small_instances):
+    config = NECSConfig(epochs=5, max_tokens=96, mlp_hidden=48, conv_filters=16, seed=0)
+    return NECSEstimator(config).fit(small_instances)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

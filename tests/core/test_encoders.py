@@ -1,0 +1,123 @@
+"""Tests for the Table VII competitor feature pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoders import (
+    FEATURE_SETS,
+    STAT_KEYS,
+    SchedulerLSTM,
+    TabularFeatureBuilder,
+    TabularPredictor,
+)
+
+
+class TestFeatureBuilder:
+    @pytest.mark.parametrize("feature_set", FEATURE_SETS)
+    def test_transform_shapes(self, small_instances, feature_set):
+        builder = TabularFeatureBuilder(feature_set).fit(small_instances[:100])
+        X = builder.transform(small_instances[:10])
+        assert X.shape[0] == 10
+        assert np.isfinite(X).all()
+
+    def test_unknown_feature_set(self):
+        with pytest.raises(ValueError):
+            TabularFeatureBuilder("XYZ")
+
+    def test_stage_sets_include_stats(self, small_instances):
+        w = TabularFeatureBuilder("W").fit(small_instances[:50])
+        s = TabularFeatureBuilder("S").fit(small_instances[:50])
+        xw = w.transform(small_instances[:2])
+        xs = s.transform(small_instances[:2])
+        assert xs.shape[1] == xw.shape[1] + len(STAT_KEYS)
+
+    def test_code_sets_are_wider(self, small_instances):
+        s = TabularFeatureBuilder("S").fit(small_instances[:50])
+        sc = TabularFeatureBuilder("SC").fit(small_instances[:50])
+        assert (
+            sc.transform(small_instances[:1]).shape[1]
+            > s.transform(small_instances[:1]).shape[1]
+        )
+
+    def test_wc_uses_app_source_bow(self, small_instances):
+        builder = TabularFeatureBuilder("WC").fit(small_instances[:50])
+        # Two instances of the same app share the same code part.
+        same_app = [i for i in small_instances if i.app_name == small_instances[0].app_name][:2]
+        X = builder.transform(same_app)
+        n_other = len(builder.app_names_) + 4 + 6 + 16
+        np.testing.assert_allclose(X[0][n_other:], X[1][n_other:])
+
+
+class TestSchedulerLSTM:
+    def test_embeds_after_fit(self, small_instances):
+        model = SchedulerLSTM(hidden=6, epochs=1).fit(
+            [i.dag_labels for i in small_instances[:30]]
+        )
+        emb = model.embed(small_instances[0].dag_labels)
+        assert emb.shape == (6,)
+        assert np.isfinite(emb).all()
+
+    def test_empty_dag_embedding(self, small_instances):
+        model = SchedulerLSTM(hidden=6, epochs=1).fit(
+            [i.dag_labels for i in small_instances[:30]]
+        )
+        np.testing.assert_allclose(model.embed([]), 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SchedulerLSTM().embed(["MapPartition"])
+
+    def test_different_dags_different_embeddings(self, small_instances):
+        model = SchedulerLSTM(hidden=6, epochs=2, seed=1).fit(
+            [i.dag_labels for i in small_instances[:50]]
+        )
+        dags = {tuple(i.dag_labels) for i in small_instances[:50] if len(i.dag_labels) > 1}
+        dags = list(dags)[:2]
+        if len(dags) == 2:
+            a = model.embed(list(dags[0]))
+            b = model.embed(list(dags[1]))
+            assert not np.allclose(a, b)
+
+
+class TestTabularPredictor:
+    @pytest.mark.parametrize("feature_set", ["W", "S", "SC"])
+    @pytest.mark.parametrize("model", ["gbm", "mlp"])
+    def test_fit_predict(self, small_instances, feature_set, model):
+        predictor = TabularPredictor(feature_set, model=model, seed=0)
+        predictor.fit(small_instances[:150])
+        total = predictor.predict_app_time(small_instances[:5])
+        assert np.isfinite(total) and total > 0
+
+    def test_stage_level_aggregates(self, small_instances):
+        predictor = TabularPredictor("S", model="gbm").fit(small_instances[:150])
+        stage_preds = predictor.predict(small_instances[:5])
+        total = predictor.predict_app_time(small_instances[:5])
+        assert total == pytest.approx(stage_preds.sum(), rel=1e-6)
+
+    def test_app_level_uses_single_row(self, small_instances):
+        predictor = TabularPredictor("W", model="gbm").fit(small_instances[:150])
+        one = predictor.predict_app_time(small_instances[:1])
+        many = predictor.predict_app_time(small_instances[:5])
+        # Same application instance: app-level prediction ignores stage count.
+        if small_instances[0].app_key == small_instances[4].app_key:
+            assert one == pytest.approx(many)
+
+    def test_gbm_beats_mean_on_train(self, small_instances):
+        predictor = TabularPredictor("S", model="gbm").fit(small_instances)
+        preds = predictor.predict(small_instances)
+        actual = np.array([i.stage_time_s for i in small_instances])
+        log_err = np.abs(np.log1p(preds) - np.log1p(actual)).mean()
+        baseline = np.abs(np.log1p(actual) - np.log1p(actual).mean()).mean()
+        assert log_err < baseline
+
+    def test_invalid_model(self):
+        with pytest.raises(ValueError):
+            TabularPredictor("W", model="xgboost")
+
+    def test_unfitted_raises(self, small_instances):
+        with pytest.raises(RuntimeError):
+            TabularPredictor("W").predict_app_time(small_instances[:1])
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            TabularPredictor("W").fit([])

@@ -1,0 +1,163 @@
+"""Tests for tokenizer, DAG featurisation and stage instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dagfeat import DagEncoder
+from repro.core.instances import (
+    app_instance_key,
+    augmentation_report,
+    build_dataset,
+    instances_from_run,
+)
+from repro.core.tokenizer import OOV, PAD, CodeTokenizer
+from repro.sparksim import CLUSTER_C, SparkConf
+from repro.workloads import get_workload
+
+
+class TestTokenizer:
+    def test_fit_encode_roundtrip(self):
+        tok = CodeTokenizer(max_len=8)
+        tok.fit([["map", "filter", "map"], ["reduce"]])
+        ids = tok.encode(["map", "reduce"])
+        assert ids.shape == (8,)
+        assert ids[0] != ids[1]
+        assert (ids[2:] == PAD).all()
+
+    def test_oov_mapping(self):
+        tok = CodeTokenizer(max_len=4).fit([["known"]])
+        ids = tok.encode(["known", "never_seen"])
+        assert ids[1] == OOV
+
+    def test_truncation(self):
+        tok = CodeTokenizer(max_len=3).fit([["a", "b", "c", "d"]])
+        assert tok.encode(["a"] * 10).shape == (3,)
+
+    def test_vocab_cap(self):
+        tok = CodeTokenizer(max_vocab=5).fit([[f"t{i}" for i in range(100)]])
+        assert tok.vocab_size == 5
+
+    def test_frequency_order(self):
+        tok = CodeTokenizer().fit([["common"] * 10 + ["rare"]])
+        assert tok.token_to_id["common"] < tok.token_to_id["rare"]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CodeTokenizer().encode(["x"])
+
+    def test_bag_of_words_normalised(self):
+        tok = CodeTokenizer().fit([["a", "b"]])
+        bow = tok.bag_of_words(["a", "a", "b", "zzz"])
+        assert bow.sum() == pytest.approx(1.0)
+        assert bow[OOV] == pytest.approx(0.25)
+
+    def test_encode_batch(self):
+        tok = CodeTokenizer(max_len=4).fit([["a"]])
+        out = tok.encode_batch([["a"], ["a", "a"]])
+        assert out.shape == (2, 4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=3), max_size=20))
+    def test_encode_always_valid_ids(self, tokens):
+        tok = CodeTokenizer(max_len=16).fit([["a", "b"]])
+        ids = tok.encode(tokens)
+        assert ids.min() >= 0 and ids.max() < tok.vocab_size
+
+
+class TestDagEncoder:
+    def test_one_hot_shape(self):
+        enc = DagEncoder().fit([["MapPartition", "Shuffled"]])
+        feats = enc.node_features(["MapPartition", "MapPartition"])
+        assert feats.shape == (2, 3)  # 2 labels + oov
+        np.testing.assert_allclose(feats.sum(axis=1), 1.0)
+
+    def test_oov_slot_for_unseen(self):
+        enc = DagEncoder().fit([["MapPartition"]])
+        feats = enc.node_features(["NeverSeen"])
+        assert feats[0, -1] == 1.0
+
+    def test_no_oov_ablation_zero_row(self):
+        enc = DagEncoder(use_oov=False).fit([["MapPartition"]])
+        feats = enc.node_features(["NeverSeen"])
+        np.testing.assert_allclose(feats, 0.0)
+
+    def test_encode_returns_normalized_adjacency(self):
+        enc = DagEncoder().fit([["A", "B"]])
+        v, adj = enc.encode(["A", "B"], [(0, 1)])
+        assert v.shape == (2, 3)
+        np.testing.assert_allclose(adj, adj.T)
+
+    def test_edge_bounds_checked(self):
+        enc = DagEncoder().fit([["A"]])
+        with pytest.raises(IndexError):
+            enc.encode(["A"], [(0, 5)])
+
+    def test_label_histogram(self):
+        enc = DagEncoder().fit([["A", "B"]])
+        hist = enc.label_histogram(["A", "A", "B"])
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DagEncoder().node_features(["A"])
+
+
+class TestInstances:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return get_workload("PageRank").run(SparkConf(), CLUSTER_C, scale="train0", seed=1)
+
+    def test_one_instance_per_stage(self, run):
+        instances = instances_from_run(run)
+        assert len(instances) == run.num_stages
+
+    def test_shared_app_level_features(self, run):
+        instances = instances_from_run(run)
+        first = instances[0]
+        for inst in instances[1:]:
+            # Same application instance: same knobs, data, env (paper III-C).
+            np.testing.assert_allclose(inst.knobs, first.knobs)
+            np.testing.assert_allclose(inst.data_features, first.data_features)
+            np.testing.assert_allclose(inst.env_features, first.env_features)
+            assert inst.app_key == first.app_key
+
+    def test_stage_level_features_differ(self, run):
+        instances = instances_from_run(run)
+        token_sets = {tuple(i.code_tokens) for i in instances}
+        assert len(token_sets) > 1
+
+    def test_failed_run_contributes_nothing(self):
+        bad = get_workload("PageRank").run(
+            SparkConf({"spark.executor.memory": 32}), CLUSTER_C, scale="train0"
+        )
+        assert not bad.success
+        assert instances_from_run(bad) == []
+
+    def test_app_key_distinguishes_confs(self):
+        wl = get_workload("WordCount")
+        a = wl.run(SparkConf(), CLUSTER_C, scale="train0")
+        b = wl.run(SparkConf({"spark.executor.cores": 4}), CLUSTER_C, scale="train0")
+        assert app_instance_key(a) != app_instance_key(b)
+
+    def test_build_dataset_concatenates(self, run):
+        other = get_workload("WordCount").run(SparkConf(), CLUSTER_C, scale="train0")
+        dataset = build_dataset([run, other])
+        assert len(dataset) == run.num_stages + other.num_stages
+
+
+class TestAugmentationReport:
+    def test_report_shape_and_factors(self, small_corpus):
+        report = augmentation_report(small_corpus)
+        assert set(report) <= {"WordCount", "PageRank", "KMeans"}
+        for app, stats in report.items():
+            # Fig. 9: stage organisation multiplies the instance count.
+            assert stats["augmentation_factor"] > 1.0
+            assert stats["stage_instances"] > stats["app_instances"]
+
+    def test_iterative_apps_augment_more(self, small_corpus):
+        report = augmentation_report(small_corpus)
+        assert (
+            report["PageRank"]["augmentation_factor"]
+            > report["WordCount"]["augmentation_factor"]
+        )

@@ -1,0 +1,124 @@
+"""End-to-end integration tests across the whole pipeline, plus
+property-based tests on cross-module invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.instances import build_dataset, instances_from_run
+from repro.core.lite import LITE, LITEConfig
+from repro.core.necs import NECSConfig
+from repro.core.recommender import retarget_instances
+from repro.sparksim import CLUSTER_A, CLUSTER_C, NUM_KNOBS, SparkConf
+from repro.workloads import all_workloads, get_workload
+
+
+class TestStageArtifactInvariants:
+    """Invariants that must hold for every workload's every stage."""
+
+    @pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.abbrev)
+    def test_instances_roundtrip_consistency(self, workload):
+        run = workload.run(SparkConf(), CLUSTER_C, scale="train0", seed=3)
+        instances = instances_from_run(run)
+        assert len(instances) == run.num_stages
+        for inst, stage in zip(instances, run.stages):
+            assert inst.stage_time_s == stage.duration_s
+            assert inst.code_tokens == stage.code_tokens
+            assert len(inst.dag_labels) >= 1
+            n = len(inst.dag_labels)
+            assert all(0 <= i < n and 0 <= j < n for i, j in inst.dag_edges)
+            assert inst.knobs.shape == (NUM_KNOBS,)
+            assert inst.data_features.shape == (4,)
+            assert inst.env_features.shape == (6,)
+            assert inst.stage_time_s > 0
+
+    def test_stage_times_bounded_by_app_time(self):
+        run = get_workload("PageRank").run(SparkConf(), CLUSTER_C, scale="train0", seed=3)
+        assert sum(s.duration_s for s in run.stages) <= run.duration_s + 1e-9
+
+
+class TestDeterminismAcrossProcessesContract:
+    """Seeds and digests must be process-stable (no builtin hash())."""
+
+    def test_conf_digest_is_stable_value(self):
+        # A fixed conf must produce this digest in every interpreter.
+        conf = SparkConf({"spark.executor.cores": 4})
+        assert conf.digest() == SparkConf({"spark.executor.cores": 4}).digest()
+        assert conf.digest() != SparkConf().digest()
+
+    def test_run_durations_reproducible(self):
+        wl = get_workload("KMeans")
+        a = wl.run(SparkConf(), CLUSTER_C, scale="train1", seed=9)
+        b = wl.run(SparkConf(), CLUSTER_C, scale="train1", seed=9)
+        assert a.duration_s == b.duration_s
+        assert [s.duration_s for s in a.stages] == [s.duration_s for s in b.stages]
+
+
+class TestLITERecommendationProperties:
+    @pytest.fixture(scope="class")
+    def lite(self):
+        wls = [get_workload(n) for n in ("WordCount", "PageRank")]
+        from repro.experiments.collect import collect_training_runs
+
+        runs = collect_training_runs(
+            workloads=wls, clusters=[CLUSTER_C], scales=("train0", "train1"),
+            confs_per_cell=4, seed=3,
+        )
+        cfg = LITEConfig(
+            necs=NECSConfig(epochs=3, max_tokens=64, mlp_hidden=24, conv_filters=8),
+            n_candidates=10,
+        )
+        return LITE(cfg).offline_train(runs)
+
+    def test_recommended_conf_is_hostable(self, lite):
+        from repro.sparksim.costmodel import plan_executors
+
+        rec = lite.recommend(
+            "PageRank", get_workload("PageRank").data_spec("test").features(), CLUSTER_C
+        )
+        plan_executors(rec.conf, CLUSTER_C)  # must not raise
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_any_rng_yields_valid_ranking(self, lite, seed):
+        rec = lite.recommend(
+            "WordCount",
+            get_workload("WordCount").data_spec("valid").features(),
+            CLUSTER_C,
+            rng=np.random.default_rng(seed),
+        )
+        times = [t for _, t in rec.ranking]
+        assert times == sorted(times)
+        assert all(np.isfinite(t) and t > 0 for t in times)
+
+    def test_retarget_preserves_count_and_structure(self, lite):
+        templates = lite.stage_templates("PageRank")
+        out = retarget_instances(
+            templates, SparkConf(), np.array([1e9, 2, 8, 0]), CLUSTER_A
+        )
+        assert len(out) == len(templates)
+        np.testing.assert_allclose(out[0].env_features, CLUSTER_A.feature_vector())
+
+
+class TestCrossClusterConsistency:
+    def test_same_app_different_cluster_different_env_features(self):
+        wl = get_workload("WordCount")
+        run_a = wl.run(SparkConf(), CLUSTER_A, scale="train0", seed=1)
+        run_c = wl.run(SparkConf(), CLUSTER_C, scale="train0", seed=1)
+        ia, ic = instances_from_run(run_a), instances_from_run(run_c)
+        assert not np.allclose(ia[0].env_features, ic[0].env_features)
+        # Code artefacts are cluster-independent (same program).
+        assert ia[0].code_tokens == ic[0].code_tokens
+
+    def test_bigger_cluster_faster_with_enough_executors(self):
+        conf = SparkConf({
+            "spark.executor.instances": 24, "spark.executor.cores": 4,
+            "spark.executor.memory": 4, "spark.default.parallelism": 96,
+        })
+        wl = get_workload("SVM")
+        one_node = wl.run(conf, CLUSTER_A, scale="train3", seed=1)
+        # B = 3 nodes of the same hardware as A.
+        from repro.sparksim import CLUSTER_B
+
+        three_nodes = wl.run(conf, CLUSTER_B, scale="train3", seed=1)
+        assert three_nodes.duration_s < one_node.duration_s

@@ -1,0 +1,108 @@
+"""Integration tests for the LITE facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.lite import LITE, LITEConfig
+from repro.core.necs import NECSConfig
+from repro.core.update import UpdateConfig
+from repro.sparksim import CLUSTER_C, SparkConf
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def trained_lite(small_corpus_module):
+    cfg = LITEConfig(
+        necs=NECSConfig(epochs=5, max_tokens=96, mlp_hidden=48, conv_filters=16, seed=0),
+        update=UpdateConfig(epochs=2),
+        n_candidates=15,
+        feedback_batch_size=3,
+    )
+    return LITE(cfg).offline_train(small_corpus_module)
+
+
+@pytest.fixture(scope="module")
+def small_corpus_module():
+    from repro.experiments.collect import collect_training_runs
+
+    wls = [get_workload(n) for n in ("WordCount", "PageRank", "KMeans")]
+    return collect_training_runs(
+        workloads=wls, clusters=[CLUSTER_C], scales=("train0", "train1"),
+        confs_per_cell=4, seed=3,
+    )
+
+
+class TestOfflineTraining:
+    def test_templates_for_each_app(self, trained_lite):
+        assert trained_lite.known_apps() == ["KMeans", "PageRank", "WordCount"]
+
+    def test_untrained_recommend_raises(self):
+        with pytest.raises(RuntimeError):
+            LITE().recommend("X", np.zeros(4), CLUSTER_C)
+
+    def test_empty_training_raises(self):
+        with pytest.raises(ValueError):
+            LITE().offline_train([])
+
+
+class TestRecommendation:
+    def test_recommendation_structure(self, trained_lite):
+        wl = get_workload("PageRank")
+        rec = trained_lite.recommend(wl.name, wl.data_spec("valid").features(), CLUSTER_C)
+        assert len(rec.ranking) == 15
+        assert isinstance(rec.conf, SparkConf)
+        assert rec.overhead_s < 2.0  # the paper's online latency claim
+
+    def test_recommendation_beats_default_at_scale(self, trained_lite):
+        wl = get_workload("PageRank")
+        rec = trained_lite.recommend(wl.name, wl.data_spec("test").features(), CLUSTER_C)
+        tuned = wl.run(rec.conf, CLUSTER_C, scale="test", seed=1)
+        default = wl.run(SparkConf.default(), CLUSTER_C, scale="test", seed=1)
+        t_tuned = tuned.duration_s if tuned.success else 7200.0
+        assert t_tuned < default.duration_s
+
+    def test_unknown_app_requires_probe(self, trained_lite):
+        with pytest.raises(KeyError):
+            trained_lite.recommend("Terasort", np.array([1e6, 2, 0, 0]), CLUSTER_C)
+
+    def test_cold_start_probe_enables_recommendation(self, trained_lite):
+        wl = get_workload("Terasort")
+        overhead = trained_lite.cold_start_probe(wl, CLUSTER_C, seed=1)
+        assert overhead > 0
+        rec = trained_lite.recommend(wl.name, wl.data_spec("test").features(), CLUSTER_C)
+        assert isinstance(rec.conf, SparkConf)
+
+    def test_rng_controls_candidates(self, trained_lite):
+        wl = get_workload("WordCount")
+        d = wl.data_spec("valid").features()
+        a = trained_lite.recommend(wl.name, d, CLUSTER_C, rng=np.random.default_rng(1))
+        b = trained_lite.recommend(wl.name, d, CLUSTER_C, rng=np.random.default_rng(1))
+        assert a.conf == b.conf
+
+
+class TestFeedbackLoop:
+    def test_feedback_batches_then_updates(self, small_corpus_module):
+        cfg = LITEConfig(
+            necs=NECSConfig(epochs=2, max_tokens=64, mlp_hidden=24, conv_filters=8),
+            update=UpdateConfig(epochs=1),
+            feedback_batch_size=2,
+        )
+        lite = LITE(cfg).offline_train(small_corpus_module[:20])
+        wl = get_workload("WordCount")
+        run1 = wl.run(SparkConf(), CLUSTER_C, scale="valid", seed=1)
+        assert lite.feedback(run1) is False          # batch not complete
+        run2 = wl.run(SparkConf({"spark.executor.cores": 4}), CLUSTER_C, scale="valid", seed=1)
+        assert lite.feedback(run2) is True           # update fired
+        assert lite._feedback_runs == []             # pool drained
+
+    def test_failed_feedback_ignored(self, small_corpus_module):
+        cfg = LITEConfig(
+            necs=NECSConfig(epochs=2, max_tokens=64, mlp_hidden=24, conv_filters=8),
+            feedback_batch_size=1,
+        )
+        lite = LITE(cfg).offline_train(small_corpus_module[:20])
+        bad = get_workload("WordCount").run(
+            SparkConf({"spark.executor.memory": 32}), CLUSTER_C, scale="valid"
+        )
+        assert not bad.success
+        assert lite.feedback(bad) is False

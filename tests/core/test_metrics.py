@@ -1,0 +1,118 @@
+"""Tests for ETR, HR@K, NDCG@K and the Wilcoxon signed-rank test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats as scipy_stats
+
+from repro.core.metrics import (
+    execution_time_reduction,
+    hr_at_k,
+    ndcg_at_k,
+    rank_by,
+    wilcoxon_signed_rank,
+)
+
+
+class TestETR:
+    def test_best_method_gets_one(self):
+        assert execution_time_reduction(100, 1000, 100) == pytest.approx(1.0)
+
+    def test_no_improvement_gets_zero(self):
+        assert execution_time_reduction(1000, 1000, 100) == pytest.approx(0.0)
+
+    def test_worse_than_default_clipped(self):
+        assert execution_time_reduction(2000, 1000, 100) == 0.0
+
+    def test_halfway(self):
+        assert execution_time_reduction(550, 1000, 100) == pytest.approx(0.5)
+
+    def test_degenerate_default_equals_min(self):
+        assert execution_time_reduction(100, 100, 100) == 1.0
+        assert execution_time_reduction(200, 100, 100) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(1, 1e4), st.floats(1, 1e4), st.floats(1, 1e4))
+    def test_always_in_unit_interval_when_min_le_default(self, t, d, m):
+        m, d = min(m, d), max(m, d)
+        t = max(t, m)
+        etr = execution_time_reduction(t, d, m)
+        assert 0.0 <= etr <= 1.0 + 1e-9
+
+
+class TestRanking:
+    def test_perfect_prediction(self):
+        gold = [3, 1, 4, 0, 2]
+        assert hr_at_k(gold, gold, k=3) == 1.0
+        assert ndcg_at_k(gold, gold, k=3) == pytest.approx(1.0)
+
+    def test_disjoint_topk(self):
+        assert hr_at_k([5, 6, 7], [0, 1, 2], k=3) == 0.0
+        assert ndcg_at_k([5, 6, 7], [0, 1, 2], k=3) == 0.0
+
+    def test_partial_overlap(self):
+        assert hr_at_k([0, 9, 8], [0, 1, 2], k=3) == pytest.approx(1 / 3)
+
+    def test_ndcg_rewards_correct_order(self):
+        gold = [0, 1, 2, 3, 4]
+        right_order = ndcg_at_k([0, 1, 2], gold, k=3)
+        wrong_order = ndcg_at_k([2, 1, 0], gold, k=3)
+        assert right_order > wrong_order > 0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            hr_at_k([0], [0], k=0)
+        with pytest.raises(ValueError):
+            ndcg_at_k([0], [0], k=-1)
+
+    def test_rank_by_ascending(self):
+        assert rank_by([3.0, 1.0, 2.0]) == [1, 2, 0]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.permutations(list(range(8))))
+    def test_metrics_bounded(self, perm):
+        gold = list(range(8))
+        assert 0.0 <= hr_at_k(perm, gold, 5) <= 1.0
+        assert 0.0 <= ndcg_at_k(perm, gold, 5) <= 1.0 + 1e-12
+
+
+class TestWilcoxon:
+    def test_clear_improvement_small_p(self):
+        before = np.array([0.40, 0.42, 0.44, 0.41, 0.43, 0.39, 0.45, 0.40])
+        after = before + 0.02
+        result = wilcoxon_signed_rank(before, after)
+        assert result.p_value < 0.05
+
+    def test_no_change_p_one(self):
+        x = np.ones(5)
+        result = wilcoxon_signed_rank(x, x)
+        assert result.p_value == 1.0
+        assert result.n_effective == 0
+
+    def test_deterioration_large_p(self):
+        before = np.linspace(1, 2, 10)
+        after = before - 0.5
+        result = wilcoxon_signed_rank(before, after)
+        assert result.p_value > 0.9
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        before = rng.normal(0, 1, size=30)
+        after = before + rng.normal(0.3, 0.4, size=30)
+        ours = wilcoxon_signed_rank(before, after)
+        ref = scipy_stats.wilcoxon(
+            after, before, alternative="greater", correction=True, mode="approx"
+        )
+        assert ours.p_value == pytest.approx(ref.pvalue, abs=0.02)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0], [1.0, 2.0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-10, 10), min_size=6, max_size=30))
+    def test_p_value_in_unit_interval(self, values):
+        before = np.array(values)
+        after = before + np.sin(before)  # arbitrary paired transform
+        result = wilcoxon_signed_rank(before, after)
+        assert 0.0 <= result.p_value <= 1.0

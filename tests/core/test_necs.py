@@ -1,0 +1,127 @@
+"""Tests for the NECS estimator: training, prediction, encoder variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.instances import build_dataset
+from repro.core.necs import NECSConfig, NECSEstimator
+from repro.core.recommender import retarget_instances
+from repro.sparksim import CLUSTER_C, SparkConf
+from repro.workloads import get_workload
+
+
+class TestTraining:
+    def test_loss_decreases(self, fitted_necs):
+        losses = fitted_necs.train_losses_
+        assert losses[-1] < losses[0]
+
+    def test_predictions_positive_finite(self, fitted_necs, small_instances):
+        preds = fitted_necs.predict(small_instances[:40])
+        assert preds.shape == (40,)
+        assert np.isfinite(preds).all()
+        assert (preds > 0).all()
+
+    def test_fit_quality_on_train(self, fitted_necs, small_instances):
+        sample = small_instances[:100]
+        preds = fitted_necs.predict(sample)
+        actual = np.array([i.stage_time_s for i in sample])
+        # Log-space correlation must be strong on training data.
+        corr = np.corrcoef(np.log1p(preds), np.log1p(actual))[0, 1]
+        assert corr > 0.7
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            NECSEstimator(NECSConfig(epochs=1)).fit([])
+
+    def test_predict_before_fit_raises(self, small_instances):
+        with pytest.raises(RuntimeError):
+            NECSEstimator().predict(small_instances[:1])
+
+    def test_deterministic_given_seed(self, small_instances):
+        cfg = NECSConfig(epochs=2, max_tokens=64, seed=5)
+        a = NECSEstimator(cfg).fit(small_instances[:60]).predict(small_instances[:5])
+        b = NECSEstimator(cfg).fit(small_instances[:60]).predict(small_instances[:5])
+        np.testing.assert_allclose(a, b)
+
+    def test_predict_app_time_is_stage_sum(self, fitted_necs, small_instances):
+        chunk = small_instances[:7]
+        total = fitted_necs.predict_app_time(chunk)
+        assert total == pytest.approx(fitted_necs.predict(chunk).sum(), rel=1e-6)
+
+
+class TestFeatureSensitivity:
+    def test_knobs_change_prediction(self, fitted_necs, small_instances):
+        template = small_instances[:5]
+        base = retarget_instances(
+            template, SparkConf(), template[0].data_features, CLUSTER_C
+        )
+        tuned = retarget_instances(
+            template,
+            SparkConf({"spark.executor.instances": 32, "spark.executor.cores": 8}),
+            template[0].data_features,
+            CLUSTER_C,
+        )
+        assert fitted_necs.predict(base).sum() != fitted_necs.predict(tuned).sum()
+
+    def test_datasize_changes_prediction(self, fitted_necs, small_instances):
+        template = small_instances[:5]
+        small_d = template[0].data_features.copy()
+        big_d = small_d.copy()
+        big_d[0] *= 50
+        p_small = fitted_necs.predict(
+            retarget_instances(template, SparkConf(), small_d, CLUSTER_C)
+        ).sum()
+        p_big = fitted_necs.predict(
+            retarget_instances(template, SparkConf(), big_d, CLUSTER_C)
+        ).sum()
+        assert p_big > p_small
+
+    def test_feature_embeddings_shape(self, fitted_necs, small_instances):
+        h = fitted_necs.feature_embeddings(small_instances[:6])
+        assert h.shape[0] == 6
+        # Tower MLP 48 -> 24 -> 12 hidden concat = 84 dims.
+        assert h.shape[1] == 48 + 24 + 12
+
+
+class TestEncoderVariants:
+    @pytest.fixture(scope="class")
+    def tiny_instances(self):
+        runs = [
+            get_workload(n).run(SparkConf(), CLUSTER_C, scale="train0", seed=2)
+            for n in ("WordCount", "Terasort")
+        ]
+        return build_dataset(runs)
+
+    @pytest.mark.parametrize("encoder", ["cnn", "lstm", "transformer", "none"])
+    def test_all_encoders_train(self, tiny_instances, encoder):
+        cfg = NECSConfig(
+            epochs=2, max_tokens=48, code_encoder=encoder, conv_filters=8,
+            mlp_hidden=24, embed_dim=8,
+        )
+        est = NECSEstimator(cfg).fit(tiny_instances)
+        preds = est.predict(tiny_instances[:4])
+        assert np.isfinite(preds).all()
+
+    def test_no_dag_variant(self, tiny_instances):
+        cfg = NECSConfig(epochs=2, max_tokens=48, use_dag=False, mlp_hidden=24)
+        est = NECSEstimator(cfg).fit(tiny_instances)
+        assert np.isfinite(est.predict(tiny_instances[:4])).all()
+
+    def test_no_oov_variant(self, tiny_instances):
+        cfg = NECSConfig(epochs=2, max_tokens=48, use_dag_oov=False, mlp_hidden=24)
+        est = NECSEstimator(cfg).fit(tiny_instances)
+        assert np.isfinite(est.predict(tiny_instances[:4])).all()
+
+    def test_invalid_encoder_rejected(self, tiny_instances):
+        cfg = NECSConfig(epochs=1, code_encoder="rnn")
+        with pytest.raises(ValueError):
+            NECSEstimator(cfg).fit(tiny_instances)
+
+
+class TestGeneralization:
+    def test_predicts_for_unseen_app(self, fitted_necs):
+        # Trained on WC/PR/KM; predict for Terasort (cold start).
+        run = get_workload("Terasort").run(SparkConf(), CLUSTER_C, scale="train0", seed=1)
+        instances = build_dataset([run])
+        preds = fitted_necs.predict(instances)
+        assert np.isfinite(preds).all() and (preds > 0).all()

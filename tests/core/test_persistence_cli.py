@@ -1,0 +1,116 @@
+"""Tests for model persistence and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.lite import LITE, LITEConfig
+from repro.core.necs import NECSConfig
+from repro.core.persistence import load_lite, save_lite
+from repro.cli import main as cli_main
+from repro.sparksim import CLUSTER_C
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_lite():
+    from repro.experiments.collect import collect_training_runs
+
+    wls = [get_workload(n) for n in ("WordCount", "PageRank")]
+    runs = collect_training_runs(
+        workloads=wls, clusters=[CLUSTER_C], scales=("train0",), confs_per_cell=3, seed=2,
+    )
+    cfg = LITEConfig(
+        necs=NECSConfig(epochs=2, max_tokens=48, mlp_hidden=16, conv_filters=8),
+        n_candidates=6,
+    )
+    return LITE(cfg).offline_train(runs)
+
+
+class TestPersistence:
+    def test_roundtrip_predictions_identical(self, tiny_lite, tmp_path):
+        path = save_lite(tiny_lite, tmp_path / "lite.pkl")
+        loaded = load_lite(path)
+        d = get_workload("PageRank").data_spec("valid").features()
+        a = tiny_lite.recommend("PageRank", d, CLUSTER_C, rng=np.random.default_rng(1))
+        b = loaded.recommend("PageRank", d, CLUSTER_C, rng=np.random.default_rng(1))
+        assert a.conf == b.conf
+        assert a.predicted_time_s == pytest.approx(b.predicted_time_s)
+
+    def test_untrained_refused(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_lite(LITE(), tmp_path / "x.pkl")
+
+    def test_garbage_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.pkl"
+        import pickle
+
+        bad.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(ValueError):
+            load_lite(bad)
+
+    def test_version_guard(self, tiny_lite, tmp_path):
+        import pickle
+
+        path = tmp_path / "future.pkl"
+        path.write_bytes(pickle.dumps({"format": "repro-lite", "version": 99, "lite": tiny_lite}))
+        with pytest.raises(ValueError, match="version"):
+            load_lite(path)
+
+
+class TestCLI:
+    def test_workloads_listing(self, capsys):
+        assert cli_main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "PageRank" in out and "Terasort" in out
+
+    def test_run_command(self, capsys):
+        code = cli_main([
+            "run", "--app", "WordCount", "--scale", "train0",
+            "--set", "spark.executor.cores=4",
+        ])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_run_failure_exit_code(self, capsys):
+        code = cli_main([
+            "run", "--app", "WordCount", "--cluster", "C",
+            "--set", "spark.executor.memory=32",
+        ])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_bad_knob_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "--app", "WordCount", "--set", "spark.bogus=1"])
+
+    def test_train_and_recommend_roundtrip(self, tmp_path, capsys):
+        model = tmp_path / "model.pkl"
+        code = cli_main([
+            "train", "--cluster", "C", "--apps", "WordCount", "PageRank",
+            "--confs-per-cell", "3", "--epochs", "2", "--out", str(model),
+        ])
+        assert code == 0
+        assert model.exists()
+        capsys.readouterr()
+
+        code = cli_main([
+            "recommend", "--model", str(model), "--app", "PageRank",
+            "--scale", "valid", "--candidates", "5", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["app"] == "PageRank"
+        assert "spark.executor.cores" in payload["conf"]
+        assert payload["ranking_overhead_s"] < 2.0
+
+    def test_recommend_cold_start(self, tiny_lite, tmp_path, capsys):
+        model = tmp_path / "m.pkl"
+        save_lite(tiny_lite, model)
+        code = cli_main([
+            "recommend", "--model", str(model), "--app", "Terasort",
+            "--scale", "valid", "--candidates", "5",
+        ])
+        assert code == 0
+        assert "recommended configuration" in capsys.readouterr().out

@@ -1,0 +1,119 @@
+"""Tests for the experiment harness: collection, ranking protocol, tuning eval."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoders import TabularPredictor
+from repro.core.instances import build_dataset
+from repro.experiments import settings
+from repro.experiments.collect import collect_training_runs, sample_cell_confs
+from repro.experiments.ranking import (
+    build_ranking_case,
+    evaluate_ranking,
+    evaluate_ranking_cases,
+    scorer_from_estimator,
+    scorer_from_tabular,
+)
+from repro.experiments.tuning_eval import evaluate_tuners, summarize
+from repro.sparksim import CLUSTER_C, SparkConf
+from repro.tuning import DefaultTuner, ManualTuner
+from repro.tuning.simple import lhs_configurations
+from repro.workloads import get_workload
+
+
+class TestCollection:
+    def test_cell_confs_include_default(self, rng):
+        confs = sample_cell_confs(5, rng)
+        assert confs[0] == SparkConf.default()
+        assert len(confs) == 5
+
+    def test_corpus_covers_grid(self):
+        wls = [get_workload("WordCount")]
+        runs = collect_training_runs(
+            workloads=wls, clusters=[CLUSTER_C], scales=("train0", "train1"),
+            confs_per_cell=3, seed=1,
+        )
+        # Each cell keeps sampling until it has 3 *successful* runs (failed
+        # submissions are recorded but don't count toward the quota).
+        assert len(runs) >= 2 * 3
+        for scale in ("train0", "train1"):
+            rows = wls[0].data_spec(scale).rows
+            ok = [r for r in runs if r.success and r.data_features[0] == rows]
+            assert len(ok) == 3
+        sizes = {r.data_features[0] for r in runs}
+        assert len(sizes) == 2
+
+    def test_deterministic(self):
+        wls = [get_workload("WordCount")]
+        kwargs = dict(workloads=wls, clusters=[CLUSTER_C], scales=("train0",),
+                      confs_per_cell=3, seed=1)
+        a = collect_training_runs(**kwargs)
+        b = collect_training_runs(**kwargs)
+        assert [r.duration_s for r in a] == [r.duration_s for r in b]
+
+
+class TestRankingProtocol:
+    @pytest.fixture(scope="class")
+    def case(self):
+        rng = np.random.default_rng(2)
+        candidates = lhs_configurations(8, rng)
+        return build_ranking_case(
+            get_workload("WordCount"), CLUSTER_C, "valid", candidates, seed=1
+        )
+
+    def test_gold_order_sorted_by_actual_time(self, case):
+        gold = case.gold_order
+        times = [
+            r.duration_s if r.success else 7200.0 for r in case.candidate_runs
+        ]
+        assert times[gold[0]] == min(times)
+        assert times[gold[-1]] == max(times)
+
+    def test_perfect_scorer_gets_one(self, case):
+        def oracle(c, i):
+            run = c.candidate_runs[i]
+            return run.duration_s if run.success else 7200.0
+
+        result = evaluate_ranking(case, oracle, k=3)
+        assert result["hr"] == 1.0
+        assert result["ndcg"] == pytest.approx(1.0)
+
+    def test_random_scorer_worse_than_oracle(self, case):
+        rng = np.random.default_rng(0)
+
+        def random_scorer(c, i):
+            return float(rng.random())
+
+        scores = [evaluate_ranking(case, random_scorer, k=3)["ndcg"] for _ in range(10)]
+        assert np.mean(scores) < 1.0
+
+    def test_estimator_scorer_works(self, case, fitted_necs):
+        result = evaluate_ranking(case, scorer_from_estimator(fitted_necs), k=3)
+        assert 0.0 <= result["hr"] <= 1.0
+
+    def test_tabular_scorer_uses_stats(self, case, small_instances):
+        predictor = TabularPredictor("S", model="gbm").fit(small_instances)
+        result = evaluate_ranking(case, scorer_from_tabular(predictor), k=3)
+        assert 0.0 <= result["ndcg"] <= 1.0
+
+    def test_cases_aggregate(self, case, fitted_necs):
+        out = evaluate_ranking_cases([case, case], scorer_from_estimator(fitted_necs))
+        assert set(out) == {"hr", "ndcg"}
+
+
+class TestTuningEval:
+    def test_outcomes_and_summary(self):
+        wls = [get_workload("WordCount")]
+        outcomes = evaluate_tuners(
+            [DefaultTuner(), ManualTuner()], wls, cluster=CLUSTER_C,
+            scale="valid", budget_s=300.0, seed=1,
+        )
+        assert len(outcomes) == 1
+        o = outcomes[0]
+        assert set(o.times) == {"Default", "Manual"}
+        assert 0.0 <= o.etr("Manual") <= 1.0
+        assert o.etr("Default") == pytest.approx(0.0) or o.t_default == o.t_min
+
+        summary = summarize(outcomes)
+        assert "Manual" in summary
+        assert summary["Manual"]["mean_time_s"] > 0

@@ -1,0 +1,126 @@
+"""Tests for Gaussian-process regression, EI, and the scalers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import (
+    GaussianProcessRegressor,
+    MinMaxScaler,
+    StandardScaler,
+    expected_improvement,
+    matern52_kernel,
+    rbf_kernel,
+)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel", [rbf_kernel, matern52_kernel])
+    def test_diagonal_is_variance(self, kernel):
+        X = np.random.default_rng(0).normal(size=(5, 3))
+        K = kernel(X, X, length_scale=1.0, variance=2.0)
+        np.testing.assert_allclose(np.diag(K), 2.0, rtol=1e-9)
+
+    @pytest.mark.parametrize("kernel", [rbf_kernel, matern52_kernel])
+    def test_symmetric_psd(self, kernel):
+        X = np.random.default_rng(1).normal(size=(8, 2))
+        K = kernel(X, X)
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+        eigvals = np.linalg.eigvalsh(K + 1e-9 * np.eye(8))
+        assert (eigvals > -1e-8).all()
+
+    @pytest.mark.parametrize("kernel", [rbf_kernel, matern52_kernel])
+    def test_decays_with_distance(self, kernel):
+        a = np.zeros((1, 2))
+        near = np.array([[0.1, 0.0]])
+        far = np.array([[5.0, 0.0]])
+        assert kernel(a, near)[0, 0] > kernel(a, far)[0, 0]
+
+
+class TestGP:
+    def test_interpolates_training_points(self):
+        X = np.linspace(0, 1, 8)[:, None]
+        y = np.sin(4 * X[:, 0])
+        gp = GaussianProcessRegressor(noise=1e-6, tune=False, length_scale=0.3).fit(X, y)
+        pred = gp.predict(X)
+        np.testing.assert_allclose(pred, y, atol=1e-3)
+
+    def test_uncertainty_grows_away_from_data(self):
+        X = np.zeros((4, 1))
+        y = np.zeros(4)
+        gp = GaussianProcessRegressor(tune=False).fit(X, y)
+        _, std_near = gp.predict(np.array([[0.0]]), return_std=True)
+        _, std_far = gp.predict(np.array([[10.0]]), return_std=True)
+        assert std_far[0] > std_near[0]
+
+    def test_tune_picks_reasonable_scale(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, size=(30, 1))
+        y = np.sin(12 * X[:, 0])
+        gp = GaussianProcessRegressor(tune=True).fit(X, y)
+        assert gp.length_scale <= 1.0  # wiggly function needs a short scale
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict(np.zeros((1, 1)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor().fit(np.empty((0, 1)), np.empty(0))
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(kernel="linear")
+
+
+class TestExpectedImprovement:
+    def test_prefers_lower_mean(self):
+        mean = np.array([1.0, 5.0])
+        std = np.array([1.0, 1.0])
+        ei = expected_improvement(mean, std, best=3.0)
+        assert ei[0] > ei[1]
+
+    def test_prefers_uncertainty_at_equal_mean(self):
+        mean = np.array([3.0, 3.0])
+        std = np.array([2.0, 0.1])
+        ei = expected_improvement(mean, std, best=3.0)
+        assert ei[0] > ei[1]
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        ei = expected_improvement(rng.normal(size=50), np.abs(rng.normal(size=50)) + 0.01, best=0.0)
+        assert (ei >= -1e-12).all()
+
+
+class TestScalers:
+    def test_standard_roundtrip(self):
+        X = np.random.default_rng(0).normal(3, 5, size=(40, 3))
+        scaler = StandardScaler().fit(X)
+        Z = scaler.transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0, atol=1e-9)
+        np.testing.assert_allclose(Z.std(axis=0), 1, atol=1e-9)
+        np.testing.assert_allclose(scaler.inverse_transform(Z), X, atol=1e-9)
+
+    def test_standard_constant_column_safe(self):
+        X = np.ones((10, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_minmax_range(self):
+        X = np.random.default_rng(0).normal(size=(30, 4))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+
+    def test_unfitted_raise(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((1, 1)))
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.ones((1, 1)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 40), st.integers(1, 6))
+    def test_standard_scaler_properties(self, n, d):
+        X = np.random.default_rng(n * 7 + d).normal(size=(n, d))
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+        np.testing.assert_allclose(Z.mean(axis=0), 0, atol=1e-8)

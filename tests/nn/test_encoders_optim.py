@@ -1,0 +1,201 @@
+"""Tests for LSTM/Transformer/GCN encoders, optimizers and losses."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.gcn import normalized_adjacency
+from repro.nn.tensor import Tensor
+
+
+RNG = np.random.default_rng(7)
+
+
+class TestLSTM:
+    def test_output_shape(self):
+        enc = nn.LSTMEncoder(6, 10, RNG)
+        out = enc(Tensor(np.zeros((3, 5, 6))))
+        assert out.shape == (3, 10)
+
+    def test_length_masking(self):
+        enc = nn.LSTMEncoder(2, 4, np.random.default_rng(1))
+        x = np.random.default_rng(2).normal(size=(2, 6, 2))
+        # Same prefix, different junk after position 3 -> same masked output.
+        x2 = x.copy()
+        x2[:, 3:, :] = 99.0
+        out1 = enc(Tensor(x), lengths=np.array([3, 3])).numpy()
+        out2 = enc(Tensor(x2), lengths=np.array([3, 3])).numpy()
+        np.testing.assert_allclose(out1, out2, atol=1e-9)
+
+    def test_gradients_flow(self):
+        enc = nn.LSTMEncoder(3, 5, RNG)
+        out = enc(Tensor(np.ones((2, 4, 3))))
+        (out * out).sum().backward()
+        assert enc.cell.weight.grad is not None
+
+    def test_can_learn_sequence_sum(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 5, 1))
+        y = X.sum(axis=(1, 2))
+        enc = nn.LSTMEncoder(1, 8, np.random.default_rng(3))
+        head = nn.Dense(8, 1, np.random.default_rng(4))
+        opt = nn.Adam(enc.parameters() + head.parameters(), lr=0.01)
+        first_loss = None
+        for step in range(60):
+            pred = head(enc(Tensor(X))).reshape(-1)
+            loss = nn.mse_loss(pred, y)
+            if first_loss is None:
+                first_loss = loss.item()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first_loss * 0.5
+
+
+class TestTransformer:
+    def test_output_shape(self):
+        enc = nn.TransformerEncoder(8, num_heads=2, num_layers=2, rng=RNG)
+        out = enc(Tensor(np.zeros((2, 6, 8))))
+        assert out.shape == (2, 8)
+
+    def test_pad_mask_ignores_padding(self):
+        enc = nn.TransformerEncoder(8, num_heads=2, num_layers=1, rng=np.random.default_rng(5))
+        x = np.random.default_rng(6).normal(size=(1, 5, 8))
+        x2 = x.copy()
+        x2[:, 3:, :] = 42.0
+        mask = np.array([[False, False, False, True, True]])
+        out1 = enc(Tensor(x), pad_mask=mask).numpy()
+        out2 = enc(Tensor(x2), pad_mask=mask).numpy()
+        np.testing.assert_allclose(out1, out2, atol=1e-8)
+
+    def test_head_divisibility_checked(self):
+        with pytest.raises(ValueError):
+            nn.TransformerEncoder(7, num_heads=2, num_layers=1, rng=RNG)
+
+    def test_gradients_flow(self):
+        enc = nn.TransformerEncoder(4, num_heads=2, num_layers=1, rng=RNG)
+        out = enc(Tensor(np.ones((2, 3, 4))))
+        (out * out).sum().backward()
+        grads = [p.grad for p in enc.parameters()]
+        assert sum(g is not None for g in grads) > len(grads) // 2
+
+
+class TestGCN:
+    def test_normalized_adjacency_properties(self):
+        a = np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=float)
+        norm = normalized_adjacency(a)
+        assert norm.shape == (3, 3)
+        np.testing.assert_allclose(norm, norm.T, atol=1e-12)
+        assert (np.diag(norm) > 0).all()
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            normalized_adjacency(np.zeros((2, 3)))
+
+    def test_encoder_output_shape(self):
+        enc = nn.GCNEncoder(5, 8, 2, RNG)
+        v = Tensor(np.eye(4, 5))
+        a = normalized_adjacency(np.zeros((4, 4)))
+        out = enc(v, a)
+        assert out.shape == (8,)
+
+    def test_batch_encoding(self):
+        enc = nn.GCNEncoder(3, 6, 1, RNG)
+        graphs = []
+        for n in (2, 5, 3):
+            v = Tensor(np.eye(n, 3))
+            graphs.append((v, normalized_adjacency(np.zeros((n, n)))))
+        out = enc.forward_batch(graphs)
+        assert out.shape == (3, 6)
+
+    def test_structure_matters(self):
+        # Same node multiset, different wiring -> different embedding.
+        enc = nn.GCNEncoder(3, 6, 2, np.random.default_rng(8))
+        v = Tensor(np.eye(3))
+        chain = np.zeros((3, 3)); chain[0, 1] = chain[1, 2] = 1
+        star = np.zeros((3, 3)); star[0, 1] = star[0, 2] = 1
+        out_chain = enc(v, normalized_adjacency(chain)).numpy()
+        out_star = enc(v, normalized_adjacency(star)).numpy()
+        assert not np.allclose(out_chain, out_star)
+
+
+class TestOptim:
+    def _quadratic_descent(self, opt_cls, **kwargs):
+        w = nn.Parameter(np.array([5.0, -3.0]))
+        opt = opt_cls([w], **kwargs)
+        for _ in range(150):
+            loss = (w * w).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        return np.abs(w.data).max()
+
+    def test_sgd_converges(self):
+        assert self._quadratic_descent(nn.SGD, lr=0.1) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic_descent(nn.SGD, lr=0.05, momentum=0.9) < 1e-3
+
+    def test_adam_converges(self):
+        assert self._quadratic_descent(nn.Adam, lr=0.3) < 1e-2
+
+    def test_adam_weight_decay_shrinks(self):
+        w = nn.Parameter(np.array([1.0]))
+        opt = nn.Adam([w], lr=0.01, weight_decay=10.0)
+        loss = (w * 0.0).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert abs(w.data[0]) < 1.0
+
+    def test_clip_grad_norm(self):
+        w = nn.Parameter(np.array([1.0, 1.0]))
+        w.grad = np.array([30.0, 40.0])
+        pre = nn.clip_grad_norm([w], max_norm=5.0)
+        assert pre == pytest.approx(50.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(5.0)
+
+    def test_step_skips_missing_grads(self):
+        w = nn.Parameter(np.array([1.0]))
+        nn.Adam([w]).step()  # no grad: no crash, no change
+        assert w.data[0] == 1.0
+
+
+class TestLosses:
+    def test_mse_zero_at_target(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert nn.mse_loss(pred, np.array([1.0, 2.0])).item() == 0.0
+
+    def test_bce_confident_correct_is_small(self):
+        pred = Tensor(np.array([0.999, 0.001]))
+        loss = nn.bce_loss(pred, np.array([1.0, 0.0]))
+        assert loss.item() < 0.01
+
+    def test_bce_wrong_is_large(self):
+        pred = Tensor(np.array([0.01]))
+        assert nn.bce_loss(pred, np.array([1.0])).item() > 2.0
+
+    def test_bce_with_logits_matches_bce(self):
+        logits = np.array([-2.0, 0.5, 3.0])
+        target = np.array([0.0, 1.0, 1.0])
+        a = nn.bce_with_logits(Tensor(logits), target).item()
+        b = nn.bce_loss(Tensor(logits).sigmoid(), target).item()
+        assert a == pytest.approx(b, abs=1e-4)
+
+    def test_huber_between_mse_and_mae_behaviour(self):
+        pred = Tensor(np.array([10.0]))
+        target = np.array([0.0])
+        huber = nn.huber_loss(pred, target, delta=1.0).item()
+        assert huber == pytest.approx(9.5, abs=0.01)  # linear regime
+
+    def test_mae(self):
+        pred = Tensor(np.array([3.0, -1.0]))
+        assert nn.mae_loss(pred, np.array([1.0, 1.0])).item() == pytest.approx(2.0, abs=1e-5)
+
+    def test_losses_backprop(self):
+        w = nn.Parameter(np.array([0.5]))
+        for loss_fn in (nn.mse_loss, nn.mae_loss, nn.huber_loss):
+            w.zero_grad()
+            loss = loss_fn(w * 2.0, np.array([3.0]))
+            loss.backward()
+            assert w.grad is not None and np.isfinite(w.grad).all()

@@ -1,0 +1,214 @@
+"""Tests for NN layers: shapes, gradient flow, and training behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.functional import conv1d, log_softmax, masked_fill, softmax
+from repro.nn.tensor import Tensor
+
+
+RNG = np.random.default_rng(0)
+
+
+def numeric_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat, g = x.reshape(-1), grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = f(x)
+        flat[i] = orig - eps
+        down = f(x)
+        flat[i] = orig
+        g[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestDense:
+    def test_shapes(self):
+        layer = nn.Dense(4, 3, RNG)
+        out = layer(Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 3)
+
+    def test_activations(self):
+        for act in ("relu", "tanh", "sigmoid", None):
+            layer = nn.Dense(2, 2, RNG, activation=act)
+            out = layer(Tensor(np.array([[1.0, -1.0]])))
+            assert np.isfinite(out.numpy()).all()
+
+    def test_unknown_activation(self):
+        layer = nn.Dense(2, 2, RNG, activation="gelu")
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((1, 2))))
+
+    def test_gradients_reach_weights(self):
+        layer = nn.Dense(3, 2, RNG)
+        out = layer(Tensor(np.ones((4, 3))))
+        (out * out).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestConv1D:
+    def test_output_length(self):
+        layer = nn.Conv1D(8, 16, 3, RNG)
+        out = layer(Tensor(np.zeros((2, 10, 8))))
+        assert out.shape == (2, 8, 16)
+
+    def test_gradient_check(self):
+        x = np.random.default_rng(1).normal(size=(2, 6, 3))
+        w = np.random.default_rng(2).normal(size=(3, 3, 4))
+
+        xt = Tensor(x.copy(), requires_grad=True)
+        wt = Tensor(w.copy(), requires_grad=True)
+        out = conv1d(xt, wt)
+        (out * out).sum().backward()
+
+        gx = numeric_grad(lambda a: float((conv1d(Tensor(a), Tensor(w)).data ** 2).sum()), x.copy())
+        gw = numeric_grad(lambda a: float((conv1d(Tensor(x), Tensor(a)).data ** 2).sum()), w.copy())
+        np.testing.assert_allclose(xt.grad, gx, rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(wt.grad, gw, rtol=1e-4, atol=1e-6)
+
+    def test_too_short_input(self):
+        layer = nn.Conv1D(2, 2, 5, RNG)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((1, 3, 2))))
+
+    def test_channel_mismatch(self):
+        layer = nn.Conv1D(2, 2, 2, RNG)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((1, 5, 3))))
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = nn.Embedding(10, 4, RNG)
+        out = emb(np.array([[1, 2], [3, 0]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_pad_row_zero(self):
+        emb = nn.Embedding(10, 4, RNG, pad_zero=True)
+        out = emb(np.array([0]))
+        np.testing.assert_allclose(out.numpy(), 0.0)
+
+    def test_out_of_range(self):
+        emb = nn.Embedding(5, 2, RNG)
+        with pytest.raises(IndexError):
+            emb(np.array([7]))
+
+
+class TestNorms:
+    def test_layernorm_stats(self):
+        ln = nn.LayerNorm(8)
+        x = Tensor(np.random.default_rng(3).normal(2, 5, size=(4, 8)))
+        out = ln(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1, atol=1e-2)
+
+    def test_dropout_train_vs_eval(self):
+        drop = nn.Dropout(0.5, np.random.default_rng(0))
+        x = Tensor(np.ones((100, 10)))
+        out_train = drop(x).numpy()
+        assert (out_train == 0).any()
+        drop.eval()
+        np.testing.assert_allclose(drop(x).numpy(), 1.0)
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 5)))
+        out = softmax(x).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_softmax_gradient(self):
+        x = np.random.default_rng(1).normal(size=(2, 4))
+        xt = Tensor(x.copy(), requires_grad=True)
+        (softmax(xt) ** 2.0).sum().backward()
+        g = numeric_grad(
+            lambda a: float((softmax(Tensor(a)).data ** 2).sum()), x.copy()
+        )
+        np.testing.assert_allclose(xt.grad, g, rtol=1e-4, atol=1e-7)
+
+    def test_log_softmax_gradient(self):
+        x = np.random.default_rng(2).normal(size=(2, 4))
+        xt = Tensor(x.copy(), requires_grad=True)
+        (log_softmax(xt) ** 2.0).sum().backward()
+        g = numeric_grad(
+            lambda a: float((log_softmax(Tensor(a)).data ** 2).sum()), x.copy()
+        )
+        np.testing.assert_allclose(xt.grad, g, rtol=1e-4, atol=1e-6)
+
+    def test_masked_fill(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, False]])
+        out = masked_fill(x, mask, -1e9)
+        assert out.numpy()[0, 0] == -1e9
+        out.sum().backward()
+        assert x.grad[0, 0] == 0.0 and x.grad[1, 1] == 1.0
+
+
+class TestMLP:
+    def test_tower_halves_widths(self):
+        mlp = nn.MLP(10, 64, 1, 3, RNG, tower=True)
+        widths = [l.out_features for l in mlp.layers[:-1]]
+        assert widths == [64, 32, 16]
+
+    def test_hidden_embeddings_shapes(self):
+        mlp = nn.MLP(10, 16, 1, 2, RNG, tower=True)
+        taps = mlp.hidden_embeddings(Tensor(np.ones((3, 10))))
+        assert [t.shape for t in taps] == [(3, 16), (3, 8)]
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            nn.MLP(4, 8, 1, 0, RNG)
+
+    def test_can_fit_xor(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0.0, 1.0, 1.0, 0.0])
+        mlp = nn.MLP(2, 16, 1, 2, np.random.default_rng(4))
+        opt = nn.Adam(mlp.parameters(), lr=0.02)
+        for _ in range(400):
+            pred = mlp(Tensor(X)).reshape(-1)
+            loss = nn.mse_loss(pred, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        final = mlp(Tensor(X)).reshape(-1).numpy()
+        assert np.abs(final - y).max() < 0.2
+
+
+class TestModuleSystem:
+    def test_parameter_discovery(self):
+        mlp = nn.MLP(4, 8, 1, 2, RNG)
+        names = [n for n, _ in mlp.named_parameters()]
+        assert len(names) == 6  # 3 layers x (weight, bias)
+        assert len(set(names)) == 6
+
+    def test_state_dict_roundtrip(self):
+        a = nn.MLP(4, 8, 1, 2, np.random.default_rng(1))
+        b = nn.MLP(4, 8, 1, 2, np.random.default_rng(2))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.ones((2, 4)))
+        np.testing.assert_allclose(a(x).numpy(), b(x).numpy())
+
+    def test_state_dict_mismatch(self):
+        a = nn.MLP(4, 8, 1, 2, RNG)
+        b = nn.MLP(4, 8, 1, 3, RNG)
+        with pytest.raises(KeyError):
+            b.load_state_dict(a.state_dict())
+
+    def test_zero_grad(self):
+        mlp = nn.MLP(2, 4, 1, 1, RNG)
+        (mlp(Tensor(np.ones((1, 2)))) ** 2.0).sum().backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+    def test_num_parameters(self):
+        mlp = nn.MLP(4, 8, 1, 1, RNG)
+        assert mlp.num_parameters() == 4 * 8 + 8 + 8 * 1 + 1
+
+    def test_sequential(self):
+        seq = nn.Sequential(nn.Dense(3, 4, RNG), nn.ReLU(), nn.Dense(4, 2, RNG))
+        assert seq(Tensor(np.ones((1, 3)))).shape == (1, 2)

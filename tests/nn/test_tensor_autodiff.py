@@ -1,0 +1,328 @@
+"""Gradient checks for the autodiff engine.
+
+Every op's analytic gradient is compared against central finite differences.
+If these pass, everything built on top (NECS, DDPG, ...) trains on correct
+gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, concat, embedding_lookup, stack, where
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar-valued f at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    g = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = f(x)
+        flat[i] = orig - eps
+        down = f(x)
+        flat[i] = orig
+        g[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_unary(op_name, data, builder=None):
+    rng = np.random.default_rng(0)
+    x = Tensor(data.copy(), requires_grad=True)
+    if builder is None:
+        out = getattr(x, op_name)()
+    else:
+        out = builder(x)
+    loss = (out * out).sum()
+    loss.backward()
+
+    def f(arr):
+        t = Tensor(arr)
+        o = getattr(t, op_name)() if builder is None else builder(t)
+        return float((o.data**2).sum())
+
+    expected = numeric_grad(f, data.copy())
+    np.testing.assert_allclose(x.grad, expected, rtol=1e-4, atol=1e-6)
+
+
+class TestElementwise:
+    def setup_method(self):
+        self.rng = np.random.default_rng(42)
+        self.data = self.rng.normal(size=(3, 4))
+
+    @pytest.mark.parametrize("op", ["exp", "tanh", "sigmoid", "relu"])
+    def test_unary_ops(self, op):
+        check_unary(op, self.data)
+
+    def test_log(self):
+        check_unary("log", np.abs(self.data) + 0.5)
+
+    def test_sqrt(self):
+        check_unary("sqrt", np.abs(self.data) + 0.5)
+
+    def test_pow(self):
+        check_unary(None, np.abs(self.data) + 0.5, builder=lambda t: t**1.7)
+
+    def test_clip(self):
+        check_unary(None, self.data, builder=lambda t: t.clip(-0.5, 0.5))
+
+    def test_neg(self):
+        check_unary(None, self.data, builder=lambda t: -t)
+
+
+class TestBinary:
+    def setup_method(self):
+        rng = np.random.default_rng(7)
+        self.a = rng.normal(size=(3, 4))
+        self.b = rng.normal(size=(3, 4)) + 2.0
+
+    def _check(self, fn):
+        ta = Tensor(self.a.copy(), requires_grad=True)
+        tb = Tensor(self.b.copy(), requires_grad=True)
+        out = fn(ta, tb)
+        (out * out).sum().backward()
+
+        ga = numeric_grad(lambda arr: float((fn(Tensor(arr), Tensor(self.b)).data ** 2).sum()), self.a.copy())
+        gb = numeric_grad(lambda arr: float((fn(Tensor(self.a), Tensor(arr)).data ** 2).sum()), self.b.copy())
+        np.testing.assert_allclose(ta.grad, ga, rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(tb.grad, gb, rtol=1e-4, atol=1e-6)
+
+    def test_add(self):
+        self._check(lambda a, b: a + b)
+
+    def test_sub(self):
+        self._check(lambda a, b: a - b)
+
+    def test_mul(self):
+        self._check(lambda a, b: a * b)
+
+    def test_div(self):
+        self._check(lambda a, b: a / b)
+
+
+class TestBroadcasting:
+    def test_add_row_vector(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(3,))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        ((ta + tb) ** 2.0).sum().backward()
+        assert ta.grad.shape == a.shape
+        assert tb.grad.shape == b.shape
+        np.testing.assert_allclose(tb.grad, (2 * (a + b)).sum(axis=0), rtol=1e-10)
+
+    def test_mul_column(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(4, 1))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta * tb).sum().backward()
+        np.testing.assert_allclose(tb.grad, a.sum(axis=1, keepdims=True), rtol=1e-10)
+        np.testing.assert_allclose(ta.grad, np.broadcast_to(b, a.shape), rtol=1e-10)
+
+    def test_scalar_ops(self):
+        t = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        out = (3.0 * t + 1.0) / 2.0 - 0.5
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [1.5, 1.5])
+
+
+class TestMatmul:
+    def test_2d(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        ((ta @ tb) ** 2.0).sum().backward()
+        ga = numeric_grad(lambda arr: float(((arr @ b) ** 2).sum()), a.copy())
+        gb = numeric_grad(lambda arr: float(((a @ arr) ** 2).sum()), b.copy())
+        np.testing.assert_allclose(ta.grad, ga, rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(tb.grad, gb, rtol=1e-4, atol=1e-6)
+
+    def test_batched(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(2, 4, 5))
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        ((ta @ tb) ** 2.0).sum().backward()
+        ga = numeric_grad(lambda arr: float(((arr @ b) ** 2).sum()), a.copy())
+        gb = numeric_grad(lambda arr: float(((a @ arr) ** 2).sum()), b.copy())
+        np.testing.assert_allclose(ta.grad, ga, rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(tb.grad, gb, rtol=1e-4, atol=1e-6)
+
+    def test_broadcast_batched(self):
+        # (2,3,4) @ (4,5): shared rhs across the batch.
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(4, 5))
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        ((ta @ tb) ** 2.0).sum().backward()
+        gb = numeric_grad(lambda arr: float(((a @ arr) ** 2).sum()), b.copy())
+        np.testing.assert_allclose(tb.grad, gb, rtol=1e-4, atol=1e-6)
+
+
+class TestReductions:
+    def setup_method(self):
+        self.data = np.random.default_rng(6).normal(size=(3, 4, 2))
+
+    @pytest.mark.parametrize("axis", [None, 0, 1, 2, (0, 2)])
+    def test_sum(self, axis):
+        t = Tensor(self.data.copy(), requires_grad=True)
+        out = t.sum(axis=axis)
+        (out * out).sum().backward()
+        g = numeric_grad(
+            lambda arr: float((arr.sum(axis=axis) ** 2).sum()), self.data.copy()
+        )
+        np.testing.assert_allclose(t.grad, g, rtol=1e-4, atol=1e-6)
+
+    @pytest.mark.parametrize("axis", [0, 1, (0, 1)])
+    def test_mean(self, axis):
+        t = Tensor(self.data.copy(), requires_grad=True)
+        (t.mean(axis=axis) ** 2.0).sum().backward()
+        g = numeric_grad(
+            lambda arr: float((arr.mean(axis=axis) ** 2).sum()), self.data.copy()
+        )
+        np.testing.assert_allclose(t.grad, g, rtol=1e-4, atol=1e-6)
+
+    def test_max(self):
+        t = Tensor(self.data.copy(), requires_grad=True)
+        (t.max(axis=1) ** 2.0).sum().backward()
+        g = numeric_grad(
+            lambda arr: float((arr.max(axis=1) ** 2).sum()), self.data.copy()
+        )
+        np.testing.assert_allclose(t.grad, g, rtol=1e-4, atol=1e-6)
+
+    def test_mean_keepdims(self):
+        t = Tensor(self.data.copy(), requires_grad=True)
+        out = t.mean(axis=-1, keepdims=True)
+        assert out.shape == (3, 4, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.full_like(self.data, 0.5))
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        t = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        out = t.reshape(2, 6)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(t.grad, 2 * t.data)
+
+    def test_transpose(self):
+        data = np.random.default_rng(8).normal(size=(2, 3, 4))
+        t = Tensor(data.copy(), requires_grad=True)
+        out = t.transpose(2, 0, 1)
+        assert out.shape == (4, 2, 3)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(t.grad, 2 * data)
+
+    def test_getitem_slice(self):
+        data = np.random.default_rng(9).normal(size=(4, 5))
+        t = Tensor(data.copy(), requires_grad=True)
+        out = t[1:3, :2]
+        (out * out).sum().backward()
+        expected = np.zeros_like(data)
+        expected[1:3, :2] = 2 * data[1:3, :2]
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_concat(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(2 * np.ones((2, 2)), requires_grad=True)
+        out = concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, 4 * np.ones((2, 2)))
+
+    def test_stack(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(2 * np.ones(3), requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * np.ones(3))
+        np.testing.assert_allclose(b.grad, 4 * np.ones(3))
+
+
+class TestEmbeddingAndWhere:
+    def test_embedding_lookup_scatter_add(self):
+        table = Tensor(np.arange(10.0).reshape(5, 2), requires_grad=True)
+        idx = np.array([0, 1, 1, 4])
+        out = embedding_lookup(table, idx)
+        out.sum().backward()
+        expected = np.zeros((5, 2))
+        expected[0] = 1
+        expected[1] = 2  # index 1 used twice
+        expected[4] = 1
+        np.testing.assert_allclose(table.grad, expected)
+
+    def test_embedding_2d_indices(self):
+        table = Tensor(np.random.default_rng(0).normal(size=(6, 3)), requires_grad=True)
+        idx = np.array([[0, 1], [2, 2]])
+        out = embedding_lookup(table, idx)
+        assert out.shape == (2, 2, 3)
+        out.sum().backward()
+        assert table.grad[2].sum() == pytest.approx(2 * 3.0 * 1.0, abs=1e-9) or True
+        np.testing.assert_allclose(table.grad[2], np.full(3, 2.0))
+
+    def test_where(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([10.0, 20.0, 30.0]), requires_grad=True)
+        cond = np.array([True, False, True])
+        out = where(cond, a, b)
+        np.testing.assert_allclose(out.data, [1.0, 20.0, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestGraphMechanics:
+    def test_reused_node_accumulates(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * x + x  # dy/dx = 2x + 1 = 7
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = x + 1.0
+        out = a * b  # d/dx(3x(x+1)) = 6x + 3 = 15
+        out.backward()
+        np.testing.assert_allclose(x.grad, [15.0])
+
+    def test_detach_stops_gradient(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = (x * 2.0).detach() * x  # treated as 4 * x
+        y.backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_no_grad_for_constant(self):
+        x = Tensor(np.array([1.0]))
+        y = x * 2.0
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * x).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_repeated_backward_accumulates(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2.0).backward()
+        (x * 2.0).backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])

@@ -1,0 +1,111 @@
+"""Tests for the knob registry and SparkConf."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparksim.config import (
+    KNOB_BY_NAME,
+    KNOB_NAMES,
+    KNOB_SPECS,
+    NUM_KNOBS,
+    KnobSpec,
+    SparkConf,
+)
+
+
+class TestKnobRegistry:
+    def test_sixteen_knobs(self):
+        # Paper Table IV: 16 performance-aware knobs.
+        assert NUM_KNOBS == 16
+
+    def test_names_are_spark_properties(self):
+        for name in KNOB_NAMES:
+            assert name.startswith("spark.")
+
+    def test_defaults_within_range(self):
+        for spec in KNOB_SPECS:
+            assert spec.validate(spec.default) == spec.default or spec.kind == "bool"
+
+    def test_registry_lookup(self):
+        spec = KNOB_BY_NAME["spark.executor.cores"]
+        assert spec.kind == "int"
+        assert spec.low >= 1
+
+
+class TestKnobSpec:
+    def test_validate_rejects_out_of_range(self):
+        spec = KNOB_BY_NAME["spark.executor.memory"]
+        with pytest.raises(ValueError):
+            spec.validate(spec.high + 1)
+
+    def test_validate_rounds_ints(self):
+        spec = KNOB_BY_NAME["spark.executor.cores"]
+        assert spec.validate(3.4) == 3
+
+    def test_clip(self):
+        spec = KNOB_BY_NAME["spark.executor.cores"]
+        assert spec.clip(-100) == spec.low
+        assert spec.clip(1e9) == spec.high
+
+    def test_bool_roundtrip(self):
+        spec = KNOB_BY_NAME["spark.shuffle.compress"]
+        assert spec.validate(0) is False
+        assert spec.validate(1) is True
+
+    def test_unit_roundtrip(self):
+        spec = KNOB_BY_NAME["spark.memory.fraction"]
+        for v in (spec.low, spec.high, 0.5 * (spec.low + spec.high)):
+            assert spec.from_unit(spec.to_unit(v)) == pytest.approx(v, abs=1e-9)
+
+
+class TestSparkConf:
+    def test_default_values(self):
+        conf = SparkConf()
+        assert conf["spark.executor.cores"] == 1
+        assert conf["spark.shuffle.compress"] is True
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(KeyError):
+            SparkConf({"spark.nonsense": 1})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SparkConf({"spark.executor.cores": 99})
+
+    def test_with_updates_does_not_mutate(self):
+        base = SparkConf()
+        other = base.with_updates({"spark.executor.cores": 4})
+        assert base["spark.executor.cores"] == 1
+        assert other["spark.executor.cores"] == 4
+
+    def test_vector_roundtrip(self):
+        conf = SparkConf({"spark.executor.cores": 7, "spark.memory.fraction": 0.7})
+        again = SparkConf.from_vector(conf.to_vector())
+        assert again == conf
+
+    def test_hash_equality(self):
+        a = SparkConf({"spark.executor.cores": 4})
+        b = SparkConf({"spark.executor.cores": 4})
+        assert a == b and hash(a) == hash(b)
+        assert a != SparkConf()
+
+    def test_vector_shape_checked(self):
+        with pytest.raises(ValueError):
+            SparkConf.from_vector(np.zeros(5))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0, 1), min_size=NUM_KNOBS, max_size=NUM_KNOBS))
+    def test_from_unit_vector_always_valid(self, unit):
+        conf = SparkConf.from_unit_vector(np.array(unit))
+        for spec in KNOB_SPECS:
+            value = conf[spec.name]
+            if spec.kind != "bool":
+                assert spec.low <= value <= spec.high
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_random_conf_valid_and_deterministic(self, seed):
+        rng1 = np.random.default_rng(seed)
+        rng2 = np.random.default_rng(seed)
+        assert SparkConf.random(rng1) == SparkConf.random(rng2)

@@ -1,0 +1,125 @@
+"""Tests for SparkContext job execution, caching effects and run_app."""
+
+import numpy as np
+import pytest
+
+from repro.sparksim import (
+    CLUSTER_A,
+    CLUSTER_C,
+    EXECUTION_TIME_CAP_S,
+    SparkConf,
+    SparkContext,
+    run_app,
+)
+
+
+class TestJobExecution:
+    def test_time_accumulates_per_action(self):
+        sc = SparkContext("t", SparkConf(), CLUSTER_A, deterministic=True)
+        rdd = sc.parallelize(list(range(10)), logical_rows=1e6)
+        rdd.count()
+        t1 = sc.total_time_s
+        rdd.map(lambda x: x + 1).count()
+        assert sc.total_time_s > t1
+
+    def test_job_and_stage_counters(self):
+        sc = SparkContext("t", SparkConf(), CLUSTER_A, deterministic=True)
+        sc.parallelize([("a", 1)]).reduceByKey(lambda a, b: a + b).collect()
+        run = sc.app_run()
+        assert run.num_jobs == 1
+        assert run.num_stages == 2
+        assert [s.stage_id for s in run.stages] == [0, 1]
+
+    def test_cached_rdd_cuts_lineage_in_later_jobs(self):
+        sc = SparkContext("t", SparkConf(), CLUSTER_A, deterministic=True)
+        base = sc.parallelize([("a", 1)] * 30, logical_rows=1e7)
+        grouped = base.groupByKey().cache()
+        grouped.count()
+        stages_before = len(sc._records)
+        grouped.mapValues(len).collect()
+        # Second job reuses the cache: only one new (result) stage.
+        assert len(sc._records) - stages_before == 1
+
+    def test_textfile_partitioning_follows_max_partition_bytes(self):
+        conf = SparkConf({"spark.files.maxPartitionBytes": 32})
+        sc = SparkContext("t", conf, CLUSTER_A, deterministic=True)
+        rdd = sc.textFile(["x"] * 10, logical_rows=1e6, logical_bytes=320e6)
+        assert rdd.num_partitions == 10
+
+    def test_noise_seed_changes_duration(self):
+        def driver(sc):
+            sc.parallelize(list(range(20)), logical_rows=1e7).count()
+
+        a = run_app("t", driver, SparkConf(), CLUSTER_A, seed=1)
+        b = run_app("t", driver, SparkConf(), CLUSTER_A, seed=2)
+        c = run_app("t", driver, SparkConf(), CLUSTER_A, seed=1)
+        assert a.duration_s == c.duration_s
+        assert a.duration_s != b.duration_s
+
+    def test_deterministic_mode_removes_noise(self):
+        def driver(sc):
+            sc.parallelize(list(range(20)), logical_rows=1e7).count()
+
+        a = run_app("t", driver, SparkConf(), CLUSTER_A, seed=1, deterministic=True)
+        b = run_app("t", driver, SparkConf(), CLUSTER_A, seed=2, deterministic=True)
+        assert a.duration_s == b.duration_s
+
+
+class TestRunApp:
+    def test_success_path(self):
+        run = run_app(
+            "ok",
+            lambda sc: sc.parallelize([1, 2]).count(),
+            SparkConf(),
+            CLUSTER_A,
+            data_features=[100, 2, 0, 0],
+        )
+        assert run.success
+        assert run.app_name == "ok"
+        np.testing.assert_allclose(run.data_features, [100, 2, 0, 0])
+
+    def test_unhostable_conf_fails_at_submit(self):
+        conf = SparkConf({"spark.executor.memory": 32})
+        run = run_app("bad", lambda sc: None, conf, CLUSTER_C)
+        assert not run.success
+        assert run.failure_reason == "executors-unhostable"
+        assert run.duration_s == EXECUTION_TIME_CAP_S
+
+    def test_mid_job_failure_capped(self):
+        conf = SparkConf({"spark.driver.maxResultSize": 64})
+
+        def driver(sc):
+            # Collecting ~1 GB at full scale violates maxResultSize.
+            sc.parallelize(["x" * 100] * 50, logical_rows=1e7).collect()
+
+        run = run_app("collector", driver, conf, CLUSTER_C)
+        assert not run.success
+        assert run.failure_reason == "result-size-exceeded"
+        assert run.duration_s == EXECUTION_TIME_CAP_S
+
+    def test_inner_status_shape(self):
+        run = run_app(
+            "s",
+            lambda sc: sc.parallelize([("a", 1)] * 20, logical_rows=1e6)
+            .reduceByKey(lambda a, b: a + b)
+            .collect(),
+            SparkConf(),
+            CLUSTER_C,
+        )
+        status = run.inner_status()
+        assert status.shape == (8,)
+        assert np.isfinite(status).all()
+
+    def test_stage_durations_sum_close_to_total(self):
+        run = run_app(
+            "s",
+            lambda sc: sc.parallelize([("a", 1)] * 20, logical_rows=1e6)
+            .reduceByKey(lambda a, b: a + b)
+            .collect(),
+            SparkConf(),
+            CLUSTER_C,
+            deterministic=True,
+        )
+        stage_sum = run.stage_durations().sum()
+        assert stage_sum <= run.duration_s
+        assert run.duration_s - stage_sum < 1.0  # only job overheads remain

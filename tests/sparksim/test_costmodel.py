@@ -1,0 +1,191 @@
+"""Tests for the analytical cost model: knob responses and failure modes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparksim import CLUSTER_A, CLUSTER_B, CLUSTER_C, SparkConf
+from repro.sparksim.costmodel import (
+    DEFAULT_COST_PARAMS,
+    SparkJobError,
+    StageCostModel,
+    plan_executors,
+)
+from repro.sparksim.dag import StageMetrics
+
+
+def metrics(**kwargs) -> StageMetrics:
+    base = dict(input_bytes=200e6, cpu_work=5e6, num_tasks=32)
+    base.update(kwargs)
+    return StageMetrics(**base)
+
+
+def conf_with(**kwargs) -> SparkConf:
+    values = {
+        "spark.executor.instances": 8,
+        "spark.executor.cores": 4,
+        "spark.executor.memory": 2,
+    }
+    for key, value in kwargs.items():
+        values["spark." + key] = value
+    return SparkConf(values)
+
+
+MODEL = StageCostModel()
+
+
+class TestExecutorPlanning:
+    def test_caps_by_node_cores(self):
+        plan = plan_executors(conf_with(**{"executor.cores": 16, "executor.instances": 64}), CLUSTER_C)
+        # 16-core nodes: at most 1 executor per node by cores (minus driver node).
+        assert plan.executors <= CLUSTER_C.num_nodes
+
+    def test_caps_by_node_memory(self):
+        plan = plan_executors(conf_with(**{"executor.memory": 8, "executor.instances": 64}), CLUSTER_C)
+        # 16 GB nodes fit one 8GB+overhead executor each.
+        assert plan.executors <= CLUSTER_C.num_nodes
+
+    def test_unhostable_raises(self):
+        with pytest.raises(SparkJobError, match="unhostable"):
+            plan_executors(conf_with(**{"executor.memory": 32}), CLUSTER_C)
+
+    def test_driver_too_large(self):
+        from repro.sparksim.cluster import ClusterSpec
+
+        tiny = ClusterSpec("T", num_nodes=2, cores_per_node=4, cpu_ghz=2.0,
+                           memory_gb_per_node=8.0, memory_mts=2400, network_gbps=1.0)
+        conf = SparkConf({"spark.driver.memory": 16, "spark.executor.memory": 1})
+        with pytest.raises(SparkJobError, match="driver-too-large"):
+            plan_executors(conf, tiny)
+
+    def test_slots(self):
+        plan = plan_executors(conf_with(), CLUSTER_C)
+        assert plan.total_slots == plan.executors * 4
+
+
+class TestKnobResponses:
+    def test_deterministic_without_seed(self):
+        t1, _ = MODEL.stage_time(metrics(), conf_with(), CLUSTER_C)
+        t2, _ = MODEL.stage_time(metrics(), conf_with(), CLUSTER_C)
+        assert t1 == t2
+
+    def test_noise_is_small_and_seeded(self):
+        t0, _ = MODEL.stage_time(metrics(), conf_with(), CLUSTER_C)
+        t1, _ = MODEL.stage_time(metrics(), conf_with(), CLUSTER_C, noise_seed=1)
+        t2, _ = MODEL.stage_time(metrics(), conf_with(), CLUSTER_C, noise_seed=1)
+        assert t1 == t2
+        assert abs(t1 - t0) / t0 < 0.25
+
+    def test_more_data_takes_longer(self):
+        small, _ = MODEL.stage_time(metrics(input_bytes=1e8, cpu_work=1e6), conf_with(), CLUSTER_C)
+        large, _ = MODEL.stage_time(metrics(input_bytes=1e10, cpu_work=1e8), conf_with(), CLUSTER_C)
+        assert large > small * 5
+
+    def test_parallelism_interior_optimum(self):
+        # Sweeping task counts: both extremes are worse than the middle.
+        work = metrics(input_bytes=2e9, cpu_work=2e8)
+        times = {}
+        for tasks in (1, 32, 4096):
+            m = metrics(input_bytes=2e9, cpu_work=2e8, num_tasks=tasks)
+            times[tasks], _ = MODEL.stage_time(m, conf_with(), CLUSTER_C)
+        assert times[32] < times[1]
+        assert times[32] < times[4096]
+
+    def test_memory_pressure_spills(self):
+        tight = conf_with(**{"executor.memory": 1})
+        roomy = conf_with(**{"executor.memory": 8, "executor.instances": 3})
+        m = metrics(input_bytes=30e9, cpu_work=1e7, num_tasks=64)
+        t_tight, s_tight = MODEL.stage_time(m, tight, CLUSTER_C)
+        t_roomy, s_roomy = MODEL.stage_time(m, roomy, CLUSTER_C)
+        assert s_tight["spill_ratio"] > s_roomy["spill_ratio"]
+
+    def test_shuffle_compression_tradeoff_depends_on_size(self):
+        # Compression should help for big shuffles (I/O bound).
+        on = conf_with(**{"shuffle.compress": True})
+        off = conf_with(**{"shuffle.compress": False})
+        big = metrics(shuffle_write_bytes=20e9, input_bytes=1e6, cpu_work=1e5)
+        t_on, _ = MODEL.stage_time(big, on, CLUSTER_C)
+        t_off, _ = MODEL.stage_time(big, off, CLUSTER_C)
+        assert t_on < t_off
+
+    def test_small_file_buffer_penalised(self):
+        small_buf = conf_with(**{"shuffle.file.buffer": 16})
+        big_buf = conf_with(**{"shuffle.file.buffer": 256})
+        m = metrics(shuffle_write_bytes=10e9)
+        t_small, _ = MODEL.stage_time(m, small_buf, CLUSTER_C)
+        t_big, _ = MODEL.stage_time(m, big_buf, CLUSTER_C)
+        assert t_small > t_big
+
+    def test_inflight_stall_penalised(self):
+        low = conf_with(**{"reducer.maxSizeInFlight": 8})
+        high = conf_with(**{"reducer.maxSizeInFlight": 128})
+        m = metrics(shuffle_read_bytes=10e9)
+        t_low, _ = MODEL.stage_time(m, low, CLUSTER_C)
+        t_high, _ = MODEL.stage_time(m, high, CLUSTER_C)
+        assert t_low > t_high
+
+    def test_faster_cpu_helps_cpu_bound_stage(self):
+        # Same single-executor layout: cluster A's faster clock (3.2 vs 2.9
+        # GHz) must win on a purely CPU-bound stage.
+        m = metrics(input_bytes=1e6, cpu_work=1e9)
+        t_c_single, _ = MODEL.stage_time(m, conf_with(**{"executor.instances": 1}), CLUSTER_C)
+        t_a_single, _ = MODEL.stage_time(m, conf_with(**{"executor.instances": 1}), CLUSTER_A)
+        assert t_a_single < t_c_single
+
+    def test_dispatch_scales_with_driver_cores(self):
+        m = metrics(num_tasks=4096, input_bytes=1e6, cpu_work=1e5)
+        slow, _ = MODEL.stage_time(m, conf_with(**{"driver.cores": 1}), CLUSTER_C)
+        fast, _ = MODEL.stage_time(m, conf_with(**{"driver.cores": 8}), CLUSTER_C)
+        assert fast < slow
+
+
+class TestFailures:
+    def test_result_size_exceeded(self):
+        conf = conf_with(**{"driver.maxResultSize": 64})
+        with pytest.raises(SparkJobError, match="result-size-exceeded"):
+            MODEL.stage_time(metrics(result_bytes=1e9), conf, CLUSTER_C)
+
+    def test_driver_oom(self):
+        conf = conf_with(**{"driver.maxResultSize": 4096, "driver.memory": 1})
+        with pytest.raises(SparkJobError, match="driver-oom"):
+            MODEL.stage_time(metrics(result_bytes=3e9), conf, CLUSTER_C)
+
+    def test_grouping_oom_at_extreme_pressure(self):
+        conf = conf_with(**{"executor.cores": 16, "executor.memory": 1})
+        m = metrics(input_bytes=8e12, num_tasks=4, oom_risky=True)
+        with pytest.raises(SparkJobError, match="executor-oom"):
+            MODEL.stage_time(m, conf, CLUSTER_C)
+
+    def test_non_grouping_stage_spills_instead(self):
+        conf = conf_with(**{"executor.cores": 16, "executor.memory": 1})
+        m = metrics(input_bytes=8e12, num_tasks=4, oom_risky=False)
+        duration, stats = MODEL.stage_time(m, conf, CLUSTER_C)
+        assert stats["spill_ratio"] > 1.0
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        input_gb=st.floats(0.01, 100),
+        tasks=st.integers(1, 2048),
+        cores=st.integers(1, 8),
+        mem=st.integers(1, 8),
+    )
+    def test_time_always_positive_and_finite(self, input_gb, tasks, cores, mem):
+        conf = conf_with(**{"executor.cores": cores, "executor.memory": mem})
+        m = metrics(input_bytes=input_gb * 1e9, num_tasks=tasks)
+        try:
+            duration, stats = MODEL.stage_time(m, conf, CLUSTER_C)
+        except SparkJobError:
+            return  # legal failure region
+        assert np.isfinite(duration) and duration > 0
+        assert stats["waves"] >= 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(scale=st.floats(1.5, 50))
+    def test_monotone_in_cpu_work(self, scale):
+        base = metrics(cpu_work=1e7)
+        scaled = metrics(cpu_work=1e7 * scale)
+        t1, _ = MODEL.stage_time(base, conf_with(), CLUSTER_C)
+        t2, _ = MODEL.stage_time(scaled, conf_with(), CLUSTER_C)
+        assert t2 >= t1

@@ -1,0 +1,116 @@
+"""Tests for DAG-scheduler stage splitting and stage artefacts."""
+
+import pytest
+
+from repro.sparksim import CLUSTER_A, SparkConf, SparkContext
+from repro.sparksim.dag import RESULT, SHUFFLE_MAP
+from repro.sparksim.instrument import DAG_NODE_LABEL
+
+
+@pytest.fixture()
+def sc():
+    return SparkContext("dagtest", SparkConf(), CLUSTER_A, deterministic=True)
+
+
+class TestStageSplitting:
+    def test_narrow_only_is_one_stage(self, sc):
+        sc.parallelize([1, 2]).map(lambda x: x).filter(lambda x: True).collect()
+        run = sc.app_run()
+        assert run.num_stages == 1
+        assert run.stages[0].kind == RESULT
+
+    def test_one_shuffle_two_stages(self, sc):
+        sc.parallelize([("a", 1)]).reduceByKey(lambda a, b: a + b).collect()
+        run = sc.app_run()
+        assert run.num_stages == 2
+        assert [s.kind for s in run.stages] == [SHUFFLE_MAP, RESULT]
+
+    def test_chained_shuffles(self, sc):
+        (
+            sc.parallelize([("a", 1), ("b", 2)])
+            .reduceByKey(lambda a, b: a + b)
+            .sortByKey()
+            .collect()
+        )
+        run = sc.app_run()
+        assert run.num_stages == 3
+        assert [s.kind for s in run.stages] == [SHUFFLE_MAP, SHUFFLE_MAP, RESULT]
+
+    def test_join_creates_two_map_stages(self, sc):
+        left = sc.parallelize([("a", 1)]).map(lambda kv: kv)
+        right = sc.parallelize([("a", 2)]).map(lambda kv: kv)
+        left.join(right).collect()
+        run = sc.app_run()
+        kinds = [s.kind for s in run.stages]
+        assert kinds.count(SHUFFLE_MAP) == 2
+        assert kinds.count(RESULT) == 1
+
+    def test_materialized_shuffle_skipped_across_jobs(self, sc):
+        grouped = sc.parallelize([("a", 1), ("a", 2)]).groupByKey()
+        grouped.count()   # job 1: executes map + result
+        first_stages = len(sc._records)
+        grouped.mapValues(len).collect()  # job 2: shuffle already materialized
+        run = sc.app_run()
+        new_stages = run.num_stages - first_stages
+        assert new_stages == 1           # only the new result stage
+        assert run.skipped_stages >= 1
+
+    def test_iterative_job_stage_count(self, sc):
+        # PageRank-like loop: each iteration adds join + reduce stages.
+        links = sc.parallelize([(1, (2,)), (2, (1,))]).cache()
+        ranks = links.mapValues(lambda _: 1.0)
+        for _ in range(3):
+            contribs = links.join(ranks).flatMap(
+                lambda kv: [(d, kv[1][1]) for d in kv[1][0]]
+            )
+            ranks = contribs.reduceByKey(lambda a, b: a + b)
+        ranks.collect()
+        run = sc.app_run()
+        assert run.num_stages >= 7  # 2 inputs + 3x(join, reduce) pipeline-ish
+
+
+class TestStageArtifacts:
+    def test_code_tokens_nonempty_and_expanded(self, sc):
+        sc.parallelize([("a", 1)]).sortByKey().collect()
+        run = sc.app_run()
+        all_tokens = [t for s in run.stages for t in s.code_tokens]
+        # Instrumentation must expand sortByKey into its internals (Fig. 5).
+        assert "RangePartitioner" in all_tokens
+        assert "ShuffleWriter" in all_tokens
+
+    def test_udf_tokens_included(self, sc):
+        sc.parallelize([1]).map(lambda x: x, tokens=["myCustomToken"]).collect()
+        run = sc.app_run()
+        assert "myCustomToken" in run.stages[0].code_tokens
+
+    def test_dag_labels_valid(self, sc):
+        sc.parallelize([("a", 1)]).mapValues(lambda v: v).reduceByKey(lambda a, b: a + b).collect()
+        run = sc.app_run()
+        valid = set(DAG_NODE_LABEL.values())
+        for stage in run.stages:
+            assert stage.dag_node_labels
+            assert set(stage.dag_node_labels) <= valid
+
+    def test_dag_edges_within_bounds(self, sc):
+        sc.parallelize([1]).map(lambda x: x).filter(lambda x: True).collect()
+        run = sc.app_run()
+        stage = run.stages[0]
+        n = len(stage.dag_node_labels)
+        for i, j in stage.dag_edges:
+            assert 0 <= i < n and 0 <= j < n
+
+    def test_stage_dag_is_connected_chain(self, sc):
+        sc.parallelize([1]).map(lambda x: x).map(lambda x: x).collect()
+        run = sc.app_run()
+        stage = run.stages[0]
+        # parallelize -> map -> map: two edges in topological order.
+        assert len(stage.dag_edges) == 2
+        assert stage.adjacency().sum() == 2
+
+    def test_metrics_shuffle_bytes_positive(self, sc):
+        sc.parallelize([("a", 1)] * 50, logical_rows=1e6).reduceByKey(lambda a, b: a + b).collect()
+        run = sc.app_run()
+        map_stage = run.stages[0]
+        assert map_stage.stats["shuffle_write_mb"] > 0
+        result_stage = run.stages[1]
+        assert result_stage.stats["shuffle_read_mb"] > 0

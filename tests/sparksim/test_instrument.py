@@ -1,0 +1,51 @@
+"""Tests for the instrumentation token expansion and DAG labels."""
+
+import pytest
+
+from repro.sparksim.instrument import (
+    ALL_DAG_LABELS,
+    DAG_NODE_LABEL,
+    OP_EXPANSION,
+    dag_label,
+    expand_op,
+    stage_code_tokens,
+)
+
+
+class TestExpansionTable:
+    def test_every_op_has_label(self):
+        assert set(OP_EXPANSION) == set(DAG_NODE_LABEL)
+
+    def test_expansions_are_dense(self):
+        # Stage-level codes should be much richer than one token per op.
+        for op, tokens in OP_EXPANSION.items():
+            assert len(tokens) >= 5, op
+
+    def test_common_tokens_shared_across_ops(self):
+        # The paper's point: after instrumentation, tokens like "iterator"
+        # appear densely across many different operations.
+        with_iterator = [op for op, t in OP_EXPANSION.items() if "iterator" in t]
+        assert len(with_iterator) >= 10
+
+    def test_shuffle_ops_mention_shuffle_machinery(self):
+        for op in ("reduceByKey", "sortByKey", "join", "groupByKey"):
+            assert "ShuffleWriter" in OP_EXPANSION[op]
+
+    def test_distinct_ops_keep_distinguishing_tokens(self):
+        assert "RangePartitioner" in OP_EXPANSION["sortByKey"]
+        assert "RangePartitioner" not in OP_EXPANSION["reduceByKey"]
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            expand_op("teleport")
+        with pytest.raises(KeyError):
+            dag_label("teleport")
+
+    def test_udf_tokens_appended(self):
+        tokens = expand_op("map", ["myUdf", "gradient"])
+        assert tokens[-2:] == ["myUdf", "gradient"]
+
+    def test_labels_cover_spark_families(self):
+        assert "MapPartition" in ALL_DAG_LABELS
+        assert "Shuffled" in ALL_DAG_LABELS
+        assert "CoGrouped" in ALL_DAG_LABELS

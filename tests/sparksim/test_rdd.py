@@ -1,0 +1,184 @@
+"""Tests for RDD semantics (real sampled execution) and logical scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparksim import CLUSTER_A, SparkConf, SparkContext
+from repro.sparksim.rdd import NARROW, SHUFFLE, estimate_record_bytes
+
+
+@pytest.fixture()
+def sc():
+    return SparkContext("test", SparkConf(), CLUSTER_A, deterministic=True)
+
+
+class TestTransformations:
+    def test_map(self, sc):
+        rdd = sc.parallelize([1, 2, 3]).map(lambda x: x * 2)
+        assert rdd.collect() == [2, 4, 6]
+
+    def test_filter_tracks_selectivity(self, sc):
+        rdd = sc.parallelize(list(range(100)), logical_rows=1e6).filter(lambda x: x < 25)
+        assert len(rdd.sample) == 25
+        assert rdd.logical_rows == pytest.approx(2.5e5)
+
+    def test_flatmap(self, sc):
+        rdd = sc.parallelize(["a b", "c"]).flatMap(lambda s: s.split())
+        assert rdd.collect() == ["a", "b", "c"]
+
+    def test_mapvalues_requires_pairs(self, sc):
+        with pytest.raises(TypeError):
+            sc.parallelize([1, 2, 3]).mapValues(lambda v: v)
+
+    def test_union_sums_logical_rows(self, sc):
+        a = sc.parallelize([1], logical_rows=100)
+        b = sc.parallelize([2], logical_rows=50)
+        u = a.union(b)
+        assert u.logical_rows == 150
+        assert sorted(u.collect()) == [1, 2]
+
+    def test_reduce_by_key(self, sc):
+        rdd = sc.parallelize([("a", 1), ("b", 2), ("a", 3)]).reduceByKey(lambda x, y: x + y)
+        assert dict(rdd.collect()) == {"a": 4, "b": 2}
+
+    def test_group_by_key(self, sc):
+        rdd = sc.parallelize([("a", 1), ("a", 2), ("b", 3)]).groupByKey()
+        result = dict(rdd.collect())
+        assert sorted(result["a"]) == [1, 2]
+
+    def test_sort_by_key(self, sc):
+        rdd = sc.parallelize([(3, "c"), (1, "a"), (2, "b")]).sortByKey()
+        assert [k for k, _ in rdd.collect()] == [1, 2, 3]
+
+    def test_sort_descending(self, sc):
+        rdd = sc.parallelize([(1, "a"), (3, "c")]).sortByKey(ascending=False)
+        assert [k for k, _ in rdd.collect()] == [3, 1]
+
+    def test_join(self, sc):
+        left = sc.parallelize([("a", 1), ("b", 2)])
+        right = sc.parallelize([("a", 10), ("a", 20)])
+        result = sorted(left.join(right).collect())
+        assert result == [("a", (1, 10)), ("a", (1, 20))]
+
+    def test_left_outer_join(self, sc):
+        left = sc.parallelize([("a", 1), ("b", 2)])
+        right = sc.parallelize([("a", 10)])
+        result = dict(left.leftOuterJoin(right).collect())
+        assert result["b"] == (2, None)
+
+    def test_cogroup(self, sc):
+        left = sc.parallelize([("a", 1)])
+        right = sc.parallelize([("a", 2), ("b", 3)])
+        result = dict(left.cogroup(right).collect())
+        assert result["a"] == ((1,), (2,))
+        assert result["b"] == ((), (3,))
+
+    def test_distinct(self, sc):
+        assert sorted(sc.parallelize([1, 1, 2, 3, 3]).distinct().collect()) == [1, 2, 3]
+
+    def test_aggregate_by_key(self, sc):
+        rdd = sc.parallelize([("a", 1), ("a", 2)]).aggregateByKey(
+            0, lambda acc, v: acc + v, lambda x, y: x + y
+        )
+        assert dict(rdd.collect()) == {"a": 3}
+
+    def test_zip_with_index(self, sc):
+        assert sc.parallelize(["x", "y"]).zipWithIndex().collect() == [("x", 0), ("y", 1)]
+
+    def test_keys_values(self, sc):
+        pairs = sc.parallelize([("a", 1), ("b", 2)])
+        assert pairs.keys().collect() == ["a", "b"]
+        assert pairs.values().collect() == [1, 2]
+
+
+class TestActions:
+    def test_count(self, sc):
+        assert sc.parallelize([1, 2, 3]).count() == 3
+
+    def test_reduce(self, sc):
+        assert sc.parallelize([1, 2, 3]).reduce(lambda a, b: a + b) == 6
+
+    def test_reduce_empty_raises(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_take_first(self, sc):
+        rdd = sc.parallelize([5, 6, 7])
+        assert rdd.take(2) == [5, 6]
+        assert rdd.first() == 5
+
+    def test_count_by_key(self, sc):
+        counts = sc.parallelize([("a", 1), ("a", 2), ("b", 1)]).countByKey()
+        assert counts == {"a": 2, "b": 1}
+
+    def test_foreach(self, sc):
+        seen = []
+        sc.parallelize([1, 2]).foreach(seen.append)
+        assert seen == [1, 2]
+
+
+class TestDependencies:
+    def test_narrow_vs_shuffle(self, sc):
+        base = sc.parallelize([("a", 1)])
+        narrow = base.mapValues(lambda v: v)
+        wide = base.reduceByKey(lambda a, b: a + b)
+        assert narrow.deps[0].kind == NARROW
+        assert wide.deps[0].kind == SHUFFLE
+        assert wide.deps[0].shuffle_id >= 0
+        assert narrow.deps[0].shuffle_id == -1
+
+    def test_shuffle_partitions_follow_parallelism(self):
+        conf = SparkConf({"spark.default.parallelism": 37})
+        sc = SparkContext("t", conf, CLUSTER_A, deterministic=True)
+        wide = sc.parallelize([("a", 1)]).reduceByKey(lambda a, b: a + b)
+        assert wide.num_partitions == 37
+
+    def test_cache_flags(self, sc):
+        rdd = sc.parallelize([1]).cache()
+        assert rdd.cached
+        rdd.unpersist()
+        assert not rdd.cached
+
+
+class TestLogicalScaling:
+    def test_agg_saturates_for_bounded_keys(self, sc):
+        # 100 records over 4 keys: output cardinality must not scale linearly.
+        data = [("k%d" % (i % 4), 1) for i in range(100)]
+        rdd = sc.parallelize(data, logical_rows=1e8).reduceByKey(lambda a, b: a + b)
+        assert rdd.logical_rows < 1e6
+
+    def test_agg_scales_for_unique_keys(self, sc):
+        data = [(i, 1) for i in range(100)]
+        rdd = sc.parallelize(data, logical_rows=1e8).reduceByKey(lambda a, b: a + b)
+        assert rdd.logical_rows == pytest.approx(1e8, rel=0.01)
+
+    def test_explicit_hint_wins(self, sc):
+        data = [("k%d" % (i % 4), 1) for i in range(100)]
+        rdd = sc.parallelize(data, logical_rows=1e8).reduceByKey(
+            lambda a, b: a + b, logical_rows=5e5
+        )
+        assert rdd.logical_rows == 5e5
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(0.05, 1.0))
+    def test_sample_fraction_scales(self, fraction):
+        sc = SparkContext("t", SparkConf(), CLUSTER_A, deterministic=True)
+        rdd = sc.parallelize(list(range(50)), logical_rows=1e6).sample_fraction(fraction)
+        assert rdd.logical_rows == pytest.approx(1e6 * fraction)
+
+
+class TestRecordBytes:
+    @pytest.mark.parametrize(
+        "record,expected_min",
+        [(1, 8), (1.5, 8), ("hello", 9), ((1, 2), 8), ([1] * 10, 80), (None, 4)],
+    )
+    def test_estimates_positive(self, record, expected_min):
+        assert estimate_record_bytes(record) >= expected_min * 0.5
+
+    def test_numpy_vector(self):
+        assert estimate_record_bytes(np.zeros(10)) >= 80
+
+    def test_nested_depth_bounded(self):
+        nested = [[[[[[1]]]]]]
+        assert estimate_record_bytes(nested) < 1e6

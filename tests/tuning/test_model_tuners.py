@@ -1,0 +1,81 @@
+"""Tests for the model-based one-shot tuners (MLP baseline, LITE wrapper)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lite import LITE, LITEConfig
+from repro.core.necs import NECSConfig
+from repro.sparksim import CLUSTER_C, SparkConf
+from repro.tuning import DefaultTuner, LITETuner, MLPBaselineTuner
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    from repro.experiments.collect import collect_training_runs
+
+    wls = [get_workload(n) for n in ("WordCount", "PageRank")]
+    return collect_training_runs(
+        workloads=wls, clusters=[CLUSTER_C], scales=("train0", "train1"),
+        confs_per_cell=4, seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def lite(corpus):
+    cfg = LITEConfig(
+        necs=NECSConfig(epochs=4, max_tokens=80, mlp_hidden=32, conv_filters=8, seed=1),
+        n_candidates=12,
+    )
+    return LITE(cfg).offline_train(corpus)
+
+
+class TestMLPBaseline:
+    def test_single_trial_one_shot(self, corpus):
+        tuner = MLPBaselineTuner(corpus, seed=0, n_candidates=10)
+        result = tuner.tune(get_workload("WordCount"), CLUSTER_C, "valid", budget_s=1e9)
+        assert len(result.trials) == 1
+
+    def test_unknown_app_falls_back_to_default(self, corpus):
+        tuner = MLPBaselineTuner(corpus, seed=0)
+        result = tuner.tune(get_workload("Terasort"), CLUSTER_C, "valid", budget_s=1e9)
+        assert result.trials[0].conf == SparkConf.default()
+
+    def test_requires_training_runs(self):
+        with pytest.raises(ValueError):
+            MLPBaselineTuner([])
+
+
+class TestLITETuner:
+    def test_requires_trained_lite(self):
+        with pytest.raises(ValueError):
+            LITETuner(LITE())
+
+    def test_one_shot_with_tiny_overhead(self, lite):
+        tuner = LITETuner(lite, feedback=False)
+        result = tuner.tune(get_workload("PageRank"), CLUSTER_C, "test", budget_s=1e9, seed=1)
+        assert len(result.trials) == 1
+        # Warm-start one-shot: overhead is pure ranking wall clock (< 2 s).
+        assert result.overhead_s < 2.0
+
+    def test_feedback_loop_bounded_rounds(self, lite):
+        tuner = LITETuner(lite, feedback=True, max_rounds=3)
+        result = tuner.tune(get_workload("PageRank"), CLUSTER_C, "test", budget_s=1e9, seed=1)
+        assert 1 <= len(result.trials) <= 3
+        # Overhead excludes the first production run.
+        first = result.trials[0].duration_s
+        assert result.overhead_s < sum(t.duration_s for t in result.trials) - first + 2.0
+
+    def test_cold_start_charges_probe(self, lite):
+        tuner = LITETuner(lite)
+        wl = get_workload("Sort")
+        assert wl.name not in lite.known_apps()
+        result = tuner.tune(wl, CLUSTER_C, "test", budget_s=1e9, seed=1)
+        # Probe run on the smallest dataset is charged as overhead.
+        assert result.overhead_s > 1.0
+
+    def test_lite_beats_default_on_large_jobs(self, lite):
+        wl = get_workload("PageRank")
+        lite_result = LITETuner(lite).tune(wl, CLUSTER_C, "test", budget_s=1e9, seed=1)
+        default_result = DefaultTuner().tune(wl, CLUSTER_C, "test", budget_s=1e9, seed=1)
+        assert lite_result.best_time_s < default_result.best_time_s

@@ -1,0 +1,153 @@
+"""Tests for the tuner suite: budgets, trajectories, and behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.sparksim import CLUSTER_C, EXECUTION_TIME_CAP_S, SparkConf
+from repro.tuning import (
+    BOTuner,
+    DDPGCTuner,
+    DDPGTuner,
+    DefaultTuner,
+    LHSTuner,
+    ManualTuner,
+    RandomSearchTuner,
+    TrialRunner,
+    expert_configurations,
+    latin_hypercube,
+    lhs_configurations,
+)
+from repro.workloads import get_workload
+
+WC = get_workload("WordCount")
+BUDGET = 400.0  # enough simulated seconds for a handful of small-scale trials
+
+
+class TestTrialRunner:
+    def test_budget_accounting(self):
+        runner = TrialRunner("t", WC, CLUSTER_C, "train0", budget_s=BUDGET)
+        trial = runner.run(SparkConf())
+        assert trial.elapsed_s == pytest.approx(runner.result.overhead_s)
+        assert runner.result.overhead_s > 0
+
+    def test_failed_trial_capped(self):
+        runner = TrialRunner("t", WC, CLUSTER_C, "train0", budget_s=1e9)
+        trial = runner.run(SparkConf({"spark.executor.memory": 32}))
+        assert not trial.success
+        assert trial.duration_s == EXECUTION_TIME_CAP_S
+
+    def test_best_so_far_monotone(self):
+        runner = TrialRunner("t", WC, CLUSTER_C, "train0", budget_s=1e9)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            runner.run(SparkConf.random(rng))
+        traj = runner.result.best_so_far()
+        bests = [b for _, b in traj]
+        assert bests == sorted(bests, reverse=True) or all(
+            bests[i] >= bests[i + 1] for i in range(len(bests) - 1)
+        )
+
+    def test_best_trial_prefers_success(self):
+        runner = TrialRunner("t", WC, CLUSTER_C, "train0", budget_s=1e9)
+        runner.run(SparkConf({"spark.executor.memory": 32}))  # fails
+        runner.run(SparkConf())
+        assert runner.result.best_trial.success
+
+
+class TestSimpleTuners:
+    def test_default_single_trial(self):
+        result = DefaultTuner().tune(WC, CLUSTER_C, "train0", budget_s=BUDGET)
+        assert len(result.trials) == 1
+        assert result.trials[0].conf == SparkConf.default()
+
+    def test_manual_uses_expert_rules(self):
+        result = ManualTuner().tune(WC, CLUSTER_C, "train0", budget_s=BUDGET)
+        assert 1 <= len(result.trials) <= len(expert_configurations(CLUSTER_C))
+        # Expert configs use multiple cores per executor.
+        assert result.best_conf["spark.executor.cores"] >= 4
+
+    def test_expert_configs_hostable(self):
+        from repro.sparksim.costmodel import plan_executors
+
+        for conf in expert_configurations(CLUSTER_C):
+            plan = plan_executors(conf, CLUSTER_C)  # must not raise
+            assert plan.executors >= 1
+
+    def test_random_respects_budget(self):
+        result = RandomSearchTuner().tune(WC, CLUSTER_C, "train0", budget_s=30.0)
+        assert result.overhead_s >= 30.0 or len(result.trials) == 200
+        # Only the trial that crossed the line may exceed the budget.
+        assert result.trials[-2].elapsed_s < 30.0 if len(result.trials) > 1 else True
+
+    def test_lhs_tuner_runs(self):
+        result = LHSTuner().tune(WC, CLUSTER_C, "train0", budget_s=BUDGET)
+        assert len(result.trials) >= 2
+
+
+class TestLatinHypercube:
+    def test_stratification(self):
+        rng = np.random.default_rng(0)
+        sample = latin_hypercube(10, 3, rng)
+        assert sample.shape == (10, 3)
+        # Exactly one point per decile per dimension.
+        for d in range(3):
+            bins = np.floor(sample[:, d] * 10).astype(int)
+            assert sorted(bins) == list(range(10))
+
+    def test_lhs_configurations_valid(self):
+        rng = np.random.default_rng(1)
+        confs = lhs_configurations(8, rng)
+        assert len(confs) == 8
+        assert len({hash(c) for c in confs}) > 1
+
+
+class TestBO:
+    def test_improves_over_initial_probes(self):
+        result = BOTuner(n_init=3, max_trials=10).tune(
+            WC, CLUSTER_C, "train0", budget_s=1e9, seed=4
+        )
+        init_best = min(t.duration_s for t in result.trials[:3])
+        final_best = result.best_time_s
+        assert final_best <= init_best
+
+    def test_warm_start_consumes_prior_runs(self, small_corpus):
+        tuner = BOTuner(warm_runs=small_corpus, n_init=1, max_trials=4)
+        confs = tuner._warm_start_confs("WordCount", WC.data_spec("train0").rows)
+        assert 1 <= len(confs) <= tuner.n_similar
+        result = tuner.tune(WC, CLUSTER_C, "train0", budget_s=1e9, seed=1)
+        assert len(result.trials) == 4
+        # The first trial is the transferred configuration, not random.
+        assert result.trials[0].conf == confs[0]
+
+    def test_budget_stops_bo(self):
+        result = BOTuner(n_init=2, max_trials=50).tune(
+            WC, CLUSTER_C, "train0", budget_s=25.0, seed=0
+        )
+        assert result.overhead_s >= 25.0 or len(result.trials) < 50
+
+
+class TestDDPG:
+    def test_runs_and_learns_shape(self):
+        result = DDPGTuner(max_trials=6).tune(WC, CLUSTER_C, "train0", budget_s=1e9, seed=2)
+        assert len(result.trials) == 6
+        assert result.best_conf is not None
+
+    def test_ddpg_c_has_code_state(self):
+        tuner = DDPGCTuner(max_trials=2)
+        feats = tuner._code_features(WC)
+        assert feats.shape == (DDPGCTuner.CODE_DIM,)
+        assert feats.sum() == pytest.approx(1.0)
+        result = tuner.tune(WC, CLUSTER_C, "train0", budget_s=1e9, seed=2)
+        assert len(result.trials) == 2
+
+    def test_plain_ddpg_has_no_code_state(self):
+        assert DDPGTuner()._code_features(WC).shape == (0,)
+
+
+class TestCostAsymmetry:
+    def test_iterative_tuners_pay_execution_budget(self):
+        # The paper's C2: each BO/DDPG trial costs a full application run.
+        bo = BOTuner(n_init=2, max_trials=5).tune(WC, CLUSTER_C, "train0", budget_s=1e9, seed=0)
+        per_trial = bo.overhead_s / len(bo.trials)
+        single_run = WC.run(SparkConf(), CLUSTER_C, scale="train0").duration_s
+        assert per_trial > 0.3 * single_run

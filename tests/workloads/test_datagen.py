@@ -1,0 +1,93 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import datagen
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "fn,args",
+        [
+            (datagen.text_lines, (30,)),
+            (datagen.sort_records, (30,)),
+            (datagen.integers, (30,)),
+            (datagen.powerlaw_edges, (30, 10)),
+            (datagen.undirected_edges, (30, 15)),
+            (datagen.cluster_points, (30, 4, 3)),
+            (datagen.ratings, (30, 5, 5)),
+        ],
+    )
+    def test_same_seed_same_data(self, fn, args):
+        a = fn(np.random.default_rng(7), *args)
+        b = fn(np.random.default_rng(7), *args)
+        assert repr(a) == repr(b)
+
+
+class TestShapes:
+    def test_text_lines(self):
+        lines = datagen.text_lines(np.random.default_rng(0), 10, words_per_line=4)
+        assert len(lines) == 10
+        assert all(len(l.split()) == 4 for l in lines)
+
+    def test_sort_records_key_width(self):
+        recs = datagen.sort_records(np.random.default_rng(0), 5, payload=7)
+        assert all(r[10] == "#" for r in recs)
+        assert all(len(r) == 18 for r in recs)
+
+    def test_powerlaw_no_self_loops(self):
+        edges = datagen.powerlaw_edges(np.random.default_rng(0), 200, 20)
+        assert all(u != v for u, v in edges)
+
+    def test_powerlaw_is_skewed(self):
+        edges = datagen.powerlaw_edges(np.random.default_rng(0), 2000, 50)
+        from collections import Counter
+
+        degree = Counter(u for u, _ in edges)
+        counts = sorted(degree.values(), reverse=True)
+        # Head node should dominate the tail.
+        assert counts[0] > 5 * counts[-1]
+
+    def test_undirected_edges_canonical_unique(self):
+        edges = datagen.undirected_edges(np.random.default_rng(0), 100, 30)
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == len(edges)
+
+    def test_labeled_points_classification(self):
+        pts = datagen.labeled_points(np.random.default_rng(0), 50, 8, classification=True)
+        labels = {y for y, _ in pts}
+        assert labels <= {-1.0, 1.0}
+        assert all(x.shape == (8,) for _, x in pts)
+
+    def test_labeled_points_regression_correlated(self):
+        pts = datagen.labeled_points(np.random.default_rng(0), 200, 4, classification=False)
+        y = np.array([p[0] for p in pts])
+        X = np.stack([p[1] for p in pts])
+        w, *_ = np.linalg.lstsq(X, y, rcond=None)
+        residual = y - X @ w
+        assert residual.std() < 0.5 * y.std()  # strong linear signal
+
+    def test_cluster_points_separable(self):
+        pts = datagen.cluster_points(np.random.default_rng(1), 60, 5, 3)
+        assert len(pts) == 60
+
+    def test_ratings_in_range(self):
+        triples = datagen.ratings(np.random.default_rng(0), 100, 10, 8)
+        assert all(0 <= u < 10 and 0 <= i < 8 and 1 <= r <= 5 for u, i, r in triples)
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 100), nodes=st.integers(2, 40))
+    def test_powerlaw_edge_count(self, n, nodes):
+        edges = datagen.powerlaw_edges(np.random.default_rng(0), n, nodes)
+        assert len(edges) == n
+        assert all(0 <= u < nodes and 0 <= v < nodes for u, v in edges)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 50))
+    def test_integers_bounds(self, n):
+        vals = datagen.integers(np.random.default_rng(0), n, high=1000)
+        assert all(0 <= v < 1000 for v in vals)

@@ -1,0 +1,206 @@
+"""Tests for the 15 spark-bench workloads: registry, execution, and the
+algorithmic correctness of the driver programs on their samples."""
+
+import numpy as np
+import pytest
+
+from repro.sparksim import CLUSTER_A, CLUSTER_C, SparkConf
+from repro.workloads import (
+    SCALES,
+    TRAIN_SCALES,
+    all_workloads,
+    get_workload,
+    tokenize_code,
+)
+from repro.workloads.base import DataSpec
+
+CONF = SparkConf({"spark.executor.instances": 8, "spark.executor.cores": 4,
+                  "spark.executor.memory": 2})
+
+
+class TestRegistry:
+    def test_fifteen_workloads(self):
+        assert len(all_workloads()) == 15  # paper Table V
+
+    def test_lookup_by_name_and_abbrev(self):
+        assert get_workload("PageRank") is get_workload("PR")
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("Quicksort")
+
+    def test_abbrevs_unique(self):
+        abbrevs = [w.abbrev for w in all_workloads()]
+        assert len(set(abbrevs)) == len(abbrevs)
+
+    def test_data_spec_scales(self):
+        wl = get_workload("WordCount")
+        small = wl.data_spec("train0")
+        large = wl.data_spec("test")
+        assert large.rows == small.rows * SCALES["test"]
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("WordCount").data_spec("gigantic")
+
+
+@pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.abbrev)
+class TestAllWorkloadsRun:
+    def test_runs_successfully_on_small_data(self, workload):
+        run = workload.run(CONF, CLUSTER_C, scale="train0", seed=5)
+        assert run.success, run.failure_reason
+        assert run.num_stages >= 1
+        assert run.duration_s > 0
+
+    def test_deterministic_given_seed(self, workload):
+        a = workload.run(CONF, CLUSTER_C, scale="train0", seed=5)
+        b = workload.run(CONF, CLUSTER_C, scale="train0", seed=5)
+        assert a.duration_s == b.duration_s
+        assert a.num_stages == b.num_stages
+
+    def test_larger_data_takes_longer(self, workload):
+        small = workload.run(CONF, CLUSTER_C, scale="train0", seed=5)
+        large = workload.run(CONF, CLUSTER_C, scale="test", seed=5)
+        assert large.duration_s > small.duration_s
+
+    def test_stage_artifacts_present(self, workload):
+        run = workload.run(CONF, CLUSTER_C, scale="train0", seed=5)
+        for stage in run.stages:
+            assert stage.code_tokens
+            assert stage.dag_node_labels
+
+    def test_data_features_shape(self, workload):
+        run = workload.run(CONF, CLUSTER_C, scale="train0", seed=5)
+        assert run.data_features.shape == (4,)
+        assert run.data_features[0] == workload.data_spec("train0").rows
+
+    def test_source_tokens_nonempty(self, workload):
+        tokens = workload.source_tokens()
+        assert len(tokens) > 20
+        assert "driver" not in tokens[:1]  # token stream, not the signature only
+
+
+class TestAlgorithmCorrectness:
+    """The sampled execution must produce genuinely correct results."""
+
+    def test_pagerank_mass_conserved(self):
+        wl = get_workload("PageRank")
+        wl.run(CONF, CLUSTER_A, scale="train0", seed=2)
+        ranks = wl.last_ranks
+        assert len(ranks) > 0
+        assert all(r > 0 for r in ranks.values())
+        # With damping 0.85 the mean rank stays near 1.
+        assert 0.2 < np.mean(list(ranks.values())) < 5.0
+
+    def test_triangle_count_on_known_graph(self):
+        wl = get_workload("TriangleCount")
+        # Build the driver's logic by hand for its sampled graph and compare.
+        data = wl.data_spec("train0")
+        rng = np.random.default_rng(9)
+        from repro.workloads import datagen
+
+        n_nodes = max(8, data.sample_rows // 4)
+        edges = datagen.undirected_edges(rng, data.sample_rows, n_nodes)
+        edge_set = set(edges)
+        expected = 0
+        by_low = {}
+        for u, v in edges:
+            by_low.setdefault(u, []).append(v)
+        for u, nbrs in by_low.items():
+            for i in range(len(nbrs)):
+                for j in range(len(nbrs)):
+                    if nbrs[i] < nbrs[j] and (nbrs[i], nbrs[j]) in edge_set:
+                        expected += 1
+        wl.run(CONF, CLUSTER_A, scale="train0", seed=9)
+        assert wl.last_count == expected
+
+    def test_connected_component_labels_consistent(self):
+        wl = get_workload("ConnectedComponent")
+        wl.run(CONF, CLUSTER_A, scale="train0", seed=4)
+        labels = wl.last_labels
+        # Label of every node must be <= its own id (min-propagation).
+        assert all(label <= node for node, label in labels.items())
+
+    def test_shortest_paths_triangle_inequality(self):
+        wl = get_workload("ShortestPaths")
+        wl.run(CONF, CLUSTER_A, scale="train0", seed=4)
+        dists = wl.last_dists
+        finite = [d for d in dists.values() if np.isfinite(d)]
+        assert finite and min(finite) == 0.0  # the source itself
+        assert all(d >= 0 for d in finite)
+
+    def test_kmeans_centroids_converge_to_clusters(self):
+        wl = get_workload("KMeans")
+        wl.run(CONF, CLUSTER_A, scale="train0", seed=11)
+        centroids = wl.last_centroids
+        assert len(centroids) == 5
+        # Centroids must be well separated (generator uses separated blobs).
+        dists = [
+            np.linalg.norm(a - b)
+            for i, a in enumerate(centroids)
+            for b in centroids[i + 1 :]
+        ]
+        assert max(dists) > 1.0
+
+    def test_svm_separates_blobs(self):
+        wl = get_workload("SVM")
+        wl.run(CONF, CLUSTER_A, scale="train0", seed=3)
+        w = wl.last_weights
+        from repro.workloads import datagen
+
+        rng = np.random.default_rng(3)
+        pts = datagen.labeled_points(rng, wl.sample_rows, wl.cols, classification=True)
+        acc = np.mean([1.0 if y * (x @ w) > 0 else 0.0 for y, x in pts])
+        assert acc > 0.8
+
+    def test_logistic_regression_learns(self):
+        wl = get_workload("LogisticRegression")
+        wl.run(CONF, CLUSTER_A, scale="train0", seed=3)
+        assert np.linalg.norm(wl.last_weights) > 0.01
+
+    def test_linear_regression_reduces_error(self):
+        wl = get_workload("LinearRegression")
+        wl.run(CONF, CLUSTER_A, scale="train0", seed=3)
+        assert np.isfinite(wl.last_weights).all()
+        assert np.linalg.norm(wl.last_weights) > 0.01
+
+    def test_decision_tree_builds_splits(self):
+        wl = get_workload("DecisionTree")
+        wl.run(CONF, CLUSTER_A, scale="train0", seed=3)
+        assert 0 in wl.last_splits  # at least the root level
+        assert wl.last_splits[0]    # root node found a split
+
+    def test_label_propagation_labels_from_node_set(self):
+        wl = get_workload("LabelPropagation")
+        wl.run(CONF, CLUSTER_A, scale="train0", seed=3)
+        labels = wl.last_labels
+        assert set(labels.values()) <= set(labels.keys())
+
+
+class TestStructuralDiversity:
+    def test_iterative_apps_have_more_stages(self):
+        pr = get_workload("PageRank").run(CONF, CLUSTER_C, scale="train0", seed=1)
+        so = get_workload("Sort").run(CONF, CLUSTER_C, scale="train0", seed=1)
+        assert pr.num_stages > so.num_stages * 2
+
+    def test_code_tokens_differ_across_apps(self):
+        runs = {
+            n: get_workload(n).run(CONF, CLUSTER_C, scale="train0", seed=1)
+            for n in ("Terasort", "PageRank", "KMeans")
+        }
+        vocab = {
+            n: {t for s in r.stages for t in s.code_tokens} for n, r in runs.items()
+        }
+        assert "TeraSortPartitioner" in vocab["Terasort"]
+        assert "TeraSortPartitioner" not in vocab["PageRank"]
+        assert vocab["PageRank"] != vocab["KMeans"]
+
+
+class TestTokenizeCode:
+    def test_identifiers_and_operators(self):
+        tokens = tokenize_code("x = foo(bar, 12) # comment")
+        assert "foo" in tokens and "bar" in tokens and "12" in tokens
+        assert "comment" not in tokens
+
+    def test_empty(self):
+        assert tokenize_code("") == []
