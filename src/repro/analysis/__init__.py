@@ -1,0 +1,30 @@
+"""Static analysis for the LITE reproduction: shape/graph checking,
+autograd-aware linting and knob/config validation.
+
+Three passes share one diagnostics core (:mod:`.diagnostics`):
+
+- :mod:`.shapes` — symbolic shape & graph checker over :mod:`repro.nn`
+  modules (no forward execution): dimension mismatches, duplicate/dead
+  parameters, GCN/DAG width disagreements, NECS fusion widths;
+- :mod:`.astlint` — ``ast.NodeVisitor`` lint tuned to the numpy autograd
+  substrate: raw ``.data`` access, in-place tensor mutation, unseeded
+  RNG, float32 mixing, bare ``except``;
+- :mod:`.knobs` — validates the canonical 16-knob table and statically
+  cross-checks every hard-coded knob reference against it.
+
+CLI: ``repro lint [paths...]`` and ``repro check-model``.
+"""
+
+from .astlint import lint_file, lint_source
+from .diagnostics import RULES, Diagnostic, Report, Rule
+from .knobs import check_knob_references, check_knob_table
+from .runner import iter_python_files, run_check_model, run_lint
+from .shapes import check_module, check_necs
+
+__all__ = [
+    "RULES", "Rule", "Diagnostic", "Report",
+    "lint_source", "lint_file",
+    "check_module", "check_necs",
+    "check_knob_table", "check_knob_references",
+    "run_lint", "run_check_model", "iter_python_files",
+]

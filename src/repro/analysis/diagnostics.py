@@ -1,0 +1,312 @@
+"""Shared diagnostics core for the static-analysis passes.
+
+Every pass (shape/graph checker, AST lint, knob validator) reports findings
+as :class:`Diagnostic` records tied to a rule in the :data:`RULES` catalogue.
+A rule has a stable ID (``REP001`` ...), a default severity and a one-line
+autofix hint; diagnostics carry an optional ``file:line`` location so editors
+and CI logs can jump to the finding.
+
+Suppression
+-----------
+A finding on a given source line is suppressed by a trailing comment::
+
+    mask = tensor.data > 0   # repro: noqa=REP101
+
+``# repro: noqa`` without codes suppresses every rule on that line.  The
+shape checker's diagnostics are attached to module objects, not source
+lines, so they cannot be suppressed this way — fix the model instead.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Severity levels in increasing order of badness.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One entry of the rule catalogue."""
+
+    id: str
+    name: str
+    summary: str
+    severity: str = "warning"
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r} for {self.id}")
+
+
+#: The rule catalogue.  IDs are grouped by pass:
+#: REP0xx shape/graph checker, REP1xx AST lint, REP3xx knob/config validator.
+RULES: Dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return rule
+
+
+# ---------------------------------------------------------------------------
+# Shape & graph checker rules (REP0xx)
+# ---------------------------------------------------------------------------
+register_rule(Rule(
+    "REP001", "dim-mismatch",
+    "Layer input dimension disagrees with the shape produced upstream",
+    severity="error",
+    hint="align the layer's in_features with the preceding layer's output",
+))
+register_rule(Rule(
+    "REP002", "duplicate-parameter",
+    "The same Parameter object is registered under two names",
+    severity="error",
+    hint="give each module its own Parameter; shared weights need one owner",
+))
+register_rule(Rule(
+    "REP003", "dead-parameter",
+    "Parameter is never consumed by the module's forward wiring",
+    severity="warning",
+    hint="remove the attribute or wire it into forward()",
+))
+register_rule(Rule(
+    "REP004", "gcn-dim-mismatch",
+    "GCN input width disagrees with the DAG node-feature dimension",
+    severity="error",
+    hint="GCNEncoder in_features must equal the DAG encoder's one-hot width",
+))
+register_rule(Rule(
+    "REP005", "bad-parameter-values",
+    "Parameter contains NaN/Inf values or has zero size",
+    severity="error",
+    hint="check the initialiser and layer dimensions",
+))
+register_rule(Rule(
+    "REP006", "fusion-width-mismatch",
+    "NECS feature-fusion width disagrees with the tower MLP input width",
+    severity="error",
+    hint="mlp in_features must equal numeric_dim + code_out + gcn_hidden",
+))
+
+
+# ---------------------------------------------------------------------------
+# Autograd-aware AST lint rules (REP1xx)
+# ---------------------------------------------------------------------------
+register_rule(Rule(
+    "REP101", "raw-data-access",
+    "Raw access to Tensor.data in model code bypasses the autodiff tape",
+    severity="warning",
+    hint="use .numpy() for read-only access or .detach() to cut the graph",
+))
+register_rule(Rule(
+    "REP102", "inplace-tensor-mutation",
+    "In-place mutation of Tensor.data/.grad breaks recorded gradients",
+    severity="error",
+    hint="build a new Tensor instead of mutating one the graph references",
+))
+register_rule(Rule(
+    "REP103", "unseeded-rng",
+    "Unseeded numpy RNG makes experiments irreproducible",
+    severity="error",
+    hint="use repro.utils.rng.get_rng(seed) / derive(seed, *keys)",
+))
+register_rule(Rule(
+    "REP104", "float32-dtype",
+    "float32 mixes with the engine's float64 arrays and loosens gradients",
+    severity="warning",
+    hint="the autodiff engine is float64 end-to-end; drop the float32 cast",
+))
+register_rule(Rule(
+    "REP105", "bare-except",
+    "Bare `except:` swallows SystemExit/KeyboardInterrupt and real bugs",
+    severity="warning",
+    hint="catch a specific exception class (or `Exception` at the broadest)",
+))
+register_rule(Rule(
+    "REP106", "manual-detach",
+    "Tensor(x.numpy()) re-wraps a live buffer; detach() states the intent",
+    severity="info",
+    hint="replace Tensor(x.numpy()) with x.detach()",
+))
+
+
+# ---------------------------------------------------------------------------
+# Knob/config validator rules (REP3xx)
+# ---------------------------------------------------------------------------
+register_rule(Rule(
+    "REP301", "knob-default-out-of-range",
+    "Knob default lies outside its own [low, high] tuning range",
+    severity="error",
+    hint="widen the range or fix the default",
+))
+register_rule(Rule(
+    "REP302", "knob-degenerate-range",
+    "Knob range is degenerate (low >= high)",
+    severity="error",
+    hint="a tunable knob needs low < high",
+))
+register_rule(Rule(
+    "REP303", "knob-kind-inconsistent",
+    "Knob kind/unit/bounds are mutually inconsistent",
+    severity="error",
+    hint="bool knobs use bounds 0/1 and no unit; int bounds must be integral",
+))
+register_rule(Rule(
+    "REP304", "unknown-knob-reference",
+    "Code references a knob name missing from the canonical 16-knob table",
+    severity="error",
+    hint="use a name from sparksim.config.KNOB_NAMES",
+))
+register_rule(Rule(
+    "REP305", "duplicate-knob",
+    "Two KnobSpec entries share the same name",
+    severity="error",
+    hint="knob names must be unique",
+))
+register_rule(Rule(
+    "REP306", "knob-constant-out-of-range",
+    "A hard-coded knob value lies outside the canonical tuning range",
+    severity="error",
+    hint="keep literal assignments inside the KnobSpec [low, high] range",
+))
+
+
+@dataclass
+class Diagnostic:
+    """One finding of any analysis pass."""
+
+    rule_id: str
+    message: str
+    path: Optional[str] = None
+    line: Optional[int] = None
+    col: Optional[int] = None
+    severity: Optional[str] = None  # default: the rule's severity
+
+    def __post_init__(self) -> None:
+        if self.rule_id not in RULES:
+            raise ValueError(f"unknown rule id {self.rule_id!r}")
+        if self.severity is None:
+            self.severity = RULES[self.rule_id].severity
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.rule_id]
+
+    def format(self) -> str:
+        loc = ""
+        if self.path is not None:
+            loc = self.path
+            if self.line is not None:
+                loc += f":{self.line}"
+                if self.col is not None:
+                    loc += f":{self.col}"
+            loc += ": "
+        hint = f" (hint: {self.rule.hint})" if self.rule.hint else ""
+        return f"{loc}{self.rule_id} {self.severity}: {self.message}{hint}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "name": self.rule.name,
+            "severity": self.severity,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "hint": self.rule.hint,
+        }
+
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\s*=\s*(?P<codes>[A-Z0-9,\s]+))?")
+
+
+def noqa_lines(source: str) -> Dict[int, Optional[frozenset]]:
+    """Map 1-based line numbers to suppressed rule sets.
+
+    ``None`` means "suppress everything on this line"; otherwise the value is
+    the set of suppressed rule IDs.
+    """
+    out: Dict[int, Optional[frozenset]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(text)
+        if not m:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(c.strip() for c in codes.split(",") if c.strip())
+    return out
+
+
+def apply_suppressions(
+    diagnostics: Iterable[Diagnostic], suppressions: Dict[int, Optional[frozenset]]
+) -> List[Diagnostic]:
+    """Drop diagnostics whose line carries a matching ``repro: noqa``."""
+    kept: List[Diagnostic] = []
+    for diag in diagnostics:
+        if diag.line is not None and diag.line in suppressions:
+            codes = suppressions[diag.line]
+            if codes is None or diag.rule_id in codes:
+                continue
+        kept.append(diag)
+    return kept
+
+
+class Report:
+    """A collection of diagnostics with severity accounting."""
+
+    def __init__(self, diagnostics: Optional[Sequence[Diagnostic]] = None):
+        self.diagnostics: List[Diagnostic] = list(diagnostics or [])
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> "Report":
+        self.diagnostics.extend(diagnostics)
+        return self
+
+    def count(self, severity: str) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    def worst(self) -> Optional[str]:
+        present = {d.severity for d in self.diagnostics}
+        for severity in reversed(SEVERITIES):
+            if severity in present:
+                return severity
+        return None
+
+    def exit_code(self, fail_on: str = "warning") -> int:
+        """0 when clean; 1 when any finding at/above ``fail_on`` exists."""
+        threshold = SEVERITIES.index(fail_on)
+        return int(any(SEVERITIES.index(d.severity) >= threshold for d in self.diagnostics))
+
+    def sorted(self) -> List[Diagnostic]:
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (d.path or "", d.line or 0, d.col or 0, d.rule_id),
+        )
+
+    def format_text(self) -> str:
+        lines = [d.format() for d in self.sorted()]
+        summary = (
+            f"{len(self.diagnostics)} finding(s): "
+            f"{self.count('error')} error(s), {self.count('warning')} warning(s), "
+            f"{self.count('info')} info"
+        )
+        if not self.diagnostics:
+            summary = "clean: 0 findings"
+        return "\n".join(lines + [summary])
+
+    def format_json(self) -> str:
+        return json.dumps(
+            {
+                "findings": [d.as_dict() for d in self.sorted()],
+                "counts": {s: self.count(s) for s in SEVERITIES},
+            },
+            indent=2,
+        )

@@ -1,0 +1,179 @@
+"""Static knob/config validation (REP301-REP306).
+
+Two halves:
+
+- :func:`check_knob_table` validates a ``KnobSpec`` table itself — defaults
+  inside ``[low, high]``, non-degenerate ranges, kind/unit/bound
+  consistency, unique names.  Run against
+  :data:`repro.sparksim.config.KNOB_SPECS` it guards the canonical
+  16-knob table of paper Table IV.
+
+- :func:`check_knob_references` AST-scans source files (the tuners in
+  ``repro.tuning``, the cost model, examples...) for hard-coded knob
+  names and values: every string literal shaped like a Spark property must
+  name a canonical knob (REP304), and constant values assigned to a knob in
+  a dict literal must fall inside the canonical range (REP306).  This is
+  the static cross-check between every tuner's search space and the table —
+  a renamed or retired knob surfaces immediately instead of at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .diagnostics import Diagnostic, apply_suppressions, noqa_lines
+
+#: String literals matching this shape are treated as knob references.
+_KNOB_LIKE = re.compile(r"^spark\.[A-Za-z][A-Za-z0-9]*(\.[A-Za-z][A-Za-z0-9]*)+$")
+
+_VALID_KINDS = ("int", "float", "bool")
+
+
+def check_knob_table(specs: Optional[Sequence] = None) -> List[Diagnostic]:
+    """Validate a KnobSpec table (defaults to the canonical 16-knob table)."""
+    if specs is None:
+        from ..sparksim.config import KNOB_SPECS
+
+        specs = KNOB_SPECS
+    diags: List[Diagnostic] = []
+    seen = {}
+    for spec in specs:
+        where = spec.name
+        if spec.name in seen:
+            diags.append(Diagnostic("REP305", f"{where}: knob name appears more than once"))
+        seen[spec.name] = spec
+
+        if spec.kind not in _VALID_KINDS:
+            diags.append(Diagnostic(
+                "REP303", f"{where}: unknown kind {spec.kind!r} (expected int/float/bool)"
+            ))
+            continue
+
+        if spec.low >= spec.high:
+            diags.append(Diagnostic(
+                "REP302", f"{where}: degenerate range [{spec.low}, {spec.high}]"
+            ))
+        if spec.kind == "bool":
+            if (spec.low, spec.high) != (0, 1):
+                diags.append(Diagnostic(
+                    "REP303", f"{where}: bool knob must use bounds [0, 1], got "
+                              f"[{spec.low}, {spec.high}]"
+                ))
+            if spec.unit:
+                diags.append(Diagnostic(
+                    "REP303", f"{where}: bool knob carries a unit {spec.unit!r}"
+                ))
+            if not isinstance(spec.default, bool):
+                diags.append(Diagnostic(
+                    "REP303", f"{where}: bool knob default {spec.default!r} is not a bool"
+                ))
+            continue
+        if spec.kind == "int":
+            if float(spec.low) != int(spec.low) or float(spec.high) != int(spec.high):
+                diags.append(Diagnostic(
+                    "REP303", f"{where}: int knob has fractional bounds "
+                              f"[{spec.low}, {spec.high}]"
+                ))
+            if float(spec.default) != int(spec.default):
+                diags.append(Diagnostic(
+                    "REP303", f"{where}: int knob default {spec.default!r} is fractional"
+                ))
+        if isinstance(spec.default, bool):
+            diags.append(Diagnostic(
+                "REP303", f"{where}: {spec.kind} knob default {spec.default!r} is a bool"
+            ))
+        elif not spec.low <= float(spec.default) <= spec.high:
+            diags.append(Diagnostic(
+                "REP301", f"{where}: default {spec.default} outside "
+                          f"[{spec.low}, {spec.high}] {spec.unit}".rstrip()
+            ))
+    return diags
+
+
+class _KnobRefVisitor(ast.NodeVisitor):
+    """Find knob-name string literals and ``{knob: constant}`` dict entries."""
+
+    def __init__(self, path: str, known: dict):
+        self.path = path
+        self.known = known
+        self.diagnostics: List[Diagnostic] = []
+        #: literal ids already checked as dict keys (skip the bare-name pass)
+        self._consumed: set = set()
+
+    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.diagnostics.append(Diagnostic(
+            rule_id, message, path=self.path,
+            line=getattr(node, "lineno", None), col=getattr(node, "col_offset", None),
+        ))
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        for key, value in zip(node.keys, node.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                continue
+            name = key.value
+            if not _KNOB_LIKE.match(name):
+                continue
+            self._consumed.add(id(key))
+            spec = self.known.get(name)
+            if spec is None:
+                self._emit("REP304", key, f"unknown knob {name!r}")
+                continue
+            if isinstance(value, ast.Constant) and isinstance(value.value, (bool, int, float)):
+                v = value.value
+                if spec.kind == "bool":
+                    continue  # any bool/0/1 constant is acceptable
+                if isinstance(v, bool):
+                    self._emit(
+                        "REP306", value,
+                        f"{name} is a {spec.kind} knob but is assigned {v!r}",
+                    )
+                elif not spec.low <= float(v) <= spec.high:
+                    self._emit(
+                        "REP306", value,
+                        f"{name}={v} outside canonical range [{spec.low}, {spec.high}]"
+                        + (f" {spec.unit}" if spec.unit else ""),
+                    )
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if (
+            isinstance(node.value, str)
+            and id(node) not in self._consumed
+            and _KNOB_LIKE.match(node.value)
+            and node.value not in self.known
+        ):
+            self._emit("REP304", node, f"unknown knob {node.value!r}")
+
+
+def check_knob_references(
+    paths: Iterable, known: Optional[dict] = None
+) -> List[Diagnostic]:
+    """AST-scan files for knob references inconsistent with the table."""
+    if known is None:
+        from ..sparksim.config import KNOB_BY_NAME
+
+        known = KNOB_BY_NAME
+    diags: List[Diagnostic] = []
+    for path in paths:
+        source = Path(path).read_text(encoding="utf-8")
+        diags.extend(check_knob_references_source(source, str(path), known))
+    return diags
+
+
+def check_knob_references_source(
+    source: str, path: str = "<string>", known: Optional[dict] = None
+) -> List[Diagnostic]:
+    if known is None:
+        from ..sparksim.config import KNOB_BY_NAME
+
+        known = KNOB_BY_NAME
+    tree = ast.parse(source, filename=path)
+    # visit_Dict must claim keys before the bare-constant pass sees them, so
+    # walk dicts first: NodeVisitor's depth-first order already guarantees a
+    # Dict node is visited before its key Constant children.
+    visitor = _KnobRefVisitor(path, known)
+    visitor.visit(tree)
+    return apply_suppressions(visitor.diagnostics, noqa_lines(source))

@@ -1,0 +1,114 @@
+"""Repo-level drivers for the analysis passes (the ``repro lint`` backend).
+
+``run_lint`` walks a set of paths, applies the AST lint to every Python
+file, validates the canonical knob table once, and cross-checks knob
+references in the scanned files.  ``run_check_model`` builds the NECS
+variants (CNN / LSTM / Transformer code encoders, with and without the
+GCN path) and runs the static shape checker over each — no forward pass
+is executed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .astlint import lint_file
+from .diagnostics import Diagnostic, Report
+from .knobs import check_knob_references, check_knob_table
+
+#: Directories never scanned.
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", ".hypothesis", "build", "dist"}
+
+
+def iter_python_files(paths: Iterable) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    files.append(candidate)
+        elif not path.exists():
+            # A typo'd path must not pass as "clean: 0 findings".
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+    return files
+
+
+def default_lint_root() -> Path:
+    """The installed ``repro`` package source tree."""
+    return Path(__file__).resolve().parent.parent
+
+
+def run_lint(
+    paths: Optional[Sequence] = None,
+    select: Optional[Sequence[str]] = None,
+) -> Report:
+    """Run the AST lint + knob validation over ``paths``.
+
+    ``select`` restricts output to the given rule IDs (e.g. for CI stages
+    that gate only on a subset).
+    """
+    if select:
+        from .diagnostics import RULES
+
+        unknown = sorted(set(select) - set(RULES))
+        if unknown:
+            raise ValueError(f"unknown rule id(s) in --select: {', '.join(unknown)}")
+    files = iter_python_files(paths if paths else [default_lint_root()])
+    diagnostics: List[Diagnostic] = []
+    for path in files:
+        diagnostics.extend(lint_file(path))
+    diagnostics.extend(check_knob_table())
+    diagnostics.extend(check_knob_references(files))
+    if select:
+        wanted = set(select)
+        diagnostics = [d for d in diagnostics if d.rule_id in wanted]
+    return Report(diagnostics)
+
+
+def run_check_model(
+    encoders: Sequence[str] = ("cnn", "lstm", "transformer", "none"),
+    inject_fault: bool = False,
+    vocab_size: int = 48,
+    dag_dim: int = 12,
+    numeric_dim: int = 26,
+) -> Report:
+    """Statically check NECS variants (and optionally a seeded fault).
+
+    ``inject_fault`` replaces the tower MLP of the first variant with one
+    built for the wrong input width — the checker must flag it (REP006)
+    without ever executing a forward pass; used by CI self-tests and the
+    ``--inject-fault`` CLI flag.
+    """
+    import numpy as np
+
+    from ..core.necs import NECSConfig, NECSNetwork
+    from ..nn.layers import MLP
+    from .shapes import check_necs
+
+    report = Report()
+    for i, encoder in enumerate(encoders):
+        config = NECSConfig(code_encoder=encoder, use_dag=True)
+        network = NECSNetwork(
+            config,
+            vocab_size=vocab_size if encoder != "none" else 0,
+            dag_dim=dag_dim,
+            numeric_dim=numeric_dim,
+        )
+        if inject_fault and i == 0:
+            rng = np.random.default_rng(0)
+            network.mlp = MLP(numeric_dim // 2, config.mlp_hidden, 1,
+                              config.mlp_depth, rng, tower=True)
+        diags = check_necs(
+            network,
+            numeric_dim=numeric_dim,
+            vocab_size=vocab_size if encoder != "none" else None,
+            dag_dim=dag_dim,
+        )
+        for diag in diags:
+            diag.message = f"[code_encoder={encoder}] {diag.message}"
+        report.extend(diags)
+    return report

@@ -1,0 +1,488 @@
+"""Static shape & graph checker for :mod:`repro.nn` modules (REP001-REP006).
+
+Infers the shape a module produces *symbolically* — no forward pass, no
+data — by walking the module tree with per-type wiring rules that mirror
+each layer's ``forward``.  Dimensions are either concrete ``int`` values
+(read from parameter arrays) or named symbols (``"B"`` for batch, ``"L"``
+for sequence length); symbols flow through untouched while concrete dims
+are checked at every junction.
+
+Checks performed:
+
+- ``REP001`` dimension mismatches between producer and consumer layers
+  (Dense chains, Conv channel widths, attention head splits, ...);
+- ``REP002`` the same ``Parameter`` object registered under two names;
+- ``REP003`` dead parameters: attributes that the wiring never consumes
+  (so they would never receive gradient), or parameters with
+  ``requires_grad`` switched off;
+- ``REP004`` GCN input width vs. the DAG encoder's node-feature dimension;
+- ``REP005`` NaN/Inf or zero-size parameter arrays;
+- ``REP006`` NECS fusion width: ``numeric + code + dag`` vs. the tower
+  MLP's input width.
+
+Unknown :class:`~repro.nn.module.Module` subclasses are handled
+structurally: their child layers are each checked for internal consistency
+and their parameters are conservatively treated as live (we cannot know an
+unknown module's wiring without running it).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..nn import attention as _attention
+from ..nn import gcn as _gcn
+from ..nn import layers as _layers
+from ..nn import rnn as _rnn
+from ..nn.module import Module, Parameter, Sequential
+from .diagnostics import Diagnostic
+
+Dim = Union[int, str]
+Shape = Tuple[Dim, ...]
+
+
+class _Ctx:
+    """Walk state: diagnostics, live-parameter marks, fresh symbols."""
+
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+        self.visited: set = set()  # id() of consumed Parameters
+        self._fresh = itertools.count()
+
+    def emit(self, rule_id: str, where: str, message: str) -> None:
+        self.diagnostics.append(Diagnostic(rule_id, f"{where}: {message}"))
+
+    def fresh_symbol(self, base: str) -> str:
+        return f"{base}?{next(self._fresh)}"
+
+    def consume(self, module: Module) -> None:
+        """Mark every parameter owned by ``module`` as used by the wiring."""
+        for _, param in module.named_parameters():
+            self.visited.add(id(param))
+
+    def consume_param(self, param: Optional[Parameter]) -> None:
+        if param is not None:
+            self.visited.add(id(param))
+
+
+def _dims_conflict(a: Dim, b: Dim) -> bool:
+    """Two dims conflict only when both are concrete and differ."""
+    return isinstance(a, int) and isinstance(b, int) and a != b
+
+
+def _fmt(shape: Optional[Shape]) -> str:
+    if shape is None:
+        return "(?)"
+    return "(" + ", ".join(str(d) for d in shape) + ")"
+
+
+# ---------------------------------------------------------------------------
+# Per-type wiring rules.  Each returns the output shape (or None = unknown).
+# ---------------------------------------------------------------------------
+def _infer_dense(m: _layers.Dense, shape: Optional[Shape], ctx: _Ctx, where: str) -> Optional[Shape]:
+    ctx.consume_param(m.weight)
+    ctx.consume_param(m.bias)
+    w_in, w_out = m.weight.shape
+    if (m.in_features, m.out_features) != (w_in, w_out):
+        ctx.emit(
+            "REP001", where,
+            f"Dense declares in/out ({m.in_features}, {m.out_features}) but "
+            f"weight has shape {m.weight.shape}",
+        )
+    if m.bias is not None and m.bias.shape != (w_out,):
+        ctx.emit("REP001", where, f"Dense bias shape {m.bias.shape} != ({w_out},)")
+    if shape is not None:
+        if len(shape) == 0:
+            ctx.emit("REP001", where, "Dense applied to a scalar input")
+        elif _dims_conflict(shape[-1], w_in):
+            ctx.emit(
+                "REP001", where,
+                f"input {_fmt(shape)} has last dim {shape[-1]} but Dense "
+                f"expects {w_in}",
+            )
+        return shape[:-1] + (w_out,)
+    return None
+
+
+def _infer_layernorm(m: _layers.LayerNorm, shape, ctx: _Ctx, where: str):
+    ctx.consume_param(m.gain)
+    ctx.consume_param(m.shift)
+    dim = m.gain.shape[0]
+    if m.shift.shape != m.gain.shape:
+        ctx.emit("REP001", where, f"LayerNorm gain {m.gain.shape} != shift {m.shift.shape}")
+    if shape is not None and len(shape) > 0 and _dims_conflict(shape[-1], dim):
+        ctx.emit(
+            "REP001", where,
+            f"input {_fmt(shape)} has last dim {shape[-1]} but LayerNorm is over {dim}",
+        )
+    return shape
+
+
+def _infer_embedding(m: _layers.Embedding, shape, ctx: _Ctx, where: str):
+    ctx.consume_param(m.table)
+    rows, dim = m.table.shape
+    if (m.vocab_size, m.dim) != (rows, dim):
+        ctx.emit(
+            "REP001", where,
+            f"Embedding declares (vocab={m.vocab_size}, dim={m.dim}) but table "
+            f"has shape {m.table.shape}",
+        )
+    if shape is None:
+        return None
+    # Input is an integer index array; output appends the embedding dim.
+    return shape + (dim,)
+
+
+def _infer_conv1d(m: _layers.Conv1D, shape, ctx: _Ctx, where: str):
+    ctx.consume_param(m.weight)
+    ctx.consume_param(m.bias)
+    kernel, c_in, c_out = m.weight.shape
+    if m.kernel_size != kernel:
+        ctx.emit(
+            "REP001", where,
+            f"Conv1D declares kernel_size={m.kernel_size} but weight kernel is {kernel}",
+        )
+    if m.bias.shape != (c_out,):
+        ctx.emit("REP001", where, f"Conv1D bias shape {m.bias.shape} != ({c_out},)")
+    if shape is None:
+        return None
+    if len(shape) != 3:
+        ctx.emit("REP001", where, f"Conv1D expects (B, L, C) input, got {_fmt(shape)}")
+        return None
+    batch, length, chans = shape
+    if _dims_conflict(chans, c_in):
+        ctx.emit("REP001", where, f"input channels {chans} but kernel expects {c_in}")
+    if isinstance(length, int):
+        out_len = length - kernel + 1
+        if out_len <= 0:
+            ctx.emit(
+                "REP001", where,
+                f"sequence length {length} shorter than kernel {kernel}",
+            )
+            out_len = ctx.fresh_symbol("L")
+    else:
+        out_len = ctx.fresh_symbol("L")
+    return (batch, out_len, c_out)
+
+
+def _infer_sequential_chain(mods: Sequence[Module], shape, ctx: _Ctx, where: str):
+    for i, step in enumerate(mods):
+        shape = _infer(step, shape, ctx, f"{where}[{i}]")
+    return shape
+
+
+def _infer_mlp(m: _layers.MLP, shape, ctx: _Ctx, where: str):
+    return _infer_sequential_chain(m.layers, shape, ctx, f"{where}.layers")
+
+
+def _infer_sequential(m: Sequential, shape, ctx: _Ctx, where: str):
+    return _infer_sequential_chain(m.steps, shape, ctx, f"{where}.steps")
+
+
+def _infer_identity(m: Module, shape, ctx: _Ctx, where: str):
+    return shape
+
+
+def _infer_lstm_cell(m: _rnn.LSTMCell, shape, ctx: _Ctx, where: str):
+    ctx.consume_param(m.weight)
+    ctx.consume_param(m.bias)
+    fan_in, fused = m.weight.shape
+    if fan_in != m.input_size + m.hidden_size:
+        ctx.emit(
+            "REP001", where,
+            f"LSTMCell weight rows {fan_in} != input_size+hidden_size "
+            f"({m.input_size}+{m.hidden_size})",
+        )
+    if fused != 4 * m.hidden_size:
+        ctx.emit(
+            "REP001", where,
+            f"LSTMCell fused gate width {fused} != 4*hidden_size ({4 * m.hidden_size})",
+        )
+    if m.bias.shape != (fused,):
+        ctx.emit("REP001", where, f"LSTMCell bias shape {m.bias.shape} != ({fused},)")
+    return shape
+
+
+def _infer_lstm_encoder(m: _rnn.LSTMEncoder, shape, ctx: _Ctx, where: str):
+    _infer_lstm_cell(m.cell, None, ctx, f"{where}.cell")
+    if shape is None:
+        return None
+    if len(shape) != 3:
+        ctx.emit("REP001", where, f"LSTMEncoder expects (B, L, D) input, got {_fmt(shape)}")
+        return None
+    batch, _, feat = shape
+    if _dims_conflict(feat, m.cell.input_size):
+        ctx.emit(
+            "REP001", where,
+            f"input feature dim {feat} but LSTMCell expects {m.cell.input_size}",
+        )
+    return (batch, m.hidden_size)
+
+
+def _infer_mhsa(m: _attention.MultiHeadSelfAttention, shape, ctx: _Ctx, where: str):
+    for name in ("q_proj", "k_proj", "v_proj", "out_proj"):
+        proj: _layers.Dense = getattr(m, name)
+        _infer_dense(proj, None, ctx, f"{where}.{name}")
+        if _dims_conflict(proj.weight.shape[0], m.dim):
+            ctx.emit(
+                "REP001", where,
+                f"{name} input width {proj.weight.shape[0]} != attention dim {m.dim}",
+            )
+    if m.dim % m.num_heads != 0:
+        ctx.emit("REP001", where, f"dim {m.dim} not divisible by num_heads {m.num_heads}")
+    if shape is not None and len(shape) == 3 and _dims_conflict(shape[-1], m.dim):
+        ctx.emit("REP001", where, f"input {_fmt(shape)} last dim != attention dim {m.dim}")
+    return shape
+
+
+def _infer_transformer_block(m: _attention.TransformerBlock, shape, ctx: _Ctx, where: str):
+    _infer_mhsa(m.attn, shape, ctx, f"{where}.attn")
+    _infer_layernorm(m.norm1, shape, ctx, f"{where}.norm1")
+    _infer_layernorm(m.norm2, shape, ctx, f"{where}.norm2")
+    dim = m.attn.dim
+    ff_out = _infer_dense(m.ff1, shape, ctx, f"{where}.ff1")
+    ff_shape = _infer_dense(m.ff2, ff_out, ctx, f"{where}.ff2")
+    # Residual: ff2 must map back to the attention width.
+    if _dims_conflict(m.ff2.weight.shape[1], dim):
+        ctx.emit(
+            "REP001", where,
+            f"feed-forward output {m.ff2.weight.shape[1]} != residual width {dim}",
+        )
+    del ff_shape
+    return shape
+
+
+def _infer_transformer(m: _attention.TransformerEncoder, shape, ctx: _Ctx, where: str):
+    dim = m.norm.gain.shape[0]
+    for i, block in enumerate(m.blocks):
+        _infer_transformer_block(block, shape, ctx, f"{where}.blocks[{i}]")
+        if _dims_conflict(block.attn.dim, dim):
+            ctx.emit(
+                "REP001", where,
+                f"block {i} width {block.attn.dim} != encoder width {dim}",
+            )
+    _infer_layernorm(m.norm, shape, ctx, f"{where}.norm")
+    if _dims_conflict(m._positions.shape[1], dim):
+        ctx.emit(
+            "REP001", where,
+            f"positional table width {m._positions.shape[1]} != encoder width {dim}",
+        )
+    if shape is None:
+        return None
+    if len(shape) != 3:
+        ctx.emit("REP001", where, f"TransformerEncoder expects (B, L, D) input, got {_fmt(shape)}")
+        return None
+    if _dims_conflict(shape[-1], dim):
+        ctx.emit("REP001", where, f"input {_fmt(shape)} last dim != encoder width {dim}")
+    return (shape[0], dim)
+
+
+def _infer_gcn(m: _gcn.GCNEncoder, shape, ctx: _Ctx, where: str,
+               dag_dim: Optional[int] = None):
+    """``shape`` here is the per-graph node-feature shape ``(N, F)``."""
+    if not m.layers:
+        ctx.emit("REP001", where, "GCNEncoder has no layers")
+        return None
+    first_in = m.layers[0].weight.shape[0]
+    if dag_dim is not None and _dims_conflict(first_in, dag_dim):
+        ctx.emit(
+            "REP004", where,
+            f"GCN input width {first_in} != DAG node-feature dimension {dag_dim}",
+        )
+    chain = shape
+    chain = _infer_sequential_chain(m.layers, chain, ctx, f"{where}.layers")
+    last_out = m.layers[-1].weight.shape[1]
+    if _dims_conflict(m.out_dim, last_out):
+        ctx.emit(
+            "REP001", where,
+            f"GCNEncoder.out_dim {m.out_dim} != last layer output {last_out}",
+        )
+    if chain is None:
+        return None
+    # Max-pool over nodes: (N, H) -> (H,)
+    return chain[1:]
+
+
+_EXACT_RULES = {
+    _layers.Dense: _infer_dense,
+    _layers.LayerNorm: _infer_layernorm,
+    _layers.Embedding: _infer_embedding,
+    _layers.Conv1D: _infer_conv1d,
+    _layers.MLP: _infer_mlp,
+    Sequential: _infer_sequential,
+    _layers.Dropout: _infer_identity,
+    _layers.ReLU: _infer_identity,
+    _layers.Tanh: _infer_identity,
+    _layers.Sigmoid: _infer_identity,
+    _rnn.LSTMCell: _infer_lstm_cell,
+    _rnn.LSTMEncoder: _infer_lstm_encoder,
+    _attention.MultiHeadSelfAttention: _infer_mhsa,
+    _attention.TransformerBlock: _infer_transformer_block,
+    _attention.TransformerEncoder: _infer_transformer,
+    _gcn.GCNEncoder: _infer_gcn,
+}
+
+
+def _infer(module: Module, shape, ctx: _Ctx, where: str):
+    """Dispatch to the wiring rule for ``module``'s type."""
+    rule = _EXACT_RULES.get(type(module))
+    if rule is None:
+        # Walk the MRO so light subclasses of known layers still check.
+        for klass, candidate in _EXACT_RULES.items():
+            if isinstance(module, klass):
+                rule = candidate
+                break
+    if rule is not None:
+        return rule(module, shape, ctx, where)
+    return _structural(module, ctx, where)
+
+
+def _structural(module: Module, ctx: _Ctx, where: str):
+    """Fallback for unknown module types: check children independently.
+
+    We cannot know an unknown ``forward``'s wiring without executing it, so
+    each child module is checked for internal consistency with an unknown
+    input shape and every directly-owned parameter is treated as live.
+    """
+    for name in sorted(vars(module)):
+        value = getattr(module, name)
+        if isinstance(value, Parameter):
+            ctx.consume_param(value)
+        elif isinstance(value, Module):
+            _infer(value, None, ctx, f"{where}.{name}")
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                if isinstance(item, Parameter):
+                    ctx.consume_param(item)
+                elif isinstance(item, Module):
+                    _infer(item, None, ctx, f"{where}.{name}[{i}]")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Whole-model entry points
+# ---------------------------------------------------------------------------
+def _check_registry(module: Module, ctx: _Ctx) -> Dict[str, Parameter]:
+    """Registry-level checks: duplicates (REP002), bad values (REP005),
+    requires_grad flags (REP003)."""
+    named = list(module.named_parameters())
+    by_id: Dict[int, List[str]] = {}
+    for name, param in named:
+        by_id.setdefault(id(param), []).append(name)
+    for names in by_id.values():
+        if len(names) > 1:
+            ctx.emit(
+                "REP002", names[0],
+                f"Parameter registered {len(names)} times: {', '.join(names)}",
+            )
+    for name, param in named:
+        if param.size == 0:
+            ctx.emit("REP005", name, "parameter has zero size")
+        elif not np.isfinite(param.numpy()).all():
+            bad = int((~np.isfinite(param.numpy())).sum())
+            ctx.emit("REP005", name, f"parameter contains {bad} non-finite value(s)")
+        if not param.requires_grad:
+            ctx.emit(
+                "REP003", name,
+                "Parameter has requires_grad=False and will never train",
+            )
+    return dict(named)
+
+
+def check_module(
+    module: Module,
+    input_shape: Optional[Shape] = None,
+    name: str = "model",
+) -> List[Diagnostic]:
+    """Statically check any :class:`repro.nn.Module`.
+
+    ``input_shape`` may mix concrete ints and symbol strings, e.g.
+    ``("B", 24)`` for a Dense stack or ``("B", "L", 16)`` for sequence
+    encoders.  Without it, only internal consistency is checked.
+    """
+    ctx = _Ctx()
+    named = _check_registry(module, ctx)
+    _infer(module, input_shape, ctx, name)
+    for pname, param in named.items():
+        if id(param) not in ctx.visited:
+            ctx.emit(
+                "REP003", pname,
+                "parameter is not consumed by the module wiring (dead weight)",
+            )
+    return ctx.diagnostics
+
+
+def check_necs(
+    network,
+    numeric_dim: Optional[int] = None,
+    vocab_size: Optional[int] = None,
+    dag_dim: Optional[int] = None,
+) -> List[Diagnostic]:
+    """Statically check a :class:`repro.core.necs.NECSNetwork`.
+
+    The optional ``numeric_dim`` / ``vocab_size`` / ``dag_dim`` are the
+    externally-known feature dimensions; when provided the fusion width is
+    checked exactly (REP006), otherwise only for impossibility
+    (non-positive implied numeric width).
+    """
+    ctx = _Ctx()
+    named = _check_registry(network, ctx)
+    cfg = network.config
+    where = "necs"
+
+    code_out = 0
+    if cfg.code_encoder != "none":
+        emb = network.embedding
+        _infer_embedding(emb, None, ctx, f"{where}.embedding")
+        embed_dim = emb.table.shape[1]
+        if vocab_size is not None and _dims_conflict(emb.table.shape[0], vocab_size):
+            ctx.emit(
+                "REP001", f"{where}.embedding",
+                f"embedding table rows {emb.table.shape[0]} != vocabulary size {vocab_size}",
+            )
+        seq: Shape = ("B", cfg.max_tokens, embed_dim)
+        if cfg.code_encoder == "cnn":
+            pooled = _infer_conv1d(network.conv, seq, ctx, f"{where}.conv")
+            feats: Optional[Shape] = None if pooled is None else (pooled[0], pooled[2])
+        elif cfg.code_encoder == "lstm":
+            feats = _infer_lstm_encoder(network.lstm, seq, ctx, f"{where}.lstm")
+        else:
+            feats = _infer_transformer(network.transformer, seq, ctx, f"{where}.transformer")
+        proj_out = _infer_dense(network.code_proj, feats, ctx, f"{where}.code_proj")
+        code_out = network.code_proj.weight.shape[1]
+        del proj_out
+
+    dag_out = 0
+    if cfg.use_dag:
+        node_shape: Shape = ("N", dag_dim) if dag_dim is not None else ("N", ctx.fresh_symbol("F"))
+        _infer_gcn(network.gcn, node_shape, ctx, f"{where}.gcn", dag_dim=dag_dim)
+        dag_out = network.gcn.out_dim
+
+    mlp_in = network.mlp.layers[0].weight.shape[0]
+    implied_numeric = mlp_in - code_out - dag_out
+    if numeric_dim is not None:
+        if implied_numeric != numeric_dim:
+            ctx.emit(
+                "REP006", f"{where}.mlp",
+                f"tower MLP input width {mlp_in} != numeric ({numeric_dim}) + "
+                f"code ({code_out}) + dag ({dag_out}) = "
+                f"{numeric_dim + code_out + dag_out}",
+            )
+    elif implied_numeric <= 0:
+        ctx.emit(
+            "REP006", f"{where}.mlp",
+            f"tower MLP input width {mlp_in} leaves no room for numeric "
+            f"features after code ({code_out}) + dag ({dag_out})",
+        )
+    _infer_mlp(network.mlp, ("B", mlp_in), ctx, f"{where}.mlp")
+
+    for pname, param in named.items():
+        if id(param) not in ctx.visited:
+            ctx.emit(
+                "REP003", pname,
+                "parameter is not consumed by the NECS wiring (dead weight)",
+            )
+    return ctx.diagnostics

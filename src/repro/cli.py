@@ -6,6 +6,8 @@ Commands
 - ``recommend``  load a trained system and recommend knobs for one app
 - ``workloads``  list the available spark-bench applications
 - ``run``        execute one application under a configuration file
+- ``lint``       static analysis: autograd-aware lint + knob validation
+- ``check-model`` static shape/graph check of the NECS variants
 
 Examples
 --------
@@ -26,6 +28,8 @@ import time
 from typing import List, Optional
 
 import numpy as np
+
+from .utils.rng import get_rng
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -60,6 +64,28 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--set", action="append", default=[], metavar="KNOB=VALUE",
                        help="knob override, repeatable")
+
+    p_lint = sub.add_parser(
+        "lint", help="run the static autograd/knob lint (exit 1 on findings)")
+    p_lint.add_argument("paths", nargs="*", default=[],
+                        help="files/directories to lint (default: the repro package)")
+    p_lint.add_argument("--select", default=None,
+                        help="comma-separated rule IDs to restrict to (e.g. REP101,REP103)")
+    p_lint.add_argument("--fail-on", default="warning",
+                        choices=("info", "warning", "error"),
+                        help="lowest severity that fails the run")
+    p_lint.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_check = sub.add_parser(
+        "check-model",
+        help="statically shape-check the NECS variants without a forward pass")
+    p_check.add_argument("--encoders", nargs="*",
+                         default=["cnn", "lstm", "transformer", "none"],
+                         choices=("cnn", "lstm", "transformer", "none"),
+                         help="code-encoder variants to check")
+    p_check.add_argument("--inject-fault", action="store_true",
+                         help="seed a known shape mismatch (the checker must flag it)")
+    p_check.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
 
@@ -139,7 +165,7 @@ def cmd_recommend(args) -> int:
     data = workload.data_spec(args.scale).features()
     rec = lite.recommend(
         workload.name, data, cluster,
-        n_candidates=args.candidates, rng=np.random.default_rng(args.seed),
+        n_candidates=args.candidates, rng=get_rng(args.seed),
     )
     if args.json:
         print(json.dumps({
@@ -174,6 +200,26 @@ def cmd_run(args) -> int:
     return 0 if run.success else 1
 
 
+def cmd_lint(args) -> int:
+    from .analysis import run_lint
+
+    select = [s.strip() for s in args.select.split(",")] if args.select else None
+    try:
+        report = run_lint(args.paths or None, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"repro lint: {exc}")
+    print(report.format_json() if args.json else report.format_text())
+    return report.exit_code(fail_on=args.fail_on)
+
+
+def cmd_check_model(args) -> int:
+    from .analysis import run_check_model
+
+    report = run_check_model(encoders=args.encoders, inject_fault=args.inject_fault)
+    print(report.format_json() if args.json else report.format_text())
+    return report.exit_code(fail_on="warning")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -181,6 +227,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": cmd_train,
         "recommend": cmd_recommend,
         "run": cmd_run,
+        "lint": cmd_lint,
+        "check-model": cmd_check_model,
     }
     return handlers[args.command](args)
 

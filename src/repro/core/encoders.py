@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 from .. import nn
 from ..ml.gbm import GradientBoostingRegressor
 from ..ml.scaler import StandardScaler
@@ -60,7 +62,7 @@ class SchedulerLSTM:
 
     def fit(self, label_lists: Sequence[Sequence[str]]) -> "SchedulerLSTM":
         self.dag_encoder.fit(label_lists)
-        rng = np.random.default_rng(self.seed)
+        rng = get_rng(self.seed)
         dim = self.dag_encoder.dim
         self._lstm = nn.LSTMEncoder(dim, self.hidden, rng)
         self._head = nn.Dense(self.hidden, dim, rng)
@@ -243,10 +245,10 @@ class TabularPredictor:
         else:
             self._scaler = StandardScaler().fit(X)
             Xs = self._scaler.transform(X)
-            rng = np.random.default_rng(self.seed)
+            rng = get_rng(self.seed)
             self._model = nn.MLP(X.shape[1], 64, 1, 3, rng, tower=True)
             opt = nn.Adam(self._model.parameters(), lr=2e-3)
-            idx_rng = np.random.default_rng(self.seed + 1)
+            idx_rng = get_rng(self.seed + 1)
             for _ in range(20):
                 order = idx_rng.permutation(len(y_n))
                 for start in range(0, len(y_n), 32):

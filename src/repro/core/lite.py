@@ -22,6 +22,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 from ..sparksim.cluster import ClusterSpec
 from ..sparksim.config import SparkConf
 from ..sparksim.eventlog import AppRun
@@ -118,7 +120,7 @@ class LITE:
         """Recommend knob values for an application on target data/cluster."""
         if not self.trained:
             raise RuntimeError("LITE must be trained before recommending")
-        rng = rng or np.random.default_rng(self.config.seed)
+        rng = rng or get_rng(self.config.seed)
         n = n_candidates or self.config.n_candidates
         data_features = np.asarray(data_features, dtype=np.float64)
         candidates = self.candidate_generator.generate(

@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 from .. import nn
 from ..ml.scaler import StandardScaler
 from .dagfeat import DagEncoder
@@ -61,7 +63,7 @@ class NECSNetwork(nn.Module):
     def __init__(self, config: NECSConfig, vocab_size: int, dag_dim: int, numeric_dim: int):
         super().__init__()
         self.config = config
-        rng = np.random.default_rng(config.seed)
+        rng = get_rng(config.seed)
 
         code_dim = 0
         if config.code_encoder != "none":
@@ -204,7 +206,7 @@ class NECSEstimator:
     def _train_loop(self, numeric, code_ids, graphs, targets, verbose: bool) -> None:
         cfg = self.config
         optimizer = nn.Adam(self.network.parameters(), lr=cfg.lr)
-        rng = np.random.default_rng(cfg.seed + 1)
+        rng = get_rng(cfg.seed + 1)
         n = len(targets)
         self.train_losses_ = []
         for epoch in range(cfg.epochs):

@@ -20,6 +20,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 from .. import nn
 from .instances import StageInstance
 from .necs import NECSEstimator
@@ -73,7 +75,7 @@ class AdaptiveModelUpdater:
         cfg = self.config
         est = self.estimator
         net = est.network
-        rng = np.random.default_rng(cfg.seed)
+        rng = get_rng(cfg.seed)
 
         src_numeric, src_codes, src_graphs = est._encode(list(source))
         tgt_numeric, tgt_codes, tgt_graphs = est._encode(list(target))
@@ -117,7 +119,7 @@ class AdaptiveModelUpdater:
                 # -------- discriminator step (on detached embeddings) ----
                 for _ in range(cfg.disc_steps):
                     _, h = net.forward_with_embedding(numeric, codes, graphs)
-                    h_const = nn.Tensor(h.numpy())
+                    h_const = h.detach()
                     d_prob = self.discriminator(h_const)
                     d_loss = nn.bce_loss(d_prob, labels)
                     opt_disc.zero_grad()

@@ -13,6 +13,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 from ..sparksim.cluster import ClusterSpec
 from ..sparksim.config import SparkConf
 from ..sparksim.eventlog import AppRun
@@ -73,7 +75,7 @@ def collect_training_runs(
     for wl_idx, workload in enumerate(workloads):
         for cluster in clusters:
             for scale_idx, scale in enumerate(scales):
-                rng = np.random.default_rng(seed + 1000 * wl_idx + 10 * scale_idx + ord(cluster.name[0]))
+                rng = get_rng(seed + 1000 * wl_idx + 10 * scale_idx + ord(cluster.name[0]))
                 runs.extend(
                     _collect_cell(workload, cluster, scale, confs_per_cell, rng, seed)
                 )

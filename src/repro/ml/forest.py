@@ -14,6 +14,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 from .tree import DecisionTreeRegressor
 
 
@@ -51,7 +53,7 @@ class RandomForestRegressor:
         if len(X) == 0:
             raise ValueError("cannot fit on empty data")
         self.n_features_ = X.shape[1]
-        rng = np.random.default_rng(self.seed)
+        rng = get_rng(self.seed)
         max_features = self._resolve_max_features(X.shape[1])
         self.trees_ = []
         n = len(X)
@@ -61,7 +63,7 @@ class RandomForestRegressor:
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=max_features,
-                rng=np.random.default_rng(rng.integers(0, 2**31)),
+                rng=get_rng(rng.integers(0, 2**31)),
             )
             tree.fit(X[idx], y[idx])
             self.trees_.append(tree)

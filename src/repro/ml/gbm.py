@@ -12,6 +12,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 from .tree import DecisionTreeRegressor
 
 
@@ -49,7 +51,7 @@ class GradientBoostingRegressor:
         y = np.asarray(y, dtype=np.float64)
         if len(X) == 0:
             raise ValueError("cannot fit on empty data")
-        rng = np.random.default_rng(self.seed)
+        rng = get_rng(self.seed)
         self.base_ = float(y.mean())
         self.trees_ = []
         self.train_losses_ = []

@@ -12,6 +12,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 
 @dataclass
 class _Node:
@@ -58,7 +60,7 @@ class DecisionTreeRegressor:
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng or get_rng(0)
         self._root: Optional[_Node] = None
         self.n_features_: int = 0
 

@@ -46,7 +46,8 @@ def huber_loss(pred: Tensor, target: np.ndarray, delta: float = 1.0) -> Tensor:
     abs_diff = (diff * diff + 1e-12) ** 0.5
     quadratic = 0.5 * (diff * diff)
     linear = delta * (abs_diff - 0.5 * delta)
-    mask = abs_diff.data <= delta
+    # Read-only branch mask: .numpy() keeps the comparison off the tape.
+    mask = abs_diff.numpy() <= delta
     from .tensor import where
 
     return where(mask, quadratic, linear).mean()

@@ -25,6 +25,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 from .cluster import ClusterSpec
 from .config import SparkConf
 from .dag import StageMetrics
@@ -286,7 +288,7 @@ class StageCostModel:
         stage_seconds += dispatch + p.stage_overhead_s
 
         if noise_seed is not None:
-            rng = np.random.default_rng(noise_seed)
+            rng = get_rng(noise_seed)
             stage_seconds *= float(np.exp(rng.normal(0.0, p.noise_sigma)))
 
         utilization = min(1.0, tasks / plan.total_slots) if waves == 1 else (

@@ -13,6 +13,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 from ..ml.gp import GaussianProcessRegressor, expected_improvement
 from ..sparksim.config import NUM_KNOBS, SparkConf
 from ..sparksim.eventlog import AppRun
@@ -65,7 +67,7 @@ class BOTuner(Tuner):
 
     # ------------------------------------------------------------------
     def tune(self, workload, cluster, scale, budget_s=DEFAULT_BUDGET_S, seed=0) -> TuningResult:
-        rng = np.random.default_rng(seed + self.seed)
+        rng = get_rng(seed + self.seed)
         runner = TrialRunner(self.name, workload, cluster, scale, budget_s, seed)
         datasize = workload.data_spec(scale).rows
 

@@ -17,6 +17,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 from .. import nn
 from ..sparksim.config import NUM_KNOBS, SparkConf
 from ..workloads.base import Workload
@@ -90,14 +92,14 @@ class DDPGTuner(Tuner):
 
     # ------------------------------------------------------------------
     def tune(self, workload, cluster, scale, budget_s=DEFAULT_BUDGET_S, seed=0) -> TuningResult:
-        rng = np.random.default_rng(seed + self.seed)
+        rng = get_rng(seed + self.seed)
         runner = TrialRunner(self.name, workload, cluster, scale, budget_s, seed)
         data_rows = workload.data_spec(scale).rows
 
         status = np.zeros(STATE_STATUS_DIM)
         state_dim = len(self._state(workload, cluster, data_rows, status))
-        actor = _Actor(state_dim, np.random.default_rng(seed + 11))
-        critic = _Critic(state_dim, np.random.default_rng(seed + 13))
+        actor = _Actor(state_dim, get_rng(seed + 11))
+        critic = _Critic(state_dim, get_rng(seed + 13))
         opt_actor = nn.Adam(actor.parameters(), lr=1e-3)
         opt_critic = nn.Adam(critic.parameters(), lr=2e-3)
 

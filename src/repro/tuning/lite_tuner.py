@@ -17,6 +17,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 from ..core.lite import LITE
 from ..sparksim.cluster import ClusterSpec
 from .base import DEFAULT_BUDGET_S, TrialRunner, Tuner, TuningResult
@@ -52,7 +54,7 @@ class LITETuner(Tuner):
         if workload.name not in self.lite.known_apps():
             probe_overhead = self.lite.cold_start_probe(workload, cluster, seed=seed)
         data_features = workload.data_spec(scale).features()
-        rng = np.random.default_rng(seed + self.seed)
+        rng = get_rng(seed + self.seed)
 
         for round_idx in range(self.max_rounds):
             rec = self.lite.recommend(

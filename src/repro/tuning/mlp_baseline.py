@@ -13,6 +13,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 from ..core.encoders import TabularPredictor
 from ..core.instances import StageInstance, build_dataset, instances_from_run
 from ..core.recommender import retarget_instances
@@ -43,7 +45,7 @@ class MLPBaselineTuner(Tuner):
                     self._templates[run.app_name] = instances_from_run(run)
 
     def tune(self, workload, cluster, scale, budget_s=DEFAULT_BUDGET_S, seed=0) -> TuningResult:
-        rng = np.random.default_rng(seed + self.seed)
+        rng = get_rng(seed + self.seed)
         runner = TrialRunner(self.name, workload, cluster, scale, budget_s, seed)
         templates = self._templates.get(workload.name)
         if not templates:

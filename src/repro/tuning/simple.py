@@ -12,6 +12,8 @@ from typing import List
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 from ..sparksim.cluster import ClusterSpec
 from ..sparksim.config import KNOB_SPECS, NUM_KNOBS, SparkConf
 from ..workloads.base import Workload
@@ -111,7 +113,7 @@ class RandomSearchTuner(Tuner):
         self.max_trials = max_trials
 
     def tune(self, workload, cluster, scale, budget_s=DEFAULT_BUDGET_S, seed=0) -> TuningResult:
-        rng = np.random.default_rng(seed + self.seed)
+        rng = get_rng(seed + self.seed)
         runner = TrialRunner(self.name, workload, cluster, scale, budget_s, seed)
         for _ in range(self.max_trials):
             if runner.exhausted:
@@ -146,7 +148,7 @@ class LHSTuner(Tuner):
         self.max_trials = max_trials
 
     def tune(self, workload, cluster, scale, budget_s=DEFAULT_BUDGET_S, seed=0) -> TuningResult:
-        rng = np.random.default_rng(seed + self.seed)
+        rng = get_rng(seed + self.seed)
         runner = TrialRunner(self.name, workload, cluster, scale, budget_s, seed)
         for conf in lhs_configurations(self.max_trials, rng):
             if runner.exhausted:

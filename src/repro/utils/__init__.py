@@ -1,0 +1,5 @@
+"""Shared utilities: deterministic random-number plumbing."""
+
+from .rng import DEFAULT_SEED, derive, get_rng
+
+__all__ = ["DEFAULT_SEED", "derive", "get_rng"]

@@ -1,0 +1,51 @@
+"""Central seeded-RNG helpers for reproducible experiments.
+
+Every random draw in this project must trace back to an explicit seed —
+the REP103 lint rule rejects legacy ``np.random.*`` global state and
+``default_rng()`` without arguments.  This module is the sanctioned way
+to build generators:
+
+- :func:`get_rng` wraps ``np.random.default_rng(seed)`` and *requires*
+  a seed (pass :data:`DEFAULT_SEED` explicitly if you have no better one);
+- :func:`derive` builds a substream for a named component from a base
+  seed, replacing the ad-hoc ``seed + 11`` / ``seed + 13`` offsets: the
+  key string is hashed process-stably (adler32, like
+  ``SparkConf.digest``), so ``derive(seed, "actor")`` is reproducible
+  across interpreter runs and machines and independent streams do not
+  collide when callers add components.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Union
+
+import numpy as np
+
+#: The project-wide fallback seed.
+DEFAULT_SEED = 0
+
+SeedLike = Union[int, np.integer]
+
+
+def get_rng(seed: SeedLike) -> np.random.Generator:
+    """A fresh, explicitly-seeded generator.
+
+    Identical to ``np.random.default_rng(seed)`` — the indirection exists
+    so call sites are auditable and the seed argument is mandatory.
+    """
+    if seed is None:
+        raise TypeError("get_rng requires an explicit seed; use DEFAULT_SEED")
+    return np.random.default_rng(int(seed))
+
+
+def derive(seed: SeedLike, *keys: str) -> np.random.Generator:
+    """A generator for a named substream of ``seed``.
+
+    ``derive(7, "ddpg", "actor")`` always yields the same stream, distinct
+    from ``derive(7, "ddpg", "critic")`` and from ``get_rng(7)``.
+    """
+    if not keys:
+        return get_rng(seed)
+    entropy = [int(seed)] + [zlib.adler32(k.encode("utf-8")) for k in keys]
+    return np.random.default_rng(np.random.SeedSequence(entropy))

@@ -18,6 +18,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..utils.rng import get_rng
+
 from ..sparksim.cluster import ClusterSpec
 from ..sparksim.config import SparkConf
 from ..sparksim.context import run_app
@@ -104,7 +106,7 @@ class Workload(abc.ABC):
     ) -> AppRun:
         """Execute this workload once and return its AppRun."""
         data = self.data_spec(scale)
-        rng = np.random.default_rng(seed)  # paper: same seed across scales
+        rng = get_rng(seed)  # paper: same seed across scales
 
         def entry(sc):
             self.driver(sc, data, rng)

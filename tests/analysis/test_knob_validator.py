@@ -1,0 +1,114 @@
+"""Knob-table and knob-reference validation (REP301-REP306)."""
+
+import pytest
+
+from repro.analysis import check_knob_table, check_knob_references
+from repro.analysis.knobs import check_knob_references_source
+from repro.sparksim.config import KNOB_BY_NAME, KNOB_SPECS, KnobSpec
+
+
+def ids(diags):
+    return sorted({d.rule_id for d in diags})
+
+
+def spec(**overrides):
+    base = dict(name="spark.executor.memory", description="d", kind="int",
+                default=4, low=1, high=32, unit="GB")
+    base.update(overrides)
+    return KnobSpec(**base)
+
+
+class TestKnobTable:
+    def test_canonical_table_is_clean(self):
+        assert check_knob_table(KNOB_SPECS) == []
+
+    def test_rep301_default_out_of_range(self):
+        diags = check_knob_table([spec(default=64)])
+        assert ids(diags) == ["REP301"]
+
+    def test_rep302_degenerate_range(self):
+        assert ids(check_knob_table([spec(low=8, high=8, default=8)])) == ["REP302"]
+        assert "REP302" in ids(check_knob_table([spec(low=9, high=8, default=8)]))
+
+    def test_rep303_unknown_kind(self):
+        assert ids(check_knob_table([spec(kind="enum")])) == ["REP303"]
+
+    def test_rep303_fractional_int_bounds(self):
+        assert ids(check_knob_table([spec(low=0.5, high=32)])) == ["REP303"]
+
+    def test_rep303_bool_with_unit_or_bad_bounds(self):
+        bad = spec(name="spark.shuffle.compress", kind="bool", default=True,
+                   low=0, high=2, unit="MB")
+        diags = check_knob_table([bad])
+        assert ids(diags) == ["REP303"]
+        assert len(diags) == 2  # bounds and unit reported separately
+
+    def test_rep303_bool_default_on_numeric_knob(self):
+        assert ids(check_knob_table([spec(default=True)])) == ["REP303"]
+
+    def test_rep305_duplicate_name(self):
+        diags = check_knob_table([spec(), spec(default=8)])
+        assert ids(diags) == ["REP305"]
+
+
+class TestKnobReferences:
+    def test_known_knob_with_in_range_value_is_clean(self):
+        src = 'conf = {"spark.executor.memory": 8, "spark.memory.fraction": 0.6}\n'
+        assert check_knob_references_source(src) == []
+
+    def test_rep304_unknown_knob_as_dict_key(self):
+        src = 'conf = {"spark.executor.memoryy": 8}\n'
+        diags = check_knob_references_source(src)
+        assert ids(diags) == ["REP304"]
+
+    def test_rep304_unknown_bare_literal(self):
+        src = 'name = "spark.sql.shuffle.partitions"\n'
+        assert ids(check_knob_references_source(src)) == ["REP304"]
+
+    def test_plain_strings_ignored(self):
+        src = 'msg = "sparkly things"\nother = "spark.executor"\n'
+        assert check_knob_references_source(src) == []
+
+    def test_rep306_constant_out_of_range(self):
+        src = 'conf = {"spark.executor.memory": 1024}\n'
+        diags = check_knob_references_source(src)
+        assert ids(diags) == ["REP306"]
+        assert "canonical range" in diags[0].message
+
+    def test_rep306_bool_assigned_to_numeric(self):
+        src = 'conf = {"spark.executor.cores": True}\n'
+        assert ids(check_knob_references_source(src)) == ["REP306"]
+
+    def test_bool_knob_accepts_bool_constant(self):
+        src = 'conf = {"spark.shuffle.compress": False}\n'
+        assert check_knob_references_source(src) == []
+
+    def test_noqa_suppresses(self):
+        src = 'name = "spark.not.a.knob"  # repro: noqa=REP304\n'
+        assert check_knob_references_source(src) == []
+
+    def test_diagnostic_carries_location(self):
+        src = '\nconf = {"spark.executor.memory": 1024}\n'
+        (d,) = check_knob_references_source(src, path="tuner.py")
+        assert d.path == "tuner.py"
+        assert d.line == 2
+
+    def test_file_scan(self, tmp_path):
+        bad = tmp_path / "space.py"
+        bad.write_text('SPACE = {"spark.retired.knob": 3}\n', encoding="utf-8")
+        diags = check_knob_references([bad])
+        assert ids(diags) == ["REP304"]
+
+
+class TestTunersMatchTable:
+    def test_tuning_package_references_are_canonical(self):
+        """The cross-check the subsystem exists for: every tuner search space
+        agrees with the canonical 16-knob table."""
+        from pathlib import Path
+
+        import repro.tuning as tuning
+
+        files = sorted(Path(tuning.__file__).parent.glob("*.py"))
+        assert files
+        diags = check_knob_references(files, known=KNOB_BY_NAME)
+        assert diags == [], [d.format() for d in diags]

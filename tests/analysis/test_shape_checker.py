@@ -1,0 +1,190 @@
+"""Static shape/graph checker: clean models pass, seeded faults are flagged.
+
+Everything here runs without a single forward pass — the point of the
+checker is to catch wiring bugs before any data flows.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis import check_module, check_necs, run_check_model
+from repro.core.necs import NECSConfig, NECSNetwork
+from repro.nn.module import Parameter
+from repro.utils.rng import get_rng
+
+
+def ids(diags):
+    return sorted({d.rule_id for d in diags})
+
+
+@pytest.fixture
+def rng():
+    return get_rng(0)
+
+
+class TestCleanModels:
+    def test_dense_chain(self, rng):
+        model = nn.Sequential(
+            nn.Dense(8, 16, rng, activation="relu"),
+            nn.Dense(16, 4, rng),
+        )
+        assert check_module(model, ("B", 8)) == []
+
+    def test_mlp_tower(self, rng):
+        model = nn.MLP(10, 32, 1, 3, rng, tower=True)
+        assert check_module(model, ("B", 10)) == []
+
+    def test_lstm_encoder(self, rng):
+        model = nn.LSTMEncoder(6, 12, rng)
+        assert check_module(model, ("B", "L", 6)) == []
+
+    def test_transformer_encoder(self, rng):
+        model = nn.TransformerEncoder(8, num_heads=2, num_layers=2, rng=rng, max_len=16)
+        assert check_module(model, ("B", "L", 8)) == []
+
+    def test_gcn_encoder(self, rng):
+        model = nn.GCNEncoder(5, 7, 2, rng)
+        assert check_module(model, ("N", 5)) == []
+
+    def test_symbolic_dims_do_not_fire(self, rng):
+        # Unknown batch/length stay symbolic and never conflict.
+        model = nn.Conv1D(4, 8, 3, rng)
+        assert check_module(model, ("B", "L", 4)) == []
+
+
+class TestRep001DimMismatch:
+    def test_sequential_chain_break(self, rng):
+        model = nn.Sequential(nn.Dense(4, 8, rng), nn.Dense(9, 2, rng))
+        diags = check_module(model, ("B", 4))
+        assert ids(diags) == ["REP001"]
+        assert "expects 9" in diags[0].message
+
+    def test_wrong_input_width(self, rng):
+        diags = check_module(nn.Dense(4, 8, rng), ("B", 5))
+        assert ids(diags) == ["REP001"]
+
+    def test_conv_kernel_longer_than_sequence(self, rng):
+        diags = check_module(nn.Conv1D(4, 8, 5, rng), ("B", 3, 4))
+        assert ids(diags) == ["REP001"]
+
+    def test_layernorm_width(self, rng):
+        model = nn.Sequential(nn.Dense(4, 8, rng), nn.LayerNorm(6))
+        assert ids(check_module(model, ("B", 4))) == ["REP001"]
+
+    def test_lstm_feature_mismatch(self, rng):
+        diags = check_module(nn.LSTMEncoder(6, 12, rng), ("B", "L", 7))
+        assert ids(diags) == ["REP001"]
+
+
+class TestRep002DuplicateParameter:
+    def test_shared_parameter_object(self, rng):
+        model = nn.Dense(4, 4, rng)
+        model.tied = model.weight  # same Parameter under a second name
+        diags = check_module(model, ("B", 4))
+        assert "REP002" in ids(diags)
+
+
+class TestRep003DeadParameter:
+    def test_unwired_parameter_on_known_module(self, rng):
+        model = nn.MLP(4, 8, 1, 2, rng)
+        model.orphan = Parameter(np.zeros((3, 3)))
+        diags = check_module(model, ("B", 4))
+        assert ids(diags) == ["REP003"]
+        assert "orphan" in diags[0].message
+
+    def test_requires_grad_off(self, rng):
+        model = nn.Dense(4, 2, rng)
+        model.weight.requires_grad = False
+        diags = check_module(model, ("B", 4))
+        assert "REP003" in ids(diags)
+
+    def test_unknown_module_params_assumed_live(self, rng):
+        class Custom(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = nn.Dense(4, 2, rng)
+                self.scale = Parameter(np.ones(2))
+
+            def forward(self, x):  # pragma: no cover - never called
+                return self.inner(x) * self.scale
+
+        assert check_module(Custom()) == []
+
+
+class TestRep005BadValues:
+    def test_nan_parameter(self, rng):
+        model = nn.Dense(4, 2, rng)
+        model.weight.numpy()[0, 0] = np.nan
+        diags = check_module(model, ("B", 4))
+        assert "REP005" in ids(diags)
+
+
+class TestNECS:
+    def small_config(self, **overrides):
+        base = dict(embed_dim=8, conv_filters=8, kernel_size=3, code_out=6,
+                    gcn_hidden=4, gcn_layers=2, mlp_hidden=16, mlp_depth=2,
+                    max_tokens=12)
+        base.update(overrides)
+        return NECSConfig(**base)
+
+    def build(self, config, vocab=20, dag=5, numeric=9):
+        return NECSNetwork(config, vocab_size=vocab, dag_dim=dag, numeric_dim=numeric)
+
+    @pytest.mark.parametrize("encoder", ["cnn", "lstm", "transformer", "none"])
+    def test_all_variants_clean(self, encoder):
+        config = self.small_config(code_encoder=encoder)
+        net = self.build(config, vocab=20 if encoder != "none" else 0)
+        diags = check_necs(net, numeric_dim=9,
+                           vocab_size=20 if encoder != "none" else None, dag_dim=5)
+        assert diags == [], [d.format() for d in diags]
+
+    def test_seeded_mlp_width_fault_is_flagged_statically(self, rng):
+        """The acceptance-criteria scenario: a shape-mismatch NECS variant is
+        caught with no forward execution."""
+        net = self.build(self.small_config())
+        net.mlp = nn.MLP(4, 16, 1, 2, rng, tower=True)  # wrong fusion width
+        diags = check_necs(net, numeric_dim=9, vocab_size=20, dag_dim=5)
+        assert "REP006" in ids(diags)
+
+    def test_gcn_dag_dim_disagreement(self):
+        net = self.build(self.small_config())
+        diags = check_necs(net, numeric_dim=9, vocab_size=20, dag_dim=7)
+        assert "REP004" in ids(diags)
+
+    def test_vocab_disagreement(self):
+        net = self.build(self.small_config())
+        diags = check_necs(net, numeric_dim=9, vocab_size=64, dag_dim=5)
+        assert "REP001" in ids(diags)
+
+    def test_code_path_break_inside_network(self, rng):
+        net = self.build(self.small_config())
+        # Re-wire the code projection for the wrong conv width.
+        net.code_proj = nn.Dense(13, 6, rng, activation="relu")
+        diags = check_necs(net, numeric_dim=9, vocab_size=20, dag_dim=5)
+        assert "REP001" in ids(diags)
+
+    def test_without_hints_impossible_fusion_still_flagged(self, rng):
+        net = self.build(self.small_config())
+        net.mlp = nn.MLP(4, 16, 1, 2, rng, tower=True)  # 4 < code(6)+dag(4)
+        diags = check_necs(net)
+        assert "REP006" in ids(diags)
+
+
+class TestRunner:
+    def test_default_variants_clean(self):
+        report = run_check_model()
+        assert report.diagnostics == [], report.format_text()
+
+    def test_injected_fault_detected(self):
+        report = run_check_model(inject_fault=True, encoders=("cnn",))
+        assert report.exit_code(fail_on="error") == 1
+        assert any(d.rule_id == "REP006" for d in report.diagnostics)
+
+    def test_cli_check_model(self, capsys):
+        from repro.cli import main
+
+        assert main(["check-model", "--encoders", "cnn"]) == 0
+        capsys.readouterr()
+        assert main(["check-model", "--encoders", "cnn", "--inject-fault"]) == 1
+        assert "REP006" in capsys.readouterr().out
