@@ -1,0 +1,59 @@
+"""Serving fast-path latency (pre-encoded templates + single forward).
+
+Ranking N candidates used to cost N full featurisation passes over the
+same stage templates; the fast path encodes each template once and runs
+one batched tower-MLP forward.  This benchmark measures both paths on the
+acceptance workload size (40 candidates x >= 5 stage templates), asserts
+the speedup floor and ranking equivalence, and records the numbers in
+``BENCH_serving.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.serving_bench import run_serving_benchmark
+
+from conftest import print_table
+
+SPEEDUP_FLOOR = 3.0
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+@pytest.fixture(scope="module")
+def serving_result():
+    return run_serving_benchmark(
+        n_candidates=40, repeats=15, smoke=False, seed=0, out=OUT_PATH
+    )
+
+
+class TestServingLatency:
+    def test_speedup_floor(self, serving_result):
+        fast, ref = serving_result["fast"], serving_result["reference"]
+        print_table(
+            "Serving latency: fast path vs. per-instance reference",
+            ("path", "p50 ms", "p95 ms", "cand/s"),
+            [
+                ("fast", f"{fast['p50_ms']:.2f}", f"{fast['p95_ms']:.2f}",
+                 f"{fast['candidates_per_s']:.0f}"),
+                ("reference", f"{ref['p50_ms']:.2f}", f"{ref['p95_ms']:.2f}",
+                 f"{ref['candidates_per_s']:.0f}"),
+            ],
+        )
+        print(f"speedup: {serving_result['speedup_p50']:.1f}x (p50)")
+        assert serving_result["n_candidates"] == 40
+        assert serving_result["n_stages"] >= 5
+        assert serving_result["speedup_p50"] >= SPEEDUP_FLOOR
+
+    def test_rankings_equivalent(self, serving_result):
+        assert serving_result["rankings_identical"]
+        assert serving_result["totals_bit_identical"]
+
+    def test_report_written(self, serving_result):
+        report = json.loads(OUT_PATH.read_text())
+        assert report["fast"]["p50_ms"] == serving_result["fast"]["p50_ms"]
+        assert report["reference"]["p50_ms"] == serving_result["reference"]["p50_ms"]
+        assert {"p50_ms", "p95_ms", "candidates_per_s"} <= set(report["fast"])

@@ -8,6 +8,7 @@ Commands
 - ``run``        execute one application under a configuration file
 - ``lint``       static analysis: autograd-aware lint + knob validation
 - ``check-model`` static shape/graph check of the NECS variants
+- ``bench-recommend`` serving-latency benchmark (fast vs. reference path)
 
 Examples
 --------
@@ -86,6 +87,22 @@ def _build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--inject-fault", action="store_true",
                          help="seed a known shape mismatch (the checker must flag it)")
     p_check.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_bench = sub.add_parser(
+        "bench-recommend",
+        help="measure rank latency: pre-encoded fast path vs. per-instance path")
+    p_bench.add_argument("--model", default=None,
+                         help="saved LITE model to benchmark (default: train a small one)")
+    p_bench.add_argument("--app", default="PageRank")
+    p_bench.add_argument("--cluster", default="C", choices=("A", "B", "C"))
+    p_bench.add_argument("--candidates", type=int, default=40)
+    p_bench.add_argument("--repeats", type=int, default=20)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="tiny corpus/model and few repeats (CI gate)")
+    p_bench.add_argument("--out", default="BENCH_serving.json",
+                         help="where to write the JSON report")
+    p_bench.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
 
@@ -175,6 +192,7 @@ def cmd_recommend(args) -> int:
             "conf": {k: v for k, v in rec.conf.as_dict().items()},
             "predicted_time_s": rec.predicted_time_s,
             "ranking_overhead_s": rec.overhead_s,
+            "probe_overhead_s": rec.probe_overhead_s,
         }, indent=2, default=str))
     else:
         print(f"recommended configuration for {workload.name} "
@@ -220,6 +238,39 @@ def cmd_check_model(args) -> int:
     return report.exit_code(fail_on="warning")
 
 
+def cmd_bench_recommend(args) -> int:
+    from .experiments.serving_bench import build_serving_lite, run_serving_benchmark
+
+    if args.model:
+        from .core.persistence import load_lite
+
+        lite = load_lite(args.model)
+    else:
+        print("training a small benchmark system...", file=sys.stderr)
+        lite = build_serving_lite(smoke=args.smoke, seed=args.seed)
+    result = run_serving_benchmark(
+        n_candidates=args.candidates, repeats=args.repeats, smoke=args.smoke,
+        seed=args.seed, out=args.out, lite=lite,
+        app_name=args.app, cluster_name=args.cluster,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        fast, ref = result["fast"], result["reference"]
+        print(f"serving latency for {result['app']} "
+              f"({result['n_candidates']} candidates x {result['n_stages']} stages, "
+              f"{result['repeats']} repeats):")
+        print(f"  fast path:      p50 {fast['p50_ms']:8.2f} ms  p95 {fast['p95_ms']:8.2f} ms  "
+              f"{fast['candidates_per_s']:10.0f} cand/s")
+        print(f"  per-instance:   p50 {ref['p50_ms']:8.2f} ms  p95 {ref['p95_ms']:8.2f} ms  "
+              f"{ref['candidates_per_s']:10.0f} cand/s")
+        print(f"  speedup: {result['speedup_p50']:.1f}x (p50), "
+              f"{result['speedup_p95']:.1f}x (p95); "
+              f"rankings identical: {result['rankings_identical']}")
+        print(f"wrote {result['out']}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -229,6 +280,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "lint": cmd_lint,
         "check-model": cmd_check_model,
+        "bench-recommend": cmd_bench_recommend,
     }
     return handlers[args.command](args)
 

@@ -18,7 +18,7 @@ from .metrics import (
     rank_by,
     wilcoxon_signed_rank,
 )
-from .necs import NECSConfig, NECSEstimator, NECSNetwork
+from .necs import EncodedTemplates, NECSConfig, NECSEstimator, NECSNetwork
 from .encoders import FEATURE_SETS, SchedulerLSTM, TabularFeatureBuilder, TabularPredictor
 from .candidates import AdaptiveCandidateGenerator
 from .update import AdaptiveModelUpdater, DomainDiscriminator, UpdateConfig
@@ -32,7 +32,7 @@ __all__ = [
     "build_dataset", "instances_from_run",
     "WilcoxonResult", "execution_time_reduction", "hr_at_k", "ndcg_at_k",
     "rank_by", "wilcoxon_signed_rank",
-    "NECSConfig", "NECSEstimator", "NECSNetwork",
+    "EncodedTemplates", "NECSConfig", "NECSEstimator", "NECSNetwork",
     "FEATURE_SETS", "SchedulerLSTM", "TabularFeatureBuilder", "TabularPredictor",
     "AdaptiveCandidateGenerator",
     "AdaptiveModelUpdater", "DomainDiscriminator", "UpdateConfig",

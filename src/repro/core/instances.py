@@ -39,6 +39,40 @@ class StageInstance:
         return len(self.code_tokens)
 
 
+def numeric_feature_rows(
+    knob_matrix: np.ndarray,
+    data_features: np.ndarray,
+    env_features: np.ndarray,
+) -> np.ndarray:
+    """Raw numeric rows ``<d, e, o>`` for N knob vectors sharing data/env.
+
+    This is the canonical numeric-feature layout consumed by NECS: the data
+    features (with the row count in log-space — rows span orders of
+    magnitude), the environment features, then the knob vector.  The
+    vectorised form is the serving fast path's replacement for building one
+    :class:`StageInstance` copy per candidate just to read three arrays
+    back out of it.
+    """
+    knob_matrix = np.asarray(knob_matrix, dtype=np.float64)
+    if knob_matrix.ndim != 2:
+        raise ValueError(f"knob_matrix must be (N, knobs), got {knob_matrix.shape}")
+    data = np.asarray(data_features, dtype=np.float64).copy()
+    data[0] = np.log1p(data[0])
+    env = np.asarray(env_features, dtype=np.float64)
+    head = np.concatenate([data, env])
+    n = knob_matrix.shape[0]
+    return np.concatenate(
+        [np.broadcast_to(head, (n, head.size)), knob_matrix], axis=1
+    )
+
+
+def numeric_features(inst: StageInstance) -> np.ndarray:
+    """Raw numeric feature row of one instance (see ``numeric_feature_rows``)."""
+    return numeric_feature_rows(
+        inst.knobs[None, :], inst.data_features, inst.env_features
+    )[0]
+
+
 def app_instance_key(run: AppRun) -> str:
     """Key of the application instance w(x): same app+conf+data+env."""
     return f"{run.app_name}|{run.conf.digest()}|{run.cluster.name}|{run.data_features.tolist()}"

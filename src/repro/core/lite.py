@@ -29,7 +29,7 @@ from ..sparksim.config import SparkConf
 from ..sparksim.eventlog import AppRun
 from .candidates import AdaptiveCandidateGenerator
 from .instances import StageInstance, build_dataset, instances_from_run
-from .necs import NECSConfig, NECSEstimator
+from .necs import EncodedTemplates, NECSConfig, NECSEstimator
 from .recommender import KnobRecommender, Recommendation
 from .update import AdaptiveModelUpdater, UpdateConfig
 
@@ -52,9 +52,12 @@ class LITE:
         self.candidate_generator = AdaptiveCandidateGenerator(seed=self.config.seed)
         self.recommender = KnobRecommender(self.estimator)
         self._templates: Dict[str, List[StageInstance]] = {}
+        self._encoded: Dict[str, EncodedTemplates] = {}
+        self._probe_overhead: Dict[str, float] = {}
         self._source_instances: List[StageInstance] = []
         self._feedback_runs: List[AppRun] = []
         self._feedback_instances: List[StageInstance] = []
+        self._target_instances: List[StageInstance] = []
         self.trained = False
 
     # ------------------------------------------------------------------
@@ -69,6 +72,7 @@ class LITE:
         self.estimator.fit(instances, verbose=verbose)
         self.candidate_generator.fit(list(runs))
         self._templates = {}
+        self._encoded = {}
         for run in runs:
             if run.success:
                 current = self._templates.get(run.app_name)
@@ -91,20 +95,48 @@ class LITE:
             )
         return self._templates[app_name]
 
+    def encoded_templates(self, app_name: str) -> EncodedTemplates:
+        """Cached per-app template encoding for the serving fast path.
+
+        Entries carry the estimator version they were encoded at, so any
+        ``fit``/``adaptive_update`` (which bumps the version) makes them
+        stale and they are re-encoded here on next use; replacing an app's
+        templates (``cold_start_probe``) drops its entry directly.
+        """
+        cached = self._encoded.get(app_name)
+        if cached is None or cached.version != self.estimator.version:
+            cached = self.estimator.encode_templates(self.stage_templates(app_name))
+            self._encoded[app_name] = cached
+        return cached
+
     def cold_start_probe(self, workload, cluster: ClusterSpec, seed: int = 0) -> float:
         """Run a never-seen application once on the smallest dataset with
         instrumentation to obtain stage-level codes and DAGs (Sec. IV Step 1).
 
         Returns the probe's simulated execution time (the extra tuning
-        overhead the paper discusses in Sec. V-I).
+        overhead the paper discusses in Sec. V-I), which is also carried
+        into the next ``recommend`` for this app as ``probe_overhead_s``.
+        Raises ``RuntimeError`` when both the default and the minimal safe
+        configuration fail — a failed run has no stages to use as templates.
         """
         run = workload.run(SparkConf.default(), cluster, scale="train0", seed=seed)
+        probe_time = run.duration_s
         if not run.success:
             # Defaults failed: probe with a minimal, safe configuration.
             safe = SparkConf({"spark.executor.instances": 1, "spark.executor.memory": 1})
-            run = workload.run(safe, cluster, scale="train0", seed=seed)
+            retry = workload.run(safe, cluster, scale="train0", seed=seed)
+            probe_time += retry.duration_s
+            if not retry.success:
+                raise RuntimeError(
+                    f"cold-start probe failed twice for {workload.name!r} on "
+                    f"cluster {cluster.name}: {run.failure_reason!r}, then "
+                    f"{retry.failure_reason!r} with the minimal configuration"
+                )
+            run = retry
         self._templates[workload.name] = instances_from_run(run)
-        return run.duration_s
+        self._encoded.pop(workload.name, None)
+        self._probe_overhead[workload.name] = probe_time
+        return probe_time
 
     # ------------------------------------------------------------------
     # Online phase
@@ -128,6 +160,27 @@ class LITE:
         )
         # Free submit-time validity check (what spark-submit/YARN would
         # reject immediately): drop candidates the cluster cannot host.
+        hostable = self._filter_hostable(candidates, cluster)
+        if not hostable:
+            # The ACG region was learned on the training clusters and can
+            # sit entirely outside what this cluster hosts; never rank (and
+            # recommend) confs that would be rejected at submit time —
+            # widen to the full knob ranges instead.
+            hostable = self._sample_hostable(cluster, n, rng)
+        templates = self.stage_templates(app_name)
+        rec = self.recommender.rank(
+            templates, hostable, data_features, cluster,
+            encoded=self.encoded_templates(app_name),
+        )
+        # The first recommendation after a cold-start probe carries the
+        # probe's cost (counting it on every call would double-book it).
+        rec.probe_overhead_s = self._probe_overhead.pop(app_name, 0.0)
+        return rec
+
+    @staticmethod
+    def _filter_hostable(
+        candidates: Sequence[SparkConf], cluster: ClusterSpec
+    ) -> List[SparkConf]:
         from ..sparksim.costmodel import SparkJobError, plan_executors
 
         hostable = []
@@ -137,10 +190,50 @@ class LITE:
             except SparkJobError:
                 continue
             hostable.append(conf)
-        if hostable:
-            candidates = hostable
-        templates = self.stage_templates(app_name)
-        return self.recommender.rank(templates, candidates, data_features, cluster)
+        return hostable
+
+    def _sample_hostable(
+        self, cluster: ClusterSpec, n: int, rng: np.random.Generator
+    ) -> List[SparkConf]:
+        """Full-range fallback sampling when the ACG region is unhostable.
+
+        Knobs are sampled over their full ranges, with the four resource
+        knobs additionally capped at the cluster's physical capacity (caps
+        clip back into the legal knob range, so a cluster smaller than the
+        smallest legal driver/executor still yields nothing and raises).
+        """
+        from ..sparksim.config import KNOB_BY_NAME
+        from ..sparksim.costmodel import SparkJobError, plan_executors
+
+        caps = {
+            "spark.driver.cores": float(cluster.cores_per_node),
+            "spark.driver.memory": cluster.memory_gb_per_node,
+            "spark.executor.cores": float(cluster.cores_per_node),
+            # Headroom for the driver and off-heap overhead on the
+            # (possibly only) node hosting both.
+            "spark.executor.memory": cluster.memory_gb_per_node - 1.5,
+            "spark.executor.memoryOverhead": 512.0,
+        }
+        out: List[SparkConf] = []
+        for _ in range(max(20 * n, 200)):
+            conf = SparkConf.random(rng)
+            conf = conf.with_updates({
+                name: KNOB_BY_NAME[name].clip(min(float(conf[name]), cap))
+                for name, cap in caps.items()
+            })
+            try:
+                plan_executors(conf, cluster)
+            except SparkJobError:
+                continue
+            out.append(conf)
+            if len(out) >= n:
+                break
+        if not out:
+            raise RuntimeError(
+                f"no hostable configuration found for cluster {cluster.name}: "
+                "every sampled candidate was rejected at submit time"
+            )
+        return out
 
     # ------------------------------------------------------------------
     # Feedback / adaptive model update
@@ -155,13 +248,24 @@ class LITE:
             self._feedback_instances.extend(instances_from_run(run))
         ready = len(self._feedback_runs) >= self.config.feedback_batch_size
         if (ready or update_now) and self._feedback_instances:
-            self.adaptive_update(self._feedback_instances)
+            # Fold the consumed batch into the retained feedback corpus, so
+            # each update trains on *all* production feedback seen so far —
+            # consuming a batch must not make the model forget earlier rounds.
+            self._target_instances.extend(self._feedback_instances)
             self._feedback_runs = []
             self._feedback_instances = []
+            self.adaptive_update(self._target_instances)
             return True
         return False
 
     def adaptive_update(self, target_instances: Sequence[StageInstance]) -> None:
-        """Adversarial fine-tuning against the accumulated source domain."""
+        """Adversarial fine-tuning against the accumulated source domain.
+
+        Trains on exactly the given target instances (callers doing one-off
+        domain migrations control their own corpus); batched production
+        feedback arrives here through :meth:`feedback`, which passes the
+        full retained feedback corpus.  The update bumps the estimator
+        version, invalidating cached template encodings.
+        """
         updater = AdaptiveModelUpdater(self.estimator, self.config.update)
         updater.update(self._source_instances, list(target_instances))

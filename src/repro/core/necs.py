@@ -20,6 +20,7 @@ competitors of Table VII, and ``use_dag=False`` drops the GCN path.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -30,7 +31,7 @@ from ..utils.rng import get_rng
 from .. import nn
 from ..ml.scaler import StandardScaler
 from .dagfeat import DagEncoder
-from .instances import StageInstance
+from .instances import StageInstance, numeric_feature_rows, numeric_features
 from .tokenizer import CodeTokenizer
 
 
@@ -137,6 +138,29 @@ class NECSNetwork(nn.Module):
         return pred, nn.concat(taps, axis=-1)
 
 
+@dataclass
+class EncodedTemplates:
+    """Pre-encoded static features of one application's stage templates.
+
+    Code token ids and DAG node/adjacency matrices depend only on the stage
+    templates — never on the candidate configuration — so they are encoded
+    once and reused across every candidate and every ``recommend`` call.
+    ``h_code``/``h_dag`` additionally cache the code-CNN/GCN *embeddings*,
+    which also depend on the network weights; they are filled lazily and
+    become stale (together with the whole object) whenever ``version`` no
+    longer matches the estimator's, i.e. after ``fit`` or an adaptive
+    update.
+    """
+
+    app_name: str
+    n_stages: int
+    code_ids: Optional[np.ndarray]                        # (S, max_tokens) int64
+    graphs: Optional[List[Tuple[np.ndarray, np.ndarray]]]  # per-stage (V, A)
+    version: int                                           # estimator.version at encode time
+    h_code: Optional[np.ndarray] = None                    # (S, code_out), lazy
+    h_dag: Optional[np.ndarray] = None                     # (S, gcn_hidden), lazy
+
+
 class NECSEstimator:
     """End-to-end estimator: featurisation + training + prediction."""
 
@@ -149,15 +173,21 @@ class NECSEstimator:
         self._y_mean = 0.0
         self._y_std = 1.0
         self.train_losses_: List[float] = []
+        #: Monotonic counter of weight/featuriser changes.  Anything derived
+        #: from the network (cached template encodings/embeddings) carries
+        #: the version it was computed at and must be discarded on mismatch.
+        self.version = 0
+
+    def bump_version(self) -> None:
+        """Invalidate derived caches after an in-place weight change."""
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Featurisation
     # ------------------------------------------------------------------
     @staticmethod
     def _numeric_raw(inst: StageInstance) -> np.ndarray:
-        data = inst.data_features.copy()
-        data[0] = np.log1p(data[0])  # rows span orders of magnitude
-        return np.concatenate([data, inst.env_features, inst.knobs])
+        return numeric_features(inst)
 
     def _encode(self, instances: Sequence[StageInstance], fit: bool = False):
         numeric = np.stack([self._numeric_raw(i) for i in instances])
@@ -201,6 +231,7 @@ class NECSEstimator:
             numeric_dim=numeric_dim,
         )
         self._train_loop(numeric, code_ids, graphs, targets, verbose)
+        self.bump_version()
         return self
 
     def _train_loop(self, numeric, code_ids, graphs, targets, verbose: bool) -> None:
@@ -230,19 +261,33 @@ class NECSEstimator:
                 print(f"epoch {epoch}: loss {self.train_losses_[-1]:.4f}")
 
     # ------------------------------------------------------------------
+    @contextmanager
+    def _eval_mode(self):
+        """Run inference in eval mode, then restore the *previous* mode.
+
+        Unconditionally flipping back to ``train()`` would clobber a
+        caller-set eval mode, so we remember what we found.
+        """
+        was_training = self.network.training
+        self.network.eval()
+        try:
+            yield
+        finally:
+            if was_training:
+                self.network.train()
+
     def predict(self, instances: Sequence[StageInstance]) -> np.ndarray:
         """Predicted stage execution times in seconds."""
         if self.network is None:
             raise RuntimeError("NECS is not fitted")
-        self.network.eval()
         out = np.empty(len(instances))
         bs = max(self.config.batch_size, 64)
-        for start in range(0, len(instances), bs):
-            chunk = instances[start : start + bs]
-            numeric, code_ids, graphs = self._encode(chunk)
-            pred = self.network(numeric, code_ids, graphs).numpy()
-            out[start : start + len(chunk)] = pred
-        self.network.train()
+        with self._eval_mode():
+            for start in range(0, len(instances), bs):
+                chunk = instances[start : start + bs]
+                numeric, code_ids, graphs = self._encode(chunk)
+                pred = self.network(numeric, code_ids, graphs).numpy()
+                out[start : start + len(chunk)] = pred
         return np.expm1(out * self._y_std + self._y_mean)
 
     def feature_embeddings(self, instances: Sequence[StageInstance]) -> np.ndarray:
@@ -250,8 +295,99 @@ class NECSEstimator:
         if self.network is None:
             raise RuntimeError("NECS is not fitted")
         numeric, code_ids, graphs = self._encode(instances)
-        _, h = self.network.forward_with_embedding(numeric, code_ids, graphs)
+        with self._eval_mode():
+            _, h = self.network.forward_with_embedding(numeric, code_ids, graphs)
         return h.numpy()
+
+    # ------------------------------------------------------------------
+    # Serving fast path: encode templates once, score many candidates
+    # ------------------------------------------------------------------
+    def encode_templates(self, templates: Sequence[StageInstance]) -> EncodedTemplates:
+        """Encode the candidate-invariant part of a template list.
+
+        Tokenisation and DAG encoding depend only on the stage code/DAG, so
+        one :class:`EncodedTemplates` serves every candidate configuration
+        (and every later ``recommend`` call, until the model changes).
+        """
+        if self.network is None:
+            raise RuntimeError("NECS is not fitted")
+        if not templates:
+            raise ValueError("no stage templates to encode")
+        code_ids = None
+        if self.config.code_encoder != "none":
+            code_ids = self.tokenizer.encode_batch([t.code_tokens for t in templates])
+        graphs = None
+        if self.config.use_dag:
+            graphs = [
+                self.dag_encoder.encode(t.dag_labels, t.dag_edges) for t in templates
+            ]
+        return EncodedTemplates(
+            app_name=templates[0].app_name,
+            n_stages=len(templates),
+            code_ids=code_ids,
+            graphs=graphs,
+            version=self.version,
+        )
+
+    def _check_version(self, encoded: EncodedTemplates) -> None:
+        if encoded.version != self.version:
+            raise ValueError(
+                f"stale EncodedTemplates for {encoded.app_name!r}: encoded at "
+                f"model version {encoded.version}, estimator is at "
+                f"{self.version}; re-encode after fit/adaptive update"
+            )
+
+    def template_embeddings(
+        self, encoded: EncodedTemplates
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """``(h_code, h_dag)`` for each template, computed once and cached.
+
+        This is the expensive part of inference — the code CNN/LSTM and the
+        per-graph GCN — and it is identical for every candidate, so it runs
+        once per template instead of once per (template, candidate) pair.
+        """
+        if self.network is None:
+            raise RuntimeError("NECS is not fitted")
+        self._check_version(encoded)
+        if self.config.code_encoder != "none" and encoded.h_code is None:
+            with self._eval_mode():
+                encoded.h_code = self.network._encode_code(encoded.code_ids).numpy()
+        if self.config.use_dag and encoded.h_dag is None:
+            with self._eval_mode():
+                encoded.h_dag = self.network._encode_dags(encoded.graphs).numpy()
+        return encoded.h_code, encoded.h_dag
+
+    def predict_encoded(
+        self, encoded: EncodedTemplates, numeric_rows: np.ndarray
+    ) -> np.ndarray:
+        """Score N candidates against pre-encoded templates in one forward.
+
+        ``numeric_rows`` holds one *raw* numeric row per candidate (see
+        :func:`repro.core.instances.numeric_feature_rows`); the stage
+        dimension is broadcast here.  Returns predicted stage seconds with
+        shape ``(N, n_stages)``.  Costs one batched tower-MLP forward over
+        ``N * n_stages`` rows; the code/DAG embeddings are reused from the
+        template cache.
+        """
+        if self.network is None:
+            raise RuntimeError("NECS is not fitted")
+        self._check_version(encoded)
+        h_code, h_dag = self.template_embeddings(encoded)
+        numeric = self.numeric_scaler.transform(
+            np.asarray(numeric_rows, dtype=np.float64)
+        )
+        n, s = numeric.shape[0], encoded.n_stages
+        # Candidate-major, stage-minor — the same row order the per-instance
+        # path produces when it fans templates out over candidates.
+        parts = [np.repeat(numeric, s, axis=0)]
+        if h_code is not None:
+            parts.append(np.tile(h_code, (n, 1)))
+        if h_dag is not None:
+            parts.append(np.tile(h_dag, (n, 1)))
+        feats = np.concatenate(parts, axis=1)
+        with self._eval_mode():
+            out = self.network.mlp(nn.Tensor(feats)).numpy().reshape(n, s)
+        return np.expm1(out * self._y_std + self._y_mean)
 
     # ------------------------------------------------------------------
     def predict_app_time(self, instances: Sequence[StageInstance]) -> float:

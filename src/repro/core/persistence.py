@@ -16,7 +16,10 @@ from typing import Union
 from .lite import LITE
 
 FORMAT = "repro-lite"
-VERSION = 1
+# v2: LITE grew the encoded-template cache, probe-overhead ledger and
+# retained feedback corpus; NECSEstimator grew the version counter.  v1
+# pickles would deserialise without those attributes and fail at runtime.
+VERSION = 2
 
 
 def save_lite(lite: LITE, path: Union[str, Path]) -> Path:

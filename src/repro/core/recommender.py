@@ -4,6 +4,18 @@ Given the stage templates of an application (its stage-level codes and
 DAGs), each candidate configuration is scored by summing NECS's predicted
 stage times with the candidate's knob vector, the target data features and
 the target environment substituted in; candidates are ranked ascending.
+
+Two ranking paths exist:
+
+- :meth:`KnobRecommender.rank` — the serving fast path.  The templates'
+  code/DAG encodings (and their CNN/GCN embeddings) are computed once —
+  they are candidate-invariant — and every candidate contributes only a
+  numeric row, so ranking N candidates costs one embedding pass plus one
+  batched tower-MLP forward over ``N * n_stages`` rows.
+- :meth:`KnobRecommender.rank_per_instance` — the reference path that
+  materialises one :class:`StageInstance` copy per (template, candidate)
+  pair and re-encodes everything through ``NECSEstimator.predict``.  Kept
+  for the equivalence test and the serving-latency benchmark baseline.
 """
 
 from __future__ import annotations
@@ -16,8 +28,8 @@ import numpy as np
 
 from ..sparksim.cluster import ClusterSpec
 from ..sparksim.config import SparkConf
-from .instances import StageInstance
-from .necs import NECSEstimator
+from .instances import StageInstance, numeric_feature_rows
+from .necs import EncodedTemplates, NECSEstimator
 
 
 @dataclass
@@ -63,7 +75,37 @@ class KnobRecommender:
         candidates: Sequence[SparkConf],
         data_features: np.ndarray,
         cluster: ClusterSpec,
+        encoded: Optional[EncodedTemplates] = None,
     ) -> Recommendation:
+        """Serving fast path: encode templates once, score all candidates.
+
+        ``encoded`` lets the caller (LITE) reuse a cached template encoding
+        across calls; without it the templates are encoded here, which still
+        amortises the code/DAG embeddings over all candidates.
+        """
+        if not candidates:
+            raise ValueError("no candidate configurations")
+        start = time.perf_counter()
+        if encoded is None:
+            if not templates:
+                raise ValueError("no stage templates for the application")
+            encoded = self.estimator.encode_templates(templates)
+
+        knob_matrix = np.stack([conf.to_vector() for conf in candidates])
+        numeric = numeric_feature_rows(
+            knob_matrix, data_features, cluster.feature_vector()
+        )
+        per_stage = self.estimator.predict_encoded(encoded, numeric)
+        return self._build(candidates, per_stage.sum(axis=1), start)
+
+    def rank_per_instance(
+        self,
+        templates: Sequence[StageInstance],
+        candidates: Sequence[SparkConf],
+        data_features: np.ndarray,
+        cluster: ClusterSpec,
+    ) -> Recommendation:
+        """Reference path: one retargeted StageInstance per (stage, candidate)."""
         if not templates:
             raise ValueError("no stage templates for the application")
         if not candidates:
@@ -75,8 +117,13 @@ class KnobRecommender:
             batch.extend(retarget_instances(templates, conf, data_features, cluster))
         predictions = self.estimator.predict(batch)
 
-        n_stages = len(templates)
-        totals = predictions.reshape(len(candidates), n_stages).sum(axis=1)
+        totals = predictions.reshape(len(candidates), len(templates)).sum(axis=1)
+        return self._build(candidates, totals, start)
+
+    @staticmethod
+    def _build(
+        candidates: Sequence[SparkConf], totals: np.ndarray, start: float
+    ) -> Recommendation:
         order = np.argsort(totals, kind="stable")
         ranking = [(candidates[i], float(totals[i])) for i in order]
         overhead = time.perf_counter() - start

@@ -145,6 +145,8 @@ class AdaptiveModelUpdater:
             self.history_.append(
                 {"epoch": epoch, "pred_loss": epoch_pred / steps, "disc_loss": epoch_disc / steps}
             )
+        # Weights changed in place: cached template encodings are now stale.
+        est.bump_version()
         return est
 
     # ------------------------------------------------------------------

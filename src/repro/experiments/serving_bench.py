@@ -1,0 +1,166 @@
+"""Serving-latency benchmark: the recommendation fast path vs. the
+per-instance reference path.
+
+Ranking N candidates used to re-tokenize the same stage code and re-encode
+the same DAGs once per candidate; the fast path encodes each stage template
+once and scores all candidates with a single batched tower-MLP forward.
+This module measures both paths on the same trained system and the same
+candidate list, reports p50/p95 rank latency and candidates/sec, and emits
+``BENCH_serving.json`` — the number the paper's low-overhead online-tuning
+claim (Sec. V-I) lives or dies on.
+
+Used by ``repro bench-recommend`` (CLI) and
+``benchmarks/test_serving_latency.py`` (asserts the speedup floor).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.lite import LITE, LITEConfig
+from ..core.necs import NECSConfig
+from ..core.update import UpdateConfig
+from ..sparksim.cluster import ClusterSpec, get_cluster
+from ..utils.rng import get_rng
+
+DEFAULT_OUT = "BENCH_serving.json"
+
+
+def build_serving_lite(smoke: bool = False, seed: int = 0) -> LITE:
+    """A small trained LITE with architecturally complete NECS.
+
+    The benchmark needs realistic featurisation cost, not model quality, so
+    the corpus is small; smoke mode shrinks everything further for CI.
+    """
+    from ..experiments.collect import collect_training_runs
+    from ..workloads import get_workload
+
+    apps = ("PageRank",) if smoke else ("WordCount", "PageRank", "KMeans")
+    scales = ("train0",) if smoke else ("train0", "train1")
+    necs = NECSConfig(
+        epochs=1 if smoke else 4,
+        max_tokens=64 if smoke else 120,
+        conv_filters=8 if smoke else 24,
+        mlp_hidden=24 if smoke else 64,
+        gcn_hidden=8 if smoke else 12,
+        seed=seed,
+    )
+    cfg = LITEConfig(necs=necs, update=UpdateConfig(epochs=1), seed=seed)
+    runs = collect_training_runs(
+        workloads=[get_workload(a) for a in apps],
+        clusters=[get_cluster("C")],
+        scales=scales,
+        confs_per_cell=2 if smoke else 4,
+        seed=seed,
+    )
+    return LITE(cfg).offline_train(runs)
+
+
+def _stats(samples_s: Sequence[float], n_candidates: int) -> Dict[str, float]:
+    arr = np.asarray(samples_s, dtype=np.float64)
+    p50 = float(np.percentile(arr, 50))
+    return {
+        "p50_ms": p50 * 1e3,
+        "p95_ms": float(np.percentile(arr, 95)) * 1e3,
+        "mean_ms": float(arr.mean()) * 1e3,
+        "candidates_per_s": n_candidates / p50 if p50 > 0 else float("inf"),
+    }
+
+
+def measure_serving_latency(
+    lite: LITE,
+    app_name: str,
+    cluster: ClusterSpec,
+    scale: str = "test",
+    n_candidates: int = 40,
+    repeats: int = 20,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Time fast-path vs. reference-path ranking on identical candidates."""
+    from ..workloads import get_workload
+
+    workload = get_workload(app_name)
+    data = workload.data_spec(scale).features()
+    templates = lite.stage_templates(workload.name)
+    rng = get_rng(seed)
+    candidates = lite.candidate_generator.generate(
+        workload.name, float(data[0]), n_candidates, rng
+    )
+    rec = lite.recommender
+
+    # Warm both paths (first fast call pays the one-off template encoding).
+    fast0 = rec.rank(templates, candidates, data, cluster,
+                     encoded=lite.encoded_templates(workload.name))
+    ref0 = rec.rank_per_instance(templates, candidates, data, cluster)
+
+    fast_times, ref_times = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        rec.rank(templates, candidates, data, cluster,
+                 encoded=lite.encoded_templates(workload.name))
+        fast_times.append(time.perf_counter() - t0)
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        rec.rank_per_instance(templates, candidates, data, cluster)
+        ref_times.append(time.perf_counter() - t0)
+
+    fast = _stats(fast_times, n_candidates)
+    ref = _stats(ref_times, n_candidates)
+    same_order = [c for c, _ in fast0.ranking] == [c for c, _ in ref0.ranking]
+    totals_equal = bool(
+        np.array_equal(
+            np.array([t for _, t in fast0.ranking]),
+            np.array([t for _, t in ref0.ranking]),
+        )
+    )
+    return {
+        "app": workload.name,
+        "cluster": cluster.name,
+        "scale": scale,
+        "n_candidates": n_candidates,
+        "n_stages": len(templates),
+        "repeats": repeats,
+        "fast": fast,
+        "reference": ref,
+        "speedup_p50": ref["p50_ms"] / fast["p50_ms"],
+        "speedup_p95": ref["p95_ms"] / fast["p95_ms"],
+        "rankings_identical": same_order,
+        "totals_bit_identical": totals_equal,
+    }
+
+
+def run_serving_benchmark(
+    n_candidates: int = 40,
+    repeats: int = 20,
+    smoke: bool = False,
+    seed: int = 0,
+    out: Optional[Union[str, Path]] = DEFAULT_OUT,
+    lite: Optional[LITE] = None,
+    app_name: str = "PageRank",
+    cluster_name: str = "C",
+) -> Dict[str, object]:
+    """Train (or reuse) a small system, measure both paths, emit JSON."""
+    if smoke:
+        n_candidates = min(n_candidates, 8)
+        repeats = min(repeats, 3)
+    if lite is None:
+        lite = build_serving_lite(smoke=smoke, seed=seed)
+    result = measure_serving_latency(
+        lite,
+        app_name,
+        get_cluster(cluster_name),
+        n_candidates=n_candidates,
+        repeats=repeats,
+        seed=seed,
+    )
+    result["smoke"] = smoke
+    if out is not None:
+        path = Path(out)
+        path.write_text(json.dumps(result, indent=2) + "\n")
+        result["out"] = str(path)
+    return result
