@@ -9,6 +9,7 @@ Commands
 - ``lint``       static analysis: autograd-aware lint + knob validation
 - ``check-model`` static shape/graph check of the NECS variants
 - ``bench-recommend`` serving-latency benchmark (fast vs. reference path)
+- ``bench-train`` training-throughput benchmark (batched vs. reference engine)
 
 Examples
 --------
@@ -103,6 +104,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--out", default="BENCH_serving.json",
                          help="where to write the JSON report")
     p_bench.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_btrain = sub.add_parser(
+        "bench-train",
+        help="measure training throughput: batched engine vs. per-graph reference")
+    p_btrain.add_argument("--epochs", type=int, default=4)
+    p_btrain.add_argument("--update-epochs", type=int, default=2)
+    p_btrain.add_argument("--seed", type=int, default=0)
+    p_btrain.add_argument("--smoke", action="store_true",
+                          help="tiny corpus and few epochs (CI gate)")
+    p_btrain.add_argument("--out", default="BENCH_training.json",
+                          help="where to write the JSON report")
+    p_btrain.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
 
@@ -271,6 +284,38 @@ def cmd_bench_recommend(args) -> int:
     return 0
 
 
+def cmd_bench_train(args) -> int:
+    from .experiments.train_bench import run_training_benchmark
+
+    print("collecting corpus and fitting both engines...", file=sys.stderr)
+    result = run_training_benchmark(
+        epochs=args.epochs, update_epochs=args.update_epochs,
+        smoke=args.smoke, seed=args.seed, out=args.out,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        fit, upd, eq = result["fit"], result["update"], result["equivalence"]
+        print(f"training throughput on {result['n_train_instances']} instances "
+              f"({result['n_unique_templates']} unique templates, "
+              f"dedup factor {result['dedup_factor']:.1f}):")
+        print(f"  fit     reference: {fit['reference_inst_per_s']:8.0f} inst/s   "
+              f"batched: {fit['batched_inst_per_s']:8.0f} inst/s   "
+              f"speedup {fit['speedup']:.2f}x")
+        print(f"  update  reference: {upd['reference_inst_per_s']:8.0f} inst/s   "
+              f"batched: {upd['batched_inst_per_s']:8.0f} inst/s   "
+              f"speedup {upd['speedup']:.2f}x")
+        print(f"  loss-curve max |diff|: {eq['loss_curve_max_abs_diff']:.2e} "
+              f"(within tolerance: {eq['within_tolerance']})")
+        print(f"wrote {result['out']}")
+    return 0 if eq_ok(result) else 1
+
+
+def eq_ok(result) -> bool:
+    """The benchmark fails loudly if the engines trained different models."""
+    return bool(result["equivalence"]["within_tolerance"])
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -281,6 +326,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": cmd_lint,
         "check-model": cmd_check_model,
         "bench-recommend": cmd_bench_recommend,
+        "bench-train": cmd_bench_train,
     }
     return handlers[args.command](args)
 

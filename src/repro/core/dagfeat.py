@@ -36,6 +36,17 @@ class DagEncoder:
         """Node feature dimension: S known labels (+1 oov slot)."""
         return len(self.label_to_id) + (1 if self.use_oov else 0)
 
+    @property
+    def oov_id(self) -> int:
+        """Index of the out-of-vocabulary slot.
+
+        Consumers (e.g. next-operation targets in ``SchedulerLSTM``) should
+        use this rather than assuming the oov row sits at ``dim - 1``.
+        """
+        if not self.use_oov:
+            raise ValueError("encoder has no oov slot (use_oov=False)")
+        return len(self.label_to_id)
+
     # ------------------------------------------------------------------
     def node_features(self, labels: Sequence[str]) -> np.ndarray:
         """(|V|, dim) one-hot matrix; unseen labels map to the oov slot
@@ -44,13 +55,16 @@ class DagEncoder:
             raise RuntimeError("DAG encoder is not fitted")
         out = np.zeros((len(labels), self.dim))
         oov_slot = len(self.label_to_id)
-        for i, label in enumerate(labels):
-            idx = self.label_to_id.get(label)
-            if idx is not None:
-                out[i, idx] = 1.0
-            elif self.use_oov:
-                out[i, oov_slot] = 1.0
-            # else: unknown label gets a zero row (ablation).
+        ids = np.fromiter(
+            (self.label_to_id.get(label, oov_slot) for label in labels),
+            dtype=np.int64, count=len(labels),
+        )
+        if self.use_oov:
+            out[np.arange(len(labels)), ids] = 1.0
+        else:
+            # Unknown labels get a zero row (the Cold-UNK ablation).
+            known = np.flatnonzero(ids < oov_slot)
+            out[known, ids[known]] = 1.0
         return out
 
     def encode(self, labels: Sequence[str], edges: Sequence[Tuple[int, int]]) -> Tuple[np.ndarray, np.ndarray]:

@@ -61,6 +61,14 @@ class SchedulerLSTM:
         self._head: Optional[nn.Dense] = None
 
     def fit(self, label_lists: Sequence[Sequence[str]]) -> "SchedulerLSTM":
+        """Train the next-operation model, one batched step per epoch.
+
+        Sequences are padded to the longest DAG and run through the cell as
+        a single ``(B, T, dim)`` batch; the loss averages log-probabilities
+        over real transitions only.  Trailing pad steps feed zero vectors,
+        but the LSTM is causal so real positions never see them, and the
+        mask keeps them out of the loss.
+        """
         self.dag_encoder.fit(label_lists)
         rng = get_rng(self.seed)
         dim = self.dag_encoder.dim
@@ -69,25 +77,32 @@ class SchedulerLSTM:
         optimizer = nn.Adam(
             self._lstm.parameters() + self._head.parameters(), lr=5e-3
         )
-        sequences = [l for l in label_lists if len(l) >= 2]
+        sequences = [list(l) for l in label_lists if len(l) >= 2]
         if not sequences:
             return self
+        oov = self.dag_encoder.oov_id
+        steps = max(len(s) for s in sequences) - 1
+        feats = np.zeros((len(sequences), steps, dim))
+        targets = np.zeros((len(sequences), steps), dtype=np.int64)
+        mask = np.zeros((len(sequences), steps), dtype=bool)
+        for b, labels in enumerate(sequences):
+            t = len(labels) - 1
+            feats[b, :t] = self.dag_encoder.node_features(labels[:-1])
+            targets[b, :t] = [
+                self.dag_encoder.label_to_id.get(l, oov) for l in labels[1:]
+            ]
+            mask[b, :t] = True
+        x = nn.Tensor(feats)
+        rows, cols = np.nonzero(mask)
         for _ in range(self.epochs):
-            for labels in sequences:
-                feats = self.dag_encoder.node_features(labels)
-                x = nn.Tensor(feats[None, :-1, :])
-                target_ids = np.array(
-                    [self.dag_encoder.label_to_id.get(l, dim - 1) for l in labels[1:]]
-                )
-                # Run the cell over the sequence, predict the next label.
-                batch_h = self._run_states(x)
-                logits = self._head(batch_h)  # (1, T, dim) -> flattened below
-                log_probs = nn.functional.log_softmax(logits, axis=-1)
-                picked = log_probs[0, np.arange(len(target_ids)), target_ids]
-                loss = -picked.mean()
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
+            batch_h = self._run_states(x)  # (B, T, hidden)
+            logits = self._head(batch_h)
+            log_probs = nn.functional.log_softmax(logits, axis=-1)
+            picked = log_probs[rows, cols, targets[rows, cols]]
+            loss = -picked.mean()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
         return self
 
     def _run_states(self, x: nn.Tensor) -> nn.Tensor:

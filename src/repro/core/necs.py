@@ -51,6 +51,11 @@ class NECSConfig:
     code_encoder: str = "cnn"      # "cnn" | "lstm" | "transformer" | "none"
     use_dag: bool = True
     use_dag_oov: bool = True       # False = the Cold-UNK ablation
+    #: Batched training engine (both default on; the ``False`` settings are
+    #: the pre-batching reference paths kept for equivalence tests and the
+    #: training-throughput benchmark).
+    dedup_templates: bool = True   # encode each unique stage template once
+    batched_gcn: bool = True       # block-diagonal packed GCN propagation
     epochs: int = 18
     batch_size: int = 32
     lr: float = 2e-3
@@ -108,34 +113,78 @@ class NECSNetwork(nn.Module):
             feats = self.transformer(emb, pad_mask=pad_mask)
         return self.code_proj(feats)
 
-    def _encode_dags(self, graphs: Sequence[Tuple[np.ndarray, np.ndarray]]) -> nn.Tensor:
+    def _encode_dags(self, graphs) -> nn.Tensor:
+        """``graphs`` is a list of ``(V, A)`` pairs or a prebuilt GraphPack."""
+        if isinstance(graphs, nn.GraphPack):
+            return self.gcn.forward_packed(graphs)
+        if self.config.batched_gcn:
+            return self.gcn.forward_batch(graphs)
         pairs = [(nn.Tensor(v), a) for v, a in graphs]
-        return self.gcn.forward_batch(pairs)
+        return self.gcn.forward_batch_pergraph(pairs)
 
     def _features(
         self,
         numeric: np.ndarray,
         code_ids: Optional[np.ndarray],
         graphs: Optional[Sequence[Tuple[np.ndarray, np.ndarray]]],
+        template_index: Optional[np.ndarray] = None,
     ) -> nn.Tensor:
+        """Assemble ``concat(d/e/o, h_code, h_DAG)`` rows.
+
+        With ``template_index``, ``code_ids``/``graphs`` hold one entry per
+        *unique* stage template and ``template_index[i]`` names the template
+        of batch row ``i``: the CNN/GCN run once per unique template and an
+        autograd ``gather`` fans the embeddings back out to batch order, so
+        duplicate templates still receive (scatter-added) gradients.
+        """
         parts = [nn.Tensor(numeric)]
         if self.config.code_encoder != "none":
-            parts.append(self._encode_code(code_ids))
+            h_code = self._encode_code(code_ids)
+            if template_index is not None:
+                h_code = nn.gather(h_code, template_index)
+            parts.append(h_code)
         if self.config.use_dag:
-            parts.append(self._encode_dags(graphs))
+            h_dag = self._encode_dags(graphs)
+            if template_index is not None:
+                h_dag = nn.gather(h_dag, template_index)
+            parts.append(h_dag)
         return nn.concat(parts, axis=-1) if len(parts) > 1 else parts[0]
 
-    def forward(self, numeric, code_ids=None, graphs=None) -> nn.Tensor:
-        x = self._features(numeric, code_ids, graphs)
+    def forward(self, numeric, code_ids=None, graphs=None, template_index=None) -> nn.Tensor:
+        x = self._features(numeric, code_ids, graphs, template_index)
         return self.mlp(x).reshape(-1)
 
-    def forward_with_embedding(self, numeric, code_ids=None, graphs=None):
+    def forward_with_embedding(self, numeric, code_ids=None, graphs=None, template_index=None):
         """Return ``(prediction, h)`` where ``h`` is the concatenation of
         the tower MLP's hidden activations (the paper's h_i, Sec. IV-B)."""
-        x = self._features(numeric, code_ids, graphs)
+        x = self._features(numeric, code_ids, graphs, template_index)
         taps = self.mlp.hidden_embeddings(x)
         pred = self.mlp.layers[-1](taps[-1]).reshape(-1)
         return pred, nn.concat(taps, axis=-1)
+
+
+@dataclass
+class DedupEncoding:
+    """A batch encoded with template deduplication.
+
+    Within a training corpus most instances share the same stage template —
+    identical code tokens and identical DAGs, differing only in knobs/data/
+    env — so ``code_ids``/``graphs`` hold one entry per *unique* template
+    and ``template_index`` maps each of the ``len(numeric)`` batch rows to
+    its template.  Running the CNN/GCN once per unique row and gathering
+    back is what makes one optimizer step cheap.
+    """
+
+    numeric: np.ndarray                                    # (B, numeric_dim), scaled
+    code_ids: Optional[np.ndarray]                         # (U, max_tokens)
+    graphs: Optional[List[Tuple[np.ndarray, np.ndarray]]]  # length U
+    template_index: np.ndarray                             # (B,) int64 into 0..U-1
+    n_unique: int
+
+    @property
+    def dedup_factor(self) -> float:
+        """How many batch rows each unique template serves on average."""
+        return len(self.template_index) / max(self.n_unique, 1)
 
 
 @dataclass
@@ -204,6 +253,63 @@ class NECSEstimator:
             graphs = [self.dag_encoder.encode(i.dag_labels, i.dag_edges) for i in instances]
         return numeric, code_ids, graphs
 
+    def _encode_dedup(self, instances: Sequence[StageInstance], fit: bool = False) -> DedupEncoding:
+        """Encode a batch, tokenizing/encoding each unique template once.
+
+        Templates are keyed by *content* — the code-token sequence, DAG
+        labels and DAG edges — so the dedup is exact: two rows share an
+        encoding if and only if the naive path would have produced
+        identical ``code_ids`` rows and identical graphs for them.
+        """
+        numeric = np.stack([self._numeric_raw(i) for i in instances])
+        if fit:
+            self.numeric_scaler.fit(numeric)
+        numeric = self.numeric_scaler.transform(numeric)
+
+        key_to_slot: Dict[tuple, int] = {}
+        reps: List[StageInstance] = []
+        index = np.empty(len(instances), dtype=np.int64)
+        for i, inst in enumerate(instances):
+            key = (
+                tuple(inst.code_tokens),
+                tuple(inst.dag_labels),
+                tuple(inst.dag_edges),
+            )
+            slot = key_to_slot.get(key)
+            if slot is None:
+                slot = len(reps)
+                key_to_slot[key] = slot
+                reps.append(inst)
+            index[i] = slot
+
+        code_ids = None
+        if self.config.code_encoder != "none":
+            code_ids = self.tokenizer.encode_batch([r.code_tokens for r in reps])
+            if self.config.code_encoder == "cnn":
+                code_ids = self._trim_code_padding(code_ids)
+        graphs = None
+        if self.config.use_dag:
+            graphs = [self.dag_encoder.encode(r.dag_labels, r.dag_edges) for r in reps]
+        return DedupEncoding(numeric, code_ids, graphs, index, len(reps))
+
+    def _trim_code_padding(self, code_ids: np.ndarray) -> np.ndarray:
+        """Drop trailing pad columns the CNN's global max pool cannot see.
+
+        The tokenizer pads every row to ``max_tokens`` with trailing zeros,
+        but real stage code is far shorter, so most convolution windows
+        cover only padding — and every all-pad window yields the *same*
+        output vector (it sees the pad embedding in each slot).  Keeping
+        each row's real tokens plus at least one all-pad window therefore
+        leaves the max pool's value exactly unchanged while skipping the
+        bulk of the convolution.  Only valid for the CNN encoder: the
+        LSTM/Transformer paths are length-masked, not pooled, so they keep
+        full-width rows.
+        """
+        kernel = self.config.kernel_size
+        longest = int((code_ids != 0).sum(axis=1).max()) if code_ids.size else 0
+        width = min(code_ids.shape[1], max(longest + kernel, kernel))
+        return np.ascontiguousarray(code_ids[:, :width])
+
     def _encode_targets(self, instances: Sequence[StageInstance], fit: bool = False) -> np.ndarray:
         y = np.log1p(np.array([i.stage_time_s for i in instances]))
         if fit:
@@ -221,7 +327,13 @@ class NECSEstimator:
         if cfg.use_dag:
             self.dag_encoder.fit([i.dag_labels for i in instances])
 
-        numeric, code_ids, graphs = self._encode(instances, fit=True)
+        template_index = None
+        if cfg.dedup_templates:
+            enc = self._encode_dedup(instances, fit=True)
+            numeric, code_ids, graphs = enc.numeric, enc.code_ids, enc.graphs
+            template_index = enc.template_index
+        else:
+            numeric, code_ids, graphs = self._encode(instances, fit=True)
         targets = self._encode_targets(instances, fit=True)
         numeric_dim = numeric.shape[1]
         self.network = NECSNetwork(
@@ -230,15 +342,38 @@ class NECSEstimator:
             dag_dim=self.dag_encoder.dim if cfg.use_dag else 0,
             numeric_dim=numeric_dim,
         )
-        self._train_loop(numeric, code_ids, graphs, targets, verbose)
+        self._train_loop(numeric, code_ids, graphs, targets, verbose, template_index)
         self.bump_version()
         return self
 
-    def _train_loop(self, numeric, code_ids, graphs, targets, verbose: bool) -> None:
+    def _train_loop(
+        self, numeric, code_ids, graphs, targets, verbose: bool, template_index=None
+    ) -> None:
+        """Minibatch SGD; with ``template_index``, every step encodes the
+        *full* set of unique templates (one CNN pass over all ``U`` code
+        rows, one packed-GCN pass over all ``U`` graphs) and gathers batch
+        rows out by ``template_index[idx]``.
+
+        Encoding all templates rather than the batch's subset looks like
+        extra work but wins twice: the graph pack (concatenation,
+        block-diagonal propagation matrix, segment ids) is built once per
+        fit instead of once per step, and there is no per-step
+        ``np.unique``/re-indexing.  Templates absent from a batch receive
+        exact-zero gradient through the gather's scatter-add backward, so
+        the parameter updates match the naive path's.
+
+        The RNG draw sequence is identical in both modes, so the dedup path
+        sees the exact same batches as the naive path — the loss curves are
+        directly comparable.
+        """
         cfg = self.config
-        optimizer = nn.Adam(self.network.parameters(), lr=cfg.lr)
+        params = self.network.parameters()
+        optimizer = nn.Adam(params, lr=cfg.lr)
         rng = get_rng(cfg.seed + 1)
         n = len(targets)
+        pack = None
+        if template_index is not None and graphs is not None:
+            pack = nn.pack_graphs(graphs)
         self.train_losses_ = []
         for epoch in range(cfg.epochs):
             order = rng.permutation(n)
@@ -246,13 +381,17 @@ class NECSEstimator:
             batches = 0
             for start in range(0, n, cfg.batch_size):
                 idx = order[start : start + cfg.batch_size]
-                batch_graphs = [graphs[i] for i in idx] if graphs is not None else None
-                batch_codes = code_ids[idx] if code_ids is not None else None
-                pred = self.network(numeric[idx], batch_codes, batch_graphs)
+                if template_index is not None:
+                    pred = self.network(numeric[idx], code_ids, pack,
+                                        template_index=template_index[idx])
+                else:
+                    batch_graphs = [graphs[i] for i in idx] if graphs is not None else None
+                    batch_codes = code_ids[idx] if code_ids is not None else None
+                    pred = self.network(numeric[idx], batch_codes, batch_graphs)
                 loss = nn.mse_loss(pred, targets[idx])
                 optimizer.zero_grad()
                 loss.backward()
-                nn.clip_grad_norm(self.network.parameters(), cfg.grad_clip)
+                nn.clip_grad_norm(params, cfg.grad_clip)
                 optimizer.step()
                 epoch_loss += loss.item()
                 batches += 1
@@ -276,12 +415,39 @@ class NECSEstimator:
             if was_training:
                 self.network.train()
 
-    def predict(self, instances: Sequence[StageInstance]) -> np.ndarray:
-        """Predicted stage execution times in seconds."""
+    def predict(
+        self, instances: Sequence[StageInstance], dedup: Optional[bool] = None
+    ) -> np.ndarray:
+        """Predicted stage execution times in seconds.
+
+        ``dedup=None`` follows ``config.dedup_templates``: unique stage
+        templates are encoded once for the whole instance list and their
+        embeddings fanned back out.  ``dedup=False`` forces the naive
+        per-row encode — the reference path the serving benchmark times.
+        """
         if self.network is None:
             raise RuntimeError("NECS is not fitted")
+        if dedup is None:
+            dedup = self.config.dedup_templates
         out = np.empty(len(instances))
         bs = max(self.config.batch_size, 64)
+        if dedup:
+            if not len(instances):
+                return out
+            enc = self._encode_dedup(instances)
+            with self._eval_mode():
+                parts = [enc.numeric]
+                if enc.code_ids is not None:
+                    h_code = self.network._encode_code(enc.code_ids).numpy()
+                    parts.append(h_code[enc.template_index])
+                if enc.graphs is not None:
+                    h_dag = self.network._encode_dags(enc.graphs).numpy()
+                    parts.append(h_dag[enc.template_index])
+                feats = np.concatenate(parts, axis=1)
+                for start in range(0, len(instances), bs):
+                    pred = self.network.mlp(nn.Tensor(feats[start : start + bs]))
+                    out[start : start + bs] = pred.numpy().reshape(-1)
+            return np.expm1(out * self._y_std + self._y_mean)
         with self._eval_mode():
             for start in range(0, len(instances), bs):
                 chunk = instances[start : start + bs]
@@ -294,6 +460,14 @@ class NECSEstimator:
         """The h_i embeddings Adaptive Model Update discriminates on."""
         if self.network is None:
             raise RuntimeError("NECS is not fitted")
+        if self.config.dedup_templates:
+            enc = self._encode_dedup(instances)
+            with self._eval_mode():
+                _, h = self.network.forward_with_embedding(
+                    enc.numeric, enc.code_ids, enc.graphs,
+                    template_index=enc.template_index,
+                )
+            return h.numpy()
         numeric, code_ids, graphs = self._encode(instances)
         with self._eval_mode():
             _, h = self.network.forward_with_embedding(numeric, code_ids, graphs)

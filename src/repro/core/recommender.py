@@ -115,7 +115,9 @@ class KnobRecommender:
         batch: List[StageInstance] = []
         for conf in candidates:
             batch.extend(retarget_instances(templates, conf, data_features, cluster))
-        predictions = self.estimator.predict(batch)
+        # dedup=False: this path exists to show what ranking costs without
+        # template reuse, so it must not silently benefit from it.
+        predictions = self.estimator.predict(batch, dedup=False)
 
         totals = predictions.reshape(len(candidates), len(templates)).sum(axis=1)
         return self._build(candidates, totals, start)

@@ -69,7 +69,14 @@ class AdaptiveModelUpdater:
         source: Sequence[StageInstance],
         target: Sequence[StageInstance],
     ) -> NECSEstimator:
-        """Run the adversarial fine-tuning and return the updated estimator."""
+        """Run the adversarial fine-tuning and return the updated estimator.
+
+        The combined source+target corpus is featurised exactly once per
+        ``update`` (not per epoch or per step), with template-deduplicated
+        encoding when the estimator is configured for it: each minibatch
+        then encodes only its unique stage templates through the CNN/GCN
+        and gathers rows back to batch order.
+        """
         if not source or not target:
             raise ValueError("both source and target instances are required")
         cfg = self.config
@@ -77,23 +84,42 @@ class AdaptiveModelUpdater:
         net = est.network
         rng = get_rng(cfg.seed)
 
-        src_numeric, src_codes, src_graphs = est._encode(list(source))
-        tgt_numeric, tgt_codes, tgt_graphs = est._encode(list(target))
-        src_y = est._encode_targets(list(source))
-        tgt_y = est._encode_targets(list(target))
+        combined = list(source) + list(target)
+        n_src, n_tgt = len(source), len(target)
+        if est.config.dedup_templates:
+            enc = est._encode_dedup(combined)
+            all_numeric, tindex = enc.numeric, enc.template_index
+            code_u = enc.code_ids
+            pack = nn.pack_graphs(enc.graphs) if enc.graphs is not None else None
+            all_codes = all_graphs = None
+        else:
+            all_numeric, all_codes, all_graphs = est._encode(combined)
+            tindex = code_u = pack = None
+        all_y = est._encode_targets(combined)
+
+        def batch_features(rows: np.ndarray):
+            """(numeric, code_ids, graphs, template_index) for batch rows.
+
+            Dedup mode encodes the full unique-template set every step (the
+            graph pack is built once per ``update``) and gathers batch rows
+            out by ``tindex[rows]`` — see ``NECSEstimator._train_loop``.
+            """
+            numeric = all_numeric[rows]
+            if tindex is not None:
+                return numeric, code_u, pack, tindex[rows]
+            codes = all_codes[rows] if all_codes is not None else None
+            graphs = [all_graphs[i] for i in rows] if all_graphs is not None else None
+            return numeric, codes, graphs, None
 
         # Probe embedding width.
-        _, h0 = net.forward_with_embedding(
-            src_numeric[:1],
-            src_codes[:1] if src_codes is not None else None,
-            [src_graphs[0]] if src_graphs is not None else None,
-        )
+        _, h0 = net.forward_with_embedding(*batch_features(np.array([0])))
         self.discriminator = DomainDiscriminator(h0.shape[1], cfg.disc_hidden, rng)
 
-        opt_model = nn.Adam(net.parameters(), lr=cfg.lr)
-        opt_disc = nn.Adam(self.discriminator.parameters(), lr=cfg.disc_lr)
+        net_params = net.parameters()
+        disc_params = self.discriminator.parameters()
+        opt_model = nn.Adam(net_params, lr=cfg.lr)
+        opt_disc = nn.Adam(disc_params, lr=cfg.disc_lr)
 
-        n_src, n_tgt = len(source), len(target)
         half = max(2, cfg.batch_size // 2)
         steps = max(1, (n_src + n_tgt) // cfg.batch_size)
 
@@ -102,23 +128,16 @@ class AdaptiveModelUpdater:
             for _ in range(steps):
                 si = rng.integers(0, n_src, size=min(half, n_src))
                 ti = rng.integers(0, n_tgt, size=min(half, n_tgt))
-                numeric = np.concatenate([src_numeric[si], tgt_numeric[ti]])
-                codes = (
-                    np.concatenate([src_codes[si], tgt_codes[ti]])
-                    if src_codes is not None
-                    else None
-                )
-                graphs = (
-                    [src_graphs[i] for i in si] + [tgt_graphs[i] for i in ti]
-                    if src_graphs is not None
-                    else None
-                )
-                y = np.concatenate([src_y[si], tgt_y[ti]])
+                rows = np.concatenate([si, ti + n_src])
+                numeric, codes, graphs, batch_tindex = batch_features(rows)
+                y = all_y[rows]
                 labels = np.concatenate([np.ones(len(si)), np.zeros(len(ti))])
 
                 # -------- discriminator step (on detached embeddings) ----
                 for _ in range(cfg.disc_steps):
-                    _, h = net.forward_with_embedding(numeric, codes, graphs)
+                    _, h = net.forward_with_embedding(
+                        numeric, codes, graphs, template_index=batch_tindex
+                    )
                     h_const = h.detach()
                     d_prob = self.discriminator(h_const)
                     d_loss = nn.bce_loss(d_prob, labels)
@@ -127,7 +146,9 @@ class AdaptiveModelUpdater:
                     opt_disc.step()
 
                 # -------- NECS step: accurate + domain-confusing ---------
-                pred, h = net.forward_with_embedding(numeric, codes, graphs)
+                pred, h = net.forward_with_embedding(
+                    numeric, codes, graphs, template_index=batch_tindex
+                )
                 pred_loss = nn.mse_loss(pred, y)
                 d_prob = self.discriminator(h)
                 confusion = nn.bce_loss(d_prob, labels)
@@ -135,9 +156,9 @@ class AdaptiveModelUpdater:
                 opt_model.zero_grad()
                 # Freeze discriminator parameters during the model step.
                 total.backward()
-                for p in self.discriminator.parameters():
+                for p in disc_params:
                     p.zero_grad()
-                nn.clip_grad_norm(net.parameters(), est.config.grad_clip)
+                nn.clip_grad_norm(net_params, est.config.grad_clip)
                 opt_model.step()
 
                 epoch_pred += pred_loss.item()

@@ -43,15 +43,22 @@ def _collect_cell(
 
     Failed submissions are kept (they cost almost nothing and are recorded)
     but do not count toward the cell's quota of *successful* observations —
-    matching how one would actually gather a training corpus.
+    matching how one would actually gather a training corpus.  The 3x
+    resample pool is drawn lazily: most cells fill their quota from the
+    base batch, so the extra Latin-hypercube sample (and its RNG draws)
+    happens only when failures force the cell past it.
     """
+    def candidates() -> Iterable[SparkConf]:
+        yield from sample_cell_confs(confs_per_cell, rng)
+        yield from lhs_configurations(3 * confs_per_cell, rng)
+
     runs: List[AppRun] = []
     successes = 0
     attempts = 0
-    batch = sample_cell_confs(confs_per_cell, rng)
-    extra = lhs_configurations(3 * confs_per_cell, rng)
-    for conf in batch + extra:
-        if successes >= confs_per_cell or attempts >= 4 * confs_per_cell:
+    pool = iter(candidates())
+    while successes < confs_per_cell and attempts < 4 * confs_per_cell:
+        conf = next(pool, None)
+        if conf is None:
             break
         run = workload.run(conf, cluster, scale=scale, seed=seed)
         attempts += 1

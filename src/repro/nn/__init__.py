@@ -6,23 +6,23 @@ sequence encoders (:mod:`.rnn`, :mod:`.attention`), graph convolution
 (:mod:`.gcn`), optimizers (:mod:`.optim`) and losses (:mod:`.losses`).
 """
 
-from .tensor import Tensor, concat, stack, embedding_lookup, where
+from .tensor import Tensor, concat, gather, segment_max, stack, embedding_lookup, where
 from .module import Module, Parameter, Sequential
 from .layers import Conv1D, Dense, Dropout, Embedding, LayerNorm, MLP, ReLU, Sigmoid, Tanh
 from .rnn import LSTMCell, LSTMEncoder
 from .attention import TransformerEncoder
-from .gcn import GCNEncoder, normalized_adjacency
+from .gcn import GCNEncoder, GraphPack, block_diagonal, normalized_adjacency, pack_graphs
 from .optim import Adam, SGD, clip_grad_norm
 from .losses import bce_loss, bce_with_logits, huber_loss, mae_loss, mse_loss
 from . import functional
 
 __all__ = [
-    "Tensor", "concat", "stack", "embedding_lookup", "where",
+    "Tensor", "concat", "gather", "segment_max", "stack", "embedding_lookup", "where",
     "Module", "Parameter", "Sequential",
     "Conv1D", "Dense", "Dropout", "Embedding", "LayerNorm", "MLP",
     "ReLU", "Sigmoid", "Tanh",
     "LSTMCell", "LSTMEncoder", "TransformerEncoder",
-    "GCNEncoder", "normalized_adjacency",
+    "GCNEncoder", "GraphPack", "block_diagonal", "normalized_adjacency", "pack_graphs",
     "Adam", "SGD", "clip_grad_norm",
     "bce_loss", "bce_with_logits", "huber_loss", "mae_loss", "mse_loss",
     "functional",

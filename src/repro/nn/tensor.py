@@ -484,6 +484,85 @@ def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
     return out
 
 
+def gather(tensor: Tensor, indices: np.ndarray) -> Tensor:
+    """Row gather ``tensor[indices]`` along axis 0 with scatter-add backward.
+
+    The workhorse of template-deduplicated training: encode U unique rows,
+    then fan them back out to B batch rows.  The backward pass is a single
+    ``np.add.at`` — duplicate indices accumulate their gradients, exactly
+    as if the row had been encoded once per occurrence.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if tensor.data.ndim < 1:
+        raise ValueError("gather needs at least a 1-D tensor")
+    n = tensor.data.shape[0]
+    if indices.size and (indices.min() < 0 or indices.max() >= n):
+        raise IndexError(
+            f"gather index out of range [0, {n}): [{indices.min()}, {indices.max()}]"
+        )
+    data = tensor.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(tensor.data)
+        np.add.at(full, indices, grad)
+        _stash(tensor, full)
+
+    out = Tensor(data)
+    out.requires_grad = tensor.requires_grad
+    if out.requires_grad:
+        out._backward = backward
+        out._parents = (tensor,)
+    return out
+
+
+def segment_max(tensor: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Per-segment max over rows: ``out[s] = max(tensor[segment_ids == s])``.
+
+    ``segment_ids`` must be sorted (rows of one segment contiguous) and
+    every segment ``0..num_segments-1`` must own at least one row — the
+    max of an empty segment is undefined.  The backward pass routes the
+    incoming gradient to the rows attaining the segment max, split equally
+    among ties — matching :meth:`Tensor.max`, so pooling a packed batch of
+    graphs is gradient-identical to pooling each graph separately.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if tensor.data.ndim < 1 or segment_ids.shape != (tensor.data.shape[0],):
+        raise ValueError(
+            f"segment_ids must be 1-D with one id per row: "
+            f"{segment_ids.shape} vs {tensor.data.shape}"
+        )
+    if num_segments <= 0:
+        raise ValueError("num_segments must be positive")
+    steps = np.diff(segment_ids)
+    if np.any(steps < 0):
+        raise ValueError("segment_ids must be sorted (contiguous segments)")
+    # Sorted + no id skipped + endpoints at 0 and S-1 <=> every segment
+    # owns at least one row (cheaper than np.unique on the hot path).
+    if (
+        segment_ids.size == 0
+        or segment_ids[0] != 0
+        or segment_ids[-1] != num_segments - 1
+        or np.any(steps > 1)
+    ):
+        raise ValueError(
+            f"every segment in 0..{num_segments - 1} needs at least one row"
+        )
+    offsets = np.searchsorted(segment_ids, np.arange(num_segments))
+    data = np.maximum.reduceat(tensor.data, offsets, axis=0)
+
+    def backward(grad: np.ndarray) -> None:
+        mask = tensor.data == data[segment_ids]
+        counts = np.add.reduceat(mask, offsets, axis=0)
+        _stash(tensor, mask * (grad / counts)[segment_ids])
+
+    out = Tensor(data)
+    out.requires_grad = tensor.requires_grad
+    if out.requires_grad:
+        out._backward = backward
+        out._parents = (tensor,)
+    return out
+
+
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Differentiable selection; ``condition`` is a constant boolean mask."""
     a = a if isinstance(a, Tensor) else Tensor(a)
