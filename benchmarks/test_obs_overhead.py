@@ -1,0 +1,100 @@
+"""Observability overhead gate: repro.obs must not slow the hot paths.
+
+The obs subsystem instruments serving-path ranking and NECS training.
+This benchmark measures both operations in the three obs states
+(suppressed baseline / disabled / tracing enabled) with interleaved,
+order-rotated, paired repeats and asserts the budgets from the design:
+<1 % overhead with tracing disabled (the default — a null-span test per
+call site), <5 % with tracing enabled.  The gate judges the best paired
+ratio, the least noise-contaminated observation; medians land in
+``BENCH_obs.json`` for honest reporting.
+
+A microbenchmark additionally pins the absolute per-call costs the
+budgets are derived from: a disabled span must stay sub-microsecond-ish
+and an enabled span within single-digit microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.experiments.obs_bench import (
+    DISABLED_BUDGET,
+    ENABLED_BUDGET,
+    run_obs_benchmark,
+)
+
+from conftest import print_table
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+@pytest.fixture(scope="module")
+def obs_result():
+    return run_obs_benchmark(n_candidates=40, repeats=15, smoke=True, seed=0,
+                             out=OUT_PATH)
+
+
+def _span_cost_us(n: int = 50_000) -> float:
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with obs.span("bench.obs.overhead"):
+            pass
+    return (time.perf_counter() - t0) / n * 1e6
+
+
+class TestObsOverhead:
+    def test_within_budget(self, obs_result):
+        rows = []
+        for op in ("rank", "fit"):
+            r = obs_result[op]
+            rows.append((
+                op,
+                f"{r['suppressed_ms']:.3f}",
+                f"{100 * r['best_overhead_disabled']:+.2f}%",
+                f"{100 * r['best_overhead_enabled']:+.2f}%",
+                f"{100 * r['overhead_enabled']:+.2f}%",
+            ))
+        print_table(
+            "Observability overhead (paired ratios vs. suppressed baseline)",
+            ("op", "base ms", "best disabled", "best enabled", "median enabled"),
+            rows,
+        )
+        for op in ("rank", "fit"):
+            r = obs_result[op]
+            assert r["best_overhead_disabled"] < DISABLED_BUDGET, op
+            assert r["best_overhead_enabled"] < ENABLED_BUDGET, op
+        assert obs_result["within_budget"]
+
+    def test_span_call_costs(self):
+        """Absolute per-call costs the relative budgets rest on."""
+        was = obs.tracing_enabled()
+        try:
+            obs.disable_tracing()
+            disabled_us = _span_cost_us()
+            obs.enable_tracing()
+            enabled_us = _span_cost_us()
+        finally:
+            if was:
+                obs.enable_tracing()
+            else:
+                obs.disable_tracing()
+        print(f"\nspan cost: disabled {disabled_us:.3f} us, "
+              f"enabled {enabled_us:.2f} us")
+        # Generous absolute caps: a disabled span is one flag test plus a
+        # singleton return; an enabled span is two clock reads, a tuple
+        # append and a histogram bucket update.
+        assert disabled_us < 5.0
+        assert enabled_us < 50.0
+
+    def test_report_written(self, obs_result):
+        report = json.loads(OUT_PATH.read_text())
+        assert report["meta"]["kind"] == "obs-overhead"
+        assert report["meta"]["schema_version"] >= 1
+        assert {"rank", "fit", "budget", "within_budget"} <= set(report)
+        assert report["rank"]["suppressed_ms"] == obs_result["rank"]["suppressed_ms"]

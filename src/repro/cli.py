@@ -8,8 +8,15 @@ Commands
 - ``run``        execute one application under a configuration file
 - ``lint``       static analysis: autograd-aware lint + knob validation
 - ``check-model`` static shape/graph check of the NECS variants
+- ``stats``      run an observable lifecycle and report the obs metrics
+- ``trace``      run an observable lifecycle with tracing, print the span tree
 - ``bench-recommend`` serving-latency benchmark (fast vs. reference path)
 - ``bench-train`` training-throughput benchmark (batched vs. reference engine)
+- ``bench-obs``  observability-overhead benchmark (suppressed/disabled/enabled)
+
+Progress chatter goes to stderr through the shared ``repro.obs.log``
+logger (``-v`` for debug detail, ``-q`` for warnings only); results —
+tables and ``--json`` payloads — go to stdout, so piping stays clean.
 
 Examples
 --------
@@ -19,23 +26,32 @@ Examples
     python -m repro.cli train --cluster C --out lite.pkl --apps WordCount PageRank
     python -m repro.cli recommend --model lite.pkl --app PageRank --scale test
     python -m repro.cli run --app WordCount --scale train0 --set spark.executor.cores=4
+    python -m repro.cli stats --json
+    python -m repro.cli trace --min-ms 1 --jsonl trace.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import sys
 import time
 from typing import List, Optional
 
 import numpy as np
 
+from . import obs
 from .utils.rng import get_rng
+
+_LOG = obs.log.get("cli")
+_result = obs.log.result
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more progress detail on stderr (repeatable)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only warnings and errors on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_workloads = sub.add_parser("workloads", help="list available applications")
@@ -89,6 +105,27 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="seed a known shape mismatch (the checker must flag it)")
     p_check.add_argument("--json", action="store_true", help="machine-readable output")
 
+    p_stats = sub.add_parser(
+        "stats",
+        help="run a train/serve/feedback/update lifecycle and report obs metrics")
+    p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.add_argument("--full", action="store_true",
+                         help="larger corpus/model (default: smoke-sized)")
+    p_stats.add_argument("--out", default=None,
+                         help="also write the metrics snapshot as JSON to this path")
+    p_stats.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run the same lifecycle with tracing enabled and print the span tree")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--full", action="store_true",
+                         help="larger corpus/model (default: smoke-sized)")
+    p_trace.add_argument("--min-ms", type=float, default=0.0,
+                         help="hide spans shorter than this many milliseconds")
+    p_trace.add_argument("--jsonl", default=None,
+                         help="also export the spans as JSON-lines to this path")
+
     p_bench = sub.add_parser(
         "bench-recommend",
         help="measure rank latency: pre-encoded fast path vs. per-instance path")
@@ -116,6 +153,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p_btrain.add_argument("--out", default="BENCH_training.json",
                           help="where to write the JSON report")
     p_btrain.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_bobs = sub.add_parser(
+        "bench-obs",
+        help="measure obs overhead: suppressed baseline vs. disabled vs. enabled")
+    p_bobs.add_argument("--candidates", type=int, default=40)
+    p_bobs.add_argument("--repeats", type=int, default=15)
+    p_bobs.add_argument("--seed", type=int, default=0)
+    p_bobs.add_argument("--smoke", action="store_true",
+                        help="tiny corpus/model (CI gate)")
+    p_bobs.add_argument("--out", default="BENCH_obs.json",
+                        help="where to write the JSON report")
+    p_bobs.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
 
@@ -143,9 +192,9 @@ def _parse_conf(overrides: List[str]):
 def cmd_workloads(_args) -> int:
     from .workloads import all_workloads
 
-    print(f"{'abbrev':8s} {'name':30s} {'rows@1x':>10s} {'iters':>5s}")
+    _result(f"{'abbrev':8s} {'name':30s} {'rows@1x':>10s} {'iters':>5s}")
     for wl in all_workloads():
-        print(f"{wl.abbrev:8s} {wl.name:30s} {wl.base_rows:10.0f} {wl.iterations:5d}")
+        _result(f"{wl.abbrev:8s} {wl.name:30s} {wl.base_rows:10.0f} {wl.iterations:5d}")
     return 0
 
 
@@ -159,23 +208,23 @@ def cmd_train(args) -> int:
 
     cluster = get_cluster(args.cluster)
     workloads = [get_workload(n) for n in args.apps] if args.apps else None
-    print(f"collecting training runs on cluster {cluster.name}...")
+    _LOG.info("collecting training runs on cluster %s...", cluster.name)
     t0 = time.time()
     runs = collect_training_runs(
         workloads=workloads, clusters=[cluster],
         confs_per_cell=args.confs_per_cell, seed=args.seed,
     )
     ok = sum(r.success for r in runs)
-    print(f"  {len(runs)} runs ({ok} successful) in {time.time() - t0:.1f}s")
+    _LOG.info("  %d runs (%d successful) in %.1fs", len(runs), ok, time.time() - t0)
 
-    print("training NECS + adaptive candidate generation...")
+    _LOG.info("training NECS + adaptive candidate generation...")
     t0 = time.time()
     lite = LITE(LITEConfig(necs=NECSConfig(epochs=args.epochs), seed=args.seed))
-    lite.offline_train(runs)
-    print(f"  trained in {time.time() - t0:.1f}s "
-          f"(final loss {lite.estimator.train_losses_[-1]:.4f})")
+    lite.offline_train(runs, verbose=args.verbose > 0)
+    _LOG.info("  trained in %.1fs (final loss %.4f)",
+              time.time() - t0, lite.estimator.train_losses_[-1])
     path = save_lite(lite, args.out)
-    print(f"saved to {path}")
+    _result(f"saved to {path}")
     return 0
 
 
@@ -188,17 +237,17 @@ def cmd_recommend(args) -> int:
     cluster = get_cluster(args.cluster)
     workload = get_workload(args.app)
     if workload.name not in lite.known_apps():
-        print(f"{workload.name} is new to this model: running a cold-start probe...",
-              file=sys.stderr)
+        _LOG.info("%s is new to this model: running a cold-start probe...",
+                  workload.name)
         probe = lite.cold_start_probe(workload, cluster, seed=args.seed)
-        print(f"  probe took {probe:.1f} simulated seconds", file=sys.stderr)
+        _LOG.info("  probe took %.1f simulated seconds", probe)
     data = workload.data_spec(args.scale).features()
     rec = lite.recommend(
         workload.name, data, cluster,
         n_candidates=args.candidates, rng=get_rng(args.seed),
     )
     if args.json:
-        print(json.dumps({
+        _result(json.dumps({
             "app": workload.name,
             "cluster": cluster.name,
             "scale": args.scale,
@@ -206,14 +255,18 @@ def cmd_recommend(args) -> int:
             "predicted_time_s": rec.predicted_time_s,
             "ranking_overhead_s": rec.overhead_s,
             "probe_overhead_s": rec.probe_overhead_s,
+            "template_cache_hit": rec.template_cache_hit,
+            "encode_overhead_s": rec.encode_overhead_s,
         }, indent=2, default=str))
     else:
-        print(f"recommended configuration for {workload.name} "
-              f"({args.scale} on cluster {cluster.name}):")
+        _result(f"recommended configuration for {workload.name} "
+                f"({args.scale} on cluster {cluster.name}):")
         for knob, value in sorted(rec.conf.as_dict().items()):
-            print(f"  {knob} = {value}")
-        print(f"predicted time: {rec.predicted_time_s:.1f}s "
-              f"(ranked {len(rec.ranking)} candidates in {rec.overhead_s * 1e3:.0f} ms)")
+            _result(f"  {knob} = {value}")
+        cache = "hit" if rec.template_cache_hit else "cold encode"
+        _result(f"predicted time: {rec.predicted_time_s:.1f}s "
+                f"(ranked {len(rec.ranking)} candidates in {rec.overhead_s * 1e3:.0f} ms, "
+                f"template cache: {cache})")
     return 0
 
 
@@ -225,9 +278,9 @@ def cmd_run(args) -> int:
     workload = get_workload(args.app)
     run = workload.run(conf, get_cluster(args.cluster), scale=args.scale, seed=args.seed)
     status = "OK" if run.success else f"FAILED ({run.failure_reason})"
-    print(f"{workload.name} @ {args.scale} on cluster {args.cluster}: {status}")
-    print(f"  simulated time: {run.duration_s:.1f}s over {run.num_stages} stages "
-          f"({run.num_jobs} jobs, {run.skipped_stages} skipped stages)")
+    _result(f"{workload.name} @ {args.scale} on cluster {args.cluster}: {status}")
+    _result(f"  simulated time: {run.duration_s:.1f}s over {run.num_stages} stages "
+            f"({run.num_jobs} jobs, {run.skipped_stages} skipped stages)")
     return 0 if run.success else 1
 
 
@@ -239,7 +292,7 @@ def cmd_lint(args) -> int:
         report = run_lint(args.paths or None, select=select)
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(f"repro lint: {exc}")
-    print(report.format_json() if args.json else report.format_text())
+    _result(report.format_json() if args.json else report.format_text())
     return report.exit_code(fail_on=args.fail_on)
 
 
@@ -247,8 +300,70 @@ def cmd_check_model(args) -> int:
     from .analysis import run_check_model
 
     report = run_check_model(encoders=args.encoders, inject_fault=args.inject_fault)
-    print(report.format_json() if args.json else report.format_text())
+    _result(report.format_json() if args.json else report.format_text())
     return report.exit_code(fail_on="warning")
+
+
+def _run_observed_lifecycle(args):
+    """One full lifecycle (shared by stats/trace).
+
+    Callers reset obs state first — stats wants fresh counters, trace
+    additionally enables tracing, and a reset here would turn it back off.
+    """
+    from .experiments.lifecycle import run_lifecycle
+
+    _LOG.info("running a %s train/serve/feedback/update lifecycle...",
+              "full" if args.full else "smoke")
+    t0 = time.time()
+    summary = run_lifecycle(smoke=not args.full, seed=args.seed)
+    _LOG.info("  lifecycle done in %.1fs", time.time() - t0)
+    return summary
+
+
+def cmd_stats(args) -> int:
+    obs.reset()
+    summary = _run_observed_lifecycle(args)
+    snapshot = obs.metrics_snapshot()
+    if args.out:
+        obs.export_metrics_json(args.out)
+        _LOG.info("metrics snapshot written to %s", args.out)
+    if args.json:
+        _result(json.dumps(
+            {"lifecycle": summary, "metrics": snapshot}, indent=2, default=str))
+        return 0
+    counters = {k: v for k, v in snapshot.items() if v["type"] == "counter"}
+    gauges = {k: v for k, v in snapshot.items() if v["type"] == "gauge"}
+    hists = {k: v for k, v in snapshot.items() if v["type"] == "histogram"}
+    _result("counters:")
+    for name, m in sorted(counters.items()):
+        _result(f"  {name:44s} {m['value']:10d}")
+    _result("gauges:")
+    for name, m in sorted(gauges.items()):
+        _result(f"  {name:44s} {m['value']:14.4f}")
+    _result("histograms (seconds):")
+    for name, m in sorted(hists.items()):
+        _result(f"  {name:44s} n={m['count']:<6d} p50={m['p50']:.4g} "
+                f"p95={m['p95']:.4g} p99={m['p99']:.4g}")
+    d = summary["drift"]
+    _result(f"drift window: n={d['n']} signed_rel_err={d['mean_signed_rel_err']:+.3f} "
+            f"wilcoxon_p={d['wilcoxon_p']:.3g} drifted={d['drifted']}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    obs.reset()
+    obs.enable_tracing()
+    try:
+        summary = _run_observed_lifecycle(args)
+    finally:
+        obs.disable_tracing()
+    if args.jsonl:
+        path = obs.export_trace_jsonl(args.jsonl)
+        _LOG.info("%d spans exported to %s", len(obs.get_tracer()), path)
+    _result(obs.format_trace_tree(min_duration_s=args.min_ms / 1e3))
+    _result(f"\n{len(obs.get_tracer())} spans; adaptive update triggered: "
+            f"{summary['adaptive_update_triggered']}")
+    return 0
 
 
 def cmd_bench_recommend(args) -> int:
@@ -259,7 +374,7 @@ def cmd_bench_recommend(args) -> int:
 
         lite = load_lite(args.model)
     else:
-        print("training a small benchmark system...", file=sys.stderr)
+        _LOG.info("training a small benchmark system...")
         lite = build_serving_lite(smoke=args.smoke, seed=args.seed)
     result = run_serving_benchmark(
         n_candidates=args.candidates, repeats=args.repeats, smoke=args.smoke,
@@ -267,48 +382,76 @@ def cmd_bench_recommend(args) -> int:
         app_name=args.app, cluster_name=args.cluster,
     )
     if args.json:
-        print(json.dumps(result, indent=2))
+        _result(json.dumps(result, indent=2))
     else:
         fast, ref = result["fast"], result["reference"]
-        print(f"serving latency for {result['app']} "
-              f"({result['n_candidates']} candidates x {result['n_stages']} stages, "
-              f"{result['repeats']} repeats):")
-        print(f"  fast path:      p50 {fast['p50_ms']:8.2f} ms  p95 {fast['p95_ms']:8.2f} ms  "
-              f"{fast['candidates_per_s']:10.0f} cand/s")
-        print(f"  per-instance:   p50 {ref['p50_ms']:8.2f} ms  p95 {ref['p95_ms']:8.2f} ms  "
-              f"{ref['candidates_per_s']:10.0f} cand/s")
-        print(f"  speedup: {result['speedup_p50']:.1f}x (p50), "
-              f"{result['speedup_p95']:.1f}x (p95); "
-              f"rankings identical: {result['rankings_identical']}")
-        print(f"wrote {result['out']}")
+        _result(f"serving latency for {result['app']} "
+                f"({result['n_candidates']} candidates x {result['n_stages']} stages, "
+                f"{result['repeats']} repeats):")
+        _result(f"  fast path:      p50 {fast['p50_ms']:8.2f} ms  p95 {fast['p95_ms']:8.2f} ms  "
+                f"{fast['candidates_per_s']:10.0f} cand/s")
+        _result(f"  per-instance:   p50 {ref['p50_ms']:8.2f} ms  p95 {ref['p95_ms']:8.2f} ms  "
+                f"{ref['candidates_per_s']:10.0f} cand/s")
+        _result(f"  speedup: {result['speedup_p50']:.1f}x (p50), "
+                f"{result['speedup_p95']:.1f}x (p95); "
+                f"rankings identical: {result['rankings_identical']}")
+        _result(f"wrote {result['out']}")
     return 0
 
 
 def cmd_bench_train(args) -> int:
     from .experiments.train_bench import run_training_benchmark
 
-    print("collecting corpus and fitting both engines...", file=sys.stderr)
+    _LOG.info("collecting corpus and fitting both engines...")
     result = run_training_benchmark(
         epochs=args.epochs, update_epochs=args.update_epochs,
         smoke=args.smoke, seed=args.seed, out=args.out,
     )
     if args.json:
-        print(json.dumps(result, indent=2))
+        _result(json.dumps(result, indent=2))
     else:
         fit, upd, eq = result["fit"], result["update"], result["equivalence"]
-        print(f"training throughput on {result['n_train_instances']} instances "
-              f"({result['n_unique_templates']} unique templates, "
-              f"dedup factor {result['dedup_factor']:.1f}):")
-        print(f"  fit     reference: {fit['reference_inst_per_s']:8.0f} inst/s   "
-              f"batched: {fit['batched_inst_per_s']:8.0f} inst/s   "
-              f"speedup {fit['speedup']:.2f}x")
-        print(f"  update  reference: {upd['reference_inst_per_s']:8.0f} inst/s   "
-              f"batched: {upd['batched_inst_per_s']:8.0f} inst/s   "
-              f"speedup {upd['speedup']:.2f}x")
-        print(f"  loss-curve max |diff|: {eq['loss_curve_max_abs_diff']:.2e} "
-              f"(within tolerance: {eq['within_tolerance']})")
-        print(f"wrote {result['out']}")
+        _result(f"training throughput on {result['n_train_instances']} instances "
+                f"({result['n_unique_templates']} unique templates, "
+                f"dedup factor {result['dedup_factor']:.1f}):")
+        _result(f"  fit     reference: {fit['reference_inst_per_s']:8.0f} inst/s   "
+                f"batched: {fit['batched_inst_per_s']:8.0f} inst/s   "
+                f"speedup {fit['speedup']:.2f}x")
+        _result(f"  update  reference: {upd['reference_inst_per_s']:8.0f} inst/s   "
+                f"batched: {upd['batched_inst_per_s']:8.0f} inst/s   "
+                f"speedup {upd['speedup']:.2f}x")
+        _result(f"  loss-curve max |diff|: {eq['loss_curve_max_abs_diff']:.2e} "
+                f"(within tolerance: {eq['within_tolerance']})")
+        _result(f"wrote {result['out']}")
     return 0 if eq_ok(result) else 1
+
+
+def cmd_bench_obs(args) -> int:
+    from .experiments.obs_bench import run_obs_benchmark
+
+    _LOG.info("training a small system and timing the three obs states...")
+    result = run_obs_benchmark(
+        n_candidates=args.candidates, repeats=args.repeats, smoke=args.smoke,
+        seed=args.seed, out=args.out,
+    )
+    if args.json:
+        _result(json.dumps(result, indent=2))
+    else:
+        _result(f"obs overhead vs. suppressed baseline "
+                f"({result['n_candidates']} candidates, "
+                f"{result['n_train_instances']} train instances):")
+        for op in ("rank", "fit"):
+            r = result[op]
+            _result(f"  {op:5s} base {r['suppressed_ms']:8.3f} ms   "
+                    f"disabled {100 * r['overhead_disabled']:+6.2f}% "
+                    f"(best {100 * r['best_overhead_disabled']:+6.2f}%)   "
+                    f"enabled {100 * r['overhead_enabled']:+6.2f}% "
+                    f"(best {100 * r['best_overhead_enabled']:+6.2f}%)")
+        _result(f"  budgets: disabled < {100 * result['budget']['disabled_max']:.0f}%, "
+                f"enabled < {100 * result['budget']['enabled_max']:.0f}%  "
+                f"-> within budget: {result['within_budget']}")
+        _result(f"wrote {result['out']}")
+    return 0 if result["within_budget"] else 1
 
 
 def eq_ok(result) -> bool:
@@ -318,6 +461,7 @@ def eq_ok(result) -> bool:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    obs.log.setup(-1 if args.quiet else args.verbose)
     handlers = {
         "workloads": cmd_workloads,
         "train": cmd_train,
@@ -325,8 +469,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "lint": cmd_lint,
         "check-model": cmd_check_model,
+        "stats": cmd_stats,
+        "trace": cmd_trace,
         "bench-recommend": cmd_bench_recommend,
         "bench-train": cmd_bench_train,
+        "bench-obs": cmd_bench_obs,
     }
     return handlers[args.command](args)
 

@@ -18,12 +18,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..utils.rng import get_rng
 
+from .. import obs
+from ..obs import names as obsn
+from ..obs.drift import DriftMonitor, DriftStats
 from ..sparksim.cluster import ClusterSpec
 from ..sparksim.config import SparkConf
 from ..sparksim.eventlog import AppRun
@@ -40,6 +43,13 @@ class LITEConfig:
     update: UpdateConfig = field(default_factory=UpdateConfig)
     n_candidates: int = 40
     feedback_batch_size: int = 20   # AMU runs when this many feedback runs arrive
+    #: Drift-monitor shape (see :class:`repro.obs.drift.DriftMonitor`):
+    #: rolling window of predicted-vs-actual stage times recorded by
+    #: ``feedback``, summarised by ``drift_stats()``/``should_update()``.
+    drift_window: int = 256
+    drift_min_samples: int = 10
+    drift_rel_err_threshold: float = 0.35
+    drift_p_threshold: float = 0.01
     seed: int = 0
 
 
@@ -58,6 +68,12 @@ class LITE:
         self._feedback_runs: List[AppRun] = []
         self._feedback_instances: List[StageInstance] = []
         self._target_instances: List[StageInstance] = []
+        self.drift = DriftMonitor(
+            window=self.config.drift_window,
+            min_samples=self.config.drift_min_samples,
+            rel_err_threshold=self.config.drift_rel_err_threshold,
+            p_threshold=self.config.drift_p_threshold,
+        )
         self.trained = False
 
     # ------------------------------------------------------------------
@@ -65,21 +81,29 @@ class LITE:
     # ------------------------------------------------------------------
     def offline_train(self, runs: Sequence[AppRun], verbose: bool = False) -> "LITE":
         """Train NECS and ACG from small-datasize training runs."""
-        instances = build_dataset(runs)
-        if not instances:
-            raise ValueError("training runs produced no stage instances")
-        self._source_instances = instances
-        self.estimator.fit(instances, verbose=verbose)
-        self.candidate_generator.fit(list(runs))
-        self._templates = {}
-        self._encoded = {}
-        for run in runs:
-            if run.success:
-                current = self._templates.get(run.app_name)
-                # Keep the structurally richest run as the template source.
-                if current is None or run.num_stages > len(current):
-                    self._templates[run.app_name] = instances_from_run(run)
-        self.trained = True
+        with obs.span(obsn.SPAN_OFFLINE_TRAIN) as sp:
+            with obs.span(obsn.SPAN_FEATURISE) as fsp:
+                instances = build_dataset(runs)
+                if fsp:
+                    fsp.set(n_runs=len(runs), n_instances=len(instances))
+            if not instances:
+                raise ValueError("training runs produced no stage instances")
+            self._source_instances = instances
+            self.estimator.fit(instances, verbose=verbose)
+            with obs.span(obsn.SPAN_ACG_FIT):
+                self.candidate_generator.fit(list(runs))
+            self._templates = {}
+            self._encoded = {}
+            for run in runs:
+                if run.success:
+                    current = self._templates.get(run.app_name)
+                    # Keep the structurally richest run as the template source.
+                    if current is None or run.num_stages > len(current):
+                        self._templates[run.app_name] = instances_from_run(run)
+            self.trained = True
+            if sp:
+                sp.set(n_runs=len(runs), n_instances=len(instances),
+                       n_apps=len(self._templates))
         return self
 
     # ------------------------------------------------------------------
@@ -103,11 +127,32 @@ class LITE:
         stale and they are re-encoded here on next use; replacing an app's
         templates (``cold_start_probe``) drops its entry directly.
         """
+        return self._encoded_with_status(app_name)[0]
+
+    def _encoded_with_status(
+        self, app_name: str
+    ) -> Tuple[EncodedTemplates, bool, float]:
+        """``(encoded, cache_hit, encode_overhead_s)`` for one app.
+
+        A cold encode warms the CNN/GCN template embeddings inside the
+        timed section, so its full cost is attributed here (and recorded
+        on the returned :class:`Recommendation`) instead of leaking into
+        the first ``rank`` after a miss or a version-bump invalidation.
+        """
         cached = self._encoded.get(app_name)
-        if cached is None or cached.version != self.estimator.version:
-            cached = self.estimator.encode_templates(self.stage_templates(app_name))
-            self._encoded[app_name] = cached
-        return cached
+        if cached is not None and cached.version == self.estimator.version:
+            obs.counter(obsn.CTR_CACHE_HIT).inc()
+            return cached, True, 0.0
+        if cached is None:
+            obs.counter(obsn.CTR_CACHE_MISS).inc()
+        else:
+            obs.counter(obsn.CTR_CACHE_INVALIDATION).inc()
+        t0 = time.perf_counter()
+        cached = self.estimator.encode_templates(self.stage_templates(app_name))
+        self.estimator.template_embeddings(cached)
+        encode_s = time.perf_counter() - t0
+        self._encoded[app_name] = cached
+        return cached, False, encode_s
 
     def cold_start_probe(self, workload, cluster: ClusterSpec, seed: int = 0) -> float:
         """Run a never-seen application once on the smallest dataset with
@@ -119,23 +164,27 @@ class LITE:
         Raises ``RuntimeError`` when both the default and the minimal safe
         configuration fail — a failed run has no stages to use as templates.
         """
-        run = workload.run(SparkConf.default(), cluster, scale="train0", seed=seed)
-        probe_time = run.duration_s
-        if not run.success:
-            # Defaults failed: probe with a minimal, safe configuration.
-            safe = SparkConf({"spark.executor.instances": 1, "spark.executor.memory": 1})
-            retry = workload.run(safe, cluster, scale="train0", seed=seed)
-            probe_time += retry.duration_s
-            if not retry.success:
-                raise RuntimeError(
-                    f"cold-start probe failed twice for {workload.name!r} on "
-                    f"cluster {cluster.name}: {run.failure_reason!r}, then "
-                    f"{retry.failure_reason!r} with the minimal configuration"
-                )
-            run = retry
-        self._templates[workload.name] = instances_from_run(run)
-        self._encoded.pop(workload.name, None)
-        self._probe_overhead[workload.name] = probe_time
+        with obs.span(obsn.SPAN_COLD_START_PROBE) as sp:
+            obs.counter(obsn.CTR_COLD_START_PROBES).inc()
+            run = workload.run(SparkConf.default(), cluster, scale="train0", seed=seed)
+            probe_time = run.duration_s
+            if not run.success:
+                # Defaults failed: probe with a minimal, safe configuration.
+                safe = SparkConf({"spark.executor.instances": 1, "spark.executor.memory": 1})
+                retry = workload.run(safe, cluster, scale="train0", seed=seed)
+                probe_time += retry.duration_s
+                if not retry.success:
+                    raise RuntimeError(
+                        f"cold-start probe failed twice for {workload.name!r} on "
+                        f"cluster {cluster.name}: {run.failure_reason!r}, then "
+                        f"{retry.failure_reason!r} with the minimal configuration"
+                    )
+                run = retry
+            self._templates[workload.name] = instances_from_run(run)
+            self._encoded.pop(workload.name, None)
+            self._probe_overhead[workload.name] = probe_time
+            if sp:
+                sp.set(app=workload.name, probe_time_s=round(probe_time, 3))
         return probe_time
 
     # ------------------------------------------------------------------
@@ -152,29 +201,39 @@ class LITE:
         """Recommend knob values for an application on target data/cluster."""
         if not self.trained:
             raise RuntimeError("LITE must be trained before recommending")
-        rng = rng or get_rng(self.config.seed)
-        n = n_candidates or self.config.n_candidates
-        data_features = np.asarray(data_features, dtype=np.float64)
-        candidates = self.candidate_generator.generate(
-            app_name, float(data_features[0]), n, rng
-        )
-        # Free submit-time validity check (what spark-submit/YARN would
-        # reject immediately): drop candidates the cluster cannot host.
-        hostable = self._filter_hostable(candidates, cluster)
-        if not hostable:
-            # The ACG region was learned on the training clusters and can
-            # sit entirely outside what this cluster hosts; never rank (and
-            # recommend) confs that would be rejected at submit time —
-            # widen to the full knob ranges instead.
-            hostable = self._sample_hostable(cluster, n, rng)
-        templates = self.stage_templates(app_name)
-        rec = self.recommender.rank(
-            templates, hostable, data_features, cluster,
-            encoded=self.encoded_templates(app_name),
-        )
-        # The first recommendation after a cold-start probe carries the
-        # probe's cost (counting it on every call would double-book it).
-        rec.probe_overhead_s = self._probe_overhead.pop(app_name, 0.0)
+        with obs.span(obsn.SPAN_RECOMMEND) as sp:
+            obs.counter(obsn.CTR_RECOMMENDATIONS).inc()
+            rng = rng or get_rng(self.config.seed)
+            n = n_candidates or self.config.n_candidates
+            data_features = np.asarray(data_features, dtype=np.float64)
+            candidates = self.candidate_generator.generate(
+                app_name, float(data_features[0]), n, rng
+            )
+            # Free submit-time validity check (what spark-submit/YARN would
+            # reject immediately): drop candidates the cluster cannot host.
+            hostable = self._filter_hostable(candidates, cluster)
+            if not hostable:
+                # The ACG region was learned on the training clusters and can
+                # sit entirely outside what this cluster hosts; never rank (and
+                # recommend) confs that would be rejected at submit time —
+                # widen to the full knob ranges instead.
+                hostable = self._sample_hostable(cluster, n, rng)
+            templates = self.stage_templates(app_name)
+            encoded, cache_hit, encode_s = self._encoded_with_status(app_name)
+            rec = self.recommender.rank(
+                templates, hostable, data_features, cluster, encoded=encoded,
+            )
+            # A cold encode (first use, or a fit/adaptive-update version
+            # bump) is real serving latency but not ranking latency: report
+            # it on its own field instead of folding it into overhead_s.
+            rec.template_cache_hit = cache_hit
+            rec.encode_overhead_s = encode_s
+            # The first recommendation after a cold-start probe carries the
+            # probe's cost (counting it on every call would double-book it).
+            rec.probe_overhead_s = self._probe_overhead.pop(app_name, 0.0)
+            if sp:
+                sp.set(app=app_name, n_candidates=len(hostable),
+                       cache_hit=cache_hit)
         return rec
 
     @staticmethod
@@ -241,22 +300,60 @@ class LITE:
     def feedback(self, run: AppRun, update_now: bool = False) -> bool:
         """Record a production run; fine-tune when a batch is complete.
 
+        Every successful run also lands in the drift monitor: the
+        estimator's predicted stage times (under the run's actual
+        configuration, data and cluster) are paired with the observed
+        stage times, so :meth:`drift_stats`/:meth:`should_update` always
+        describe the most recent production window.
+
         Returns True when an adaptive update was performed.
         """
-        if run.success:
-            self._feedback_runs.append(run)
-            self._feedback_instances.extend(instances_from_run(run))
-        ready = len(self._feedback_runs) >= self.config.feedback_batch_size
-        if (ready or update_now) and self._feedback_instances:
-            # Fold the consumed batch into the retained feedback corpus, so
-            # each update trains on *all* production feedback seen so far —
-            # consuming a batch must not make the model forget earlier rounds.
-            self._target_instances.extend(self._feedback_instances)
-            self._feedback_runs = []
-            self._feedback_instances = []
-            self.adaptive_update(self._target_instances)
-            return True
-        return False
+        with obs.span(obsn.SPAN_FEEDBACK) as sp:
+            obs.counter(obsn.CTR_FEEDBACK_RUNS).inc()
+            if run.success:
+                instances = instances_from_run(run)
+                self._feedback_runs.append(run)
+                self._feedback_instances.extend(instances)
+                self._record_drift(instances)
+            else:
+                obs.counter(obsn.CTR_FEEDBACK_FAILED).inc()
+            ready = len(self._feedback_runs) >= self.config.feedback_batch_size
+            updated = False
+            if (ready or update_now) and self._feedback_instances:
+                # Fold the consumed batch into the retained feedback corpus, so
+                # each update trains on *all* production feedback seen so far —
+                # consuming a batch must not make the model forget earlier rounds.
+                self._target_instances.extend(self._feedback_instances)
+                self._feedback_runs = []
+                self._feedback_instances = []
+                self.adaptive_update(self._target_instances)
+                obs.counter(obsn.CTR_UPDATES_TRIGGERED).inc()
+                updated = True
+            if sp:
+                sp.set(app=run.app_name, success=run.success, updated=updated)
+            return updated
+
+    def _record_drift(self, instances: Sequence[StageInstance]) -> None:
+        """Pair predicted and actual stage times into the rolling window."""
+        if self.estimator.network is None:
+            # Feedback can legally arrive before NECS is fitted (tests,
+            # pure-accumulation callers); there is no prediction to drift.
+            return
+        predicted = self.estimator.predict(list(instances))
+        actual = np.array([inst.stage_time_s for inst in instances])
+        self.drift.record(predicted, actual)
+        stats = self.drift.stats()
+        obs.gauge(obsn.GAUGE_DRIFT_N).set(stats.n)
+        obs.gauge(obsn.GAUGE_DRIFT_SIGNED_ERR).set(stats.mean_signed_rel_err)
+        obs.gauge(obsn.GAUGE_DRIFT_P).set(stats.wilcoxon_p)
+
+    def drift_stats(self) -> DriftStats:
+        """Drift summary over the rolling predicted-vs-actual window."""
+        return self.drift.stats()
+
+    def should_update(self) -> bool:
+        """True when the drift window says ``adaptive_update`` is worth it."""
+        return self.drift.should_update()
 
     def adaptive_update(self, target_instances: Sequence[StageInstance]) -> None:
         """Adversarial fine-tuning against the accumulated source domain.
@@ -265,7 +362,13 @@ class LITE:
         domain migrations control their own corpus); batched production
         feedback arrives here through :meth:`feedback`, which passes the
         full retained feedback corpus.  The update bumps the estimator
-        version, invalidating cached template encodings.
+        version, invalidating cached template encodings; the drift window
+        deliberately survives the update — post-update feedback pairs will
+        show whether the refresh actually closed the gap.
         """
-        updater = AdaptiveModelUpdater(self.estimator, self.config.update)
-        updater.update(self._source_instances, list(target_instances))
+        with obs.span(obsn.SPAN_ADAPTIVE_UPDATE) as sp:
+            updater = AdaptiveModelUpdater(self.estimator, self.config.update)
+            updater.update(self._source_instances, list(target_instances))
+            if sp:
+                sp.set(n_source=len(self._source_instances),
+                       n_target=len(target_instances))

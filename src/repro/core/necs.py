@@ -20,6 +20,8 @@ competitors of Table VII, and ``use_dag=False`` drops the GCN path.
 
 from __future__ import annotations
 
+import logging
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -28,11 +30,14 @@ import numpy as np
 
 from ..utils.rng import get_rng
 
-from .. import nn
+from .. import nn, obs
+from ..obs import names as obsn
 from ..ml.scaler import StandardScaler
 from .dagfeat import DagEncoder
 from .instances import StageInstance, numeric_feature_rows, numeric_features
 from .tokenizer import CodeTokenizer
+
+_LOG = obs.log.get("necs")
 
 
 @dataclass(frozen=True)
@@ -322,28 +327,37 @@ class NECSEstimator:
         if not instances:
             raise ValueError("cannot fit NECS on an empty dataset")
         cfg = self.config
-        if cfg.code_encoder != "none":
-            self.tokenizer.fit([i.code_tokens for i in instances])
-        if cfg.use_dag:
-            self.dag_encoder.fit([i.dag_labels for i in instances])
+        with obs.span(obsn.SPAN_NECS_FIT) as sp:
+            if cfg.code_encoder != "none":
+                self.tokenizer.fit([i.code_tokens for i in instances])
+            if cfg.use_dag:
+                self.dag_encoder.fit([i.dag_labels for i in instances])
 
-        template_index = None
-        if cfg.dedup_templates:
-            enc = self._encode_dedup(instances, fit=True)
-            numeric, code_ids, graphs = enc.numeric, enc.code_ids, enc.graphs
-            template_index = enc.template_index
-        else:
-            numeric, code_ids, graphs = self._encode(instances, fit=True)
-        targets = self._encode_targets(instances, fit=True)
-        numeric_dim = numeric.shape[1]
-        self.network = NECSNetwork(
-            cfg,
-            vocab_size=self.tokenizer.vocab_size if cfg.code_encoder != "none" else 0,
-            dag_dim=self.dag_encoder.dim if cfg.use_dag else 0,
-            numeric_dim=numeric_dim,
-        )
-        self._train_loop(numeric, code_ids, graphs, targets, verbose, template_index)
-        self.bump_version()
+            template_index = None
+            if cfg.dedup_templates:
+                enc = self._encode_dedup(instances, fit=True)
+                numeric, code_ids, graphs = enc.numeric, enc.code_ids, enc.graphs
+                template_index = enc.template_index
+                obs.gauge(obsn.GAUGE_UNIQUE_TEMPLATES).set(enc.n_unique)
+                obs.gauge(obsn.GAUGE_DEDUP_RATIO).set(enc.n_unique / len(instances))
+                if sp:
+                    sp.set(n_unique=enc.n_unique,
+                           dedup_ratio=round(enc.n_unique / len(instances), 4))
+            else:
+                numeric, code_ids, graphs = self._encode(instances, fit=True)
+            targets = self._encode_targets(instances, fit=True)
+            numeric_dim = numeric.shape[1]
+            self.network = NECSNetwork(
+                cfg,
+                vocab_size=self.tokenizer.vocab_size if cfg.code_encoder != "none" else 0,
+                dag_dim=self.dag_encoder.dim if cfg.use_dag else 0,
+                numeric_dim=numeric_dim,
+            )
+            self._train_loop(numeric, code_ids, graphs, targets, verbose, template_index)
+            self.bump_version()
+            if sp:
+                sp.set(n_instances=len(instances), epochs=cfg.epochs,
+                       final_loss=round(self.train_losses_[-1], 6))
         return self
 
     def _train_loop(
@@ -374,8 +388,10 @@ class NECSEstimator:
         pack = None
         if template_index is not None and graphs is not None:
             pack = nn.pack_graphs(graphs)
+            obs.gauge(obsn.GAUGE_PACKED_NODES).set(pack.features.shape[0])
         self.train_losses_ = []
         for epoch in range(cfg.epochs):
+            epoch_t0 = time.perf_counter()
             order = rng.permutation(n)
             epoch_loss = 0.0
             batches = 0
@@ -396,8 +412,13 @@ class NECSEstimator:
                 epoch_loss += loss.item()
                 batches += 1
             self.train_losses_.append(epoch_loss / max(batches, 1))
-            if verbose:
-                print(f"epoch {epoch}: loss {self.train_losses_[-1]:.4f}")
+            obs.counter(obsn.CTR_FIT_EPOCHS).inc()
+            obs.gauge(obsn.GAUGE_FIT_LAST_LOSS).set(self.train_losses_[-1])
+            obs.histogram(obsn.HIST_FIT_EPOCH_S).observe(time.perf_counter() - epoch_t0)
+            _LOG.log(
+                logging.INFO if verbose else logging.DEBUG,
+                "epoch %d: loss %.4f", epoch, self.train_losses_[-1],
+            )
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -429,6 +450,12 @@ class NECSEstimator:
             raise RuntimeError("NECS is not fitted")
         if dedup is None:
             dedup = self.config.dedup_templates
+        with obs.span(obsn.SPAN_NECS_PREDICT) as sp:
+            if sp:
+                sp.set(n_instances=len(instances), dedup=dedup)
+            return self._predict_impl(instances, dedup)
+
+    def _predict_impl(self, instances: Sequence[StageInstance], dedup: bool) -> np.ndarray:
         out = np.empty(len(instances))
         bs = max(self.config.batch_size, 64)
         if dedup:
@@ -487,21 +514,24 @@ class NECSEstimator:
             raise RuntimeError("NECS is not fitted")
         if not templates:
             raise ValueError("no stage templates to encode")
-        code_ids = None
-        if self.config.code_encoder != "none":
-            code_ids = self.tokenizer.encode_batch([t.code_tokens for t in templates])
-        graphs = None
-        if self.config.use_dag:
-            graphs = [
-                self.dag_encoder.encode(t.dag_labels, t.dag_edges) for t in templates
-            ]
-        return EncodedTemplates(
-            app_name=templates[0].app_name,
-            n_stages=len(templates),
-            code_ids=code_ids,
-            graphs=graphs,
-            version=self.version,
-        )
+        with obs.span(obsn.SPAN_ENCODE_TEMPLATES) as sp:
+            code_ids = None
+            if self.config.code_encoder != "none":
+                code_ids = self.tokenizer.encode_batch([t.code_tokens for t in templates])
+            graphs = None
+            if self.config.use_dag:
+                graphs = [
+                    self.dag_encoder.encode(t.dag_labels, t.dag_edges) for t in templates
+                ]
+            if sp:
+                sp.set(app=templates[0].app_name, n_stages=len(templates))
+            return EncodedTemplates(
+                app_name=templates[0].app_name,
+                n_stages=len(templates),
+                code_ids=code_ids,
+                graphs=graphs,
+                version=self.version,
+            )
 
     def _check_version(self, encoded: EncodedTemplates) -> None:
         if encoded.version != self.version:
@@ -546,22 +576,26 @@ class NECSEstimator:
         if self.network is None:
             raise RuntimeError("NECS is not fitted")
         self._check_version(encoded)
-        h_code, h_dag = self.template_embeddings(encoded)
-        numeric = self.numeric_scaler.transform(
-            np.asarray(numeric_rows, dtype=np.float64)
-        )
-        n, s = numeric.shape[0], encoded.n_stages
-        # Candidate-major, stage-minor — the same row order the per-instance
-        # path produces when it fans templates out over candidates.
-        parts = [np.repeat(numeric, s, axis=0)]
-        if h_code is not None:
-            parts.append(np.tile(h_code, (n, 1)))
-        if h_dag is not None:
-            parts.append(np.tile(h_dag, (n, 1)))
-        feats = np.concatenate(parts, axis=1)
-        with self._eval_mode():
-            out = self.network.mlp(nn.Tensor(feats)).numpy().reshape(n, s)
-        return np.expm1(out * self._y_std + self._y_mean)
+        with obs.span(obsn.SPAN_NECS_PREDICT_ENCODED) as sp:
+            h_code, h_dag = self.template_embeddings(encoded)
+            numeric = self.numeric_scaler.transform(
+                np.asarray(numeric_rows, dtype=np.float64)
+            )
+            n, s = numeric.shape[0], encoded.n_stages
+            if sp:
+                sp.set(app=encoded.app_name, n_candidates=n, n_stages=s)
+            # Candidate-major, stage-minor — the same row order the
+            # per-instance path produces when it fans templates out over
+            # candidates.
+            parts = [np.repeat(numeric, s, axis=0)]
+            if h_code is not None:
+                parts.append(np.tile(h_code, (n, 1)))
+            if h_dag is not None:
+                parts.append(np.tile(h_dag, (n, 1)))
+            feats = np.concatenate(parts, axis=1)
+            with self._eval_mode():
+                out = self.network.mlp(nn.Tensor(feats)).numpy().reshape(n, s)
+            return np.expm1(out * self._y_std + self._y_mean)
 
     # ------------------------------------------------------------------
     def predict_app_time(self, instances: Sequence[StageInstance]) -> float:

@@ -19,7 +19,9 @@ FORMAT = "repro-lite"
 # v2: LITE grew the encoded-template cache, probe-overhead ledger and
 # retained feedback corpus; NECSEstimator grew the version counter.  v1
 # pickles would deserialise without those attributes and fail at runtime.
-VERSION = 2
+# v3: LITE grew the drift monitor (rolling predicted-vs-actual window,
+# recorded by ``feedback`` and read by ``drift_stats``/``should_update``).
+VERSION = 3
 
 
 def save_lite(lite: LITE, path: Union[str, Path]) -> Path:

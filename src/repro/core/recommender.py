@@ -26,6 +26,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
+from ..obs import names as obsn
 from ..sparksim.cluster import ClusterSpec
 from ..sparksim.config import SparkConf
 from .instances import StageInstance, numeric_feature_rows
@@ -41,6 +43,13 @@ class Recommendation:
     ranking: List[Tuple[SparkConf, float]]   # (conf, predicted app time) ascending
     overhead_s: float                        # wall-clock spent ranking
     probe_overhead_s: float = 0.0            # cold-start instrumentation cost
+    #: Whether the serving template cache served this call (None when the
+    #: recommendation was produced by a bare ``rank`` without the cache).
+    template_cache_hit: Optional[bool] = None
+    #: Wall-clock spent re-encoding templates on a miss/invalidation —
+    #: separate from ``overhead_s`` so a version-bump re-encode is not
+    #: silently attributed to rank latency.
+    encode_overhead_s: float = 0.0
 
 
 def retarget_instances(
@@ -85,18 +94,21 @@ class KnobRecommender:
         """
         if not candidates:
             raise ValueError("no candidate configurations")
-        start = time.perf_counter()
-        if encoded is None:
-            if not templates:
-                raise ValueError("no stage templates for the application")
-            encoded = self.estimator.encode_templates(templates)
+        with obs.span(obsn.SPAN_RANK) as sp:
+            start = time.perf_counter()
+            if encoded is None:
+                if not templates:
+                    raise ValueError("no stage templates for the application")
+                encoded = self.estimator.encode_templates(templates)
 
-        knob_matrix = np.stack([conf.to_vector() for conf in candidates])
-        numeric = numeric_feature_rows(
-            knob_matrix, data_features, cluster.feature_vector()
-        )
-        per_stage = self.estimator.predict_encoded(encoded, numeric)
-        return self._build(candidates, per_stage.sum(axis=1), start)
+            knob_matrix = np.stack([conf.to_vector() for conf in candidates])
+            numeric = numeric_feature_rows(
+                knob_matrix, data_features, cluster.feature_vector()
+            )
+            per_stage = self.estimator.predict_encoded(encoded, numeric)
+            if sp:
+                sp.set(n_candidates=len(candidates), n_stages=encoded.n_stages)
+            return self._build(candidates, per_stage.sum(axis=1), start)
 
     def rank_per_instance(
         self,

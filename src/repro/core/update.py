@@ -22,7 +22,8 @@ import numpy as np
 
 from ..utils.rng import get_rng
 
-from .. import nn
+from .. import nn, obs
+from ..obs import names as obsn
 from .instances import StageInstance
 from .necs import NECSEstimator
 
@@ -69,7 +70,24 @@ class AdaptiveModelUpdater:
         source: Sequence[StageInstance],
         target: Sequence[StageInstance],
     ) -> NECSEstimator:
-        """Run the adversarial fine-tuning and return the updated estimator.
+        """Run the adversarial fine-tuning and return the updated estimator."""
+        with obs.span(obsn.SPAN_NECS_UPDATE) as sp:
+            est = self._update_impl(source, target)
+            obs.counter(obsn.CTR_UPDATE_ROUNDS).inc()
+            if self.history_:
+                obs.gauge(obsn.GAUGE_UPDATE_PRED_LOSS).set(self.history_[-1]["pred_loss"])
+                obs.gauge(obsn.GAUGE_UPDATE_DISC_LOSS).set(self.history_[-1]["disc_loss"])
+            if sp:
+                sp.set(n_source=len(source), n_target=len(target),
+                       epochs=self.config.epochs)
+            return est
+
+    def _update_impl(
+        self,
+        source: Sequence[StageInstance],
+        target: Sequence[StageInstance],
+    ) -> NECSEstimator:
+        """The adversarial fine-tuning loop behind :meth:`update`.
 
         The combined source+target corpus is featurised exactly once per
         ``update`` (not per epoch or per step), with template-deduplicated

@@ -15,6 +15,8 @@ import numpy as np
 
 from ..utils.rng import get_rng
 
+from .. import obs
+from ..obs import names as obsn
 from ..sparksim.cluster import ClusterSpec
 from ..sparksim.config import SparkConf
 from ..sparksim.eventlog import AppRun
@@ -78,15 +80,19 @@ def collect_training_runs(
     """The paper's offline training corpus: small datasizes, many knobs."""
     workloads = list(workloads) if workloads is not None else all_workloads()
     clusters = list(clusters) if clusters is not None else list(settings.TRAINING_CLUSTERS)
-    runs: List[AppRun] = []
-    for wl_idx, workload in enumerate(workloads):
-        for cluster in clusters:
-            for scale_idx, scale in enumerate(scales):
-                rng = get_rng(seed + 1000 * wl_idx + 10 * scale_idx + ord(cluster.name[0]))
-                runs.extend(
-                    _collect_cell(workload, cluster, scale, confs_per_cell, rng, seed)
-                )
-    return runs
+    with obs.span(obsn.SPAN_COLLECT) as sp:
+        runs: List[AppRun] = []
+        for wl_idx, workload in enumerate(workloads):
+            for cluster in clusters:
+                for scale_idx, scale in enumerate(scales):
+                    rng = get_rng(seed + 1000 * wl_idx + 10 * scale_idx + ord(cluster.name[0]))
+                    runs.extend(
+                        _collect_cell(workload, cluster, scale, confs_per_cell, rng, seed)
+                    )
+        if sp:
+            sp.set(n_workloads=len(workloads), n_clusters=len(clusters),
+                   n_runs=len(runs), n_success=sum(r.success for r in runs))
+        return runs
 
 
 def collect_candidate_runs(

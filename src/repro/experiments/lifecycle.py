@@ -1,0 +1,135 @@
+"""One observable pass through the full LITE lifecycle.
+
+``repro stats`` and ``repro trace`` need a self-contained run that
+exercises every instrumented code path — offline training, warm- and
+cold-cache recommendations, a cold-start probe for a never-seen
+application, production feedback including a failed run, a triggered
+adaptive update, and the post-update cache invalidation.  This module is
+that run, sized for seconds not minutes; the obs name-coverage test uses
+it to prove every span and counter in :mod:`repro.obs.names` actually
+fires.
+
+The function does not touch obs state itself: callers decide whether
+tracing is enabled around it (``repro trace`` enables it, ``repro
+stats`` keeps the default counters-only state).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.lite import LITE, LITEConfig
+from ..core.necs import NECSConfig
+from ..core.update import UpdateConfig
+from ..sparksim.cluster import get_cluster
+from ..sparksim.config import SparkConf
+from ..utils.rng import get_rng
+
+#: Unhostable on every cluster (32 GB executors): guarantees one failed
+#: simulator run so the failure counters are exercised deterministically.
+FAILING_CONF = {"spark.executor.memory": 32}
+
+
+def run_lifecycle(
+    smoke: bool = True,
+    seed: int = 0,
+    cluster_name: str = "C",
+    feedback_rounds: int = 4,
+    lite: Optional[LITE] = None,
+) -> Dict[str, object]:
+    """Train -> recommend -> probe -> feedback -> update, end to end.
+
+    Returns a JSON-able summary of what happened; the interesting output
+    (metrics, spans) lands in the process-global obs registry/tracer.
+    """
+    from ..workloads import get_workload
+    from .collect import collect_training_runs
+
+    train_apps = ("WordCount", "PageRank") if smoke else (
+        "WordCount", "PageRank", "KMeans", "Sort")
+    probe_app = "Terasort" if smoke else "SVM"
+    cluster = get_cluster(cluster_name)
+    rng = get_rng(seed)
+
+    if lite is None:
+        necs = NECSConfig(
+            epochs=2 if smoke else 4,
+            max_tokens=64 if smoke else 120,
+            conv_filters=8 if smoke else 24,
+            mlp_hidden=24 if smoke else 64,
+            gcn_hidden=8 if smoke else 12,
+            seed=seed,
+        )
+        config = LITEConfig(
+            necs=necs,
+            update=UpdateConfig(epochs=1 if smoke else 2),
+            n_candidates=8 if smoke else 24,
+            # Small enough that this lifecycle's feedback triggers one
+            # adaptive update without dozens of simulated runs.
+            feedback_batch_size=3,
+            seed=seed,
+        )
+        runs = collect_training_runs(
+            workloads=[get_workload(a) for a in train_apps],
+            clusters=[cluster],
+            scales=("train0",) if smoke else ("train0", "train1"),
+            confs_per_cell=2 if smoke else 4,
+            seed=seed,
+        )
+        lite = LITE(config).offline_train(runs)
+
+    serve_app = get_workload(train_apps[1])
+    data = serve_app.data_spec("test").features()
+
+    # Warm-start serving: the first recommendation cold-encodes the
+    # app's templates (cache miss), the second hits the cache.
+    rec_cold = lite.recommend(serve_app.name, data, cluster, rng=rng)
+    rec_warm = lite.recommend(serve_app.name, data, cluster, rng=rng)
+
+    # Cold start: probe a never-seen application for its templates, then
+    # recommend for it (another cache miss, plus the probe overhead).
+    probe_wl = get_workload(probe_app)
+    probe_s = lite.cold_start_probe(probe_wl, cluster, seed=seed)
+    rec_probe = lite.recommend(
+        probe_wl.name, probe_wl.data_spec("test").features(), cluster, rng=rng)
+
+    # Production feedback: run the recommended configuration, feed the
+    # observed runs back.  One deliberately unhostable run exercises the
+    # simulator-failure and failed-feedback paths; the successful runs
+    # fill the drift window and trigger one adaptive update.
+    failed_run = serve_app.run(
+        SparkConf(dict(FAILING_CONF)), cluster, scale="train0", seed=seed)
+    lite.feedback(failed_run)
+    updated = False
+    n_fed = 0
+    for i in range(feedback_rounds):
+        run = serve_app.run(
+            rec_cold.conf, cluster, scale="train0", seed=seed + 1 + i)
+        if run.success:
+            n_fed += 1
+        updated = lite.feedback(run) or updated
+
+    # The update bumped the estimator version, so the next recommendation
+    # re-encodes (cache invalidation) — the full cache state machine.
+    rec_post = lite.recommend(serve_app.name, data, cluster, rng=rng)
+
+    drift = lite.drift_stats()
+    return {
+        "smoke": smoke,
+        "cluster": cluster.name,
+        "train_apps": list(train_apps),
+        "probe_app": probe_app,
+        "probe_time_s": probe_s,
+        "n_feedback_runs": feedback_rounds + 1,
+        "n_feedback_success": n_fed,
+        "adaptive_update_triggered": updated,
+        "recommendations": {
+            "cold": {"cache_hit": rec_cold.template_cache_hit,
+                     "encode_overhead_s": rec_cold.encode_overhead_s},
+            "warm": {"cache_hit": rec_warm.template_cache_hit},
+            "probed": {"cache_hit": rec_probe.template_cache_hit,
+                       "probe_overhead_s": rec_probe.probe_overhead_s},
+            "post_update": {"cache_hit": rec_post.template_cache_hit},
+        },
+        "drift": drift.to_dict(),
+    }

@@ -1,0 +1,236 @@
+"""Observability-overhead benchmark: what does repro.obs cost the hot paths?
+
+Instrumentation only pays its way if the paths it watches don't slow down.
+This module times the two hot operations — serving-path ranking and NECS
+training — in the three obs states:
+
+- **suppressed** — every instrumented call site collapses to one flag
+  test; this is the un-instrumented baseline.
+- **disabled** (the default) — tracing off (null spans), counters/gauges/
+  histograms live.  Budget: <1 % over the baseline.
+- **enabled** — spans timed and buffered, durations fed to streaming
+  histograms.  Budget: <5 % over the baseline.
+
+Timings are min-of-interleaved-repeats: each repeat runs all three modes
+back to back, so scheduler noise and cache warming spread evenly across
+modes instead of crediting whichever mode runs last.  Emits
+``BENCH_obs.json``; ``benchmarks/test_obs_overhead.py`` asserts the
+budgets, and CI runs the smoke variant via ``repro bench-obs``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from .. import obs
+from ..core.lite import LITE
+from ..core.necs import NECSConfig, NECSEstimator
+from ..sparksim.cluster import get_cluster
+from ..utils.rng import get_rng
+from .report import write_bench_report
+
+DEFAULT_OUT = "BENCH_obs.json"
+
+#: Overhead budgets relative to the suppressed baseline (ISSUE acceptance
+#: criteria): the default state must be effectively free, tracing cheap.
+DISABLED_BUDGET = 0.01
+ENABLED_BUDGET = 0.05
+
+_MODES = ("suppressed", "disabled", "enabled")
+
+
+def _timed(fn: Callable[[], object], inner: int) -> float:
+    """Mean seconds per call over ``inner`` back-to-back calls."""
+    t0 = time.perf_counter()
+    for _ in range(inner):
+        fn()
+    return (time.perf_counter() - t0) / inner
+
+
+def _measure_modes(
+    fn: Callable[[], object], repeats: int, inner: int
+) -> Dict[str, List[float]]:
+    """Interleaved per-repeat seconds for ``fn`` in each obs state.
+
+    The order of modes rotates every repeat: whichever mode runs first
+    inside a repeat pays that repeat's cache-warming, so a fixed order
+    would systematically inflate one mode's samples relative to the rest.
+    """
+    times: Dict[str, List[float]] = {m: [] for m in _MODES}
+    was_tracing = obs.tracing_enabled()
+
+    def _sample(mode: str) -> None:
+        if mode == "suppressed":
+            with obs.suppressed():
+                times[mode].append(_timed(fn, inner))
+        elif mode == "disabled":
+            obs.disable_tracing()
+            times[mode].append(_timed(fn, inner))
+        else:
+            obs.enable_tracing()
+            times[mode].append(_timed(fn, inner))
+
+    try:
+        for i in range(repeats):
+            for j in range(len(_MODES)):
+                _sample(_MODES[(i + j) % len(_MODES)])
+    finally:
+        if was_tracing:
+            obs.enable_tracing()
+        else:
+            obs.disable_tracing()
+    return times
+
+
+def _overheads(times: Dict[str, List[float]]) -> Dict[str, float]:
+    """Overhead ratios from interleaved samples.
+
+    All ratios are *paired*: each repeat times the three modes back to
+    back, so dividing within a repeat cancels contention windows that
+    span a whole repeat.  ``overhead_*`` (the headline numbers) are
+    medians over repeats; ``best_overhead_*`` (the gate numbers) are
+    minima — machine noise only ever adds time, so the fastest pair is
+    the least-contaminated observation of the true ratio, which is what
+    a CI budget must judge.  Raw per-mode minima are reported in ms.
+    """
+    def _ratios(mode: str) -> List[float]:
+        return [
+            m / s for m, s in zip(times[mode], times["suppressed"]) if s > 0
+        ]
+
+    def _median(xs: List[float]) -> float:
+        xs = sorted(xs)
+        n = len(xs)
+        return xs[n // 2] if n % 2 else (xs[n // 2 - 1] + xs[n // 2]) / 2
+
+    dis, ena = _ratios("disabled"), _ratios("enabled")
+    return {
+        "suppressed_ms": min(times["suppressed"]) * 1e3,
+        "disabled_ms": min(times["disabled"]) * 1e3,
+        "enabled_ms": min(times["enabled"]) * 1e3,
+        "overhead_disabled": _median(dis) - 1.0,
+        "overhead_enabled": _median(ena) - 1.0,
+        "best_overhead_disabled": min(dis) - 1.0,
+        "best_overhead_enabled": min(ena) - 1.0,
+    }
+
+
+def measure_obs_overhead(
+    lite: LITE,
+    app_name: str = "PageRank",
+    cluster_name: str = "C",
+    n_candidates: int = 40,
+    rank_repeats: int = 15,
+    rank_inner: int = 20,
+    fit_repeats: int = 5,
+    fit_inner: int = 1,
+    fit_epochs: int = 2,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Overhead of the three obs states on ranking and NECS fitting."""
+    from ..workloads import get_workload
+
+    workload = get_workload(app_name)
+    cluster = get_cluster(cluster_name)
+    data = workload.data_spec("test").features()
+    templates = lite.stage_templates(workload.name)
+    rng = get_rng(seed)
+    candidates = lite.candidate_generator.generate(
+        workload.name, float(data[0]), n_candidates, rng
+    )
+    # Pre-warm the template cache so every timed rank takes the same path.
+    encoded = lite.encoded_templates(workload.name)
+    rec = lite.recommender
+    rec.rank(templates, candidates, data, cluster, encoded=encoded)
+
+    rank_best = _measure_modes(
+        lambda: rec.rank(templates, candidates, data, cluster, encoded=encoded),
+        repeats=rank_repeats,
+        inner=rank_inner,
+    )
+
+    # A fresh estimator per call keeps every fit identical; the corpus is
+    # the source training view the LITE was fitted on.
+    train = lite._source_instances
+    fit_cfg = NECSConfig(
+        epochs=fit_epochs,
+        max_tokens=lite.config.necs.max_tokens,
+        conv_filters=lite.config.necs.conv_filters,
+        mlp_hidden=lite.config.necs.mlp_hidden,
+        gcn_hidden=lite.config.necs.gcn_hidden,
+        seed=seed,
+    )
+    fit_best = _measure_modes(
+        lambda: NECSEstimator(fit_cfg).fit(train),
+        repeats=fit_repeats,
+        inner=fit_inner,
+    )
+
+    rank = _overheads(rank_best)
+    fit = _overheads(fit_best)
+    within = bool(
+        rank["best_overhead_disabled"] < DISABLED_BUDGET
+        and rank["best_overhead_enabled"] < ENABLED_BUDGET
+        and fit["best_overhead_disabled"] < DISABLED_BUDGET
+        and fit["best_overhead_enabled"] < ENABLED_BUDGET
+    )
+    return {
+        "app": workload.name,
+        "cluster": cluster.name,
+        "n_candidates": n_candidates,
+        "n_train_instances": len(train),
+        "rank_repeats": rank_repeats,
+        "rank_inner": rank_inner,
+        "fit_repeats": fit_repeats,
+        "fit_epochs": fit_epochs,
+        "rank": rank,
+        "fit": fit,
+        "budget": {
+            "disabled_max": DISABLED_BUDGET,
+            "enabled_max": ENABLED_BUDGET,
+        },
+        "within_budget": within,
+    }
+
+
+def run_obs_benchmark(
+    n_candidates: int = 40,
+    repeats: int = 30,
+    smoke: bool = False,
+    seed: int = 0,
+    out: Optional[Union[str, Path]] = DEFAULT_OUT,
+    lite: Optional[LITE] = None,
+) -> Dict[str, object]:
+    """Train (or reuse) a small system, measure obs overhead, emit JSON."""
+    from .serving_bench import build_serving_lite
+
+    if smoke:
+        # Smoke shrinks the model and repeat counts but NOT the candidate
+        # list: the gate measures *relative* overhead, and an artificially
+        # tiny rank denominator would fail the budget on noise alone.
+        repeats = min(repeats, 15)
+    if lite is None:
+        lite = build_serving_lite(smoke=smoke, seed=seed)
+    result = measure_obs_overhead(
+        lite,
+        n_candidates=n_candidates,
+        rank_repeats=repeats,
+        rank_inner=20,
+        fit_repeats=15 if smoke else 5,
+        fit_inner=2 if smoke else 1,
+        fit_epochs=2,
+        seed=seed,
+    )
+    result["smoke"] = smoke
+    if out is not None:
+        path = write_bench_report(
+            out, "obs-overhead", result,
+            config={
+                "n_candidates": n_candidates, "repeats": repeats,
+                "smoke": smoke, "seed": seed,
+            },
+        )
+        result["out"] = str(path)
+    return result

@@ -15,7 +15,6 @@ Used by ``repro bench-recommend`` (CLI) and
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
@@ -27,6 +26,7 @@ from ..core.necs import NECSConfig
 from ..core.update import UpdateConfig
 from ..sparksim.cluster import ClusterSpec, get_cluster
 from ..utils.rng import get_rng
+from .report import write_bench_report
 
 DEFAULT_OUT = "BENCH_serving.json"
 
@@ -160,7 +160,13 @@ def run_serving_benchmark(
     )
     result["smoke"] = smoke
     if out is not None:
-        path = Path(out)
-        path.write_text(json.dumps(result, indent=2) + "\n")
+        path = write_bench_report(
+            out, "serving", result,
+            config={
+                "n_candidates": n_candidates, "repeats": repeats,
+                "smoke": smoke, "seed": seed,
+                "app": app_name, "cluster": cluster_name,
+            },
+        )
         result["out"] = str(path)
     return result

@@ -15,7 +15,6 @@ Used by ``repro bench-train`` (CLI) and
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -26,6 +25,7 @@ import numpy as np
 from ..core.instances import StageInstance, build_dataset
 from ..core.necs import NECSConfig, NECSEstimator
 from ..core.update import AdaptiveModelUpdater, UpdateConfig
+from .report import write_bench_report
 
 DEFAULT_OUT = "BENCH_training.json"
 
@@ -185,7 +185,12 @@ def run_training_benchmark(
     )
     result["smoke"] = smoke
     if out is not None:
-        path = Path(out)
-        path.write_text(json.dumps(result, indent=2) + "\n")
+        path = write_bench_report(
+            out, "training", result,
+            config={
+                "epochs": epochs, "update_epochs": update_epochs,
+                "smoke": smoke, "seed": seed, "repeats": repeats,
+            },
+        )
         result["out"] = str(path)
     return result

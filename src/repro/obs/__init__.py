@@ -1,0 +1,105 @@
+"""repro.obs — observability for the LITE train/serve/update lifecycle.
+
+Three pillars (DESIGN.md §11):
+
+- **tracing** (:mod:`repro.obs.tracing`) — nestable, monotonic-clock
+  :class:`Span`/:class:`Tracer` instrumenting offline training, the
+  serving fast path, feedback and adaptive updates; allocation-free when
+  disabled, JSONL-exportable when enabled.
+- **metrics** (:mod:`repro.obs.metrics`) — a process-global registry of
+  counters, gauges and streaming histograms (p50/p95/p99 from log-spaced
+  buckets, no sample storage), surfaced by ``repro stats``.
+- **drift** (:mod:`repro.obs.drift`) — rolling predicted-vs-actual stage
+  time windows with signed relative error and a Wilcoxon signed-rank
+  test, the retraining trigger for ``adaptive_update``.
+
+Plus the shared CLI logging setup (:mod:`repro.obs.log`): progress to
+stderr under ``-v``/``-q`` control, results to stdout.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable_tracing()
+    lite.offline_train(runs)
+    print(obs.format_trace_tree())
+    print(obs.metrics_snapshot()["serving.template_cache.hit"])
+
+The canonical span/metric names live in :mod:`repro.obs.names`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from . import log, names
+from .drift import DriftMonitor, DriftStats
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+)
+from .metrics import export_json as export_metrics_json
+from .metrics import is_suppressed, registry, set_suppressed
+from .metrics import reset as reset_metrics
+from .tracing import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    get_tracer,
+    span,
+)
+from .tracing import disable as disable_tracing
+from .tracing import enable as enable_tracing
+from .tracing import export_jsonl as export_trace_jsonl
+from .tracing import format_tree as format_trace_tree
+from .tracing import is_enabled as tracing_enabled
+
+__all__ = [
+    "log", "names",
+    "DriftMonitor", "DriftStats",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "counter", "gauge", "histogram", "registry",
+    "metrics_snapshot", "reset_metrics", "export_metrics_json",
+    "set_suppressed", "is_suppressed", "suppressed",
+    "NULL_SPAN", "Span", "Tracer", "span", "get_tracer",
+    "enable_tracing", "disable_tracing", "tracing_enabled",
+    "export_trace_jsonl", "format_trace_tree",
+    "reset",
+]
+
+
+def metrics_snapshot():
+    """JSON-able snapshot of every metric in the global registry."""
+    return registry().snapshot()
+
+
+def reset() -> None:
+    """Fresh observability state: tracing off, buffers and metrics empty."""
+    disable_tracing()
+    get_tracer().clear()
+    reset_metrics()
+    set_suppressed(False)
+
+
+@contextmanager
+def suppressed():
+    """Short-circuit tracing *and* metrics inside the block.
+
+    This is the overhead benchmark's un-instrumented baseline: every
+    instrumented call site collapses to one flag test.
+    """
+    was_tracing = tracing_enabled()
+    was_suppressed = is_suppressed()
+    disable_tracing()
+    set_suppressed(True)
+    try:
+        yield
+    finally:
+        set_suppressed(was_suppressed)
+        if was_tracing:
+            enable_tracing()

@@ -1,0 +1,150 @@
+"""Drift monitoring for the NECS estimator (serve -> feedback loop).
+
+Every production run fed back through ``LITE.feedback`` carries both the
+estimator's *predicted* stage times (computed at recording time) and the
+*actual* simulated stage times.  A :class:`DriftMonitor` keeps the most
+recent pairs in a bounded rolling window and summarises them into
+:class:`DriftStats`:
+
+- **signed relative error** ``(predicted - actual) / actual`` — its mean
+  shows systematic bias (negative = the model underestimates, the typical
+  failure after a domain shift to larger data);
+- **Wilcoxon signed-rank p-value** (via :func:`repro.core.metrics.
+  wilcoxon_signed_rank`) — a two-sided test that predicted and actual
+  times come from the same paired distribution, robust to the heavy right
+  tail of stage times.
+
+``should_update()`` is the trigger production callers poll to decide when
+``adaptive_update`` is worth its cost: it fires when the window holds
+enough samples, the bias is material (``rel_err_threshold``), and the
+Wilcoxon test confirms it is systematic rather than a couple of unlucky
+samples (``p_threshold``).  The monitor itself never
+retrains anything — it is a signal, not a policy.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+__all__ = ["DriftStats", "DriftMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftStats:
+    """Summary of the current drift window."""
+
+    n: int                        #: pairs currently in the window
+    window: int                   #: window capacity
+    mean_signed_rel_err: float    #: mean (pred - actual) / actual
+    mean_abs_rel_err: float
+    wilcoxon_p: float             #: two-sided p, predicted vs actual
+    drifted: bool                 #: the should_update() decision
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n": self.n,
+            "window": self.window,
+            "mean_signed_rel_err": self.mean_signed_rel_err,
+            "mean_abs_rel_err": self.mean_abs_rel_err,
+            "wilcoxon_p": self.wilcoxon_p,
+            "drifted": self.drifted,
+        }
+
+
+class DriftMonitor:
+    """Rolling window of (predicted, actual) stage times.
+
+    Plain deques and floats only, so a monitor embedded in ``LITE``
+    survives pickling with the rest of the system.
+    """
+
+    def __init__(
+        self,
+        window: int = 256,
+        min_samples: int = 10,
+        rel_err_threshold: float = 0.35,
+        p_threshold: float = 0.01,
+    ):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.min_samples = min_samples
+        self.rel_err_threshold = rel_err_threshold
+        self.p_threshold = p_threshold
+        self._predicted: deque = deque(maxlen=window)
+        self._actual: deque = deque(maxlen=window)
+        self.total_recorded = 0
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        predicted: Union[float, Sequence[float], np.ndarray],
+        actual: Union[float, Sequence[float], np.ndarray],
+    ) -> None:
+        """Append paired observations (scalars or equal-length arrays)."""
+        pred = np.atleast_1d(np.asarray(predicted, dtype=np.float64))
+        act = np.atleast_1d(np.asarray(actual, dtype=np.float64))
+        if pred.shape != act.shape:
+            raise ValueError(
+                f"predicted and actual must pair up: {pred.shape} vs {act.shape}"
+            )
+        self._predicted.extend(pred.tolist())
+        self._actual.extend(act.tolist())
+        self.total_recorded += len(pred)
+
+    def __len__(self) -> int:
+        return len(self._predicted)
+
+    def reset(self) -> None:
+        self._predicted.clear()
+        self._actual.clear()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> DriftStats:
+        # Imported here, not at module level: repro.core modules import
+        # repro.obs for instrumentation, so obs must not import core back
+        # at import time.
+        from ..core.metrics import wilcoxon_signed_rank
+
+        n = len(self._predicted)
+        if n == 0:
+            return DriftStats(
+                n=0, window=self.window,
+                mean_signed_rel_err=math.nan, mean_abs_rel_err=math.nan,
+                wilcoxon_p=1.0, drifted=False,
+            )
+        pred = np.array(self._predicted)
+        act = np.array(self._actual)
+        denom = np.maximum(np.abs(act), 1e-9)
+        rel = (pred - act) / denom
+        # Two-sided via the one-sided test both ways (Bonferroni doubled):
+        # drift is just as real when the model over-estimates.
+        p_under = wilcoxon_signed_rank(pred, act).p_value   # actual > predicted
+        p_over = wilcoxon_signed_rank(act, pred).p_value    # predicted > actual
+        p_two = min(1.0, 2.0 * min(p_under, p_over))
+        mean_signed = float(rel.mean())
+        # Material AND significant: a large window makes Wilcoxon reject on
+        # arbitrarily small biases, and a couple of lucky samples can show a
+        # large-but-noisy one; requiring both avoids hair-trigger retrains.
+        drifted = (
+            n >= self.min_samples
+            and abs(mean_signed) > self.rel_err_threshold
+            and p_two < self.p_threshold
+        )
+        return DriftStats(
+            n=n,
+            window=self.window,
+            mean_signed_rel_err=mean_signed,
+            mean_abs_rel_err=float(np.abs(rel).mean()),
+            wilcoxon_p=p_two,
+            drifted=drifted,
+        )
+
+    def should_update(self) -> bool:
+        """True when the window says an adaptive update is worth triggering."""
+        return self.stats().drifted

@@ -1,0 +1,61 @@
+"""Shared CLI/console logging: progress to stderr, results to stdout.
+
+Every human-facing message in ``repro`` flows through here so one pair of
+flags controls the whole CLI:
+
+- :func:`setup` maps ``-q/-v`` to a level on the ``repro`` logger
+  hierarchy (quiet = WARNING, default = INFO, verbose = DEBUG) with a
+  single stderr handler — progress chatter never contaminates pipelines
+  reading stdout;
+- :func:`get` hands modules a namespaced logger
+  (``log.get("necs")`` -> ``repro.necs``);
+- :func:`result` prints command *output* (tables, JSON) to stdout,
+  unaffected by verbosity — ``repro recommend --json | jq`` keeps
+  working at any ``-q``/``-v`` setting.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["setup", "get", "result", "verbosity_to_level"]
+
+ROOT = "repro"
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map the CLI flag count (-q = -1, default = 0, -v = 1+) to a level."""
+    if verbosity < 0:
+        return logging.WARNING
+    if verbosity == 0:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def setup(verbosity: int = 0, stream: Optional[IO[str]] = None) -> logging.Logger:
+    """Configure the ``repro`` logger tree; idempotent per process.
+
+    Re-running replaces the handler and level, so tests (and REPL users)
+    can flip verbosity or redirect the stream at will.
+    """
+    logger = logging.getLogger(ROOT)
+    logger.setLevel(verbosity_to_level(verbosity))
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get(name: str = "") -> logging.Logger:
+    """A namespaced logger under the shared ``repro`` tree."""
+    return logging.getLogger(f"{ROOT}.{name}" if name else ROOT)
+
+
+def result(message: str = "", file: Optional[IO[str]] = None) -> None:
+    """Emit command output (not progress) — plain stdout, never filtered."""
+    print(message, file=file if file is not None else sys.stdout)

@@ -1,0 +1,110 @@
+"""Canonical span and metric names — the observable surface of the system.
+
+Instrumented call sites import their names from here rather than inlining
+strings, and ``tests/obs/test_lifecycle_coverage.py`` asserts that one
+train -> recommend -> feedback -> update cycle exercises every name below,
+so the taxonomy cannot silently rot as code moves.
+
+Span taxonomy (``span.<name>.duration_s`` histograms accrue per name):
+
+- ``lite.*``     — system-level lifecycle operations
+- ``necs.*``     — estimator fit / inference
+- ``serving.*``  — template-cache encode path
+- ``recommender.*`` — candidate ranking
+- ``collect.*``  — offline corpus collection
+- ``sparksim.*`` — simulated application runs
+"""
+
+from __future__ import annotations
+
+# -- spans -------------------------------------------------------------
+SPAN_OFFLINE_TRAIN = "lite.offline_train"
+SPAN_FEATURISE = "lite.featurise"
+SPAN_ACG_FIT = "lite.acg_fit"
+SPAN_RECOMMEND = "lite.recommend"
+SPAN_FEEDBACK = "lite.feedback"
+SPAN_ADAPTIVE_UPDATE = "lite.adaptive_update"
+SPAN_COLD_START_PROBE = "lite.cold_start_probe"
+SPAN_NECS_FIT = "necs.fit"
+SPAN_NECS_PREDICT = "necs.predict"
+SPAN_NECS_PREDICT_ENCODED = "necs.predict_encoded"
+SPAN_NECS_UPDATE = "necs.adaptive_update"
+SPAN_ENCODE_TEMPLATES = "serving.encode_templates"
+SPAN_RANK = "recommender.rank"
+SPAN_COLLECT = "collect.runs"
+SPAN_SPARKSIM_RUN = "sparksim.run"
+
+ALL_SPANS = frozenset({
+    SPAN_OFFLINE_TRAIN,
+    SPAN_FEATURISE,
+    SPAN_ACG_FIT,
+    SPAN_RECOMMEND,
+    SPAN_FEEDBACK,
+    SPAN_ADAPTIVE_UPDATE,
+    SPAN_COLD_START_PROBE,
+    SPAN_NECS_FIT,
+    SPAN_NECS_PREDICT,
+    SPAN_NECS_PREDICT_ENCODED,
+    SPAN_NECS_UPDATE,
+    SPAN_ENCODE_TEMPLATES,
+    SPAN_RANK,
+    SPAN_COLLECT,
+    SPAN_SPARKSIM_RUN,
+})
+
+# -- counters ----------------------------------------------------------
+CTR_CACHE_HIT = "serving.template_cache.hit"
+CTR_CACHE_MISS = "serving.template_cache.miss"
+CTR_CACHE_INVALIDATION = "serving.template_cache.invalidation"
+CTR_COLD_START_PROBES = "serving.cold_start_probes"
+CTR_RECOMMENDATIONS = "serving.recommendations"
+CTR_FEEDBACK_RUNS = "feedback.runs"
+CTR_FEEDBACK_FAILED = "feedback.failed_runs"
+CTR_UPDATES_TRIGGERED = "feedback.updates_triggered"
+CTR_FIT_EPOCHS = "necs.fit.epochs"
+CTR_UPDATE_ROUNDS = "update.rounds"
+CTR_SIM_RUNS = "sparksim.runs"
+CTR_SIM_FAILURES = "sparksim.failures"
+
+ALL_COUNTERS = frozenset({
+    CTR_CACHE_HIT,
+    CTR_CACHE_MISS,
+    CTR_CACHE_INVALIDATION,
+    CTR_COLD_START_PROBES,
+    CTR_RECOMMENDATIONS,
+    CTR_FEEDBACK_RUNS,
+    CTR_FEEDBACK_FAILED,
+    CTR_UPDATES_TRIGGERED,
+    CTR_FIT_EPOCHS,
+    CTR_UPDATE_ROUNDS,
+    CTR_SIM_RUNS,
+    CTR_SIM_FAILURES,
+})
+
+# -- gauges ------------------------------------------------------------
+GAUGE_FIT_LAST_LOSS = "necs.fit.last_loss"
+GAUGE_DEDUP_RATIO = "necs.fit.dedup_ratio"            # unique / total rows
+GAUGE_UNIQUE_TEMPLATES = "necs.fit.unique_templates"
+GAUGE_PACKED_NODES = "necs.fit.packed_graph_nodes"
+GAUGE_UPDATE_PRED_LOSS = "update.pred_loss"
+GAUGE_UPDATE_DISC_LOSS = "update.disc_loss"
+GAUGE_DRIFT_N = "drift.window_n"
+GAUGE_DRIFT_SIGNED_ERR = "drift.mean_signed_rel_err"
+GAUGE_DRIFT_P = "drift.wilcoxon_p"
+
+ALL_GAUGES = frozenset({
+    GAUGE_FIT_LAST_LOSS,
+    GAUGE_DEDUP_RATIO,
+    GAUGE_UNIQUE_TEMPLATES,
+    GAUGE_PACKED_NODES,
+    GAUGE_UPDATE_PRED_LOSS,
+    GAUGE_UPDATE_DISC_LOSS,
+    GAUGE_DRIFT_N,
+    GAUGE_DRIFT_SIGNED_ERR,
+    GAUGE_DRIFT_P,
+})
+
+# -- histograms fed directly (spans feed span.<name>.duration_s) -------
+HIST_FIT_EPOCH_S = "necs.fit.epoch_s"
+
+ALL_HISTOGRAMS = frozenset({HIST_FIT_EPOCH_S})

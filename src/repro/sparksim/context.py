@@ -16,6 +16,8 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
+from .. import obs
+from ..obs import names as obsn
 from .cluster import ClusterSpec
 from .config import SparkConf
 from .costmodel import DEFAULT_COST_PARAMS, CostParams, SparkJobError, StageCostModel, plan_executors
@@ -211,6 +213,31 @@ def run_app(
     run rather than an exception; the evaluation layer applies the paper's
     7200 s execution-time cap to failed runs.
     """
+    with obs.span(obsn.SPAN_SPARKSIM_RUN) as sp:
+        obs.counter(obsn.CTR_SIM_RUNS).inc()
+        run = _run_app_impl(
+            app_name, driver, conf, cluster,
+            data_features=data_features, cost_params=cost_params,
+            seed=seed, deterministic=deterministic,
+        )
+        if not run.success:
+            obs.counter(obsn.CTR_SIM_FAILURES).inc()
+        if sp:
+            sp.set(app=app_name, success=run.success, n_stages=run.num_stages,
+                   simulated_s=round(run.duration_s, 3))
+        return run
+
+
+def _run_app_impl(
+    app_name: str,
+    driver: Callable[[SparkContext], Any],
+    conf: SparkConf,
+    cluster: ClusterSpec,
+    data_features: Optional[Sequence[float]] = None,
+    cost_params: CostParams = DEFAULT_COST_PARAMS,
+    seed: int = 0,
+    deterministic: bool = False,
+) -> AppRun:
     try:
         sc = SparkContext(
             app_name, conf, cluster,

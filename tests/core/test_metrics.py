@@ -76,6 +76,39 @@ class TestRanking:
         assert 0.0 <= ndcg_at_k(perm, gold, 5) <= 1.0 + 1e-12
 
 
+class TestRankingEdgeCases:
+    def test_hr_k_larger_than_gold_normalises_by_gold(self):
+        # Only 2 gold items exist; finding both in the predicted top-5
+        # is a perfect hit ratio, not 2/5.
+        assert hr_at_k([9, 0, 8, 1, 7], [0, 1], k=5) == pytest.approx(1.0)
+
+    def test_hr_duplicate_predictions_count_once(self):
+        # A degenerate ranker repeating one id must not be rewarded for
+        # the repeats.
+        assert hr_at_k([0, 0, 0], [0, 1, 2], k=3) == pytest.approx(1 / 3)
+
+    def test_hr_empty_gold_is_zero(self):
+        assert hr_at_k([0, 1, 2], [], k=3) == 0.0
+
+    def test_ndcg_k_larger_than_gold_still_unit_for_perfect(self):
+        gold = [4, 2]
+        assert ndcg_at_k(gold, gold, k=5) == pytest.approx(1.0)
+
+
+class TestETRDegenerate:
+    def test_default_equals_min_exact_equality(self):
+        # t_default == t_min: zero denominator; matching it is a win,
+        # exceeding it is not.
+        assert execution_time_reduction(100.0, 100.0, 100.0) == 1.0
+        assert execution_time_reduction(100.0 + 1e-12, 100.0, 100.0) == 0.0
+
+    def test_min_above_default_treated_as_degenerate(self):
+        # Inconsistent inputs (observed min worse than default) must not
+        # produce a negative or >1 score.
+        assert execution_time_reduction(50.0, 100.0, 200.0) == 1.0
+        assert execution_time_reduction(150.0, 100.0, 200.0) == 0.0
+
+
 class TestWilcoxon:
     def test_clear_improvement_small_p(self):
         before = np.array([0.40, 0.42, 0.44, 0.41, 0.43, 0.39, 0.45, 0.40])
@@ -108,6 +141,19 @@ class TestWilcoxon:
     def test_length_mismatch(self):
         with pytest.raises(ValueError):
             wilcoxon_signed_rank([1.0], [1.0, 2.0])
+
+    def test_partial_zero_differences_pratt_excluded(self):
+        before = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        after = np.array([1.0, 2.0, 3.5, 4.5, 5.5, 6.5])  # two exact ties
+        result = wilcoxon_signed_rank(before, after)
+        assert result.n_effective == 4
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_identical_constant_arrays(self):
+        result = wilcoxon_signed_rank(np.zeros(8), np.zeros(8))
+        assert result.p_value == 1.0
+        assert result.statistic == 0.0
+        assert result.n_effective == 0
 
     @settings(max_examples=25, deadline=None)
     @given(st.lists(st.floats(-10, 10), min_size=6, max_size=30))

@@ -132,6 +132,26 @@ class TestTemplateCache:
         assert wl.name not in served_lite._encoded
 
 
+class TestCacheHitReporting:
+    def test_recommendation_records_cold_then_hit(self, served_lite):
+        wl = get_workload("PageRank")
+        data = wl.data_spec("valid").features()
+        served_lite._encoded.pop(wl.name, None)  # force a cold encode
+        cold = served_lite.recommend(wl.name, data, CLUSTER_C, rng=get_rng(0))
+        assert cold.template_cache_hit is False
+        assert cold.encode_overhead_s > 0
+        warm = served_lite.recommend(wl.name, data, CLUSTER_C, rng=get_rng(1))
+        assert warm.template_cache_hit is True
+        assert warm.encode_overhead_s == 0.0
+
+    def test_bare_rank_leaves_cache_status_unset(self, served_lite, pagerank_setup):
+        wl, data, candidates = pagerank_setup
+        templates = served_lite.stage_templates(wl.name)
+        rec = served_lite.recommender.rank(templates, candidates, data, CLUSTER_C)
+        assert rec.template_cache_hit is None
+        assert rec.encode_overhead_s == 0.0
+
+
 class TestEvalModeRestore:
     def test_predict_restores_training_mode(self, served_lite, small_instances):
         net = served_lite.estimator.network

@@ -1,0 +1,60 @@
+"""The shared bench-report writer: meta stamping and payload layout."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.report import (
+    BENCH_SCHEMA_VERSION,
+    bench_environment,
+    bench_meta,
+    git_sha,
+    write_bench_report,
+)
+
+
+class TestGitSha:
+    def test_inside_this_repo(self):
+        sha = git_sha()
+        assert sha == "unknown" or (len(sha) == 40 and all(
+            c in "0123456789abcdef" for c in sha))
+
+    def test_outside_a_repo_is_unknown(self, tmp_path):
+        assert git_sha(cwd=tmp_path) == "unknown"
+
+
+class TestMeta:
+    def test_environment_fields(self):
+        env = bench_environment()
+        assert {"git_sha", "platform", "machine", "python", "numpy"} == set(env)
+
+    def test_meta_shape(self):
+        meta = bench_meta("serving", {"repeats": 3})
+        assert meta["schema_version"] == BENCH_SCHEMA_VERSION
+        assert meta["kind"] == "serving"
+        assert meta["config"] == {"repeats": 3}
+
+
+class TestWriteBenchReport:
+    def test_result_fields_stay_top_level(self, tmp_path):
+        out = tmp_path / "BENCH_x.json"
+        path = write_bench_report(
+            out, "x", {"speedup": 2.5, "nested": {"p50_ms": 1.0}},
+            config={"smoke": True},
+        )
+        data = json.loads(path.read_text())
+        # Existing readers index result fields directly; meta is additive.
+        assert data["speedup"] == 2.5
+        assert data["nested"]["p50_ms"] == 1.0
+        assert data["meta"]["kind"] == "x"
+        assert data["meta"]["config"] == {"smoke": True}
+
+    def test_meta_key_collision_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_bench_report(tmp_path / "x.json", "x", {"meta": {}})
+
+    def test_config_defaults_empty(self, tmp_path):
+        path = write_bench_report(tmp_path / "y.json", "y", {"v": 1})
+        assert json.loads(path.read_text())["meta"]["config"] == {}

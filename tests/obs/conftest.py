@@ -1,0 +1,19 @@
+"""Every obs test starts and ends with pristine global observability state.
+
+Tracing and the metrics registry are process-global by design; without
+this fixture a counter incremented in one test would leak into the next
+test's snapshot assertions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_state():
+    obs.reset()
+    yield
+    obs.reset()

@@ -1,0 +1,103 @@
+"""DriftMonitor: window mechanics and the material-AND-significant trigger."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.drift import DriftMonitor
+
+
+def _feed(monitor: DriftMonitor, scale: float, n: int = 40, seed: int = 0):
+    """n pairs where predicted = scale * actual (plus mild noise)."""
+    rng = np.random.default_rng(seed)
+    actual = rng.uniform(5.0, 50.0, size=n)
+    predicted = scale * actual * rng.uniform(0.97, 1.03, size=n)
+    monitor.record(predicted, actual)
+    return monitor
+
+
+class TestRecording:
+    def test_scalar_and_array_pairs(self):
+        m = DriftMonitor()
+        m.record(1.0, 2.0)
+        m.record([1.0, 2.0], [2.0, 3.0])
+        assert len(m) == 3
+        assert m.total_recorded == 3
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DriftMonitor().record([1.0, 2.0], [1.0])
+
+    def test_window_keeps_most_recent(self):
+        m = DriftMonitor(window=4)
+        m.record(list(range(10)), list(range(10, 20)))
+        assert len(m) == 4
+        assert list(m._actual) == [16.0, 17.0, 18.0, 19.0]
+
+    def test_reset_empties_window(self):
+        m = _feed(DriftMonitor(), scale=1.0)
+        m.reset()
+        assert len(m) == 0
+        stats = m.stats()
+        assert stats.n == 0
+        assert math.isnan(stats.mean_signed_rel_err)
+        assert not stats.drifted
+
+
+class TestTrigger:
+    def test_calibrated_model_not_drifted(self):
+        m = _feed(DriftMonitor(), scale=1.0)
+        stats = m.stats()
+        assert abs(stats.mean_signed_rel_err) < 0.05
+        assert not stats.drifted
+
+    def test_systematic_underestimation_drifts(self):
+        # predicted = actual / 2 -> signed rel err ~ -0.5, clearly material.
+        m = _feed(DriftMonitor(), scale=0.5)
+        stats = m.stats()
+        assert stats.mean_signed_rel_err < -0.35
+        assert stats.wilcoxon_p < 0.01
+        assert stats.drifted
+        assert m.should_update()
+
+    def test_overestimation_also_drifts(self):
+        m = _feed(DriftMonitor(), scale=2.0)
+        assert m.stats().drifted
+
+    def test_too_few_samples_never_triggers(self):
+        m = _feed(DriftMonitor(min_samples=10), scale=0.5, n=5)
+        stats = m.stats()
+        assert abs(stats.mean_signed_rel_err) > 0.35
+        assert not stats.drifted
+
+    def test_significant_but_immaterial_bias_does_not_trigger(self):
+        # 5% bias over a large window: Wilcoxon happily rejects, but the
+        # bias is below the materiality threshold -> no retrain.
+        m = _feed(DriftMonitor(window=512), scale=1.05, n=400)
+        stats = m.stats()
+        assert stats.wilcoxon_p < 0.01
+        assert abs(stats.mean_signed_rel_err) < 0.35
+        assert not stats.drifted
+
+    def test_material_but_noisy_bias_does_not_trigger(self):
+        # A couple of wild pairs: large mean error, no significance.
+        m = DriftMonitor(min_samples=3, rel_err_threshold=0.1)
+        m.record([30.0, 1.0, 1.05], [10.0, 1.05, 1.0])
+        stats = m.stats()
+        assert abs(stats.mean_signed_rel_err) > 0.1
+        assert stats.wilcoxon_p > 0.01
+        assert not stats.drifted
+
+    def test_stats_to_dict_is_jsonable(self):
+        d = _feed(DriftMonitor(), scale=0.5).stats().to_dict()
+        assert set(d) == {"n", "window", "mean_signed_rel_err",
+                          "mean_abs_rel_err", "wilcoxon_p", "drifted"}
+
+
+class TestValidation:
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(window=0)

@@ -1,0 +1,107 @@
+"""Name coverage: every canonical span/counter/gauge name actually fires.
+
+Runs the self-contained lifecycle from ``repro.experiments.lifecycle``
+once with tracing enabled and checks the result against the full
+taxonomy in :mod:`repro.obs.names` — a new instrumentation site whose
+name is added to the taxonomy but never wired up (or vice versa) fails
+here, not in production.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import names as obsn
+
+
+@pytest.fixture(scope="module")
+def lifecycle():
+    """One traced lifecycle; captures global obs state before it is reset.
+
+    The per-test autouse reset wipes the registry between tests, so every
+    assertion runs against this captured copy, not live globals.
+    """
+    from repro.experiments.lifecycle import run_lifecycle
+
+    obs.reset()
+    obs.enable_tracing()
+    try:
+        summary = run_lifecycle(smoke=True, seed=0)
+    finally:
+        obs.disable_tracing()
+    captured = {
+        "summary": summary,
+        "snapshot": obs.metrics_snapshot(),
+        "span_names": {r.name for r in obs.get_tracer().records()},
+    }
+    obs.reset()
+    return captured
+
+
+class TestNameCoverage:
+    def test_every_span_name_fires(self, lifecycle):
+        missing = set(obsn.ALL_SPANS) - lifecycle["span_names"]
+        assert not missing, f"spans never entered: {sorted(missing)}"
+
+    def test_every_span_feeds_a_duration_histogram(self, lifecycle):
+        snap = lifecycle["snapshot"]
+        for name in obsn.ALL_SPANS:
+            key = f"span.{name}.duration_s"
+            assert key in snap, key
+            assert snap[key]["count"] > 0, key
+
+    def test_every_counter_is_nonzero(self, lifecycle):
+        snap = lifecycle["snapshot"]
+        for name in obsn.ALL_COUNTERS:
+            assert name in snap, name
+            assert snap[name]["value"] > 0, name
+
+    def test_every_gauge_is_set(self, lifecycle):
+        snap = lifecycle["snapshot"]
+        for name in obsn.ALL_GAUGES:
+            assert name in snap, name
+
+    def test_fit_epoch_histogram_populated(self, lifecycle):
+        snap = lifecycle["snapshot"]
+        for name in obsn.ALL_HISTOGRAMS:
+            assert snap[name]["count"] > 0, name
+
+
+class TestLifecycleSemantics:
+    """The acceptance-criteria numbers ``repro stats`` must report."""
+
+    def test_cache_state_machine(self, lifecycle):
+        recs = lifecycle["summary"]["recommendations"]
+        assert recs["cold"]["cache_hit"] is False
+        assert recs["cold"]["encode_overhead_s"] > 0
+        assert recs["warm"]["cache_hit"] is True
+        # The adaptive update bumps the estimator version.
+        assert recs["post_update"]["cache_hit"] is False
+        snap = lifecycle["snapshot"]
+        assert snap[obsn.CTR_CACHE_HIT]["value"] >= 1
+        assert snap[obsn.CTR_CACHE_MISS]["value"] >= 2
+        assert snap[obsn.CTR_CACHE_INVALIDATION]["value"] >= 1
+
+    def test_probe_overhead_carried_once(self, lifecycle):
+        recs = lifecycle["summary"]["recommendations"]
+        assert recs["probed"]["probe_overhead_s"] > 0
+
+    def test_dedup_ratio_reported(self, lifecycle):
+        ratio = lifecycle["snapshot"][obsn.GAUGE_DEDUP_RATIO]["value"]
+        assert 0 < ratio < 1
+
+    def test_update_triggered_and_counted(self, lifecycle):
+        assert lifecycle["summary"]["adaptive_update_triggered"]
+        assert lifecycle["snapshot"][obsn.CTR_UPDATES_TRIGGERED]["value"] == 1
+
+    def test_drift_window_populated(self, lifecycle):
+        drift = lifecycle["summary"]["drift"]
+        assert drift["n"] > 0
+        assert drift["wilcoxon_p"] <= 1.0
+        assert lifecycle["snapshot"][obsn.GAUGE_DRIFT_N]["value"] == drift["n"]
+
+    def test_failure_paths_exercised(self, lifecycle):
+        snap = lifecycle["snapshot"]
+        assert snap[obsn.CTR_SIM_FAILURES]["value"] >= 1
+        assert snap[obsn.CTR_FEEDBACK_FAILED]["value"] >= 1

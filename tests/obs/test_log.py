@@ -1,0 +1,59 @@
+"""Shared CLI logging: verbosity mapping, stream routing, idempotent setup."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+from repro.obs import log
+
+
+class TestVerbosityMapping:
+    def test_levels(self):
+        assert log.verbosity_to_level(-1) == logging.WARNING
+        assert log.verbosity_to_level(0) == logging.INFO
+        assert log.verbosity_to_level(1) == logging.DEBUG
+        assert log.verbosity_to_level(3) == logging.DEBUG
+
+
+class TestSetup:
+    def test_progress_goes_to_the_given_stream(self):
+        stream = io.StringIO()
+        log.setup(0, stream=stream)
+        log.get("unit").info("working on %d items", 3)
+        assert stream.getvalue() == "working on 3 items\n"
+
+    def test_quiet_hides_info(self):
+        stream = io.StringIO()
+        log.setup(-1, stream=stream)
+        log.get("unit").info("hidden")
+        log.get("unit").warning("shown")
+        assert stream.getvalue() == "shown\n"
+
+    def test_verbose_shows_debug(self):
+        stream = io.StringIO()
+        log.setup(1, stream=stream)
+        log.get("unit").debug("detail")
+        assert "detail" in stream.getvalue()
+
+    def test_setup_is_idempotent_single_handler(self):
+        for _ in range(3):
+            log.setup(0, stream=io.StringIO())
+        assert len(logging.getLogger(log.ROOT).handlers) == 1
+
+    def test_namespaced_logger_under_root(self):
+        assert log.get("necs").name == "repro.necs"
+        assert log.get().name == "repro"
+
+
+class TestResult:
+    def test_result_writes_to_given_file(self):
+        out = io.StringIO()
+        log.result("the answer", file=out)
+        assert out.getvalue() == "the answer\n"
+
+    def test_result_ignores_verbosity(self):
+        log.setup(-1, stream=io.StringIO())
+        out = io.StringIO()
+        log.result("still printed", file=out)
+        assert out.getvalue() == "still printed\n"

@@ -1,0 +1,130 @@
+"""Metrics registry: counters, gauges, streaming histograms, suppression."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        c = obs.counter("t.hits")
+        c.inc()
+        c.inc(4)
+        assert obs.metrics_snapshot()["t.hits"] == {"type": "counter", "value": 5}
+
+    def test_gauge_last_write_wins(self):
+        g = obs.gauge("t.level")
+        g.set(1.5)
+        g.set(-2)
+        assert obs.metrics_snapshot()["t.level"]["value"] == -2.0
+
+
+class TestHistogram:
+    def test_exact_moments(self):
+        h = Histogram("t")
+        for x in (0.5, 1.0, 2.0):
+            h.observe(x)
+        assert h.count == 3
+        assert h.total == pytest.approx(3.5)
+        assert h.min == 0.5
+        assert h.max == 2.0
+        assert h.mean == pytest.approx(3.5 / 3)
+
+    def test_quantiles_track_numpy_within_bucket_error(self):
+        rng = np.random.default_rng(0)
+        samples = rng.lognormal(mean=-3.0, sigma=1.0, size=20_000)
+        h = Histogram("t")
+        for x in samples:
+            h.observe(float(x))
+        for q in (0.50, 0.95, 0.99):
+            exact = float(np.quantile(samples, q))
+            approx = h.quantile(q)
+            # Bucket growth 1.12 bounds relative error by sqrt(1.12)-1 ~ 6%.
+            assert abs(approx - exact) / exact < 0.08, q
+
+    def test_edge_quantiles_and_empty(self):
+        h = Histogram("t")
+        assert math.isnan(h.quantile(0.5))
+        h.observe(3.0)
+        assert h.quantile(0.0) == 3.0
+        assert h.quantile(1.0) == 3.0
+
+    def test_underflow_lands_on_min(self):
+        h = Histogram("t", lo=1e-3)
+        h.observe(0.0)
+        h.observe(1e-6)
+        assert h.count == 2
+        assert h.quantile(0.5) == 0.0
+
+    def test_overflow_clamps_to_last_bucket(self):
+        h = Histogram("t", hi=1.0)
+        h.observe(1e9)
+        assert h.count == 1
+        assert h.quantile(1.0) == 1e9
+
+
+class TestRegistry:
+    def test_idempotent_same_object(self):
+        assert obs.counter("t.same") is obs.counter("t.same")
+
+    def test_kind_clash_raises(self):
+        obs.counter("t.kind")
+        with pytest.raises(TypeError):
+            obs.gauge("t.kind")
+
+    def test_snapshot_sorted_and_reset(self):
+        obs.counter("t.b").inc()
+        obs.gauge("t.a").set(1)
+        assert list(obs.metrics_snapshot()) == ["t.a", "t.b"]
+        obs.reset_metrics()
+        assert obs.metrics_snapshot() == {}
+
+    def test_private_registry_isolated(self):
+        reg = MetricsRegistry()
+        reg.counter("t.private").inc()
+        assert "t.private" not in obs.metrics_snapshot()
+
+
+class TestSuppression:
+    def test_suppressed_drops_all_recording(self):
+        c = obs.counter("t.c")
+        g = obs.gauge("t.g")
+        h = obs.histogram("t.h")
+        with obs.suppressed():
+            c.inc()
+            g.set(9)
+            h.observe(1.0)
+        assert c.value == 0
+        assert g.value == 0.0
+        assert h.count == 0
+
+    def test_suppressed_restores_prior_tracing(self):
+        obs.enable_tracing()
+        with obs.suppressed():
+            assert not obs.tracing_enabled()
+            assert obs.span("t") is obs.NULL_SPAN
+        assert obs.tracing_enabled()
+
+    def test_counters_live_while_merely_disabled(self):
+        # Tracing disabled (the default state) must NOT suppress metrics.
+        assert not obs.tracing_enabled()
+        obs.counter("t.live").inc()
+        assert obs.metrics_snapshot()["t.live"]["value"] == 1
+
+
+class TestExport:
+    def test_export_json(self, tmp_path):
+        obs.counter("t.n").inc(2)
+        obs.histogram("t.lat").observe(0.25)
+        path = obs.export_metrics_json(tmp_path / "metrics.json")
+        data = json.loads(path.read_text())
+        assert data["t.n"]["value"] == 2
+        assert data["t.lat"]["count"] == 1
+        assert {"p50", "p95", "p99"} <= set(data["t.lat"])

@@ -1,0 +1,131 @@
+"""Span/Tracer behaviour: null path, nesting, export, metric feeding."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import NULL_SPAN, Tracer
+
+
+class TestDisabledPath:
+    def test_disabled_returns_the_null_singleton(self):
+        assert not obs.tracing_enabled()
+        sp = obs.span("anything")
+        assert sp is NULL_SPAN
+
+    def test_null_span_is_falsy_and_inert(self):
+        with obs.span("x") as sp:
+            assert not sp
+            assert sp.set(a=1) is sp
+        assert len(obs.get_tracer()) == 0
+        assert "span.x.duration_s" not in obs.metrics_snapshot()
+
+    def test_disable_keeps_buffered_records(self):
+        obs.enable_tracing()
+        with obs.span("kept"):
+            pass
+        obs.disable_tracing()
+        assert [r.name for r in obs.get_tracer().records()] == ["kept"]
+
+
+class TestEnabledPath:
+    def test_span_records_duration_and_attrs(self):
+        obs.enable_tracing()
+        with obs.span("unit") as sp:
+            assert sp
+            sp.set(rows=3, ok=True)
+        (rec,) = obs.get_tracer().records()
+        assert rec.name == "unit"
+        assert rec.duration_s >= 0
+        assert rec.attrs == {"rows": 3, "ok": True}
+        assert rec.parent_id is None
+        assert rec.depth == 0
+
+    def test_nesting_links_parent_and_depth(self):
+        obs.enable_tracing()
+        with obs.span("outer") as outer:
+            with obs.span("inner"):
+                pass
+        by_name = {r.name: r for r in obs.get_tracer().records()}
+        assert by_name["inner"].parent_id == outer.span_id
+        assert by_name["inner"].depth == 1
+        assert by_name["outer"].depth == 0
+
+    def test_exception_recorded_and_propagated(self):
+        obs.enable_tracing()
+        with pytest.raises(ValueError):
+            with obs.span("boom"):
+                raise ValueError("no")
+        (rec,) = obs.get_tracer().records()
+        assert rec.attrs["error"] == "ValueError"
+
+    def test_duration_feeds_span_histogram(self):
+        obs.enable_tracing()
+        for _ in range(3):
+            with obs.span("timed"):
+                pass
+        hist = obs.metrics_snapshot()["span.timed.duration_s"]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == 3
+
+    def test_ring_buffer_is_bounded(self):
+        tracer = Tracer(max_spans=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [r.name for r in tracer.records()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_clear_empties_buffer(self):
+        obs.enable_tracing()
+        with obs.span("gone"):
+            pass
+        obs.get_tracer().clear()
+        assert len(obs.get_tracer()) == 0
+
+    def test_histogram_handle_survives_reset_cycle(self):
+        # A reset drops the registry's histograms; the tracer must not
+        # keep feeding orphaned handles afterwards.
+        obs.enable_tracing()
+        with obs.span("cycle"):
+            pass
+        obs.reset()
+        obs.enable_tracing()
+        with obs.span("cycle"):
+            pass
+        assert obs.metrics_snapshot()["span.cycle.duration_s"]["count"] == 1
+
+
+class TestExport:
+    def test_export_jsonl_round_trips(self, tmp_path):
+        obs.enable_tracing()
+        with obs.span("a") as sp:
+            sp.set(k="v")
+            with obs.span("b"):
+                pass
+        path = obs.export_trace_jsonl(tmp_path / "trace.jsonl")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == 2
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["a"]["attrs"] == {"k": "v"}
+        assert by_name["b"]["parent_id"] == by_name["a"]["span_id"]
+
+    def test_format_tree_orders_by_start_not_finish(self):
+        # Children finish before parents; the tree must still print the
+        # parent first and indent the child.
+        obs.enable_tracing()
+        with obs.span("parent"):
+            with obs.span("child"):
+                pass
+        lines = obs.format_trace_tree().splitlines()
+        assert lines[0].startswith("parent")
+        assert lines[1].startswith("  child")
+
+    def test_format_tree_min_duration_filters(self):
+        obs.enable_tracing()
+        with obs.span("fast"):
+            pass
+        assert obs.format_trace_tree(min_duration_s=10.0) == ""
