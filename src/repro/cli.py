@@ -13,6 +13,7 @@ Commands
 - ``bench-recommend`` serving-latency benchmark (fast vs. reference path)
 - ``bench-train`` training-throughput benchmark (batched vs. reference engine)
 - ``bench-obs``  observability-overhead benchmark (suppressed/disabled/enabled)
+- ``bench-chaos`` fault-injection harness: the full lifecycle under chaos
 
 Progress chatter goes to stderr through the shared ``repro.obs.log``
 logger (``-v`` for debug detail, ``-q`` for warnings only); results —
@@ -165,6 +166,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bobs.add_argument("--out", default="BENCH_obs.json",
                         help="where to write the JSON report")
     p_bobs.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_chaos = sub.add_parser(
+        "bench-chaos",
+        help="run the full lifecycle under injected faults and assert "
+             "graceful degradation")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--cluster", default="C", choices=("A", "B", "C"))
+    p_chaos.add_argument("--smoke", action="store_true",
+                         help="tiny corpus/model and short schedules (CI gate)")
+    p_chaos.add_argument("--out", default="BENCH_chaos.json",
+                         help="where to write the JSON report")
+    p_chaos.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
 
@@ -454,6 +467,40 @@ def cmd_bench_obs(args) -> int:
     return 0 if result["within_budget"] else 1
 
 
+def cmd_bench_chaos(args) -> int:
+    from .experiments.chaos import ChaosError, run_chaos
+
+    _LOG.info("running the lifecycle under fault injection...")
+    try:
+        result = run_chaos(
+            smoke=args.smoke, seed=args.seed, cluster_name=args.cluster,
+            out=args.out,
+        )
+    except ChaosError as exc:
+        _LOG.error("%s", exc)
+        return 1
+    if args.json:
+        _result(json.dumps(result, indent=2, default=str))
+    else:
+        counts = result["fault_counts"]
+        _result(f"chaos lifecycle on cluster {result['cluster']} "
+                f"({'smoke' if result['smoke'] else 'full'}):")
+        _result(f"  faults injected: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+        _result(f"  corpus: {result['n_corpus_success']}/{result['n_corpus_runs']} "
+                f"runs successful under faults; feedback "
+                f"{result['n_feedback_success']}/{result['n_feedback_runs']} "
+                f"successful")
+        _result(f"  exhausted retry stayed bounded: "
+                f"{result['exhausted_retry']['attempts']} attempts, "
+                f"{result['exhausted_retry']['backoff_s']:.1f}s backoff "
+                f"(budget {result['retry_policy']['backoff_budget_s']:.0f}s)")
+        for name, ok in result["checks"].items():
+            _result(f"  [{'ok' if ok else 'FAIL'}] {name}")
+        _result(f"wrote {result['out']}")
+    return 0 if result["ok"] else 1
+
+
 def eq_ok(result) -> bool:
     """The benchmark fails loudly if the engines trained different models."""
     return bool(result["equivalence"]["within_tolerance"])
@@ -474,6 +521,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-recommend": cmd_bench_recommend,
         "bench-train": cmd_bench_train,
         "bench-obs": cmd_bench_obs,
+        "bench-chaos": cmd_bench_chaos,
     }
     return handlers[args.command](args)
 

@@ -79,7 +79,14 @@ def app_instance_key(run: AppRun) -> str:
 
 
 def instances_from_run(run: AppRun) -> List[StageInstance]:
-    """Stage-based code organisation: split one run into stage instances."""
+    """Stage-based code organisation: split one run into stage instances.
+
+    Failed runs contribute nothing.  Runs whose event log was truncated by
+    a transient fault (``run.truncated``) still contribute: each stage
+    record is self-contained (code tokens, DAG, duration), so the
+    surviving prefix is valid training data — only the missing suffix is
+    lost.
+    """
     if not run.success:
         return []
     knobs = run.conf.to_vector()

@@ -22,7 +22,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..utils.rng import get_rng
+from ..utils.retry import RetryPolicy, retry_run
+from ..utils.rng import derive
 
 from .. import obs
 from ..obs import names as obsn
@@ -61,6 +62,10 @@ class LITE:
         self.estimator = NECSEstimator(self.config.necs)
         self.candidate_generator = AdaptiveCandidateGenerator(seed=self.config.seed)
         self.recommender = KnobRecommender(self.estimator)
+        # One generator for the lifetime of the instance: building a fresh
+        # identically-seeded generator per recommend call would make every
+        # default-rng recommendation sample the exact same candidate set.
+        self._recommend_rng = derive(self.config.seed, "recommend")
         self._templates: Dict[str, List[StageInstance]] = {}
         self._encoded: Dict[str, EncodedTemplates] = {}
         self._probe_overhead: Dict[str, float] = {}
@@ -154,7 +159,14 @@ class LITE:
         self._encoded[app_name] = cached
         return cached, False, encode_s
 
-    def cold_start_probe(self, workload, cluster: ClusterSpec, seed: int = 0) -> float:
+    def cold_start_probe(
+        self,
+        workload,
+        cluster: ClusterSpec,
+        seed: int = 0,
+        fault_injector=None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> float:
         """Run a never-seen application once on the smallest dataset with
         instrumentation to obtain stage-level codes and DAGs (Sec. IV Step 1).
 
@@ -163,23 +175,42 @@ class LITE:
         into the next ``recommend`` for this app as ``probe_overhead_s``.
         Raises ``RuntimeError`` when both the default and the minimal safe
         configuration fail — a failed run has no stages to use as templates.
+
+        ``fault_injector`` threads transient faults into the probe run;
+        ``retry`` re-executes transiently-failed probes with budgeted
+        exponential backoff, charging every attempt's execution time plus
+        the (simulated) backoff delays to the probe overhead.  A truncated
+        probe log is tolerated: the surviving stage prefix still seeds the
+        template store, and the next successful full log (or re-probe)
+        replaces it.
         """
         with obs.span(obsn.SPAN_COLD_START_PROBE) as sp:
             obs.counter(obsn.CTR_COLD_START_PROBES).inc()
-            run = workload.run(SparkConf.default(), cluster, scale="train0", seed=seed)
-            probe_time = run.duration_s
+            retry_rng = derive(self.config.seed, "probe-retry", workload.name)
+
+            def probed(conf: SparkConf):
+                outcome = retry_run(
+                    lambda _attempt: workload.run(
+                        conf, cluster, scale="train0", seed=seed,
+                        fault_injector=fault_injector,
+                    ),
+                    retry, retry_rng,
+                )
+                return outcome.run, outcome.total_simulated_s
+
+            run, probe_time = probed(SparkConf.default())
             if not run.success:
                 # Defaults failed: probe with a minimal, safe configuration.
                 safe = SparkConf({"spark.executor.instances": 1, "spark.executor.memory": 1})
-                retry = workload.run(safe, cluster, scale="train0", seed=seed)
-                probe_time += retry.duration_s
-                if not retry.success:
+                retry_run_, extra = probed(safe)
+                probe_time += extra
+                if not retry_run_.success:
                     raise RuntimeError(
                         f"cold-start probe failed twice for {workload.name!r} on "
                         f"cluster {cluster.name}: {run.failure_reason!r}, then "
-                        f"{retry.failure_reason!r} with the minimal configuration"
+                        f"{retry_run_.failure_reason!r} with the minimal configuration"
                     )
-                run = retry
+                run = retry_run_
             self._templates[workload.name] = instances_from_run(run)
             self._encoded.pop(workload.name, None)
             self._probe_overhead[workload.name] = probe_time
@@ -203,7 +234,8 @@ class LITE:
             raise RuntimeError("LITE must be trained before recommending")
         with obs.span(obsn.SPAN_RECOMMEND) as sp:
             obs.counter(obsn.CTR_RECOMMENDATIONS).inc()
-            rng = rng or get_rng(self.config.seed)
+            if rng is None:
+                rng = self._recommend_rng
             n = n_candidates or self.config.n_candidates
             data_features = np.asarray(data_features, dtype=np.float64)
             candidates = self.candidate_generator.generate(
@@ -307,6 +339,12 @@ class LITE:
         describe the most recent production window.
 
         Returns True when an adaptive update was performed.
+
+        Runs with truncated event logs (transient fault: the log lost its
+        trailing stages) still contribute their surviving stage instances
+        to the feedback corpus, but are skipped by the drift monitor — a
+        partial run's predicted-vs-actual pairs would compare against an
+        incomplete picture of the application.
         """
         with obs.span(obsn.SPAN_FEEDBACK) as sp:
             obs.counter(obsn.CTR_FEEDBACK_RUNS).inc()
@@ -314,12 +352,22 @@ class LITE:
                 instances = instances_from_run(run)
                 self._feedback_runs.append(run)
                 self._feedback_instances.extend(instances)
-                self._record_drift(instances)
+                if getattr(run, "truncated", False):
+                    obs.counter(obsn.CTR_FEEDBACK_TRUNCATED).inc()
+                else:
+                    self._record_drift(instances)
             else:
                 obs.counter(obsn.CTR_FEEDBACK_FAILED).inc()
             ready = len(self._feedback_runs) >= self.config.feedback_batch_size
             updated = False
-            if (ready or update_now) and self._feedback_instances:
+            # An explicit update request must retrain even when the current
+            # batch is empty but earlier batches were retained: the caller
+            # asked for a refresh of the model on everything seen so far.
+            triggered = (
+                (ready and bool(self._feedback_instances))
+                or (update_now and bool(self._feedback_instances or self._target_instances))
+            )
+            if triggered:
                 # Fold the consumed batch into the retained feedback corpus, so
                 # each update trains on *all* production feedback seen so far —
                 # consuming a batch must not make the model forget earlier rounds.

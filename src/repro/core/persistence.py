@@ -5,15 +5,27 @@ A trained LITE bundles numpy weights (NECS), fitted scikit-style objects
 Everything is plain Python/numpy, so a pickle with a version/format guard
 is a faithful serialisation; `save_lite`/`load_lite` wrap it with
 validation so a loaded system is immediately usable.
+
+Crash safety: saves go through :func:`repro.utils.atomic.atomic_overwrite`
+(tmp file + fsync + ``os.replace``), so a process dying mid-save — even
+between the write and the rename — leaves the previous checkpoint intact.
+Loads distinguish three failure modes with clear errors: corrupt or
+truncated bytes (``ValueError``, never a raw ``EOFError``), a file that
+is not a LITE checkpoint at all, and a version from a *newer* build.
+Older supported versions are migrated forward in place instead of being
+rejected.
 """
 
 from __future__ import annotations
 
 import pickle
 from pathlib import Path
-from typing import Union
+from typing import Callable, Dict, Optional, Union
 
-from .lite import LITE
+from ..obs.drift import DriftMonitor
+from ..utils.atomic import atomic_overwrite
+from ..utils.rng import derive
+from .lite import LITE, LITEConfig
 
 FORMAT = "repro-lite"
 # v2: LITE grew the encoded-template cache, probe-overhead ledger and
@@ -21,14 +33,22 @@ FORMAT = "repro-lite"
 # pickles would deserialise without those attributes and fail at runtime.
 # v3: LITE grew the drift monitor (rolling predicted-vs-actual window,
 # recorded by ``feedback`` and read by ``drift_stats``/``should_update``).
-VERSION = 3
+# v4: LITE grew the per-instance recommendation RNG (the fix for the
+# fresh-identically-seeded-generator-per-call bug).
+VERSION = 4
 
 
-def save_lite(lite: LITE, path: Union[str, Path]) -> Path:
-    """Serialise a trained LITE system to ``path``.
+def save_lite(
+    lite: LITE,
+    path: Union[str, Path],
+    _pre_replace_hook: Optional[Callable[[Path], None]] = None,
+) -> Path:
+    """Serialise a trained LITE system to ``path``, atomically.
 
     Raises ``ValueError`` for untrained systems — persisting an empty model
-    is almost certainly a bug at the call site.
+    is almost certainly a bug at the call site.  An exception anywhere in
+    the save (including ``_pre_replace_hook``, the chaos harness's crash
+    injection point) leaves any previous checkpoint at ``path`` intact.
     """
     if not lite.trained:
         raise ValueError("refusing to save an untrained LITE system")
@@ -38,23 +58,83 @@ def save_lite(lite: LITE, path: Union[str, Path]) -> Path:
         "version": VERSION,
         "lite": lite,
     }
-    with path.open("wb") as fh:
+    with atomic_overwrite(path, mode="wb", pre_replace_hook=_pre_replace_hook) as fh:
         pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
     return path
 
 
+# ----------------------------------------------------------------------
+# Version migrations: each entry upgrades a payload one version forward;
+# load_lite chains them until the payload reaches VERSION.
+# ----------------------------------------------------------------------
+def _ensure_config_defaults(config: LITEConfig, defaults: Dict[str, object]) -> None:
+    for name, value in defaults.items():
+        if not hasattr(config, name):
+            setattr(config, name, value)
+
+
+def _migrate_v2_to_v3(payload: Dict[str, object]) -> Dict[str, object]:
+    """v2 -> v3: install the drift monitor a v2 LITE never had."""
+    lite = payload["lite"]
+    _ensure_config_defaults(lite.config, {
+        "drift_window": 256,
+        "drift_min_samples": 10,
+        "drift_rel_err_threshold": 0.35,
+        "drift_p_threshold": 0.01,
+    })
+    if not hasattr(lite, "drift"):
+        lite.drift = DriftMonitor(
+            window=lite.config.drift_window,
+            min_samples=lite.config.drift_min_samples,
+            rel_err_threshold=lite.config.drift_rel_err_threshold,
+            p_threshold=lite.config.drift_p_threshold,
+        )
+    return {**payload, "version": 3}
+
+
+def _migrate_v3_to_v4(payload: Dict[str, object]) -> Dict[str, object]:
+    """v3 -> v4: install the per-instance recommendation RNG."""
+    lite = payload["lite"]
+    if not hasattr(lite, "_recommend_rng"):
+        lite._recommend_rng = derive(lite.config.seed, "recommend")
+    return {**payload, "version": 4}
+
+
+_MIGRATIONS: Dict[int, Callable[[Dict[str, object]], Dict[str, object]]] = {
+    2: _migrate_v2_to_v3,
+    3: _migrate_v3_to_v4,
+}
+
+
 def load_lite(path: Union[str, Path]) -> LITE:
-    """Load a LITE system saved by :func:`save_lite`."""
+    """Load a LITE system saved by :func:`save_lite`.
+
+    Raises ``ValueError`` (with the failure mode spelled out) for corrupt
+    or truncated files, files that are not LITE checkpoints, and versions
+    newer than this build; versions with a registered migration are
+    upgraded transparently.
+    """
     path = Path(path)
-    with path.open("rb") as fh:
-        payload = pickle.load(fh)
+    try:
+        with path.open("rb") as fh:
+            payload = pickle.load(fh)
+    except (EOFError, pickle.UnpicklingError, AttributeError, IndexError) as exc:
+        raise ValueError(
+            f"{path} is corrupt or truncated (not a readable LITE checkpoint): {exc}"
+        ) from exc
     if not isinstance(payload, dict) or payload.get("format") != FORMAT:
         raise ValueError(f"{path} is not a saved LITE system")
-    if payload.get("version") != VERSION:
-        raise ValueError(
-            f"unsupported LITE format version {payload.get('version')} "
-            f"(this build reads version {VERSION})"
-        )
+    version = payload.get("version")
+    while version != VERSION:
+        migrate = _MIGRATIONS.get(version)
+        if migrate is None:
+            raise ValueError(
+                f"unsupported LITE format version {version} "
+                f"(this build reads versions {sorted(_MIGRATIONS)} via "
+                f"migration, writes version {VERSION})"
+            )
+        payload = migrate(payload)
+        version = payload.get("version")
     lite = payload["lite"]
     if not isinstance(lite, LITE) or not lite.trained:
         raise ValueError(f"{path} does not contain a trained LITE system")

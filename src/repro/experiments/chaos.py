@@ -1,0 +1,359 @@
+"""Chaos harness: the full LITE lifecycle under injected transient faults.
+
+``repro bench-chaos`` answers the robustness question the ROADMAP's
+production path keeps raising: when executors die, nodes straggle, runs
+flake with OOM and event logs arrive truncated, does the offline-train →
+recommend → feedback → adaptive-update loop *degrade gracefully* instead
+of crashing, looping or corrupting state?
+
+The harness runs three segments and asserts on each:
+
+1. **Fault showcase** — each fault kind at probability 1.0 against a
+   clean baseline, proving the injector does what it claims (slowdowns
+   really slow down, flakes really fail transiently, truncation really
+   drops stages) and that budgeted retry recovers a flaky run.
+2. **Lifecycle under chaos** — corpus collection, offline training, warm
+   and cold-start serving, production feedback (including deterministic
+   failures and a truncated log) and adaptive updates, all under a mixed
+   fault schedule with retry-with-backoff, ending with the post-update
+   cache invalidation.
+3. **Failure hardening** — an explicit empty-batch ``update_now`` retrain
+   on the retained corpus, a retry-budget exhaustion that stays bounded,
+   and a simulated crash mid-save that must leave the previous checkpoint
+   loadable and recommending identically.
+
+The result dict mirrors ``run_lifecycle``'s summary shape (the obs
+name-coverage test drives this harness to prove every span *and* every
+fault/retry counter fires) and is written to ``BENCH_chaos.json`` through
+the shared stamped report writer.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.lite import LITE, LITEConfig
+from ..core.necs import NECSConfig
+from ..core.persistence import load_lite, save_lite
+from ..core.update import UpdateConfig
+from ..sparksim.cluster import get_cluster
+from ..sparksim.config import SparkConf
+from ..sparksim.costmodel import SparkJobError, plan_executors
+from ..sparksim.faults import FAULT_KINDS, FaultInjector, FaultPlan
+from ..utils.retry import RetryPolicy, retry_run
+from ..utils.rng import derive
+from .report import write_bench_report
+
+#: Unhostable on every cluster (32 GB executors): a *deterministic*
+#: failure the retry layer must refuse to retry.
+FAILING_CONF = {"spark.executor.memory": 32}
+
+
+def default_chaos_plan(seed: int = 0) -> FaultPlan:
+    """A mixed schedule that injects all four fault kinds at once."""
+    return FaultPlan(
+        seed=seed,
+        executor_loss_prob=0.12,
+        straggler_prob=0.15,
+        oom_flake_prob=0.08,
+        log_truncation_prob=0.10,
+    )
+
+
+def default_retry_policy() -> RetryPolicy:
+    """The lifecycle's budget: a few attempts, bounded simulated backoff."""
+    return RetryPolicy(
+        max_attempts=4,
+        base_backoff_s=2.0,
+        backoff_multiplier=2.0,
+        max_backoff_s=30.0,
+        jitter=0.5,
+        backoff_budget_s=90.0,
+    )
+
+
+class ChaosError(AssertionError):
+    """A graceful-degradation invariant failed under fault injection."""
+
+
+def _require(checks: Dict[str, bool], name: str, ok: bool) -> None:
+    checks[name] = bool(ok)
+    if not ok:
+        raise ChaosError(f"chaos invariant violated: {name}")
+
+
+def _hostable(conf: SparkConf, cluster) -> bool:
+    try:
+        plan_executors(conf, cluster)
+    except SparkJobError:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+def _sum_counts(*injectors: FaultInjector) -> Dict[str, int]:
+    return {k: sum(inj.counts[k] for inj in injectors) for k in FAULT_KINDS}
+
+
+def _fault_showcase(seed: int, cluster, checks: Dict[str, bool]) -> Dict[str, object]:
+    """Each fault kind at probability 1.0, against a clean baseline."""
+    from ..workloads import get_workload
+
+    wl = get_workload("PageRank")
+    conf = SparkConf.default()
+    clean = wl.run(conf, cluster, scale="train0", seed=seed)
+    _require(checks, "showcase_baseline_succeeds", clean.success)
+
+    loss_inj = FaultInjector(FaultPlan(seed=seed, executor_loss_prob=1.0))
+    lossy = wl.run(conf, cluster, scale="train0", seed=seed, fault_injector=loss_inj)
+    _require(checks, "executor_loss_slows_run",
+             lossy.success and lossy.duration_s > clean.duration_s)
+
+    strag_inj = FaultInjector(FaultPlan(seed=seed, straggler_prob=1.0))
+    straggly = wl.run(conf, cluster, scale="train0", seed=seed, fault_injector=strag_inj)
+    _require(checks, "straggler_slows_run",
+             straggly.success and straggly.duration_s > clean.duration_s)
+
+    # First attempt flakes deterministically, the retry recovers.
+    flake_inj = FaultInjector(FaultPlan(seed=seed, oom_flake_first_attempts=1))
+    outcome = retry_run(
+        lambda _a: wl.run(conf, cluster, scale="train0", seed=seed,
+                          fault_injector=flake_inj),
+        default_retry_policy(), derive(seed, "chaos", "showcase-retry"),
+    )
+    _require(checks, "oom_flake_fails_transiently",
+             not outcome.runs[0].success and outcome.runs[0].transient_failure)
+    _require(checks, "retry_recovers_flaky_run",
+             outcome.recovered and outcome.run.success and outcome.attempts == 2)
+
+    trunc_inj = FaultInjector(FaultPlan(seed=seed, log_truncation_prob=1.0))
+    truncated = wl.run(conf, cluster, scale="train0", seed=seed, fault_injector=trunc_inj)
+    _require(checks, "truncation_drops_stages",
+             truncated.success and truncated.truncated
+             and truncated.num_stages < clean.num_stages)
+    return {
+        "clean_duration_s": clean.duration_s,
+        "executor_loss_duration_s": lossy.duration_s,
+        "straggler_duration_s": straggly.duration_s,
+        "flake_retry_attempts": outcome.attempts,
+        "flake_retry_backoff_s": outcome.backoff_s,
+        "truncated_stages": truncated.num_stages,
+        "clean_stages": clean.num_stages,
+        "truncated_run": truncated,
+        "counts": _sum_counts(loss_inj, strag_inj, flake_inj, trunc_inj),
+    }
+
+
+# ----------------------------------------------------------------------
+def run_chaos(
+    smoke: bool = True,
+    seed: int = 0,
+    cluster_name: str = "C",
+    plan: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    out: Optional[str] = None,
+) -> Dict[str, object]:
+    """Drive the full lifecycle under fault injection; return the report.
+
+    Raises :class:`ChaosError` the moment a graceful-degradation invariant
+    breaks; a clean return means the whole loop survived the schedule.
+    """
+    from ..workloads import get_workload
+    from .collect import collect_training_runs
+
+    plan = plan if plan is not None else default_chaos_plan(seed)
+    retry = retry if retry is not None else default_retry_policy()
+    injector = FaultInjector(plan)
+    cluster = get_cluster(cluster_name)
+    rng = derive(seed, "chaos", "serve")
+    checks: Dict[str, bool] = {}
+
+    # -- segment 1: fault showcase ---------------------------------------
+    showcase = _fault_showcase(seed, cluster, checks)
+
+    # -- segment 2: lifecycle under chaos --------------------------------
+    train_apps = ("WordCount", "PageRank") if smoke else (
+        "WordCount", "PageRank", "KMeans", "Sort")
+    probe_app = "Terasort" if smoke else "SVM"
+    config = LITEConfig(
+        necs=NECSConfig(
+            epochs=2 if smoke else 4,
+            max_tokens=64 if smoke else 120,
+            conv_filters=8 if smoke else 24,
+            mlp_hidden=24 if smoke else 64,
+            gcn_hidden=8 if smoke else 12,
+            seed=seed,
+        ),
+        update=UpdateConfig(epochs=1 if smoke else 2),
+        n_candidates=8 if smoke else 24,
+        feedback_batch_size=3,
+        seed=seed,
+    )
+    runs = collect_training_runs(
+        workloads=[get_workload(a) for a in train_apps],
+        clusters=[cluster],
+        scales=("train0",) if smoke else ("train0", "train1"),
+        confs_per_cell=2 if smoke else 4,
+        seed=seed,
+        fault_injector=injector,
+        retry=retry,
+    )
+    n_success = sum(r.success for r in runs)
+    _require(checks, "corpus_collected_under_faults", n_success >= 2)
+    lite = LITE(config).offline_train(runs)
+
+    serve_app = get_workload(train_apps[1])
+    data = serve_app.data_spec("test").features()
+    rec_cold = lite.recommend(serve_app.name, data, cluster, rng=rng)
+    rec_warm = lite.recommend(serve_app.name, data, cluster, rng=rng)
+    _require(checks, "recommendations_hostable",
+             _hostable(rec_cold.conf, cluster) and _hostable(rec_warm.conf, cluster))
+
+    probe_wl = get_workload(probe_app)
+    probe_s = lite.cold_start_probe(
+        probe_wl, cluster, seed=seed, fault_injector=injector, retry=retry)
+    rec_probe = lite.recommend(
+        probe_wl.name, probe_wl.data_spec("test").features(), cluster, rng=rng)
+    _require(checks, "cold_start_survives_faults", _hostable(rec_probe.conf, cluster))
+
+    # Production feedback: one deterministic failure (never retried), one
+    # guaranteed-truncated log (drift must skip it), then recommended-conf
+    # runs under the mixed schedule until the batch triggers an update.
+    failed_run = serve_app.run(
+        SparkConf(dict(FAILING_CONF)), cluster, scale="train0", seed=seed)
+    _require(checks, "deterministic_failure_not_transient",
+             not failed_run.success and not failed_run.transient_failure)
+    lite.feedback(failed_run)
+    drift_before = lite.drift.total_recorded
+    lite.feedback(showcase["truncated_run"])
+    _require(checks, "truncated_feedback_skips_drift",
+             lite.drift.total_recorded == drift_before)
+
+    updated = False
+    n_fed = n_ok = 0
+    feedback_rounds = 6 if smoke else 10
+    for i in range(feedback_rounds):
+        outcome = retry_run(
+            lambda _a: serve_app.run(rec_cold.conf, cluster, scale="train0",
+                                     seed=seed + 1 + i, fault_injector=injector),
+            retry, derive(seed, "chaos", "feedback-retry", str(i)),
+        )
+        n_fed += 1
+        if outcome.run.success:
+            n_ok += 1
+        updated = lite.feedback(outcome.run) or updated
+    # Whatever the schedule did, an explicit refresh must still work.
+    final_run = serve_app.run(rec_cold.conf, cluster, scale="train0",
+                              seed=seed + 100)
+    updated = lite.feedback(final_run, update_now=True) or updated
+    _require(checks, "adaptive_update_triggered", updated)
+
+    rec_post = lite.recommend(serve_app.name, data, cluster, rng=rng)
+    _require(checks, "post_update_recommendation_hostable",
+             _hostable(rec_post.conf, cluster))
+    _require(checks, "update_converged",
+             np.isfinite(rec_post.predicted_time_s) and rec_post.predicted_time_s > 0)
+
+    # -- segment 3: failure hardening ------------------------------------
+    # Explicit empty-batch update: the batch was just consumed, only the
+    # retained corpus remains — update_now must retrain on it, not no-op.
+    assert not lite._feedback_instances and lite._target_instances
+    empty_batch_updated = lite.feedback(failed_run, update_now=True)
+    _require(checks, "empty_batch_update_now_retrains", empty_batch_updated)
+
+    # Retry exhaustion stays inside both budgets and surfaces the failure.
+    hopeless = FaultInjector(FaultPlan(seed=seed, oom_flake_first_attempts=10 ** 6))
+    exhausted = retry_run(
+        lambda _a: serve_app.run(SparkConf.default(), cluster, scale="train0",
+                                 seed=seed, fault_injector=hopeless),
+        retry, derive(seed, "chaos", "exhaust-retry"),
+    )
+    _require(checks, "retry_exhaustion_bounded",
+             exhausted.exhausted
+             and exhausted.attempts <= retry.max_attempts
+             and exhausted.backoff_s <= retry.backoff_budget_s)
+    # The lifecycle absorbs the exhausted failure like any other failed run.
+    lite.feedback(exhausted.run)
+
+    # Crash mid-save must leave the previous checkpoint intact and
+    # byte-for-byte equivalent in behaviour.
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmpdir:
+        ckpt = Path(tmpdir) / "lite.pkl"
+        save_lite(lite, ckpt)
+        rec_a = load_lite(ckpt).recommend(
+            serve_app.name, data, cluster, rng=derive(seed, "chaos", "crash-check"))
+
+        def crash(_tmp: Path) -> None:
+            raise RuntimeError("simulated crash mid-save")
+
+        crashed = False
+        try:
+            save_lite(lite, ckpt, _pre_replace_hook=crash)
+        except RuntimeError:
+            crashed = True
+        rec_b = load_lite(ckpt).recommend(
+            serve_app.name, data, cluster, rng=derive(seed, "chaos", "crash-check"))
+        leftovers = [p.name for p in Path(tmpdir).iterdir() if p.name != "lite.pkl"]
+        _require(checks, "crash_mid_save_leaves_checkpoint_intact",
+                 crashed and rec_a.conf == rec_b.conf and not leftovers)
+
+    # Across the whole harness — showcase, mixed lifecycle schedule and
+    # the exhaustion segment — every fault kind must have actually fired.
+    fault_counts = {
+        k: showcase["counts"][k] + injector.counts[k] + hopeless.counts[k]
+        for k in FAULT_KINDS
+    }
+    _require(checks, "all_fault_kinds_injected",
+             all(fault_counts[k] > 0 for k in FAULT_KINDS))
+
+    result: Dict[str, object] = {
+        "ok": all(checks.values()),
+        "checks": checks,
+        "smoke": smoke,
+        "cluster": cluster.name,
+        "train_apps": list(train_apps),
+        "probe_app": probe_app,
+        "probe_time_s": probe_s,
+        "n_corpus_runs": len(runs),
+        "n_corpus_success": n_success,
+        "n_feedback_runs": n_fed + 3,
+        "n_feedback_success": n_ok,
+        "fault_counts": fault_counts,
+        "lifecycle_fault_counts": dict(injector.counts),
+        "showcase": {k: v for k, v in showcase.items() if k != "truncated_run"},
+        "retry_policy": {
+            "max_attempts": retry.max_attempts,
+            "backoff_budget_s": retry.backoff_budget_s,
+        },
+        "exhausted_retry": {
+            "attempts": exhausted.attempts,
+            "backoff_s": exhausted.backoff_s,
+        },
+        "recommendations": {
+            "cold": {"cache_hit": rec_cold.template_cache_hit,
+                     "encode_overhead_s": rec_cold.encode_overhead_s},
+            "warm": {"cache_hit": rec_warm.template_cache_hit},
+            "probed": {"cache_hit": rec_probe.template_cache_hit,
+                       "probe_overhead_s": rec_probe.probe_overhead_s},
+            "post_update": {"cache_hit": rec_post.template_cache_hit},
+        },
+        "drift": lite.drift_stats().to_dict(),
+    }
+    if out:
+        result["out"] = str(write_bench_report(
+            out, "chaos", result,
+            config={
+                "smoke": smoke, "seed": seed, "cluster": cluster_name,
+                "plan": {
+                    "executor_loss_prob": plan.executor_loss_prob,
+                    "straggler_prob": plan.straggler_prob,
+                    "oom_flake_prob": plan.oom_flake_prob,
+                    "log_truncation_prob": plan.log_truncation_prob,
+                },
+            },
+        ))
+    return result

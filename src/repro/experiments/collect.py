@@ -13,7 +13,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..utils.rng import get_rng
+from ..utils.retry import RetryPolicy, retry_run
+from ..utils.rng import derive, get_rng
 
 from .. import obs
 from ..obs import names as obsn
@@ -40,6 +41,8 @@ def _collect_cell(
     confs_per_cell: int,
     rng: np.random.Generator,
     seed: int,
+    fault_injector=None,
+    retry: Optional[RetryPolicy] = None,
 ) -> List[AppRun]:
     """Collect runs for one cell, resampling failed configurations.
 
@@ -49,11 +52,19 @@ def _collect_cell(
     resample pool is drawn lazily: most cells fill their quota from the
     base batch, so the extra Latin-hypercube sample (and its RNG draws)
     happens only when failures force the cell past it.
+
+    With a ``retry`` policy, *transiently*-failed executions (injected by
+    ``fault_injector``) are re-run with budgeted exponential backoff
+    before the configuration is given up on; every attempt is recorded in
+    the corpus (failures are data too), but only the final outcome decides
+    whether the configuration counts toward the quota.  Deterministic
+    configuration-induced failures are never retried.
     """
     def candidates() -> Iterable[SparkConf]:
         yield from sample_cell_confs(confs_per_cell, rng)
         yield from lhs_configurations(3 * confs_per_cell, rng)
 
+    retry_rng = derive(seed, "collect-retry", workload.name, cluster.name, scale)
     runs: List[AppRun] = []
     successes = 0
     attempts = 0
@@ -62,10 +73,16 @@ def _collect_cell(
         conf = next(pool, None)
         if conf is None:
             break
-        run = workload.run(conf, cluster, scale=scale, seed=seed)
+        outcome = retry_run(
+            lambda _attempt: workload.run(
+                conf, cluster, scale=scale, seed=seed,
+                fault_injector=fault_injector,
+            ),
+            retry, retry_rng,
+        )
         attempts += 1
-        runs.append(run)
-        if run.success:
+        runs.extend(outcome.runs)
+        if outcome.run.success:
             successes += 1
     return runs
 
@@ -76,8 +93,15 @@ def collect_training_runs(
     scales: Sequence[str] = TRAIN_SCALES,
     confs_per_cell: int = settings.CONFS_PER_CELL,
     seed: int = settings.GLOBAL_SEED,
+    fault_injector=None,
+    retry: Optional[RetryPolicy] = None,
 ) -> List[AppRun]:
-    """The paper's offline training corpus: small datasizes, many knobs."""
+    """The paper's offline training corpus: small datasizes, many knobs.
+
+    ``fault_injector``/``retry`` thread transient faults and budgeted
+    retry-with-backoff into every cell (see :func:`_collect_cell`); both
+    default to ``None``, which reproduces the fault-free corpus exactly.
+    """
     workloads = list(workloads) if workloads is not None else all_workloads()
     clusters = list(clusters) if clusters is not None else list(settings.TRAINING_CLUSTERS)
     with obs.span(obsn.SPAN_COLLECT) as sp:
@@ -87,7 +111,10 @@ def collect_training_runs(
                 for scale_idx, scale in enumerate(scales):
                     rng = get_rng(seed + 1000 * wl_idx + 10 * scale_idx + ord(cluster.name[0]))
                     runs.extend(
-                        _collect_cell(workload, cluster, scale, confs_per_cell, rng, seed)
+                        _collect_cell(
+                            workload, cluster, scale, confs_per_cell, rng, seed,
+                            fault_injector=fault_injector, retry=retry,
+                        )
                     )
         if sp:
             sp.set(n_workloads=len(workloads), n_clusters=len(clusters),

@@ -20,6 +20,8 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from ..utils.atomic import atomic_write_text
+
 #: Bump when the shape of the ``meta`` block changes.
 BENCH_SCHEMA_VERSION = 1
 
@@ -67,11 +69,11 @@ def write_bench_report(
     """Write ``result`` (top-level) plus a stamped ``meta`` block to ``out``.
 
     ``result`` may not contain its own ``meta`` key — the stamp must not
-    silently clobber or be clobbered by benchmark payloads.
+    silently clobber or be clobbered by benchmark payloads.  The write is
+    atomic (tmp file + ``os.replace``): an interrupted benchmark cannot
+    leave a half-written ``BENCH_*.json`` behind.
     """
     if "meta" in result:
         raise ValueError("benchmark result must not define its own 'meta' key")
     payload = {"meta": bench_meta(kind, config), **result}
-    path = Path(out)
-    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
-    return path
+    return atomic_write_text(Path(out), json.dumps(payload, indent=2, default=str) + "\n")

@@ -65,6 +65,17 @@ CTR_FIT_EPOCHS = "necs.fit.epochs"
 CTR_UPDATE_ROUNDS = "update.rounds"
 CTR_SIM_RUNS = "sparksim.runs"
 CTR_SIM_FAILURES = "sparksim.failures"
+# Fault injection (repro.sparksim.faults) — one counter per injected fault.
+CTR_FAULT_EXECUTOR_LOSS = "faults.executor_loss"
+CTR_FAULT_STRAGGLER = "faults.straggler"
+CTR_FAULT_OOM_FLAKE = "faults.oom_flake"
+CTR_FAULT_TRUNCATION = "faults.log_truncation"
+# Transient-failure retries (repro.utils.retry).
+CTR_RETRY_ATTEMPTS = "retry.attempts"
+CTR_RETRY_RECOVERED = "retry.recovered"
+CTR_RETRY_EXHAUSTED = "retry.exhausted"
+# Successful feedback runs whose event log arrived truncated (drift skipped).
+CTR_FEEDBACK_TRUNCATED = "feedback.truncated_runs"
 
 ALL_COUNTERS = frozenset({
     CTR_CACHE_HIT,
@@ -79,6 +90,14 @@ ALL_COUNTERS = frozenset({
     CTR_UPDATE_ROUNDS,
     CTR_SIM_RUNS,
     CTR_SIM_FAILURES,
+    CTR_FAULT_EXECUTOR_LOSS,
+    CTR_FAULT_STRAGGLER,
+    CTR_FAULT_OOM_FLAKE,
+    CTR_FAULT_TRUNCATION,
+    CTR_RETRY_ATTEMPTS,
+    CTR_RETRY_RECOVERED,
+    CTR_RETRY_EXHAUSTED,
+    CTR_FEEDBACK_TRUNCATED,
 })
 
 # -- gauges ------------------------------------------------------------

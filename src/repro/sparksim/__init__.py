@@ -11,6 +11,13 @@ from .context import EXECUTION_TIME_CAP_S, SparkContext, run_app
 from .costmodel import CostParams, DEFAULT_COST_PARAMS, SparkJobError, StageCostModel, plan_executors
 from .dag import DAGScheduler, Stage, StageMetrics
 from .eventlog import AppRun, StageRecord
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    TRANSIENT_OOM_REASON,
+    TransientSparkError,
+)
 from .instrument import ALL_DAG_LABELS, DAG_NODE_LABEL, OP_EXPANSION, dag_label, expand_op
 from .rdd import RDD, estimate_record_bytes
 
@@ -21,6 +28,8 @@ __all__ = [
     "CostParams", "DEFAULT_COST_PARAMS", "SparkJobError", "StageCostModel", "plan_executors",
     "DAGScheduler", "Stage", "StageMetrics",
     "AppRun", "StageRecord",
+    "FAULT_KINDS", "FaultInjector", "FaultPlan", "TRANSIENT_OOM_REASON",
+    "TransientSparkError",
     "ALL_DAG_LABELS", "DAG_NODE_LABEL", "OP_EXPANSION", "dag_label", "expand_op",
     "RDD", "estimate_record_bytes",
 ]

@@ -12,7 +12,7 @@ cap semantics applied downstream.
 from __future__ import annotations
 
 import zlib
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Set
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Set, TYPE_CHECKING
 
 import numpy as np
 
@@ -21,6 +21,9 @@ from ..obs import names as obsn
 from .cluster import ClusterSpec
 from .config import SparkConf
 from .costmodel import DEFAULT_COST_PARAMS, CostParams, SparkJobError, StageCostModel, plan_executors
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from .faults import FaultInjector
 from .dag import DAGScheduler, SHUFFLE_MAP, Stage
 from .eventlog import AppRun, StageRecord
 from .rdd import RDD, estimate_record_bytes
@@ -41,6 +44,7 @@ class SparkContext:
         cost_params: CostParams = DEFAULT_COST_PARAMS,
         seed: int = 0,
         deterministic: bool = False,
+        fault_injector: Optional["FaultInjector"] = None,
     ):
         self.app_name = app_name
         self.conf = conf
@@ -52,6 +56,13 @@ class SparkContext:
         self.cost_model = StageCostModel(cost_params)
         self.seed = seed
         self.deterministic = deterministic
+        # Fault decisions are fixed at submit time, like the noise seeds:
+        # the same run under the same plan draws the same faults, while a
+        # re-execution (retry) advances the injector's occurrence counter.
+        self._fault_run = (
+            fault_injector.begin_run(app_name, conf.digest(), cluster.name, seed)
+            if fault_injector is not None else None
+        )
 
         self._rdds: List[RDD] = []
         self._materialized_shuffles: Set[int] = set()
@@ -141,6 +152,8 @@ class SparkContext:
         self.total_time_s += self.cost_model.params.job_overhead_s
 
         for stage in stages:
+            if self._fault_run is not None:
+                self._fault_run.check_oom_flake(self._stage_counter)
             metrics = stage.metrics(
                 action_result_bytes=result_sample_bytes if stage.kind != SHUFFLE_MAP else 0.0,
                 action=action,
@@ -156,6 +169,13 @@ class SparkContext:
                 cached_bytes_total=cached_bytes_total,
                 noise_seed=noise_seed,
             )
+            if self._fault_run is not None:
+                fault = self._fault_run.stage_faults(job_id, stage.id)
+                if fault.kinds:
+                    duration *= fault.multiplier
+                    stats = dict(stats)
+                    stats["duration_s"] = duration
+                    stats["fault_multiplier"] = fault.multiplier
             labels, edges = stage.dag_nodes_edges()
             self._records.append(
                 StageRecord(
@@ -206,12 +226,16 @@ def run_app(
     cost_params: CostParams = DEFAULT_COST_PARAMS,
     seed: int = 0,
     deterministic: bool = False,
+    fault_injector: Optional["FaultInjector"] = None,
 ) -> AppRun:
     """Run ``driver`` under ``conf`` on ``cluster`` and return the AppRun.
 
     Configuration-induced failures (:class:`SparkJobError`) yield a failed
     run rather than an exception; the evaluation layer applies the paper's
-    7200 s execution-time cap to failed runs.
+    7200 s execution-time cap to failed runs.  A ``fault_injector`` adds
+    seeded transient faults on top (see :mod:`repro.sparksim.faults`):
+    injected failures come back with ``transient_failure=True``, truncated
+    event logs with ``truncated=True``.
     """
     with obs.span(obsn.SPAN_SPARKSIM_RUN) as sp:
         obs.counter(obsn.CTR_SIM_RUNS).inc()
@@ -219,6 +243,7 @@ def run_app(
             app_name, driver, conf, cluster,
             data_features=data_features, cost_params=cost_params,
             seed=seed, deterministic=deterministic,
+            fault_injector=fault_injector,
         )
         if not run.success:
             obs.counter(obsn.CTR_SIM_FAILURES).inc()
@@ -237,12 +262,16 @@ def _run_app_impl(
     cost_params: CostParams = DEFAULT_COST_PARAMS,
     seed: int = 0,
     deterministic: bool = False,
+    fault_injector: Optional["FaultInjector"] = None,
 ) -> AppRun:
+    from .faults import TransientSparkError
+
     try:
         sc = SparkContext(
             app_name, conf, cluster,
             data_features=data_features, cost_params=cost_params,
             seed=seed, deterministic=deterministic,
+            fault_injector=fault_injector,
         )
     except SparkJobError as exc:
         return AppRun(
@@ -257,8 +286,19 @@ def _run_app_impl(
         )
     try:
         driver(sc)
+        if sc._fault_run is not None:
+            # A flake scheduled past the application's last stage still
+            # kills the run — as if the final stage's executor died.
+            sc._fault_run.check_oom_flake_at_end()
     except SparkJobError as exc:
         run = sc.app_run(success=False, failure_reason=exc.reason)
         run.duration_s = EXECUTION_TIME_CAP_S
+        run.transient_failure = isinstance(exc, TransientSparkError)
         return run
-    return sc.app_run()
+    run = sc.app_run()
+    if sc._fault_run is not None:
+        keep = sc._fault_run.truncate_stages(run.num_stages)
+        if keep is not None:
+            run.stages = run.stages[:keep]
+            run.truncated = True
+    return run

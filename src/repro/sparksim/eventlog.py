@@ -57,6 +57,11 @@ class AppRun:
     failure_reason: Optional[str] = None
     num_jobs: int = 0
     skipped_stages: int = 0
+    #: The failure was injected (a retry could succeed), not config-induced.
+    transient_failure: bool = False
+    #: The run succeeded but its event log lost a trailing suffix of stage
+    #: records; ``stages`` holds only the surviving prefix.
+    truncated: bool = False
 
     @property
     def num_stages(self) -> int:

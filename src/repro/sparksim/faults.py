@@ -1,0 +1,226 @@
+"""Seeded transient fault injection for simulated Spark runs.
+
+The cost model (:mod:`repro.sparksim.costmodel`) only produces
+*deterministic* configuration-induced failures — an unhostable executor
+fails identically on every submission.  Real clusters also lose runs to
+*transient* faults: preempted executors, straggling nodes, flaky OOM
+kills, event logs cut short by a dying history server.  The paper's
+evaluation (Sec. V-B) treats such failed runs as first-class data; this
+module makes them reproducible.
+
+A :class:`FaultPlan` declares per-kind probabilities; a
+:class:`FaultInjector` turns the plan into per-run / per-stage decisions
+that are a pure function of ``(plan seed, app, conf digest, cluster, run
+seed, occurrence, job, stage)`` — the same run under the same plan always
+draws the same faults, while *re-executing* a run (a retry) advances its
+occurrence counter and gets fresh draws, which is what makes
+retry-with-backoff meaningful.
+
+Four fault kinds (threaded through :class:`~repro.sparksim.context.
+SparkContext` and applied during execution):
+
+- **executor loss** — a stage loses an executor mid-flight and re-runs
+  the lost tasks: its duration grows by ``executor_loss_penalty``.
+- **straggler** — one node runs slow; the stage's duration is multiplied
+  by a draw from ``straggler_slowdown``.
+- **OOM flake** — the run dies with a :class:`TransientSparkError`
+  (``transient-executor-oom``) at some stage; a retry would succeed.
+- **event-log truncation** — the run *succeeds* but its log loses a
+  trailing suffix of stage records (``AppRun.truncated`` is set); the
+  surviving prefix remains valid per-stage data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs
+from ..obs import names as obsn
+from ..utils.rng import derive
+from .costmodel import SparkJobError
+
+#: Failure reason of an injected OOM flake; the ``transient-`` prefix is
+#: what :func:`repro.utils.retry.is_transient_failure` keys on.
+TRANSIENT_OOM_REASON = "transient-executor-oom"
+
+EXECUTOR_LOSS = "executor_loss"
+STRAGGLER = "straggler"
+OOM_FLAKE = "oom_flake"
+LOG_TRUNCATION = "log_truncation"
+
+#: Every fault kind the injector can produce, in canonical order.
+FAULT_KINDS: Tuple[str, ...] = (EXECUTOR_LOSS, STRAGGLER, OOM_FLAKE, LOG_TRUNCATION)
+
+_FAULT_COUNTERS = {
+    EXECUTOR_LOSS: obsn.CTR_FAULT_EXECUTOR_LOSS,
+    STRAGGLER: obsn.CTR_FAULT_STRAGGLER,
+    OOM_FLAKE: obsn.CTR_FAULT_OOM_FLAKE,
+    LOG_TRUNCATION: obsn.CTR_FAULT_TRUNCATION,
+}
+
+
+class TransientSparkError(SparkJobError):
+    """An injected fault that a re-execution would not reproduce."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative fault schedule (all probabilities independent).
+
+    ``oom_flake_first_attempts`` is the deterministic override the chaos
+    harness uses for guaranteed-recovery / guaranteed-exhaustion
+    segments: the first N occurrences of every run key flake regardless
+    of ``oom_flake_prob``, later occurrences fall back to the
+    probabilistic draw.
+    """
+
+    seed: int = 0
+    executor_loss_prob: float = 0.0
+    executor_loss_penalty: float = 0.75    # extra fraction of the stage re-paid
+    straggler_prob: float = 0.0
+    straggler_slowdown: Tuple[float, float] = (1.5, 4.0)
+    oom_flake_prob: float = 0.0
+    oom_flake_first_attempts: int = 0
+    log_truncation_prob: float = 0.0
+
+    def __post_init__(self):
+        for name in ("executor_loss_prob", "straggler_prob",
+                     "oom_flake_prob", "log_truncation_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.executor_loss_penalty <= 0.0:
+            raise ValueError("executor_loss_penalty must be positive")
+        low, high = self.straggler_slowdown
+        if not 1.0 <= low <= high:
+            raise ValueError("straggler_slowdown must satisfy 1 <= low <= high")
+        if self.oom_flake_first_attempts < 0:
+            raise ValueError("oom_flake_first_attempts must be >= 0")
+
+    def any_faults(self) -> bool:
+        return (
+            self.executor_loss_prob > 0.0
+            or self.straggler_prob > 0.0
+            or self.oom_flake_prob > 0.0
+            or self.oom_flake_first_attempts > 0
+            or self.log_truncation_prob > 0.0
+        )
+
+
+@dataclass
+class StageFaults:
+    """Faults applied to one stage: a duration multiplier plus labels."""
+
+    multiplier: float = 1.0
+    kinds: List[str] = field(default_factory=list)
+
+
+class RunFaults:
+    """Per-run fault decisions, fixed when the run is submitted.
+
+    The OOM flake (when drawn) fires just before the stage whose global
+    index is ``oom_flake_stage`` executes — or at the end of the run if
+    the application has fewer stages — so partially-executed event logs
+    precede the failure, like a real mid-run kill.
+    """
+
+    def __init__(self, injector: "FaultInjector", run_key: str, occurrence: int):
+        self._injector = injector
+        self._plan = injector.plan
+        self._run_key = run_key
+        self._occurrence = occurrence
+        plan = self._plan
+        rng = derive(plan.seed, "run", run_key, str(occurrence))
+        if occurrence < plan.oom_flake_first_attempts:
+            flake = True
+        else:
+            flake = rng.uniform() < plan.oom_flake_prob
+        #: Global stage index at which the flake fires (None = no flake).
+        self.oom_flake_stage: Optional[int] = (
+            int(rng.integers(0, 3)) if flake else None
+        )
+        self._truncate_draw = float(rng.uniform())
+        self._truncate_frac = float(rng.uniform())
+
+    # ------------------------------------------------------------------
+    def check_oom_flake(self, global_stage_index: int) -> None:
+        """Raise the pending flake when execution reaches its stage."""
+        if (self.oom_flake_stage is not None
+                and global_stage_index >= self.oom_flake_stage):
+            self.oom_flake_stage = None
+            self._injector.record(OOM_FLAKE)
+            raise TransientSparkError(TRANSIENT_OOM_REASON)
+
+    def check_oom_flake_at_end(self) -> None:
+        """Fire a still-pending flake when the run had too few stages."""
+        if self.oom_flake_stage is not None:
+            self.oom_flake_stage = None
+            self._injector.record(OOM_FLAKE)
+            raise TransientSparkError(TRANSIENT_OOM_REASON)
+
+    def stage_faults(self, job_id: int, stage_id: int) -> StageFaults:
+        """Executor-loss / straggler decisions for one stage."""
+        plan = self._plan
+        out = StageFaults()
+        if plan.executor_loss_prob <= 0.0 and plan.straggler_prob <= 0.0:
+            return out
+        rng = derive(plan.seed, "stage", self._run_key,
+                     str(self._occurrence), f"{job_id}:{stage_id}")
+        if rng.uniform() < plan.executor_loss_prob:
+            out.multiplier += plan.executor_loss_penalty
+            out.kinds.append(EXECUTOR_LOSS)
+            self._injector.record(EXECUTOR_LOSS)
+        if rng.uniform() < plan.straggler_prob:
+            low, high = plan.straggler_slowdown
+            out.multiplier *= float(rng.uniform(low, high))
+            out.kinds.append(STRAGGLER)
+            self._injector.record(STRAGGLER)
+        return out
+
+    def truncate_stages(self, num_stages: int) -> Optional[int]:
+        """How many leading stage records survive (None = log intact).
+
+        At least one stage always survives — a log with zero stages is a
+        failed parse, not a truncated one — so single-stage runs are
+        never truncated.
+        """
+        if num_stages < 2 or self._truncate_draw >= self._plan.log_truncation_prob:
+            return None
+        keep = 1 + int(self._truncate_frac * (num_stages - 1))
+        self._injector.record(LOG_TRUNCATION)
+        return min(keep, num_stages - 1)
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into deterministic per-run decisions.
+
+    Holds the per-key occurrence counters (so retries of the same run get
+    fresh draws) and a local tally of injected faults alongside the
+    global obs counters — the chaos report reads the tally even when the
+    obs registry is reset by the caller.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.counts: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self._seen: Dict[str, int] = {}
+
+    def begin_run(self, app_name: str, conf_digest: int,
+                  cluster_name: str, seed: int) -> RunFaults:
+        """Fix this execution's fault decisions at submit time."""
+        key = f"{app_name}|{conf_digest}|{cluster_name}|{seed}"
+        occurrence = self._seen.get(key, 0)
+        self._seen[key] = occurrence + 1
+        return RunFaults(self, key, occurrence)
+
+    def record(self, kind: str) -> None:
+        self.counts[kind] += 1
+        obs.counter(_FAULT_COUNTERS[kind]).inc()
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    def reset_counts(self) -> None:
+        self.counts = {kind: 0 for kind in FAULT_KINDS}

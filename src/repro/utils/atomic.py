@@ -1,0 +1,68 @@
+"""Crash-safe file writes (tmp file + ``os.replace``).
+
+A benchmark report or model checkpoint written with a plain ``open(path,
+"w")`` is corrupted the moment the process dies mid-write: the target
+holds a half-serialised payload and the previous good version is gone.
+Every writer in this project goes through :func:`atomic_overwrite`
+instead — the payload is serialised into a sibling temporary file, fsynced,
+and atomically renamed over the target, so readers only ever observe
+either the old complete file or the new complete file.  An exception at
+any point (including a simulated crash injected between write and rename)
+leaves the target untouched and cleans up the temporary file.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Union
+
+
+@contextmanager
+def atomic_overwrite(
+    path: Union[str, Path],
+    mode: str = "wb",
+    pre_replace_hook: Optional[Callable[[Path], None]] = None,
+) -> Iterator[object]:
+    """Yield a file handle whose contents atomically replace ``path``.
+
+    The handle points at a per-process temporary sibling; on clean exit it
+    is flushed, fsynced and renamed over ``path`` in one ``os.replace``
+    step.  On any exception the temporary file is removed and ``path``
+    keeps its previous contents.
+
+    ``pre_replace_hook`` runs after the temporary file is durable but
+    before the rename — the chaos harness and the persistence tests use it
+    to simulate a crash at the most dangerous instant and assert the old
+    checkpoint survives.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with tmp.open(mode) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        if pre_replace_hook is not None:
+            pre_replace_hook(tmp)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Atomically replace ``path`` with ``text`` (UTF-8)."""
+    path = Path(path)
+    with atomic_overwrite(path, mode="w") as fh:
+        fh.write(text)
+    return path
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``."""
+    path = Path(path)
+    with atomic_overwrite(path, mode="wb") as fh:
+        fh.write(data)
+    return path

@@ -1,0 +1,149 @@
+"""Budgeted retry-with-exponential-backoff for transient simulator faults.
+
+The fault injector (:mod:`repro.sparksim.faults`) produces *transient*
+failures — runs that would succeed if re-executed — alongside the cost
+model's deterministic configuration-induced failures.  The lifecycle code
+(cold-start probes, corpus collection, the chaos harness) reacts to them
+the way a production trial loop would: retry with jittered exponential
+backoff, bounded both by an attempt count and by a total backoff budget.
+
+Backoff delays are *simulated seconds*, consistent with the rest of the
+simulator: they are accumulated and charged to the caller (probe
+overhead, collection cost) instead of being slept, so the test suite runs
+in wall-clock milliseconds while the accounting still reflects what a
+real deployment would pay.
+
+Retries only make sense for transient failures: a configuration the
+cluster cannot host fails identically every time, so
+:func:`is_transient_failure` gates the loop and deterministic failures
+return immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .. import obs
+from ..obs import names as obsn
+from ..sparksim.eventlog import AppRun
+
+#: Failure reasons produced by the fault injector all share this prefix,
+#: which is what marks them as worth retrying.
+TRANSIENT_REASON_PREFIX = "transient-"
+
+
+def is_transient_failure(run: AppRun) -> bool:
+    """True for a failed run whose failure was injected, not config-induced.
+
+    Tolerates runs deserialised from older checkpoints that predate the
+    ``transient_failure`` field.
+    """
+    if run.success:
+        return False
+    if bool(getattr(run, "transient_failure", False)):
+        return True
+    reason = run.failure_reason or ""
+    return reason.startswith(TRANSIENT_REASON_PREFIX)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff with two independent budgets.
+
+    ``max_attempts`` counts total executions (1 means never retry);
+    ``backoff_budget_s`` caps the *sum* of simulated backoff delays, so a
+    pathological fault schedule cannot stall a probe indefinitely even
+    when attempts remain.
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 1.0
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 60.0
+    jitter: float = 0.5               # +/- fraction of each delay
+    backoff_budget_s: float = 120.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1 (delays never shrink)")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.backoff_budget_s < 0:
+            raise ValueError("backoff_budget_s must be non-negative")
+
+    def delay_s(self, retry_index: int, rng: np.random.Generator) -> float:
+        """The jittered delay before retry ``retry_index`` (0-based)."""
+        base = min(
+            self.max_backoff_s,
+            self.base_backoff_s * self.backoff_multiplier ** retry_index,
+        )
+        return float(base * (1.0 + self.jitter * rng.uniform(-1.0, 1.0)))
+
+
+@dataclass
+class RetryOutcome:
+    """What one retried execution actually did."""
+
+    run: AppRun                       #: the final attempt's run
+    attempts: int                     #: total executions (>= 1)
+    backoff_s: float                  #: simulated seconds spent backing off
+    recovered: bool                   #: a retry turned failure into success
+    exhausted: bool                   #: gave up with the failure still transient
+    runs: List[AppRun] = field(default_factory=list)  #: every attempt, in order
+
+    @property
+    def total_simulated_s(self) -> float:
+        """Execution plus backoff time across all attempts."""
+        return sum(r.duration_s for r in self.runs) + self.backoff_s
+
+
+def retry_run(
+    run_fn: Callable[[int], AppRun],
+    policy: Optional[RetryPolicy],
+    rng: np.random.Generator,
+) -> RetryOutcome:
+    """Execute ``run_fn`` with transient-failure retries under ``policy``.
+
+    ``run_fn`` receives the 0-based attempt index (re-executions are new
+    trials; callers typically vary nothing — the fault injector's per-key
+    occurrence counter already gives each attempt fresh fault draws).
+    Deterministic failures and successes return immediately; transient
+    failures retry until either budget runs out, at which point the last
+    failed run is returned with ``exhausted=True``.
+
+    A ``policy`` of ``None`` degrades to a single un-retried execution.
+    """
+    if policy is None:
+        run = run_fn(0)
+        return RetryOutcome(run=run, attempts=1, backoff_s=0.0,
+                            recovered=False, exhausted=False, runs=[run])
+    runs: List[AppRun] = []
+    backoff_total = 0.0
+    attempt = 0
+    while True:
+        run = run_fn(attempt)
+        runs.append(run)
+        attempt += 1
+        if run.success or not is_transient_failure(run):
+            recovered = run.success and attempt > 1
+            if recovered:
+                obs.counter(obsn.CTR_RETRY_RECOVERED).inc()
+            return RetryOutcome(run=run, attempts=attempt, backoff_s=backoff_total,
+                                recovered=recovered, exhausted=False, runs=runs)
+        if attempt >= policy.max_attempts:
+            break
+        delay = policy.delay_s(attempt - 1, rng)
+        if backoff_total + delay > policy.backoff_budget_s:
+            break
+        backoff_total += delay
+        obs.counter(obsn.CTR_RETRY_ATTEMPTS).inc()
+    obs.counter(obsn.CTR_RETRY_EXHAUSTED).inc()
+    return RetryOutcome(run=runs[-1], attempts=attempt, backoff_s=backoff_total,
+                        recovered=False, exhausted=True, runs=runs)

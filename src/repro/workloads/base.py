@@ -103,8 +103,15 @@ class Workload(abc.ABC):
         seed: int = 0,
         cost_params: CostParams = DEFAULT_COST_PARAMS,
         deterministic: bool = False,
+        fault_injector=None,
     ) -> AppRun:
-        """Execute this workload once and return its AppRun."""
+        """Execute this workload once and return its AppRun.
+
+        ``fault_injector`` (a :class:`repro.sparksim.faults.FaultInjector`)
+        adds seeded transient faults — executor loss, stragglers, OOM
+        flakes, event-log truncation — on top of the deterministic cost
+        model; ``None`` runs the workload fault-free.
+        """
         data = self.data_spec(scale)
         rng = get_rng(seed)  # paper: same seed across scales
 
@@ -120,6 +127,7 @@ class Workload(abc.ABC):
             cost_params=cost_params,
             seed=seed,
             deterministic=deterministic,
+            fault_injector=fault_injector,
         )
 
     # ------------------------------------------------------------------

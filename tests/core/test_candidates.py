@@ -66,6 +66,19 @@ class TestRegion:
         with pytest.raises(RuntimeError):
             AdaptiveCandidateGenerator().region("X", 1.0)
 
+    def test_unknown_app_region_stays_in_range(self, fitted_acg):
+        """A never-seen application one-hot encodes to all zeros; the RFR
+        extrapolation must still yield bounds inside every knob's range."""
+        assert "NeverSeenApp" not in fitted_acg.featurizer_.app_names
+        bounds = fitted_acg.region("NeverSeenApp", 5e5)
+        for (low, high), spec in zip(bounds, KNOB_SPECS):
+            assert spec.low <= low <= high <= spec.high
+
+    def test_unknown_app_candidates_are_valid_confs(self, fitted_acg, rng):
+        for conf in fitted_acg.generate("NeverSeenApp", 5e5, 6, rng):
+            for spec in KNOB_SPECS:
+                assert spec.low <= float(conf[spec.name]) <= spec.high
+
 
 class TestGeneration:
     def test_candidates_inside_region(self, fitted_acg, rng):

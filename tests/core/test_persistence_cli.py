@@ -59,6 +59,80 @@ class TestPersistence:
             load_lite(path)
 
 
+class TestPersistenceFailureModes:
+    """Corrupt files, old versions, and crashes mid-save."""
+
+    def _recommend(self, lite):
+        d = get_workload("PageRank").data_spec("valid").features()
+        return lite.recommend("PageRank", d, CLUSTER_C, rng=np.random.default_rng(9))
+
+    def test_truncated_pickle_is_a_clear_valueerror(self, tiny_lite, tmp_path):
+        path = save_lite(tiny_lite, tmp_path / "lite.pkl")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            load_lite(path)
+
+    def test_garbage_bytes_are_a_clear_valueerror(self, tmp_path):
+        bad = tmp_path / "bad.pkl"
+        bad.write_bytes(b"\x00not a pickle at all")
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            load_lite(bad)
+
+    def _aged_payload(self, tiny_lite, version, strip):
+        """A payload as an older build would have written it."""
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(tiny_lite))
+        for attr in strip:
+            delattr(clone, attr)
+        return pickle.dumps({"format": "repro-lite", "version": version, "lite": clone})
+
+    def test_v2_payload_is_migrated_not_rejected(self, tiny_lite, tmp_path):
+        from repro.obs.drift import DriftMonitor
+
+        path = tmp_path / "v2.pkl"
+        path.write_bytes(self._aged_payload(
+            tiny_lite, 2, strip=("drift", "_recommend_rng")))
+        loaded = load_lite(path)
+        assert isinstance(loaded.drift, DriftMonitor)
+        assert hasattr(loaded, "_recommend_rng")
+        # The migrated system serves, records drift and updates normally.
+        rec = self._recommend(loaded)
+        assert rec.predicted_time_s > 0
+        run = get_workload("PageRank").run(
+            rec.conf, CLUSTER_C, scale="train0", seed=0)
+        loaded.feedback(run)
+        assert loaded.drift.total_recorded > 0
+
+    def test_v3_payload_gains_the_recommend_rng(self, tiny_lite, tmp_path):
+        path = tmp_path / "v3.pkl"
+        path.write_bytes(self._aged_payload(tiny_lite, 3, strip=("_recommend_rng",)))
+        loaded = load_lite(path)
+        assert hasattr(loaded, "_recommend_rng")
+        # The RNG fix holds for migrated systems too: successive
+        # default-rng recommends draw fresh candidates.
+        d = get_workload("PageRank").data_spec("valid").features()
+        a = loaded.recommend("PageRank", d, CLUSTER_C)
+        b = loaded.recommend("PageRank", d, CLUSTER_C)
+        assert [c for c, _ in a.ranking] != [c for c, _ in b.ranking]
+
+    def test_crash_mid_save_keeps_previous_checkpoint(self, tiny_lite, tmp_path):
+        path = save_lite(tiny_lite, tmp_path / "lite.pkl")
+        before = self._recommend(load_lite(path))
+
+        def crash(_tmp):
+            raise RuntimeError("simulated crash mid-save")
+
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            save_lite(tiny_lite, path, _pre_replace_hook=crash)
+        after = self._recommend(load_lite(path))
+        assert before.conf == after.conf
+        assert before.predicted_time_s == pytest.approx(after.predicted_time_s)
+        # No half-written tmp siblings survive the crash.
+        assert [p.name for p in tmp_path.iterdir()] == ["lite.pkl"]
+
+
 class TestCLI:
     def test_workloads_listing(self, capsys):
         assert cli_main(["workloads"]) == 0

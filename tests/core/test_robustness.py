@@ -1,0 +1,138 @@
+"""Failure-resilience regression tests for the LITE lifecycle.
+
+Covers the serving RNG bug (a fresh identically-seeded generator per
+``recommend`` call), the silent ``update_now`` no-op on an empty batch,
+truncated-run feedback, and transient-failure retries inside the
+cold-start probe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lite import LITE, LITEConfig
+from repro.core.necs import NECSConfig
+from repro.core.update import UpdateConfig
+from repro.sparksim import CLUSTER_C, SparkConf
+from repro.sparksim.faults import FaultInjector, FaultPlan
+from repro.utils.retry import RetryPolicy
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def robust_lite():
+    from repro.experiments.collect import collect_training_runs
+
+    wls = [get_workload(n) for n in ("WordCount", "PageRank")]
+    runs = collect_training_runs(
+        workloads=wls, clusters=[CLUSTER_C], scales=("train0",),
+        confs_per_cell=3, seed=5,
+    )
+    cfg = LITEConfig(
+        necs=NECSConfig(epochs=2, max_tokens=48, mlp_hidden=16, conv_filters=8),
+        update=UpdateConfig(epochs=1),
+        n_candidates=8,
+        feedback_batch_size=2,
+        seed=5,
+    )
+    return LITE(cfg).offline_train(runs)
+
+
+def _good_run(seed):
+    return get_workload("PageRank").run(
+        SparkConf.default(), CLUSTER_C, scale="train0", seed=seed)
+
+
+def _failed_run():
+    run = get_workload("PageRank").run(
+        SparkConf({"spark.executor.memory": 32}), CLUSTER_C, scale="train0", seed=0)
+    assert not run.success
+    return run
+
+
+class TestRecommendRng:
+    def test_successive_default_rng_recommends_draw_fresh_candidates(self, robust_lite):
+        """Regression: ``rng or get_rng(seed)`` rebuilt an identically-seeded
+        generator every call, so every default-rng recommendation sampled the
+        exact same candidate set forever."""
+        data = get_workload("PageRank").data_spec("valid").features()
+        a = robust_lite.recommend("PageRank", data, CLUSTER_C)
+        b = robust_lite.recommend("PageRank", data, CLUSTER_C)
+        confs_a = [conf for conf, _ in a.ranking]
+        confs_b = [conf for conf, _ in b.ranking]
+        assert confs_a != confs_b
+
+    def test_explicit_rng_still_reproducible(self, robust_lite):
+        from repro.utils.rng import get_rng
+
+        data = get_workload("PageRank").data_spec("valid").features()
+        a = robust_lite.recommend("PageRank", data, CLUSTER_C, rng=get_rng(42))
+        b = robust_lite.recommend("PageRank", data, CLUSTER_C, rng=get_rng(42))
+        assert [c for c, _ in a.ranking] == [c for c, _ in b.ranking]
+        assert a.conf == b.conf
+
+
+class TestFeedbackHardening:
+    def test_update_now_with_empty_batch_retrains_on_retained_corpus(self, robust_lite):
+        """Regression: after a batch update drained the current batch,
+        ``feedback(run, update_now=True)`` with a failed run silently
+        no-opd even though the retained corpus was non-empty."""
+        # Fill and consume one batch (batch_size=2).
+        assert robust_lite.feedback(_good_run(1)) is False
+        assert robust_lite.feedback(_good_run(2)) is True
+        assert not robust_lite._feedback_instances
+        assert robust_lite._target_instances
+        # Empty current batch + failed run: the explicit request must win.
+        version_before = robust_lite.estimator.version
+        assert robust_lite.feedback(_failed_run(), update_now=True) is True
+        assert robust_lite.estimator.version > version_before
+
+    def test_update_now_with_nothing_at_all_is_a_noop(self):
+        cfg = LITEConfig(
+            necs=NECSConfig(epochs=1, max_tokens=48, mlp_hidden=16, conv_filters=8),
+            seed=5,
+        )
+        lite = LITE(cfg)
+        lite.trained = True  # no feedback of any kind yet
+        assert lite.feedback(_failed_run(), update_now=True) is False
+
+    def test_truncated_run_feeds_corpus_but_not_drift(self, robust_lite):
+        injector = FaultInjector(FaultPlan(seed=3, log_truncation_prob=1.0))
+        run = get_workload("PageRank").run(
+            SparkConf.default(), CLUSTER_C, scale="train0", seed=9,
+            fault_injector=injector)
+        assert run.truncated
+        drift_before = robust_lite.drift.total_recorded
+        corpus_before = len(robust_lite._feedback_instances)
+        robust_lite.feedback(run)
+        assert robust_lite.drift.total_recorded == drift_before
+        assert len(robust_lite._feedback_instances) == corpus_before + run.num_stages
+
+    def test_intact_run_still_feeds_drift(self, robust_lite):
+        drift_before = robust_lite.drift.total_recorded
+        robust_lite.feedback(_good_run(10))
+        assert robust_lite.drift.total_recorded > drift_before
+
+
+class TestProbeRetry:
+    def test_probe_retries_through_transient_failure(self, robust_lite):
+        injector = FaultInjector(FaultPlan(seed=0, oom_flake_first_attempts=1))
+        wl = get_workload("Terasort")
+        probe_s = robust_lite.cold_start_probe(
+            wl, CLUSTER_C, seed=0, fault_injector=injector,
+            retry=RetryPolicy(max_attempts=3))
+        assert wl.name in robust_lite.known_apps()
+        # Both attempts plus the backoff are charged to the probe.
+        single = wl.run(SparkConf.default(), CLUSTER_C, scale="train0", seed=0)
+        assert probe_s > single.duration_s
+
+    def test_probe_without_retry_fails_with_clear_error(self, robust_lite):
+        """Without a retry policy both the default and the minimal-conf
+        fallback probes hit first-occurrence flakes and the probe reports
+        the double failure instead of retrying forever."""
+        injector = FaultInjector(FaultPlan(seed=0, oom_flake_first_attempts=1))
+        wl = get_workload("Sort")
+        with pytest.raises(RuntimeError, match="probe failed twice"):
+            robust_lite.cold_start_probe(wl, CLUSTER_C, seed=0,
+                                         fault_injector=injector)
+        assert wl.name not in robust_lite.known_apps()

@@ -1,0 +1,68 @@
+"""Tests for the chaos harness (``repro.experiments.chaos``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.chaos import (
+    ChaosError,
+    default_chaos_plan,
+    default_retry_policy,
+    run_chaos,
+)
+from repro.sparksim.faults import FAULT_KINDS
+
+
+@pytest.fixture(scope="module")
+def chaos_result(tmp_path_factory):
+    out = tmp_path_factory.mktemp("chaos") / "BENCH_chaos.json"
+    return run_chaos(smoke=True, seed=0, out=str(out)), out
+
+
+class TestChaosRun:
+    def test_lifecycle_survives_the_schedule(self, chaos_result):
+        result, _ = chaos_result
+        assert result["ok"]
+        assert all(result["checks"].values()), result["checks"]
+
+    def test_all_fault_kinds_fired(self, chaos_result):
+        result, _ = chaos_result
+        for kind in FAULT_KINDS:
+            assert result["fault_counts"][kind] > 0, kind
+
+    def test_retries_stayed_bounded(self, chaos_result):
+        result, _ = chaos_result
+        policy = default_retry_policy()
+        assert result["exhausted_retry"]["attempts"] <= policy.max_attempts
+        assert result["exhausted_retry"]["backoff_s"] <= policy.backoff_budget_s
+
+    def test_recommendation_cache_state_machine(self, chaos_result):
+        result, _ = chaos_result
+        recs = result["recommendations"]
+        assert recs["cold"]["cache_hit"] is False
+        assert recs["warm"]["cache_hit"] is True
+        assert recs["probed"]["probe_overhead_s"] > 0
+        assert recs["post_update"]["cache_hit"] is False
+
+    def test_report_written_and_stamped(self, chaos_result):
+        result, out = chaos_result
+        data = json.loads(out.read_text())
+        assert data["meta"]["kind"] == "chaos"
+        assert data["ok"] is True
+        assert data["checks"] == {k: bool(v) for k, v in result["checks"].items()}
+        assert data["meta"]["config"]["plan"]["oom_flake_prob"] > 0
+
+    def test_default_plan_covers_every_kind(self):
+        plan = default_chaos_plan(0)
+        assert plan.any_faults()
+        assert plan.executor_loss_prob > 0
+        assert plan.straggler_prob > 0
+        assert plan.oom_flake_prob > 0
+        assert plan.log_truncation_prob > 0
+
+
+class TestChaosFailureSurface:
+    def test_chaos_error_is_assertion(self):
+        assert issubclass(ChaosError, AssertionError)

@@ -58,3 +58,18 @@ class TestWriteBenchReport:
     def test_config_defaults_empty(self, tmp_path):
         path = write_bench_report(tmp_path / "y.json", "y", {"v": 1})
         assert json.loads(path.read_text())["meta"]["config"] == {}
+
+    def test_write_is_atomic(self, tmp_path):
+        """An interrupted report write must not clobber the previous one.
+
+        Unserialisable payloads abort mid-``json.dumps``; the old report
+        survives untouched and no tmp sibling is left behind.
+        """
+        out = tmp_path / "BENCH_z.json"
+        write_bench_report(out, "z", {"v": 1})
+        circular = {"v": 2}
+        circular["self"] = circular
+        with pytest.raises(ValueError):
+            write_bench_report(out, "z", circular)
+        assert json.loads(out.read_text())["v"] == 1
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_z.json"]

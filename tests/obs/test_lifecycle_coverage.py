@@ -1,10 +1,13 @@
 """Name coverage: every canonical span/counter/gauge name actually fires.
 
-Runs the self-contained lifecycle from ``repro.experiments.lifecycle``
-once with tracing enabled and checks the result against the full
-taxonomy in :mod:`repro.obs.names` — a new instrumentation site whose
-name is added to the taxonomy but never wired up (or vice versa) fails
-here, not in production.
+Runs the chaos harness from ``repro.experiments.chaos`` — the superset
+lifecycle: train/serve/feedback/update *plus* fault injection and retry —
+once with tracing enabled and checks the result against the full taxonomy
+in :mod:`repro.obs.names`.  A new instrumentation site whose name is
+added to the taxonomy but never wired up (or vice versa) fails here, not
+in production.  The fault-free lifecycle keeps its own fixture for the
+``repro stats`` semantics, which assert exact trigger counts chaos
+deliberately exceeds.
 """
 
 from __future__ import annotations
@@ -39,33 +42,57 @@ def lifecycle():
     return captured
 
 
+@pytest.fixture(scope="module")
+def chaos():
+    """One traced chaos run — the only driver that fires *every* name."""
+    from repro.experiments.chaos import run_chaos
+
+    obs.reset()
+    obs.enable_tracing()
+    try:
+        summary = run_chaos(smoke=True, seed=0)
+    finally:
+        obs.disable_tracing()
+    captured = {
+        "summary": summary,
+        "snapshot": obs.metrics_snapshot(),
+        "span_names": {r.name for r in obs.get_tracer().records()},
+    }
+    obs.reset()
+    return captured
+
+
 class TestNameCoverage:
-    def test_every_span_name_fires(self, lifecycle):
-        missing = set(obsn.ALL_SPANS) - lifecycle["span_names"]
+    def test_every_span_name_fires(self, chaos):
+        missing = set(obsn.ALL_SPANS) - chaos["span_names"]
         assert not missing, f"spans never entered: {sorted(missing)}"
 
-    def test_every_span_feeds_a_duration_histogram(self, lifecycle):
-        snap = lifecycle["snapshot"]
+    def test_every_span_feeds_a_duration_histogram(self, chaos):
+        snap = chaos["snapshot"]
         for name in obsn.ALL_SPANS:
             key = f"span.{name}.duration_s"
             assert key in snap, key
             assert snap[key]["count"] > 0, key
 
-    def test_every_counter_is_nonzero(self, lifecycle):
-        snap = lifecycle["snapshot"]
+    def test_every_counter_is_nonzero(self, chaos):
+        snap = chaos["snapshot"]
         for name in obsn.ALL_COUNTERS:
             assert name in snap, name
             assert snap[name]["value"] > 0, name
 
-    def test_every_gauge_is_set(self, lifecycle):
-        snap = lifecycle["snapshot"]
+    def test_every_gauge_is_set(self, chaos):
+        snap = chaos["snapshot"]
         for name in obsn.ALL_GAUGES:
             assert name in snap, name
 
-    def test_fit_epoch_histogram_populated(self, lifecycle):
-        snap = lifecycle["snapshot"]
+    def test_fit_epoch_histogram_populated(self, chaos):
+        snap = chaos["snapshot"]
         for name in obsn.ALL_HISTOGRAMS:
             assert snap[name]["count"] > 0, name
+
+    def test_chaos_survives_and_reports(self, chaos):
+        assert chaos["summary"]["ok"]
+        assert all(chaos["summary"]["checks"].values())
 
 
 class TestLifecycleSemantics:

@@ -1,0 +1,127 @@
+"""Tests for seeded transient fault injection (``repro.sparksim.faults``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sparksim import CLUSTER_C, SparkConf
+from repro.sparksim.faults import (
+    FAULT_KINDS,
+    TRANSIENT_OOM_REASON,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.workloads import get_workload
+
+
+WL = get_workload("PageRank")
+
+
+def run_with(plan=None, seed=0):
+    injector = FaultInjector(plan) if plan is not None else None
+    run = WL.run(SparkConf.default(), CLUSTER_C, scale="train0", seed=seed,
+                 fault_injector=injector)
+    return run, injector
+
+
+class TestPlanValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"executor_loss_prob": 1.5},
+        {"straggler_prob": -0.1},
+        {"oom_flake_prob": 2.0},
+        {"log_truncation_prob": -1.0},
+        {"executor_loss_penalty": 0.0},
+        {"straggler_slowdown": (0.5, 2.0)},
+        {"straggler_slowdown": (3.0, 2.0)},
+        {"oom_flake_first_attempts": -1},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_any_faults(self):
+        assert not FaultPlan().any_faults()
+        assert FaultPlan(straggler_prob=0.1).any_faults()
+        assert FaultPlan(oom_flake_first_attempts=1).any_faults()
+
+
+class TestNoFaults:
+    def test_zero_prob_plan_is_identity(self):
+        clean, _ = run_with(None)
+        nulled, injector = run_with(FaultPlan())
+        assert nulled.success and not nulled.truncated
+        assert nulled.duration_s == pytest.approx(clean.duration_s)
+        assert nulled.num_stages == clean.num_stages
+        assert injector.total_injected == 0
+
+
+class TestDeterminism:
+    def test_same_plan_same_faults(self):
+        plan = FaultPlan(seed=11, executor_loss_prob=0.5, straggler_prob=0.5)
+        a, _ = run_with(plan)
+        b, _ = run_with(plan)
+        assert a.duration_s == pytest.approx(b.duration_s)
+        assert [s.stats.get("fault_multiplier") for s in a.stages] == \
+               [s.stats.get("fault_multiplier") for s in b.stages]
+
+    def test_different_seed_different_faults(self):
+        a, ia = run_with(FaultPlan(seed=1, straggler_prob=0.5))
+        b, ib = run_with(FaultPlan(seed=2, straggler_prob=0.5))
+        # Either the counts or the resulting durations must differ.
+        assert (ia.counts != ib.counts) or (a.duration_s != b.duration_s)
+
+    def test_retry_gets_fresh_draws(self):
+        """The per-key occurrence counter makes re-execution meaningful."""
+        injector = FaultInjector(FaultPlan(seed=0, oom_flake_first_attempts=1))
+        first = WL.run(SparkConf.default(), CLUSTER_C, scale="train0", seed=0,
+                       fault_injector=injector)
+        second = WL.run(SparkConf.default(), CLUSTER_C, scale="train0", seed=0,
+                        fault_injector=injector)
+        assert not first.success and second.success
+
+
+class TestFaultKinds:
+    def test_executor_loss_inflates_duration(self):
+        clean, _ = run_with(None)
+        lossy, injector = run_with(FaultPlan(executor_loss_prob=1.0))
+        assert lossy.success
+        assert lossy.duration_s > clean.duration_s
+        assert injector.counts["executor_loss"] == lossy.num_stages
+
+    def test_straggler_inflates_duration(self):
+        clean, _ = run_with(None)
+        straggly, injector = run_with(FaultPlan(straggler_prob=1.0))
+        assert straggly.success
+        assert straggly.duration_s > clean.duration_s
+        assert injector.counts["straggler"] > 0
+
+    def test_oom_flake_fails_transiently_with_partial_log(self):
+        clean, _ = run_with(None)
+        flaky, injector = run_with(FaultPlan(oom_flake_first_attempts=1))
+        assert not flaky.success
+        assert flaky.transient_failure
+        assert flaky.failure_reason == TRANSIENT_OOM_REASON
+        assert flaky.num_stages < clean.num_stages
+        assert injector.counts["oom_flake"] == 1
+
+    def test_truncation_keeps_success_drops_stages(self):
+        clean, _ = run_with(None)
+        truncated, injector = run_with(FaultPlan(log_truncation_prob=1.0))
+        assert truncated.success
+        assert truncated.truncated
+        assert 1 <= truncated.num_stages < clean.num_stages
+        assert truncated.duration_s == pytest.approx(clean.duration_s)
+        assert injector.counts["log_truncation"] == 1
+
+
+class TestInjectorAccounting:
+    def test_counts_cover_all_kinds(self):
+        injector = FaultInjector(FaultPlan())
+        assert set(injector.counts) == set(FAULT_KINDS)
+        assert injector.total_injected == 0
+
+    def test_reset_counts(self):
+        _, injector = run_with(FaultPlan(straggler_prob=1.0))
+        assert injector.total_injected > 0
+        injector.reset_counts()
+        assert injector.total_injected == 0

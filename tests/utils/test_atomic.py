@@ -1,0 +1,52 @@
+"""Tests for crash-safe writes (``repro.utils.atomic``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.atomic import atomic_overwrite, atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicOverwrite:
+    def test_writes_new_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_overwrite(target, mode="w") as fh:
+            fh.write("hello")
+        assert target.read_text() == "hello"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with atomic_overwrite(target, mode="w") as fh:
+            fh.write("new")
+        assert target.read_text() == "new"
+
+    def test_exception_keeps_previous_contents(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+        with pytest.raises(RuntimeError):
+            with atomic_overwrite(target, mode="w") as fh:
+                fh.write("half-writ")
+                raise RuntimeError("process died")
+        assert target.read_text() == "precious"
+        assert list(tmp_path.iterdir()) == [target]  # tmp file cleaned up
+
+    def test_crash_between_write_and_rename(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+
+        def crash(tmp):
+            assert tmp.read_text() == "half-writ"  # payload was durable
+            raise RuntimeError("crash before rename")
+
+        with pytest.raises(RuntimeError):
+            with atomic_overwrite(target, mode="w", pre_replace_hook=crash) as fh:
+                fh.write("half-writ")
+        assert target.read_text() == "precious"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_helpers(self, tmp_path):
+        t = atomic_write_text(tmp_path / "t.txt", "text")
+        b = atomic_write_bytes(tmp_path / "b.bin", b"\x00\x01")
+        assert t.read_text() == "text"
+        assert b.read_bytes() == b"\x00\x01"

@@ -1,0 +1,129 @@
+"""Tests for budgeted retry-with-backoff (``repro.utils.retry``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparksim import CLUSTER_C, SparkConf
+from repro.sparksim.eventlog import AppRun
+from repro.utils.retry import (
+    RetryOutcome,
+    RetryPolicy,
+    is_transient_failure,
+    retry_run,
+)
+from repro.utils.rng import get_rng
+
+
+def _run(success: bool, transient: bool = False, reason: str = None,
+         duration: float = 10.0) -> AppRun:
+    return AppRun(
+        app_name="Fake", conf=SparkConf.default(), cluster=CLUSTER_C,
+        data_features=np.zeros(4), duration_s=duration, success=success,
+        failure_reason=reason, transient_failure=transient,
+    )
+
+
+class TestIsTransient:
+    def test_success_is_never_transient(self):
+        assert not is_transient_failure(_run(True))
+
+    def test_flag_marks_transient(self):
+        assert is_transient_failure(_run(False, transient=True))
+
+    def test_reason_prefix_marks_transient(self):
+        assert is_transient_failure(_run(False, reason="transient-executor-oom"))
+
+    def test_deterministic_failure_is_not(self):
+        assert not is_transient_failure(_run(False, reason="executor-unhostable"))
+
+
+class TestPolicyValidation:
+    def test_defaults_valid(self):
+        RetryPolicy()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_backoff_s": -1.0},
+        {"backoff_multiplier": 0.5},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+        {"backoff_budget_s": -1.0},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_delays_grow_and_stay_bounded(self):
+        policy = RetryPolicy(base_backoff_s=1.0, backoff_multiplier=2.0,
+                             max_backoff_s=5.0, jitter=0.0)
+        rng = get_rng(0)
+        delays = [policy.delay_s(i, rng) for i in range(6)]
+        assert delays[:3] == [1.0, 2.0, 4.0]
+        assert all(d <= 5.0 for d in delays)
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_backoff_s=8.0, backoff_multiplier=1.0,
+                             jitter=0.25)
+        rng = get_rng(7)
+        for i in range(50):
+            assert 6.0 <= policy.delay_s(i, rng) <= 10.0
+
+
+class TestRetryRun:
+    def test_none_policy_runs_once(self):
+        calls = []
+        outcome = retry_run(lambda a: calls.append(a) or _run(False, transient=True),
+                            None, get_rng(0))
+        assert calls == [0]
+        assert outcome.attempts == 1
+        assert not outcome.recovered and not outcome.exhausted
+
+    def test_success_returns_immediately(self):
+        outcome = retry_run(lambda a: _run(True), RetryPolicy(), get_rng(0))
+        assert outcome.attempts == 1 and not outcome.recovered
+
+    def test_deterministic_failure_never_retried(self):
+        calls = []
+        outcome = retry_run(
+            lambda a: calls.append(a) or _run(False, reason="unhostable"),
+            RetryPolicy(), get_rng(0))
+        assert calls == [0]
+        assert not outcome.exhausted  # gave up because retrying is pointless
+
+    def test_transient_failure_recovers(self):
+        runs = [_run(False, transient=True), _run(False, transient=True), _run(True)]
+        outcome = retry_run(lambda a: runs[a], RetryPolicy(), get_rng(0))
+        assert outcome.attempts == 3
+        assert outcome.recovered and outcome.run.success
+        assert len(outcome.runs) == 3
+        assert outcome.backoff_s > 0
+
+    def test_attempt_budget_exhausts(self):
+        policy = RetryPolicy(max_attempts=3)
+        outcome = retry_run(lambda a: _run(False, transient=True), policy, get_rng(0))
+        assert outcome.exhausted
+        assert outcome.attempts == 3
+        assert not outcome.run.success
+
+    def test_backoff_budget_exhausts_before_attempts(self):
+        policy = RetryPolicy(max_attempts=50, base_backoff_s=10.0,
+                             backoff_multiplier=1.0, jitter=0.0,
+                             backoff_budget_s=25.0)
+        outcome = retry_run(lambda a: _run(False, transient=True), policy, get_rng(0))
+        assert outcome.exhausted
+        assert outcome.attempts == 3          # 0s, +10s, +10s, next would break budget
+        assert outcome.backoff_s <= policy.backoff_budget_s
+
+    def test_total_simulated_time_charges_all_attempts(self):
+        runs = [_run(False, transient=True, duration=5.0), _run(True, duration=7.0)]
+        policy = RetryPolicy(base_backoff_s=3.0, jitter=0.0)
+        outcome = retry_run(lambda a: runs[a], policy, get_rng(0))
+        assert outcome.total_simulated_s == pytest.approx(5.0 + 7.0 + 3.0)
+
+    def test_outcome_dataclass_shape(self):
+        run = _run(True)
+        out = RetryOutcome(run=run, attempts=1, backoff_s=0.0,
+                           recovered=False, exhausted=False, runs=[run])
+        assert out.total_simulated_s == pytest.approx(run.duration_s)
