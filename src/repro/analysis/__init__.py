@@ -10,15 +10,21 @@ Three passes share one diagnostics core (:mod:`.diagnostics`):
   substrate: raw ``.data`` access, in-place tensor mutation, unseeded
   RNG, float32 mixing, bare ``except``;
 - :mod:`.knobs` — validates the canonical 16-knob table and statically
-  cross-checks every hard-coded knob reference against it.
+  cross-checks every hard-coded knob reference against it;
+- :mod:`.dataflow` + :mod:`.concurrency` — whole-program import/call
+  graph, shared-state inventory and effect propagation, feeding the
+  REP4xx concurrency-readiness rules (accepted hazards live in
+  ``analysis-baseline.json``, see :mod:`.baseline`).
 
 CLI: ``repro lint [paths...]`` and ``repro check-model``.
 """
 
 from .astlint import lint_file, lint_source
+from .concurrency import ConcurrencyPolicy, check_concurrency
+from .dataflow import Program, build_program
 from .diagnostics import RULES, Diagnostic, Report, Rule
 from .knobs import check_knob_references, check_knob_table
-from .runner import iter_python_files, run_check_model, run_lint
+from .runner import AnalysisError, iter_python_files, run_check_model, run_lint
 from .shapes import check_module, check_necs
 
 __all__ = [
@@ -26,5 +32,6 @@ __all__ = [
     "lint_source", "lint_file",
     "check_module", "check_necs",
     "check_knob_table", "check_knob_references",
-    "run_lint", "run_check_model", "iter_python_files",
+    "run_lint", "run_check_model", "iter_python_files", "AnalysisError",
+    "Program", "build_program", "check_concurrency", "ConcurrencyPolicy",
 ]

@@ -1,0 +1,125 @@
+"""Accepted-hazard baseline for the static analysis (``analysis-baseline.json``).
+
+Concurrency hazards are often *accepted* rather than fixed — a GIL-atomic
+counter increment on a hot path is a REP402 finding and also exactly what
+the metrics registry is for.  The baseline file records those decisions so
+``repro lint`` stays blocking in CI without turning every justified hazard
+into a permanent ``noqa`` comment: each entry names the rule, the file and
+the *symbol* the finding is anchored to (function or state qualname —
+stable across edits where line numbers are not) plus a one-line
+justification.
+
+Matching: a finding is suppressed when an entry has the same rule, a path
+whose normalised form is a suffix of (or equal to) the finding's path, and
+either no symbol (file-wide acceptance) or the finding's exact symbol.
+Entries that matched nothing are reported back as *stale* so the baseline
+cannot silently outlive the hazards it excuses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from .diagnostics import RULES, Diagnostic
+
+BASELINE_FILENAME = "analysis-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad JSON, unknown rule, no reason)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    justification: str
+    symbol: Optional[str] = None
+
+    def matches(self, diag: Diagnostic) -> bool:
+        if diag.rule_id != self.rule:
+            return False
+        diag_path = _norm(diag.path or "")
+        entry_path = _norm(self.path)
+        if not (diag_path == entry_path or diag_path.endswith("/" + entry_path)):
+            return False
+        if self.symbol is None:
+            return True
+        return diag.symbol == self.symbol
+
+
+def _norm(path: str) -> str:
+    return str(path).replace("\\", "/").lstrip("./")
+
+
+def load_baseline(path: Union[str, Path]) -> List[BaselineEntry]:
+    """Parse and validate the baseline file."""
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(raw, dict) or not isinstance(raw.get("entries"), list):
+        raise BaselineError(f"{path}: expected an object with an 'entries' list")
+    entries: List[BaselineEntry] = []
+    for i, item in enumerate(raw["entries"]):
+        if not isinstance(item, dict):
+            raise BaselineError(f"{path}: entry #{i} is not an object")
+        rule = item.get("rule")
+        if rule not in RULES:
+            raise BaselineError(f"{path}: entry #{i} names unknown rule {rule!r}")
+        if not item.get("path"):
+            raise BaselineError(f"{path}: entry #{i} is missing 'path'")
+        if not str(item.get("justification", "")).strip():
+            raise BaselineError(
+                f"{path}: entry #{i} ({rule} {item.get('path')}) has no justification"
+            )
+        entries.append(BaselineEntry(
+            rule=rule,
+            path=str(item["path"]),
+            justification=str(item["justification"]),
+            symbol=item.get("symbol"),
+        ))
+    return entries
+
+
+def apply_baseline(
+    diagnostics: Iterable[Diagnostic], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Diagnostic], List[BaselineEntry], int]:
+    """``(kept, stale_entries, n_suppressed)`` after baseline filtering."""
+    kept: List[Diagnostic] = []
+    used = [False] * len(entries)
+    suppressed = 0
+    for diag in diagnostics:
+        hit = False
+        for i, entry in enumerate(entries):
+            if entry.matches(diag):
+                used[i] = True
+                hit = True
+        if hit:
+            suppressed += 1
+        else:
+            kept.append(diag)
+    stale = [entry for entry, u in zip(entries, used) if not u]
+    return kept, stale, suppressed
+
+
+def find_default_baseline(package_root: Path) -> Optional[Path]:
+    """Locate ``analysis-baseline.json`` for an implicit lint run.
+
+    Checked in order: the repository root derived from the installed
+    package location (``src/repro`` -> repo root), then the current
+    working directory.  Returns None when neither exists — lint then runs
+    baseline-free, which only matters once accepted hazards exist.
+    """
+    candidates = [
+        Path(package_root).resolve().parent.parent / BASELINE_FILENAME,
+        Path.cwd() / BASELINE_FILENAME,
+    ]
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    return None

@@ -1,0 +1,825 @@
+"""Whole-program dataflow over the ``repro`` package (DESIGN.md §13).
+
+Where the AST lint (:mod:`.astlint`) judges one file at a time, this pass
+looks at the *program*: it parses every module once, links them through an
+import graph, builds a best-effort call graph, inventories every piece of
+mutable state that outlives a single call (module globals, class
+attributes, instance attributes of long-lived objects), and propagates
+read/write effects through the call graph until a fixed point.  The result
+is a queryable :class:`Program` on which the concurrency-readiness rules
+(:mod:`.concurrency`, REP4xx) are a few dozen lines each.
+
+Everything here is *static* and *best-effort*: no module is imported, no
+code runs.  Call edges through attributes are resolved by import-alias
+chasing first and by unambiguous method-name matching second; edges we
+cannot resolve are dropped rather than guessed wildly, so the pass
+under-approximates reachability and the rules err on the quiet side.
+
+Vocabulary
+----------
+shared state
+    A :class:`SharedState` entry: ``kind`` is ``"global"`` (module-level
+    binding), ``"class-attr"`` (mutable literal in a class body, shared by
+    every instance) or ``"instance-attr"`` (assigned on ``self`` in
+    ``__init__``; shared once the owning object is shared across threads —
+    which classes count is policy, passed in as ``shared_classes``).
+effect
+    A read or write of a shared state, attributed to the function whose
+    body performs it, then propagated to every (transitive) caller.
+classification
+    ``pure`` / ``reads-shared`` / ``writes-shared`` per function, from the
+    propagated effects over the *shared* subset of the inventory.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .astlint import LEGACY_RANDOM_FUNCS, _attr_chain
+
+#: Method names that mutate their receiver.  Calling one of these on a
+#: shared object is a write effect; any other method call (or a plain
+#: load) is a read effect.
+MUTATOR_METHODS: FrozenSet[str] = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "appendleft", "popleft",
+    "inc", "set", "observe", "record", "register", "reset", "push",
+    "sort", "reverse", "put",
+})
+
+#: Constructor-call names whose results are immutable (module-level
+#: bindings to these are plain constants, not shared mutable state).
+_IMMUTABLE_CALLS: FrozenSet[str] = frozenset({
+    "frozenset", "tuple", "namedtuple", "TypeVar", "compile",
+})
+
+#: Call-chain tails that produce a random generator.
+_RNG_CALLS: FrozenSet[str] = frozenset({
+    "default_rng", "RandomState", "get_rng", "derive", "SeedSequence",
+})
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    """Would a module/class-level binding to this value be mutable state?"""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = _attr_chain(node.func)
+        if chain and chain[-1] in _IMMUTABLE_CALLS:
+            return False
+        return True
+    return False
+
+
+def _is_rng_value(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    chain = _attr_chain(node.func)
+    return bool(chain) and chain[-1] in _RNG_CALLS
+
+
+@dataclass
+class SharedState:
+    """One piece of state that outlives a single function call."""
+
+    qualname: str                 #: e.g. ``repro.obs.tracing._ACTIVE``
+    kind: str                     #: "global" | "class-attr" | "instance-attr"
+    module: str
+    name: str                     #: bare attribute / binding name
+    path: str
+    lineno: int
+    mutable: bool
+    cls: Optional[str] = None     #: bare owning class name, if any
+    is_rng: bool = False
+    #: Becomes True when some function rebinds the global via ``global``.
+    rebound: bool = False
+    #: For globals bound to a constructor call: the bare class name.
+    value_class: Optional[str] = None
+
+    def is_shared(self, shared_classes: FrozenSet[str]) -> bool:
+        """Shared = reachable by several execution contexts *and* written.
+
+        ``rebound`` covers attributes holding immutable values (ints,
+        flags) that are re-assigned after construction: the binding itself
+        is the mutable cell then.
+        """
+        if self.kind == "global":
+            return self.mutable or self.rebound
+        if self.kind == "class-attr":
+            return self.mutable or self.rebound
+        return self.cls in shared_classes and (self.mutable or self.rebound)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with its direct (un-propagated) effects."""
+
+    qualname: str                 #: ``module.func`` or ``module.Class.method``
+    module: str
+    name: str
+    path: str
+    lineno: int
+    cls: Optional[str] = None
+    #: Raw call references: dotted chains (``obs.counter``), ``self.m``
+    #: entries, or bare names, resolved to edges by :meth:`Program.link`.
+    raw_calls: List[Tuple[str, int]] = field(default_factory=list)
+    #: state qualname -> first line of a read / write in this body.
+    reads: Dict[str, int] = field(default_factory=dict)
+    writes: Dict[str, int] = field(default_factory=dict)
+    #: ``self.X`` accesses, resolved against the owning class at link time.
+    self_reads: Dict[str, int] = field(default_factory=dict)
+    self_writes: Dict[str, int] = field(default_factory=dict)
+    #: ``param.attr = ...`` style writes (receiver is a non-self local).
+    param_attr_writes: Dict[str, int] = field(default_factory=dict)
+    #: ``param.attr`` loads (receiver is a non-self local), matched against
+    #: shared-class fields at link time.
+    param_attr_reads: Dict[str, int] = field(default_factory=dict)
+    #: ``self.X`` attrs / state qualnames written only via ``setdefault`` —
+    #: the single-call atomic resolution of check-then-act (REP405 skips).
+    self_atomic: Set[str] = field(default_factory=set)
+    atomic_writes: Set[str] = field(default_factory=set)
+    #: Guards the REP405 rule recognises as making check-then-act safe.
+    has_lock_guard: bool = False
+    has_version_check: bool = False
+    has_conditional: bool = False
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    name: str
+    module: str
+    path: str
+    lineno: int
+    #: attr name -> SharedState (class attrs + ``__init__`` instance attrs).
+    attrs: Dict[str, SharedState] = field(default_factory=dict)
+    methods: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ModuleInfo:
+    name: str
+    path: Path
+    source: str
+    tree: ast.Module
+    #: local name -> fully qualified import target.
+    aliases: Dict[str, str] = field(default_factory=dict)
+    #: module-level bindings (every name, mutable or not).
+    globals: Dict[str, SharedState] = field(default_factory=dict)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name from the package layout on disk.
+
+    Walks up while ``__init__.py`` exists, so ``src/repro/obs/metrics.py``
+    maps to ``repro.obs.metrics`` regardless of the scan root.  A file
+    outside any package keeps its bare stem.
+    """
+    path = Path(path).resolve()
+    parts: List[str] = [] if path.name == "__init__.py" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem
+
+
+# ---------------------------------------------------------------------------
+# Per-function effect extraction
+# ---------------------------------------------------------------------------
+class _FunctionVisitor(ast.NodeVisitor):
+    """Extracts direct effects and raw call references from one body."""
+
+    def __init__(self, info: FunctionInfo, module: ModuleInfo):
+        self.info = info
+        self.module = module
+        self.global_decls: Set[str] = set()
+        self.locals: Set[str] = set()
+
+    # -- pre-scan: locals & global declarations -------------------------
+    def collect_locals(self, node: ast.AST) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Global):
+                self.global_decls.update(child.names)
+            elif isinstance(child, ast.Name) and isinstance(child.ctx, (ast.Store, ast.Del)):
+                self.locals.add(child.id)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.locals.add(child.name)
+            elif isinstance(child, ast.arg):
+                self.locals.add(child.arg)
+            elif isinstance(child, ast.ExceptHandler) and child.name:
+                self.locals.add(child.name)
+            elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                for alias in child.names:
+                    self.locals.add((alias.asname or alias.name).split(".")[0])
+        self.locals -= self.global_decls
+
+    # -- helpers --------------------------------------------------------
+    def _global_state(self, name: str) -> Optional[SharedState]:
+        if name in self.locals:
+            return None
+        return self.module.globals.get(name)
+
+    def _note_read(self, state: SharedState, lineno: int) -> None:
+        self.info.reads.setdefault(state.qualname, lineno)
+
+    def _note_write(self, state: SharedState, lineno: int) -> None:
+        self.info.writes.setdefault(state.qualname, lineno)
+
+    def _handle_store_target(self, target: ast.AST) -> None:
+        """Classify one assignment target for write effects."""
+        # G = ...  with a `global G` declaration: rebind of a module global.
+        if isinstance(target, ast.Name) and target.id in self.global_decls:
+            state = self.module.globals.get(target.id)
+            if state is not None:
+                state.rebound = True
+                self._note_write(state, target.lineno)
+            return
+        # G[k] = ... / G.attr = ... on a module global.
+        base: Optional[ast.AST] = None
+        if isinstance(target, ast.Subscript):
+            base = target.value
+        elif isinstance(target, ast.Attribute):
+            base = target.value
+        if base is None:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    self._handle_store_target(elt)
+            return
+        chain = _attr_chain(base)
+        if not chain:
+            return
+        if chain[0] == "self":
+            if isinstance(target, ast.Attribute) and len(chain) == 1:
+                self.info.self_writes.setdefault(target.attr, target.lineno)
+            elif len(chain) >= 2:
+                # self.X[k] = ... or self.X.attr = ...
+                self.info.self_writes.setdefault(chain[1], target.lineno)
+            return
+        state = self._global_state(chain[0])
+        if state is not None and state.mutable:
+            self._note_write(state, target.lineno)
+        elif isinstance(target, ast.Attribute) and len(chain) == 1 and chain[0] not in self.locals:
+            # p.attr = ... on a parameter/unknown local: candidate write to a
+            # field of some shared class, matched by name at link time.
+            self.info.param_attr_writes.setdefault(target.attr, target.lineno)
+        elif isinstance(target, ast.Attribute) and chain[0] in self.locals:
+            self.info.param_attr_writes.setdefault(target.attr, target.lineno)
+
+    # -- visitors -------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for t in node.targets:
+            self._handle_store_target(t)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._handle_store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._handle_store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            state = self._global_state(node.id)
+            if state is not None:
+                self._note_read(state, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        chain = _attr_chain(node)
+        if chain and len(chain) >= 2 and isinstance(node.ctx, ast.Load):
+            if chain[0] == "self":
+                self.info.self_reads.setdefault(chain[1], node.lineno)
+            elif self._global_state(chain[0]) is None and chain[0] in self.locals:
+                self.info.param_attr_reads.setdefault(chain[1], node.lineno)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain:
+            self.info.raw_calls.append((".".join(chain), node.lineno))
+            if len(chain) >= 2:
+                method, base = chain[-1], chain[:-1]
+                if base[0] == "self":
+                    if len(base) >= 2 and method in MUTATOR_METHODS:
+                        self.info.self_writes.setdefault(base[1], node.lineno)
+                        if method == "setdefault":
+                            self.info.self_atomic.add(base[1])
+                else:
+                    state = self._global_state(base[0])
+                    if state is not None and state.mutable:
+                        if method in MUTATOR_METHODS:
+                            self._note_write(state, node.lineno)
+                            if method == "setdefault":
+                                self.info.atomic_writes.add(state.qualname)
+                        else:
+                            self._note_read(state, node.lineno)
+        elif isinstance(node.func, ast.Attribute):
+            # obs.counter(name).inc(): the receiver is a call result, so
+            # there is no resolvable chain — record the bare method name
+            # for the unambiguous-method fallback at link time.
+            self.info.raw_calls.append((f"?.{node.func.attr}", node.lineno))
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            chain = _attr_chain(item.context_expr) or (
+                _attr_chain(item.context_expr.func)
+                if isinstance(item.context_expr, ast.Call) else None
+            )
+            if chain and any("lock" in part.lower() for part in chain):
+                self.info.has_lock_guard = True
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        for expr in [node.left, *node.comparators]:
+            if isinstance(expr, ast.Attribute) and expr.attr == "version":
+                self.info.has_version_check = True
+        self.generic_visit(node)
+
+    def visit_If(self, node: ast.If) -> None:
+        self.info.has_conditional = True
+        self.generic_visit(node)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        self.info.has_conditional = True
+        self.generic_visit(node)
+
+    # Nested defs: their bodies' effects belong to the nested function; we
+    # deliberately do not descend (the nested def is registered separately
+    # only when it is a module/class-level def).
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # Lambdas run in the enclosing call's context often enough (key=,
+        # callbacks) that their effects are attributed to the enclosing
+        # function.
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# The program
+# ---------------------------------------------------------------------------
+class Program:
+    """Modules + shared-state inventory + call graph + effects."""
+
+    def __init__(self, shared_classes: Iterable[str] = ()):
+        #: Bare class names whose *instances* are treated as shared
+        #: (process singletons / long-lived serving objects) — policy
+        #: injected by the concurrency rules.
+        self.shared_classes: FrozenSet[str] = frozenset(shared_classes)
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.shared: Dict[str, SharedState] = {}
+        #: module -> imported program modules (the import graph).
+        self.imports: Dict[str, Set[str]] = {}
+        #: resolved call edges.
+        self.calls: Dict[str, Set[str]] = {}
+        self._methods_by_name: Dict[str, List[str]] = {}
+        self._attr_owner: Dict[str, List[str]] = {}
+        self._eff_reads: Dict[str, Set[str]] = {}
+        self._eff_writes: Dict[str, Set[str]] = {}
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def build(cls, files: Sequence, shared_classes: Iterable[str] = ()) -> "Program":
+        program = cls(shared_classes)
+        for raw in files:
+            program.add_file(Path(raw))
+        program.link()
+        program.propagate()
+        return program
+
+    def add_file(self, path: Path) -> ModuleInfo:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise SyntaxError(f"{path}: {exc}") from exc
+        mod = ModuleInfo(name=module_name_for(path), path=path, source=source, tree=tree)
+        self.modules[mod.name] = mod
+        self._collect_aliases(mod)
+        self._collect_module_scope(mod)
+        return mod
+
+    def _collect_aliases(self, mod: ModuleInfo) -> None:
+        package = mod.name.rsplit(".", 1)[0] if "." in mod.name else ""
+        if mod.path.name == "__init__.py":
+            package = mod.name
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        mod.aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        mod.aliases.setdefault(root, root)
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # Resolve `from ..x import y` against this module's package.
+                    package_parts = mod.name.split(".")
+                    if mod.path.name != "__init__.py":
+                        package_parts = package_parts[:-1]
+                    anchor = package_parts[: len(package_parts) - (node.level - 1)]
+                    base = ".".join(anchor + ([node.module] if node.module else []))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    target = f"{base}.{alias.name}" if base else alias.name
+                    mod.aliases[alias.asname or alias.name] = target
+
+    def _state(self, mod: ModuleInfo, name: str, value: ast.AST, lineno: int,
+               kind: str, cls_name: Optional[str] = None) -> SharedState:
+        qual = f"{mod.name}.{cls_name}.{name}" if cls_name else f"{mod.name}.{name}"
+        value_class = None
+        if isinstance(value, ast.Call):
+            chain = _attr_chain(value.func)
+            if chain:
+                value_class = chain[-1]
+        return SharedState(
+            qualname=qual, kind=kind, module=mod.name, name=name,
+            path=str(mod.path), lineno=lineno, cls=cls_name,
+            mutable=_is_mutable_value(value), is_rng=_is_rng_value(value),
+            value_class=value_class,
+        )
+
+    def _collect_module_scope(self, mod: ModuleInfo) -> None:
+        for node in mod.tree.body:
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                value = node.value
+                if value is None:
+                    continue
+                for t in targets:
+                    if isinstance(t, ast.Name):
+                        state = self._state(mod, t.id, value, t.lineno, "global")
+                        mod.globals[t.id] = state
+                        self.shared[state.qualname] = state
+            elif isinstance(node, ast.ClassDef):
+                self._collect_class(mod, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_function(mod, node, cls_name=None)
+
+    def _collect_class(self, mod: ModuleInfo, node: ast.ClassDef) -> None:
+        qual = f"{mod.name}.{node.name}"
+        cinfo = ClassInfo(qualname=qual, name=node.name, module=mod.name,
+                          path=str(mod.path), lineno=node.lineno)
+        self.classes[qual] = cinfo
+        for stmt in node.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                value = stmt.value
+                for t in targets:
+                    if isinstance(t, ast.Name):
+                        # Dataclass fields arrive as AnnAssign (value may be
+                        # None = no default); record them so instance-attr
+                        # writes elsewhere can be matched by field name.
+                        val = value if value is not None else ast.Constant(value=None)
+                        state = self._state(mod, t.id, val, t.lineno,
+                                            "class-attr" if _is_mutable_value(val)
+                                            else "instance-attr",
+                                            cls_name=node.name)
+                        cinfo.attrs.setdefault(t.id, state)
+                        self.shared.setdefault(state.qualname, state)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cinfo.methods.add(stmt.name)
+                self._collect_function(mod, stmt, cls_name=node.name)
+                if stmt.name == "__init__":
+                    self._collect_instance_attrs(mod, cinfo, stmt)
+
+    def _collect_instance_attrs(self, mod: ModuleInfo, cinfo: ClassInfo,
+                                init: ast.FunctionDef) -> None:
+        for stmt in ast.walk(init):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            if stmt.value is None:
+                continue
+            for t in targets:
+                chain = _attr_chain(t) if isinstance(t, ast.Attribute) else None
+                if chain and chain[0] == "self" and len(chain) == 2:
+                    state = self._state(mod, chain[1], stmt.value, t.lineno,
+                                        "instance-attr", cls_name=cinfo.name)
+                    cinfo.attrs.setdefault(chain[1], state)
+                    self.shared.setdefault(state.qualname, state)
+
+    def _collect_function(self, mod: ModuleInfo, node, cls_name: Optional[str]) -> None:
+        qual = f"{mod.name}.{cls_name}.{node.name}" if cls_name else f"{mod.name}.{node.name}"
+        info = FunctionInfo(qualname=qual, module=mod.name, name=node.name,
+                            path=str(mod.path), lineno=node.lineno, cls=cls_name)
+        visitor = _FunctionVisitor(info, mod)
+        visitor.collect_locals(node)
+        for stmt in node.body:
+            visitor.visit(stmt)
+        self.functions[qual] = info
+
+    # -- linking ----------------------------------------------------------
+    def _canon(self, symbol: str, depth: int = 0) -> str:
+        """Chase re-export chains (``repro.obs.counter`` -> metrics)."""
+        if depth > 10:
+            return symbol
+        if symbol in self.functions or symbol in self.classes or symbol in self.modules:
+            return symbol
+        tmod, _, tname = symbol.rpartition(".")
+        if tmod in self.modules:
+            alias = self.modules[tmod].aliases.get(tname)
+            if alias and alias != symbol:
+                return self._canon(alias, depth + 1)
+        return symbol
+
+    def resolve_symbol(self, mod_name: str, dotted: str) -> Optional[str]:
+        """Best-effort resolution of a dotted reference inside ``mod_name``."""
+        mod = self.modules.get(mod_name)
+        if mod is None:
+            return None
+        parts = dotted.split(".")
+        head = parts[0]
+        if head == "self":
+            return None
+        base = mod.aliases.get(head)
+        if base is None:
+            for candidate in (f"{mod_name}.{head}",):
+                if candidate in self.functions or candidate in self.classes:
+                    base = candidate
+                    break
+        if base is None:
+            return None
+        cur = self._canon(base)
+        for part in parts[1:]:
+            cur = self._canon(f"{cur}.{part}")
+        return cur
+
+    def link(self) -> None:
+        """Resolve imports, call edges and self/param attribute effects."""
+        self._methods_by_name.clear()
+        for qual, fn in self.functions.items():
+            if fn.cls is not None:
+                self._methods_by_name.setdefault(fn.name, []).append(qual)
+        self._attr_owner.clear()
+        for cinfo in self.classes.values():
+            for attr in cinfo.attrs:
+                self._attr_owner.setdefault(attr, []).append(cinfo.qualname)
+
+        # Import graph over program modules.
+        for name, mod in self.modules.items():
+            edges: Set[str] = set()
+            for target in mod.aliases.values():
+                canon = self._canon(target)
+                owner = canon if canon in self.modules else canon.rpartition(".")[0]
+                if owner in self.modules and owner != name:
+                    edges.add(owner)
+            self.imports[name] = edges
+
+        for qual, fn in self.functions.items():
+            edges = set()
+            for dotted, _lineno in fn.raw_calls:
+                edges.update(self._resolve_call(fn, dotted))
+            edges.discard(qual)
+            self.calls[qual] = edges
+            self._resolve_attr_effects(fn)
+
+    def _resolve_call(self, fn: FunctionInfo, dotted: str) -> Set[str]:
+        parts = dotted.split(".")
+        # Method call on a call result: only the name survives.
+        if parts[0] == "?":
+            return self._method_fallback(parts[-1])
+        # self.m() -> method on the same class.
+        if parts[0] == "self" and len(parts) == 2 and fn.cls is not None:
+            target = f"{fn.module}.{fn.cls}.{parts[1]}"
+            if target in self.functions:
+                return {target}
+            return self._method_fallback(parts[1])
+        resolved = self.resolve_symbol(fn.module, dotted)
+        if resolved is not None:
+            if resolved in self.functions:
+                return {resolved}
+            if resolved in self.classes:
+                init = f"{resolved}.__init__"
+                return {init} if init in self.functions else set()
+        if len(parts) >= 2:
+            # GLOBAL.method(...) where GLOBAL was imported from another
+            # program module: record the effect on the cross-module state.
+            base = self.resolve_symbol(fn.module, ".".join(parts[:-1]))
+            if base in self.shared:
+                state = self.shared[base]
+                method = parts[-1]
+                if state.mutable:
+                    if method in MUTATOR_METHODS:
+                        fn.writes.setdefault(state.qualname, fn.lineno)
+                    else:
+                        fn.reads.setdefault(state.qualname, fn.lineno)
+            return self._method_fallback(parts[-1])
+        return set()
+
+    def _method_fallback(self, method: str) -> Set[str]:
+        """Unresolved ``x.m()``: link to every known method ``m`` when the
+        name is specific enough (few owners) to keep edges meaningful."""
+        candidates = self._methods_by_name.get(method, [])
+        if 1 <= len(candidates) <= 4:
+            return set(candidates)
+        return set()
+
+    def _resolve_attr_effects(self, fn: FunctionInfo) -> None:
+        """Turn self/param attribute accesses into shared-state effects."""
+        if fn.cls is not None:
+            cinfo = self.classes.get(f"{fn.module}.{fn.cls}")
+            if cinfo is not None:
+                for attr, lineno in fn.self_reads.items():
+                    state = cinfo.attrs.get(attr)
+                    if state is not None:
+                        fn.reads.setdefault(state.qualname, lineno)
+                for attr, lineno in fn.self_writes.items():
+                    state = cinfo.attrs.get(attr)
+                    if state is not None:
+                        # __init__ creating its own instance attrs is
+                        # construction, not shared-state mutation.
+                        if fn.name == "__init__":
+                            continue
+                        fn.writes.setdefault(state.qualname, lineno)
+                        state.rebound = True
+                for attr in fn.self_atomic:
+                    state = cinfo.attrs.get(attr)
+                    if state is not None:
+                        fn.atomic_writes.add(state.qualname)
+        for attr, lineno in fn.param_attr_writes.items():
+            owners = self._attr_owner.get(attr, [])
+            if len(owners) == 1:
+                state = self.classes[owners[0]].attrs[attr]
+                if state.cls in self.shared_classes:
+                    fn.writes.setdefault(state.qualname, lineno)
+                    state.rebound = True
+        for attr, lineno in fn.param_attr_reads.items():
+            owners = self._attr_owner.get(attr, [])
+            if len(owners) == 1:
+                state = self.classes[owners[0]].attrs[attr]
+                if state.cls in self.shared_classes:
+                    fn.reads.setdefault(state.qualname, lineno)
+
+    # -- effect propagation ------------------------------------------------
+    def _shared_subset(self, effects: Dict[str, int]) -> Set[str]:
+        return {
+            qual for qual in effects
+            if qual in self.shared and self.shared[qual].is_shared(self.shared_classes)
+        }
+
+    def propagate(self) -> None:
+        """Fixed-point propagation of effects through the call graph."""
+        reads = {q: self._shared_subset(fn.reads) for q, fn in self.functions.items()}
+        writes = {q: self._shared_subset(fn.writes) for q, fn in self.functions.items()}
+        changed = True
+        while changed:
+            changed = False
+            for qual in self.functions:
+                for callee in self.calls.get(qual, ()):
+                    if callee not in self.functions:
+                        continue
+                    if not reads[qual] >= reads[callee]:
+                        reads[qual] |= reads[callee]
+                        changed = True
+                    if not writes[qual] >= writes[callee]:
+                        writes[qual] |= writes[callee]
+                        changed = True
+        self._eff_reads = reads
+        self._eff_writes = writes
+
+    # -- queries -----------------------------------------------------------
+    def effective_reads(self, qualname: str) -> Set[str]:
+        return self._eff_reads.get(qualname, set())
+
+    def effective_writes(self, qualname: str) -> Set[str]:
+        return self._eff_writes.get(qualname, set())
+
+    def classify(self, qualname: str) -> str:
+        """``pure`` / ``reads-shared`` / ``writes-shared`` for one function."""
+        if self._eff_writes.get(qualname):
+            return "writes-shared"
+        if self._eff_reads.get(qualname):
+            return "reads-shared"
+        return "pure"
+
+    def classification(self) -> Dict[str, str]:
+        return {qual: self.classify(qual) for qual in sorted(self.functions)}
+
+    def call_path(self, src: str, dst: str) -> Optional[List[str]]:
+        """Shortest call chain from ``src`` to ``dst`` (BFS), or None."""
+        if src == dst:
+            return [src]
+        seen = {src}
+        frontier: List[List[str]] = [[src]]
+        while frontier:
+            next_frontier: List[List[str]] = []
+            for trail in frontier:
+                for callee in sorted(self.calls.get(trail[-1], ())):
+                    if callee in seen:
+                        continue
+                    path = trail + [callee]
+                    if callee == dst:
+                        return path
+                    seen.add(callee)
+                    next_frontier.append(path)
+            frontier = next_frontier
+        return None
+
+    def writers_of(self, state_qualname: str) -> List[str]:
+        """Functions with a *direct* write to the state, sorted."""
+        return sorted(
+            qual for qual, fn in self.functions.items()
+            if state_qualname in fn.writes
+        )
+
+    def readers_of(self, state_qualname: str) -> List[str]:
+        return sorted(
+            qual for qual, fn in self.functions.items()
+            if state_qualname in fn.reads
+        )
+
+
+def build_program(files: Sequence, shared_classes: Iterable[str] = ()) -> Program:
+    """Parse + link + propagate in one call (the main entry point)."""
+    return Program.build(files, shared_classes=shared_classes)
+
+
+# ---------------------------------------------------------------------------
+# Import-time side-effect scan (feeds REP404)
+# ---------------------------------------------------------------------------
+#: Bare-name calls that are side effects at import time.
+_IMPORT_EFFECT_NAMES: FrozenSet[str] = frozenset({"open", "print", "input", "exec"})
+#: Attribute-chain patterns (prefix match on the dotted chain).
+_IMPORT_EFFECT_TAILS: FrozenSet[str] = frozenset({
+    "getenv", "putenv", "system", "popen", "urlopen",
+    "read_text", "write_text", "read_bytes", "write_bytes",
+    "mkdir", "unlink", "sleep",
+})
+_IMPORT_EFFECT_ROOTS: FrozenSet[str] = frozenset({"subprocess", "socket", "requests"})
+
+
+def _import_effect(call_chain: List[str]) -> Optional[str]:
+    """A human-readable label when the chain is an import-time side effect."""
+    if len(call_chain) == 1 and call_chain[0] in _IMPORT_EFFECT_NAMES:
+        return f"`{call_chain[0]}()` I/O"
+    dotted = ".".join(call_chain)
+    if call_chain[0] in _IMPORT_EFFECT_ROOTS:
+        return f"`{dotted}` I/O"
+    if call_chain[0] == "os" and (
+        "environ" in call_chain or call_chain[-1] in _IMPORT_EFFECT_TAILS
+    ):
+        return f"`{dotted}` environment access"
+    if call_chain[0] == "time" and call_chain[-1] in ("time", "sleep", "perf_counter"):
+        return f"`{dotted}` clock/sleep"
+    if (
+        len(call_chain) >= 3
+        and call_chain[0] in ("np", "numpy")
+        and call_chain[1] == "random"
+        and call_chain[-1] in LEGACY_RANDOM_FUNCS
+    ):
+        return f"`{dotted}` RNG draw"
+    if call_chain[-1] in _IMPORT_EFFECT_TAILS and call_chain[-1] not in ("sleep",):
+        return f"`{dotted}` file I/O"
+    return None
+
+
+def iter_import_side_effects(mod: ModuleInfo) -> List[Tuple[int, str]]:
+    """``(lineno, label)`` for side effects in module top-level code.
+
+    Function/class bodies and lambdas are pruned — only code that actually
+    runs at import time counts.
+    """
+    out: List[Tuple[int, str]] = []
+
+    def scan(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            return
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain:
+                label = _import_effect(chain)
+                if label:
+                    out.append((node.lineno, label))
+        elif isinstance(node, ast.Subscript):
+            chain = _attr_chain(node.value)
+            if chain and chain[:2] == ["os", "environ"]:
+                out.append((node.lineno, "`os.environ[...]` environment access"))
+        for child in ast.iter_child_nodes(node):
+            scan(child)
+
+    for stmt in mod.tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            continue
+        scan(stmt)
+    seen: Set[Tuple[int, str]] = set()
+    unique = [x for x in out if not (x in seen or seen.add(x))]
+    return unique

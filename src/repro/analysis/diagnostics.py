@@ -44,7 +44,8 @@ class Rule:
 
 
 #: The rule catalogue.  IDs are grouped by pass:
-#: REP0xx shape/graph checker, REP1xx AST lint, REP3xx knob/config validator.
+#: REP0xx shape/graph checker, REP1xx AST lint, REP3xx knob/config
+#: validator, REP4xx concurrency-readiness (whole-program dataflow).
 RULES: Dict[str, Rule] = {}
 
 
@@ -178,6 +179,53 @@ register_rule(Rule(
 ))
 
 
+# ---------------------------------------------------------------------------
+# Concurrency-readiness rules (REP4xx) — whole-program dataflow pass
+# ---------------------------------------------------------------------------
+register_rule(Rule(
+    "REP400", "stale-baseline-entry",
+    "analysis-baseline.json entry no longer matches any finding",
+    severity="warning",
+    hint="delete the entry — the hazard it excused is gone (or moved)",
+))
+register_rule(Rule(
+    "REP401", "global-mutated-from-function",
+    "Module-level mutable global is mutated from function scope",
+    severity="warning",
+    hint="pass state explicitly, or move it behind a lock-guarded accessor",
+))
+register_rule(Rule(
+    "REP402", "singleton-write-on-hot-path",
+    "Hot-path function (transitively) writes a known shared singleton",
+    severity="warning",
+    hint="make the write thread-safe (atomic op/lock) or move it off the hot path",
+))
+register_rule(Rule(
+    "REP403", "shared-rng",
+    "RNG stored in shared state is drawn from multiple call paths",
+    severity="warning",
+    hint="derive a per-call/per-request substream (repro.utils.rng.derive)",
+))
+register_rule(Rule(
+    "REP404", "import-time-side-effect",
+    "Module top level performs I/O, RNG draws or environment reads at import",
+    severity="warning",
+    hint="move the side effect into a function the caller invokes explicitly",
+))
+register_rule(Rule(
+    "REP405", "unguarded-check-then-act",
+    "Read + conditional mutate of the same shared state with no lock/versioning",
+    severity="warning",
+    hint="use setdefault/a lock, or stamp entries with a version to detect races",
+))
+register_rule(Rule(
+    "REP406", "unregistered-obs-name",
+    "obs span/metric name literal is not registered in repro.obs.names",
+    severity="warning",
+    hint="add the name constant to repro.obs.names and import it at the call site",
+))
+
+
 @dataclass
 class Diagnostic:
     """One finding of any analysis pass."""
@@ -188,6 +236,9 @@ class Diagnostic:
     line: Optional[int] = None
     col: Optional[int] = None
     severity: Optional[str] = None  # default: the rule's severity
+    #: Stable anchor for baseline matching (function/state qualname) — line
+    #: numbers drift with every edit, symbols do not.
+    symbol: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.rule_id not in RULES:
@@ -220,6 +271,7 @@ class Diagnostic:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "symbol": self.symbol,
             "hint": self.rule.hint,
         }
 
@@ -310,3 +362,63 @@ class Report:
             },
             indent=2,
         )
+
+    def format_sarif(self, tool_name: str = "repro-lint",
+                     tool_version: str = "1.0.0") -> str:
+        """SARIF 2.1.0 — the interchange format CI/code-scanning UIs ingest."""
+        level = {"error": "error", "warning": "warning", "info": "note"}
+        used_rules = sorted({d.rule_id for d in self.diagnostics})
+        rules = [
+            {
+                "id": rid,
+                "name": RULES[rid].name,
+                "shortDescription": {"text": RULES[rid].summary},
+                "help": {"text": RULES[rid].hint or RULES[rid].summary},
+                "defaultConfiguration": {"level": level[RULES[rid].severity]},
+            }
+            for rid in used_rules
+        ]
+        results = []
+        for d in self.sorted():
+            result = {
+                "ruleId": d.rule_id,
+                "level": level[d.severity],
+                "message": {"text": d.message},
+            }
+            if d.path is not None:
+                region = {}
+                if d.line is not None:
+                    region["startLine"] = int(d.line)
+                    if d.col is not None:
+                        # SARIF columns are 1-based; ast cols are 0-based.
+                        region["startColumn"] = int(d.col) + 1
+                location = {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": str(d.path).replace("\\", "/"),
+                        },
+                    },
+                }
+                if region:
+                    location["physicalLocation"]["region"] = region
+                result["locations"] = [location]
+            if d.symbol:
+                result["partialFingerprints"] = {
+                    "reproSymbol/v1": f"{d.rule_id}:{d.symbol}",
+                }
+            results.append(result)
+        doc = {
+            "$schema": ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                        "master/Schemata/sarif-schema-2.1.0.json"),
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {
+                    "name": tool_name,
+                    "version": tool_version,
+                    "informationUri": "https://example.invalid/repro-lint",
+                    "rules": rules,
+                }},
+                "results": results,
+            }],
+        }
+        return json.dumps(doc, indent=2)

@@ -1,36 +1,64 @@
 """Repo-level drivers for the analysis passes (the ``repro lint`` backend).
 
 ``run_lint`` walks a set of paths, applies the AST lint to every Python
-file, validates the canonical knob table once, and cross-checks knob
-references in the scanned files.  ``run_check_model`` builds the NECS
-variants (CNN / LSTM / Transformer code encoders, with and without the
-GCN path) and runs the static shape checker over each — no forward pass
-is executed.
+file, validates the canonical knob table once, cross-checks knob
+references in the scanned files, and runs the whole-program concurrency
+pass (REP4xx) with the accepted-hazard baseline applied.
+``run_check_model`` builds the NECS variants (CNN / LSTM / Transformer
+code encoders, with and without the GCN path) and runs the static shape
+checker over each — no forward pass is executed.
+
+Failure taxonomy: findings make ``repro lint`` exit 1; anything that
+breaks the *analysis itself* (bad baseline file, crash in a pass) raises
+:class:`AnalysisError` and exits 2, so CI can tell "dirty code" from
+"broken linter".
 """
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Set, Union
 
 from .astlint import lint_file
-from .diagnostics import Diagnostic, Report
+from .diagnostics import RULES, Diagnostic, Report
 from .knobs import check_knob_references, check_knob_table
 
 #: Directories never scanned.
 _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", ".hypothesis", "build", "dist"}
 
+_FAMILY_RE = re.compile(r"^(REP\d)xx$")
+
+
+class AnalysisError(RuntimeError):
+    """The analysis infrastructure failed (exit 2), as opposed to the
+    analysed code having findings (exit 1)."""
+
 
 def iter_python_files(paths: Iterable) -> List[Path]:
+    """Expand files/directories to a deduplicated, ordered ``.py`` list.
+
+    Overlapping inputs (a file plus its containing directory, the same
+    directory twice) yield each file once — first occurrence wins, so the
+    caller's ordering is preserved.
+    """
     files: List[Path] = []
+    seen: Set[Path] = set()
+
+    def _add(candidate: Path) -> None:
+        key = candidate.resolve()
+        if key not in seen:
+            seen.add(key)
+            files.append(candidate)
+
     for raw in paths:
         path = Path(raw)
         if path.is_file() and path.suffix == ".py":
-            files.append(path)
+            _add(path)
         elif path.is_dir():
             for candidate in sorted(path.rglob("*.py")):
                 if not any(part in _SKIP_DIRS for part in candidate.parts):
-                    files.append(candidate)
+                    _add(candidate)
         elif not path.exists():
             # A typo'd path must not pass as "clean: 0 findings".
             raise FileNotFoundError(f"lint path does not exist: {path}")
@@ -42,31 +70,112 @@ def default_lint_root() -> Path:
     return Path(__file__).resolve().parent.parent
 
 
+def expand_select(select: Sequence[str]) -> Set[str]:
+    """Expand rule IDs and family patterns (``REP4xx``) to concrete IDs."""
+    wanted: Set[str] = set()
+    unknown: List[str] = []
+    for entry in select:
+        m = _FAMILY_RE.match(entry)
+        if m:
+            members = {rid for rid in RULES if rid.startswith(m.group(1))}
+            if not members:
+                unknown.append(entry)
+            wanted |= members
+        elif entry in RULES:
+            wanted.add(entry)
+        else:
+            unknown.append(entry)
+    if unknown:
+        raise ValueError(f"unknown rule id(s) in --select: {', '.join(sorted(unknown))}")
+    return wanted
+
+
 def run_lint(
     paths: Optional[Sequence] = None,
     select: Optional[Sequence[str]] = None,
+    baseline: Optional[Union[str, Path]] = None,
+    use_baseline: bool = True,
 ) -> Report:
-    """Run the AST lint + knob validation over ``paths``.
+    """Run every static pass over ``paths``.
 
-    ``select`` restricts output to the given rule IDs (e.g. for CI stages
-    that gate only on a subset).
+    ``select`` restricts output to the given rule IDs or families
+    (``REP401,REP405`` or ``REP4xx``), e.g. for CI stages that gate only
+    on a subset.  ``baseline`` points at an ``analysis-baseline.json``
+    (default: auto-discovered at the repo root / cwd); ``use_baseline=
+    False`` disables baseline filtering entirely.
     """
-    if select:
-        from .diagnostics import RULES
-
-        unknown = sorted(set(select) - set(RULES))
-        if unknown:
-            raise ValueError(f"unknown rule id(s) in --select: {', '.join(unknown)}")
+    wanted = expand_select(select) if select else None
     files = iter_python_files(paths if paths else [default_lint_root()])
     diagnostics: List[Diagnostic] = []
     for path in files:
         diagnostics.extend(lint_file(path))
     diagnostics.extend(check_knob_table())
     diagnostics.extend(check_knob_references(files))
-    if select:
-        wanted = set(select)
+
+    # Whole-program concurrency pass.  Unused-name and stale-baseline
+    # reporting only make sense when the scan covers the whole package —
+    # a subset scan would mark everything outside it unused/stale.
+    package_files = {
+        f.resolve() for f in iter_python_files([default_lint_root()])
+    }
+    full_scan = package_files <= {f.resolve() for f in files}
+    try:
+        from .concurrency import check_concurrency
+
+        diagnostics.extend(
+            check_concurrency(files, report_unused_names=full_scan)
+        )
+    except SyntaxError:
+        raise  # unparseable input is the code's fault, handled upstream
+    except Exception as exc:  # pragma: no cover - defensive
+        raise AnalysisError(f"concurrency pass failed: {exc}") from exc
+
+    diagnostics = _apply_baseline(diagnostics, baseline, use_baseline, full_scan)
+    if wanted is not None:
         diagnostics = [d for d in diagnostics if d.rule_id in wanted]
     return Report(diagnostics)
+
+
+def _apply_baseline(
+    diagnostics: List[Diagnostic],
+    baseline: Optional[Union[str, Path]],
+    use_baseline: bool,
+    full_scan: bool,
+) -> List[Diagnostic]:
+    """Filter accepted hazards; surface stale entries on full scans."""
+    from .baseline import (
+        BaselineError,
+        apply_baseline,
+        find_default_baseline,
+        load_baseline,
+    )
+
+    if not use_baseline:
+        return diagnostics
+    if baseline is not None:
+        baseline_path = Path(baseline)
+        if not baseline_path.is_file():
+            raise AnalysisError(f"baseline file does not exist: {baseline_path}")
+    else:
+        baseline_path = find_default_baseline(default_lint_root())
+        if baseline_path is None:
+            return diagnostics
+    try:
+        entries = load_baseline(baseline_path)
+    except (BaselineError, OSError) as exc:
+        raise AnalysisError(str(exc)) from exc
+    kept, stale, _suppressed = apply_baseline(diagnostics, entries)
+    if full_scan:
+        for entry in stale:
+            kept.append(Diagnostic(
+                "REP400",
+                f"baseline entry matches no finding: {entry.rule} at "
+                f"{entry.path}" + (f" [{entry.symbol}]" if entry.symbol else "")
+                + f" ({entry.justification})",
+                path=str(baseline_path),
+                symbol=f"{entry.rule}:{entry.path}:{entry.symbol or '*'}",
+            ))
+    return kept
 
 
 def run_check_model(

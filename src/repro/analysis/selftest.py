@@ -1,0 +1,163 @@
+"""Seeded-hazard self-test for the REP4xx rules (``repro lint --self-test``).
+
+Same philosophy as ``check-model --inject-fault``: a gate that cannot find
+a *planted* defect should not be trusted to find real ones.  This module
+writes a purpose-built two-file fixture containing one deliberate instance
+of every REP401–REP406 hazard into a temporary directory, runs the full
+concurrency pass over it, and verifies that each rule fires at least once
+— plus that an intentionally clean function is classified ``pure`` (the
+pass must not fire on everything either).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .concurrency import (
+    DEFAULT_HOT_PATHS,
+    DEFAULT_SHARED_CLASSES,
+    ConcurrencyPolicy,
+    check_concurrency,
+)
+from .dataflow import build_program
+
+#: Every rule the fixture is seeded for.
+SELF_TEST_RULES: Tuple[str, ...] = (
+    "REP401", "REP402", "REP403", "REP404", "REP405", "REP406",
+)
+
+#: REP401 (global rebind + mutation), REP403 (shared RNG, two draw paths),
+#: REP404 (env read at import time), REP405 (check-then-act on CACHE).
+HAZ_CORE = '''\
+"""Seeded hazards: REP401, REP403, REP404, REP405."""
+import os
+
+import numpy as np
+
+CACHE = {}
+MODE = "idle"
+RNG = np.random.default_rng(0)
+
+TOKEN = os.getenv("HAZ_TOKEN")
+
+
+def set_mode(mode):
+    global MODE
+    MODE = mode
+
+
+def remember(key, value):
+    CACHE[key] = value
+
+
+def cached(key, build):
+    if key not in CACHE:
+        CACHE[key] = build()
+    return CACHE[key]
+
+
+def draw_a():
+    return RNG.random()
+
+
+def draw_b():
+    return RNG.normal()
+
+
+def pure_helper(x):
+    return x + 1
+'''
+
+#: REP402 (hot path writes a shared singleton, directly and transitively)
+#: and REP406 (unregistered obs name literals).
+HAZ_SERVE = '''\
+"""Seeded hazards: REP402, REP406."""
+from haz_core import remember
+
+from repro import obs
+
+
+class HazRegistry:
+    def __init__(self):
+        self.counts = {}
+
+    def bump(self, name):
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+
+REGISTRY = HazRegistry()
+
+
+def predict_encoded(payload):
+    REGISTRY.bump("serve")
+    remember("last", payload)
+    return payload
+
+
+def rank(items):
+    obs.counter("haz.serve.bogus").inc()
+    with obs.span("haz.serve.rank"):
+        return sorted(items)
+'''
+
+
+def write_fixture(dst: Path) -> List[Path]:
+    """Materialise the hazard fixture under ``dst``; returns the files."""
+    dst = Path(dst)
+    dst.mkdir(parents=True, exist_ok=True)
+    core = dst / "haz_core.py"
+    serve = dst / "haz_serve.py"
+    core.write_text(HAZ_CORE, encoding="utf-8")
+    serve.write_text(HAZ_SERVE, encoding="utf-8")
+    return [core, serve]
+
+
+def self_test_policy() -> ConcurrencyPolicy:
+    """Default policy extended with the fixture's own singleton class."""
+    return ConcurrencyPolicy(
+        hot_paths=DEFAULT_HOT_PATHS,
+        shared_classes=DEFAULT_SHARED_CLASSES + ("HazRegistry",),
+    )
+
+
+def run_self_test() -> Tuple[bool, List[str]]:
+    """``(ok, report_lines)`` — ok is True iff every seeded rule fired."""
+    lines: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-lint-selftest-") as tmp:
+        files = write_fixture(Path(tmp))
+        policy = self_test_policy()
+        program = build_program(files, shared_classes=policy.shared_classes)
+        diagnostics = check_concurrency(
+            files, policy=policy, report_unused_names=False, program=program,
+        )
+        counts: Dict[str, int] = {rule: 0 for rule in SELF_TEST_RULES}
+        for diag in diagnostics:
+            if diag.rule_id in counts:
+                counts[diag.rule_id] += 1
+        ok = True
+        for rule in SELF_TEST_RULES:
+            if counts[rule] > 0:
+                lines.append(f"  {rule}: fired {counts[rule]}x on seeded hazard")
+            else:
+                lines.append(f"  {rule}: MISSED seeded hazard")
+                ok = False
+        # The pass must also *not* condemn everything: the deliberately
+        # clean helper stays pure and un-flagged.
+        pure_qual = "haz_core.pure_helper"
+        classification = program.classify(pure_qual)
+        if classification != "pure":
+            lines.append(f"  {pure_qual}: expected pure, got {classification}")
+            ok = False
+        flagged_pure = [
+            d for d in diagnostics if d.symbol and pure_qual in d.symbol
+        ]
+        if flagged_pure:
+            lines.append(f"  {pure_qual}: falsely flagged {len(flagged_pure)}x")
+            ok = False
+        header = (
+            "self-test: all REP4xx rules fired on seeded hazards"
+            if ok else "self-test: FAILED — the analysis missed seeded hazards"
+        )
+        return ok, [header] + lines

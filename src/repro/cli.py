@@ -6,7 +6,7 @@ Commands
 - ``recommend``  load a trained system and recommend knobs for one app
 - ``workloads``  list the available spark-bench applications
 - ``run``        execute one application under a configuration file
-- ``lint``       static analysis: autograd-aware lint + knob validation
+- ``lint``       static analysis: autograd lint + knobs + concurrency readiness
 - ``check-model`` static shape/graph check of the NECS variants
 - ``stats``      run an observable lifecycle and report the obs metrics
 - ``trace``      run an observable lifecycle with tracing, print the span tree
@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from typing import List, Optional
 
@@ -85,15 +86,30 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="knob override, repeatable")
 
     p_lint = sub.add_parser(
-        "lint", help="run the static autograd/knob lint (exit 1 on findings)")
+        "lint",
+        help="static analysis: lint + knobs + concurrency readiness "
+             "(exit 1 on findings, 2 on analysis errors)")
     p_lint.add_argument("paths", nargs="*", default=[],
                         help="files/directories to lint (default: the repro package)")
     p_lint.add_argument("--select", default=None,
-                        help="comma-separated rule IDs to restrict to (e.g. REP101,REP103)")
+                        help="comma-separated rule IDs or families to restrict to "
+                             "(e.g. REP101,REP103 or REP4xx)")
     p_lint.add_argument("--fail-on", default="warning",
                         choices=("info", "warning", "error"),
                         help="lowest severity that fails the run")
-    p_lint.add_argument("--json", action="store_true", help="machine-readable output")
+    p_lint.add_argument("--format", default="text", dest="format",
+                        choices=("text", "json", "sarif"),
+                        help="output format (sarif for CI code-scanning upload)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable output (alias for --format json)")
+    p_lint.add_argument("--baseline", default=None,
+                        help="analysis-baseline.json with accepted hazards "
+                             "(default: auto-discovered at the repo root)")
+    p_lint.add_argument("--no-baseline", action="store_true",
+                        help="report findings the baseline would suppress")
+    p_lint.add_argument("--self-test", action="store_true",
+                        help="verify every REP40x rule fires on a seeded-hazard "
+                             "fixture, then exit (0 ok / 2 broken analysis)")
 
     p_check = sub.add_parser(
         "check-model",
@@ -299,13 +315,33 @@ def cmd_run(args) -> int:
 
 def cmd_lint(args) -> int:
     from .analysis import run_lint
+    from .analysis.runner import AnalysisError
+
+    if args.self_test:
+        from .analysis.selftest import run_self_test
+
+        ok, lines = run_self_test()
+        _result("\n".join(lines))
+        return 0 if ok else 2
 
     select = [s.strip() for s in args.select.split(",")] if args.select else None
+    fmt = "json" if args.json else args.format
     try:
-        report = run_lint(args.paths or None, select=select)
-    except (FileNotFoundError, ValueError) as exc:
-        raise SystemExit(f"repro lint: {exc}")
-    _result(report.format_json() if args.json else report.format_text())
+        report = run_lint(
+            args.paths or None, select=select,
+            baseline=args.baseline, use_baseline=not args.no_baseline,
+        )
+    except (FileNotFoundError, ValueError, AnalysisError, SyntaxError) as exc:
+        # Exit 2: the analysis could not run — CI must not read this as
+        # either "clean" (0) or "dirty code" (1).
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if fmt == "sarif":
+        _result(report.format_sarif())
+    elif fmt == "json":
+        _result(report.format_json())
+    else:
+        _result(report.format_text())
     return report.exit_code(fail_on=args.fail_on)
 
 

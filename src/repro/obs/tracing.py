@@ -183,10 +183,13 @@ class Tracer:
         ))
         # Cache the per-name duration histogram: the f-string plus the
         # registry lookup would otherwise dominate short spans' cost.
+        # setdefault keeps concurrent first-finishers converging on one
+        # histogram object (the registry dedupes by name underneath).
         hist = self._hists.get(span.name)
         if hist is None:
-            hist = self._hists[span.name] = _metrics.registry().histogram(
-                f"span.{span.name}.duration_s"
+            hist = self._hists.setdefault(
+                span.name,
+                _metrics.registry().histogram(f"span.{span.name}.duration_s"),
             )
         hist.observe(duration_s)
 

@@ -1,0 +1,437 @@
+"""Whole-program dataflow pass + REP4xx rules + baseline/CLI satellites."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+)
+from repro.analysis.concurrency import (
+    DEFAULT_HOT_PATHS,
+    DEFAULT_SHARED_CLASSES,
+    ConcurrencyPolicy,
+    check_concurrency,
+)
+from repro.analysis.dataflow import build_program, module_name_for
+from repro.analysis.diagnostics import Report
+from repro.analysis.runner import expand_select, iter_python_files
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def rep_ids(diags):
+    return sorted(d.rule_id for d in diags)
+
+
+def run_rules(files, shared_classes=()):
+    policy = ConcurrencyPolicy(
+        hot_paths=DEFAULT_HOT_PATHS,
+        shared_classes=DEFAULT_SHARED_CLASSES + tuple(shared_classes),
+    )
+    return check_concurrency(files, policy=policy, report_unused_names=False)
+
+
+# ---------------------------------------------------------------------------
+# Program construction
+# ---------------------------------------------------------------------------
+class TestProgram:
+    def test_module_names_follow_package_layout(self):
+        from repro.analysis import runner
+
+        path = runner.default_lint_root() / "obs" / "metrics.py"
+        assert module_name_for(path) == "repro.obs.metrics"
+
+    def test_import_and_call_graph(self, tmp_path):
+        write(tmp_path, "lib.py", "STORE = {}\ndef put(k, v):\n    STORE[k] = v\n")
+        write(tmp_path, "app.py",
+              "from lib import put\ndef save(k, v):\n    put(k, v)\n")
+        program = build_program(sorted(tmp_path.glob("*.py")))
+        assert "lib" in program.imports["app"]
+        assert program.calls["app.save"] == {"lib.put"}
+
+    def test_effect_propagation_classifies_transitive_writer(self, tmp_path):
+        write(tmp_path, "m.py", (
+            "STORE = {}\n"
+            "def raw(k, v):\n    STORE[k] = v\n"
+            "def wrapper(k, v):\n    raw(k, v)\n"
+            "def reader(k):\n    return STORE.get(k)\n"
+            "def pure(x):\n    return x + 1\n"
+        ))
+        program = build_program([tmp_path / "m.py"])
+        assert program.classify("m.raw") == "writes-shared"
+        assert program.classify("m.wrapper") == "writes-shared"  # transitive
+        assert program.classify("m.reader") == "reads-shared"
+        assert program.classify("m.pure") == "pure"
+
+    def test_instance_attrs_shared_only_for_policy_classes(self, tmp_path):
+        src = (
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self.items = []\n"
+            "    def add(self, x):\n"
+            "        self.items.append(x)\n"
+        )
+        write(tmp_path, "box.py", src)
+        opted_in = build_program([tmp_path / "box.py"], shared_classes=["Box"])
+        state = opted_in.shared["box.Box.items"]
+        assert state.is_shared(opted_in.shared_classes)
+        opted_out = build_program([tmp_path / "box.py"])
+        assert not state.is_shared(opted_out.shared_classes)
+
+
+# ---------------------------------------------------------------------------
+# The rules, each on a minimal example (and its clean twin)
+# ---------------------------------------------------------------------------
+class TestRep401GlobalMutation:
+    def test_fires_on_mutation_and_rebind(self, tmp_path):
+        write(tmp_path, "g.py", (
+            "COUNTS = {}\nMODE = 'idle'\n"
+            "def bump(k):\n    COUNTS[k] = 1\n"
+            "def switch(m):\n    global MODE\n    MODE = m\n"
+        ))
+        diags = [d for d in run_rules([tmp_path / "g.py"]) if d.rule_id == "REP401"]
+        assert {d.symbol for d in diags} == {
+            "g.bump->g.COUNTS", "g.switch->g.MODE",
+        }
+
+    def test_silent_on_reads(self, tmp_path):
+        write(tmp_path, "g.py", "COUNTS = {}\ndef peek(k):\n    return COUNTS.get(k)\n")
+        assert rep_ids(run_rules([tmp_path / "g.py"])) == []
+
+
+class TestRep402HotPathSingletonWrite:
+    SRC = (
+        "class Reg:\n"
+        "    def __init__(self):\n"
+        "        self.items = []\n"
+        "    def add_item(self, x):\n"
+        "        self.items.append(x)\n"
+        "REG = Reg()\n"
+        "def rank(xs):\n"
+        "    REG.add_item(xs)\n"
+        "    return xs\n"
+        "def offline(xs):\n"
+        "    REG.add_item(xs)\n"
+        "    return xs\n"
+    )
+
+    def test_fires_only_on_hot_paths(self, tmp_path):
+        write(tmp_path, "s.py", self.SRC)
+        diags = [d for d in run_rules([tmp_path / "s.py"], shared_classes=["Reg"])
+                 if d.rule_id == "REP402"]
+        assert [d.symbol for d in diags] == ["s.rank->s.Reg"]
+
+    def test_silent_without_policy_optin(self, tmp_path):
+        write(tmp_path, "s.py", self.SRC)
+        diags = run_rules([tmp_path / "s.py"])
+        assert "REP402" not in rep_ids(diags)
+
+
+class TestRep403SharedRng:
+    def test_fires_on_multi_path_draws(self, tmp_path):
+        write(tmp_path, "r.py", (
+            "from repro.utils.rng import get_rng\n"
+            "RNG = get_rng(0)\n"
+            "def a():\n    return RNG.random()\n"
+            "def b():\n    return RNG.normal()\n"
+        ))
+        diags = [d for d in run_rules([tmp_path / "r.py"]) if d.rule_id == "REP403"]
+        assert [d.symbol for d in diags] == ["r.RNG"]
+
+    def test_silent_on_single_cold_path(self, tmp_path):
+        write(tmp_path, "r.py", (
+            "from repro.utils.rng import get_rng\n"
+            "RNG = get_rng(0)\n"
+            "def a():\n    return RNG.random()\n"
+        ))
+        assert "REP403" not in rep_ids(run_rules([tmp_path / "r.py"]))
+
+
+class TestRep404ImportTimeSideEffect:
+    def test_fires_on_toplevel_env_read(self, tmp_path):
+        write(tmp_path, "e.py", "import os\nTOKEN = os.getenv('X')\n")
+        diags = [d for d in run_rules([tmp_path / "e.py"]) if d.rule_id == "REP404"]
+        assert len(diags) == 1 and "environment" in diags[0].message
+
+    def test_silent_when_wrapped_in_function(self, tmp_path):
+        write(tmp_path, "e.py", "import os\ndef token():\n    return os.getenv('X')\n")
+        assert "REP404" not in rep_ids(run_rules([tmp_path / "e.py"]))
+
+
+class TestRep405CheckThenAct:
+    RACY = (
+        "CACHE = {}\n"
+        "def get(k, f):\n"
+        "    if k not in CACHE:\n"
+        "        CACHE[k] = f()\n"
+        "    return CACHE[k]\n"
+    )
+
+    def test_fires_on_unguarded_cache_fill(self, tmp_path):
+        write(tmp_path, "c.py", self.RACY)
+        assert "REP405" in rep_ids(run_rules([tmp_path / "c.py"]))
+
+    def test_silent_under_lock(self, tmp_path):
+        write(tmp_path, "c.py", (
+            "import threading\n"
+            "LOCK = threading.Lock()\n"
+            "CACHE = {}\n"
+            "def get(k, f):\n"
+            "    with LOCK:\n"
+            "        if k not in CACHE:\n"
+            "            CACHE[k] = f()\n"
+            "    return CACHE[k]\n"
+        ))
+        assert "REP405" not in rep_ids(run_rules([tmp_path / "c.py"]))
+
+    def test_silent_with_setdefault(self, tmp_path):
+        write(tmp_path, "c.py", (
+            "CACHE = {}\n"
+            "def get(k, f):\n"
+            "    if k not in CACHE:\n"
+            "        CACHE.setdefault(k, f())\n"
+            "    return CACHE[k]\n"
+        ))
+        assert "REP405" not in rep_ids(run_rules([tmp_path / "c.py"]))
+
+
+class TestRep406ObsNames:
+    def test_fires_on_unregistered_literal(self, tmp_path):
+        write(tmp_path, "o.py", (
+            "from repro import obs\n"
+            "def serve():\n"
+            "    obs.counter('definitely.not.registered').inc()\n"
+        ))
+        diags = [d for d in run_rules([tmp_path / "o.py"]) if d.rule_id == "REP406"]
+        assert len(diags) == 1 and "definitely.not.registered" in diags[0].message
+
+    def test_silent_on_registered_name(self, tmp_path):
+        from repro.obs.names import ALL_COUNTERS
+
+        name = sorted(ALL_COUNTERS)[0]
+        write(tmp_path, "o.py", (
+            "from repro import obs\n"
+            f"def serve():\n    obs.counter('{name}').inc()\n"
+        ))
+        assert "REP406" not in rep_ids(run_rules([tmp_path / "o.py"]))
+
+    def test_real_tree_has_no_unregistered_or_unused_names(self):
+        from repro.analysis.dataflow import build_program
+        from repro.analysis.concurrency import check_obs_names
+        from repro.analysis.runner import default_lint_root, iter_python_files
+
+        program = build_program(iter_python_files([default_lint_root()]))
+        assert check_obs_names(program, report_unused=True) == []
+
+
+class TestSelfTest:
+    def test_every_seeded_rule_fires(self):
+        from repro.analysis.selftest import run_self_test
+
+        ok, lines = run_self_test()
+        assert ok, "\n".join(lines)
+
+    def test_cli_self_test_exits_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--self-test"]) == 0
+        assert "all REP4xx rules fired" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+class TestBaseline:
+    def entry(self, **kw):
+        defaults = dict(rule="REP401", path="src/m.py", justification="why")
+        defaults.update(kw)
+        return BaselineEntry(**defaults)
+
+    def test_symbol_entry_matches_exactly(self, tmp_path):
+        write(tmp_path, "m.py", "COUNTS = {}\ndef bump(k):\n    COUNTS[k] = 1\n")
+        diags = run_rules([tmp_path / "m.py"])
+        entry = self.entry(path="m.py", symbol="m.bump->m.COUNTS")
+        kept, stale, suppressed = apply_baseline(diags, [entry])
+        assert suppressed == 1 and stale == [] and kept == []
+
+    def test_filewide_entry_and_suffix_paths(self, tmp_path):
+        write(tmp_path, "m.py", "COUNTS = {}\ndef bump(k):\n    COUNTS[k] = 1\n")
+        diags = run_rules([tmp_path / "m.py"])
+        kept, stale, _ = apply_baseline(diags, [self.entry(path="m.py")])
+        assert kept == [] and stale == []
+
+    def test_unmatched_entry_reported_stale(self):
+        entry = self.entry(symbol="gone.symbol")
+        kept, stale, suppressed = apply_baseline([], [entry])
+        assert stale == [entry] and suppressed == 0
+
+    def test_load_rejects_bad_files(self, tmp_path):
+        bad_json = write(tmp_path, "a.json", "{nope")
+        with pytest.raises(BaselineError, match="invalid JSON"):
+            load_baseline(bad_json)
+        unknown_rule = write(tmp_path, "b.json", json.dumps(
+            {"entries": [{"rule": "REP999", "path": "x.py", "justification": "j"}]}))
+        with pytest.raises(BaselineError, match="unknown rule"):
+            load_baseline(unknown_rule)
+        no_reason = write(tmp_path, "c.json", json.dumps(
+            {"entries": [{"rule": "REP401", "path": "x.py", "justification": " "}]}))
+        with pytest.raises(BaselineError, match="justification"):
+            load_baseline(no_reason)
+
+    def test_repo_baseline_is_valid_and_not_stale(self):
+        from repro.analysis import run_lint
+
+        report = run_lint()  # full scan, default baseline
+        assert [d for d in report.diagnostics if d.rule_id == "REP400"] == []
+
+    def test_stale_entry_surfaces_as_rep400_on_full_scan(self, tmp_path):
+        from repro.analysis import run_lint
+
+        baseline = write(tmp_path, "stale.json", json.dumps({"entries": [
+            {"rule": "REP401", "path": "src/never/was.py",
+             "justification": "left behind"},
+        ]}))
+        report = run_lint(baseline=baseline, use_baseline=True)
+        rep400 = [d for d in report.diagnostics if d.rule_id == "REP400"]
+        assert len(rep400) == 1 and "never/was.py" in rep400[0].message
+
+
+# ---------------------------------------------------------------------------
+# noqa edge cases (incl. interaction with the baseline)
+# ---------------------------------------------------------------------------
+class TestNoqaEdgeCases:
+    def test_bare_noqa_vs_code_list(self, tmp_path):
+        bare = write(tmp_path, "a.py",
+                     "COUNTS = {}\ndef bump(k):\n    COUNTS[k] = 1  # repro: noqa\n")
+        assert rep_ids(run_rules([bare])) == []
+        listed = write(tmp_path, "b.py",
+                       "COUNTS = {}\ndef bump(k):\n"
+                       "    COUNTS[k] = 1  # repro: noqa=REP401\n")
+        assert rep_ids(run_rules([listed])) == []
+        wrong_code = write(tmp_path, "c.py",
+                           "COUNTS = {}\ndef bump(k):\n"
+                           "    COUNTS[k] = 1  # repro: noqa=REP405\n")
+        assert "REP401" in rep_ids(run_rules([wrong_code]))
+
+    def test_noqa_on_first_line_of_multiline_statement(self):
+        from repro.analysis import lint_source
+
+        # The finding anchors to the line of the offending node, so a noqa
+        # on the statement's first physical line only works when the node
+        # starts there — continuation lines need their own comment.
+        suppressed = lint_source(
+            "x = np.random.rand(  # repro: noqa=REP103\n    3)\n")
+        assert [d.rule_id for d in suppressed] == []
+        not_suppressed = lint_source(
+            "x = (  # repro: noqa=REP103\n    np.random.rand(3))\n")
+        assert [d.rule_id for d in not_suppressed] == ["REP103"]
+
+    def test_unknown_codes_in_noqa_are_inert(self):
+        from repro.analysis import lint_source
+
+        diags = lint_source("x = np.random.rand(3)  # repro: noqa=REP9999\n")
+        assert [d.rule_id for d in diags] == ["REP103"]
+
+    def test_noqa_beats_baseline_and_leaves_entry_stale(self, tmp_path):
+        # A hazard silenced by noqa never reaches the baseline stage, so a
+        # baseline entry for it is stale — one suppression mechanism per
+        # finding, and the baseline cannot double-excuse dead hazards.
+        path = write(tmp_path, "m.py",
+                     "COUNTS = {}\ndef bump(k):\n"
+                     "    COUNTS[k] = 1  # repro: noqa=REP401\n")
+        diags = run_rules([path])
+        entry = BaselineEntry(rule="REP401", path="m.py",
+                              justification="j", symbol="m.bump->m.COUNTS")
+        kept, stale, suppressed = apply_baseline(diags, [entry])
+        assert suppressed == 0 and stale == [entry]
+
+
+# ---------------------------------------------------------------------------
+# Runner satellites: dedupe, select families, exit codes, SARIF
+# ---------------------------------------------------------------------------
+class TestIterPythonFilesDedupe:
+    def test_file_plus_containing_dir(self, tmp_path):
+        a = write(tmp_path, "a.py", "x = 1\n")
+        write(tmp_path, "b.py", "y = 2\n")
+        files = iter_python_files([a, tmp_path])
+        assert [f.name for f in files] == ["a.py", "b.py"]  # a.py only once
+
+    def test_same_dir_twice_and_order_preserved(self, tmp_path):
+        write(tmp_path, "a.py", "x = 1\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        b = write(sub, "b.py", "y = 2\n")
+        files = iter_python_files([b, tmp_path, tmp_path])
+        assert [f.name for f in files] == ["b.py", "a.py"]
+
+
+class TestSelectFamilies:
+    def test_family_pattern_expands(self):
+        wanted = expand_select(["REP4xx"])
+        assert {"REP400", "REP401", "REP402", "REP403",
+                "REP404", "REP405", "REP406"} <= wanted
+        assert not any(r.startswith("REP1") for r in wanted)
+
+    def test_mixed_ids_and_families(self):
+        assert "REP101" in expand_select(["REP101", "REP4xx"])
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="REP9xx"):
+            expand_select(["REP9xx"])
+
+
+class TestExitCodes:
+    def test_findings_exit_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        dirty = write(tmp_path, "dirty.py", "import numpy as np\n"
+                                            "def f():\n    return np.random.rand(3)\n")
+        assert main(["lint", str(dirty)]) == 1
+        assert "REP103" in capsys.readouterr().out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        clean = write(tmp_path, "clean.py", "def f(x):\n    return x + 1\n")
+        assert main(["lint", str(clean)]) == 0
+
+    def test_internal_error_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = write(tmp_path, "bad.json", "{broken")
+        assert main(["lint", "--baseline", str(bad)]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+
+class TestSarifOutput:
+    def test_sarif_document_shape(self):
+        from repro.analysis.diagnostics import Diagnostic
+
+        report = Report([Diagnostic("REP401", "msg", path="src/m.py", line=3,
+                                    symbol="m.f->m.G")])
+        doc = json.loads(report.format_sarif())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["rules"][0]["id"] == "REP401"
+        result = run["results"][0]
+        assert result["level"] == "warning"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/m.py"
+        assert loc["region"]["startLine"] == 3
+        assert result["partialFingerprints"]["reproSymbol/v1"] == "REP401:m.f->m.G"
+
+    def test_cli_sarif_is_parseable(self, tmp_path, capsys):
+        from repro.cli import main
+
+        clean = write(tmp_path, "clean.py", "def f(x):\n    return x\n")
+        assert main(["lint", "--format", "sarif", str(clean)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []

@@ -177,8 +177,9 @@ class TestRunnerInputValidation:
     def test_cli_reports_bad_path_cleanly(self, capsys):
         from repro.cli import main
 
-        with pytest.raises(SystemExit, match="does not exist"):
-            main(["lint", "/no/such/dir"])
+        # Exit 2 = "the analysis could not run", distinct from findings (1).
+        assert main(["lint", "/no/such/dir"]) == 2
+        assert "does not exist" in capsys.readouterr().err
 
 
 class TestRepoIsClean:
