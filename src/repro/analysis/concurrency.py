@@ -10,7 +10,9 @@ there, using the whole-program inventory and call graph built by
 - ``REP402`` (transitive) write to a known shared singleton from a
   hot-path function, where the hot paths are declared in
   :data:`DEFAULT_HOT_PATHS` (serving entry points + metric/trace record
-  paths);
+  paths).  State whose direct writers all hold a lock, and state bound to
+  ``threading.local()``, is excused — the rule flags *unprotected*
+  interleaving, not the fix for it;
 - ``REP403`` RNG stored in module/class-shared state and drawn from
   multiple call paths (nondeterministic under interleaving);
 - ``REP404`` import-time side effects (I/O, RNG draws, env reads);
@@ -47,7 +49,10 @@ from .diagnostics import Diagnostic, apply_suppressions, noqa_lines
 DEFAULT_HOT_PATHS: Tuple[str, ...] = (
     "predict_encoded",
     "rank",
+    "rank_many",
     "recommend",
+    "recommend_many",
+    "feedback",
     "Counter.inc",
     "Gauge.set",
     "Histogram.observe",
@@ -67,6 +72,9 @@ DEFAULT_SHARED_CLASSES: Tuple[str, ...] = (
     "LITE",
     "EncodedTemplates",
     "DriftMonitor",
+    "ModelRegistry",
+    "LiteService",
+    "MicroBatcher",
 )
 
 
@@ -124,8 +132,32 @@ def check_global_mutation(program: Program, policy: ConcurrencyPolicy) -> List[D
 # ---------------------------------------------------------------------------
 # REP402 — singleton write reachable from a hot path
 # ---------------------------------------------------------------------------
+def _all_writers_locked(
+    program: Program, state_qual: str, hot_reachable: Set[str]
+) -> bool:
+    """Every hot-reachable direct writer of the state holds a lock.
+
+    ``has_lock_guard`` is per-function, not per-statement, so this accepts
+    a write anywhere inside a ``with ...lock...:`` function body — the
+    granularity the whole pass works at.  Writers outside the hot-reachable
+    set (checkpoint migrations, offline setup) run before the object is
+    published to serving threads, so they are not interleaving hazards and
+    do not need the lock.  A state with no known writers is *not* excused
+    (the write must have come through an unresolved path).
+    """
+    writers = [
+        w for w in program.writers_of(state_qual)
+        if program.functions[w].name != "__init__"
+    ]
+    return bool(writers) and all(
+        program.functions[w].has_lock_guard or w not in hot_reachable
+        for w in writers
+    )
+
+
 def check_hot_path_writes(program: Program, policy: ConcurrencyPolicy) -> List[Diagnostic]:
     out: List[Diagnostic] = []
+    hot_reachable = _hot_reachable(program, policy)
     for qual in sorted(program.functions):
         fn = program.functions[qual]
         if not policy.is_hot(fn):
@@ -136,6 +168,14 @@ def check_hot_path_writes(program: Program, policy: ConcurrencyPolicy) -> List[D
         for state_qual in sorted(program.effective_writes(qual)):
             state = program.shared.get(state_qual)
             if state is None or not _is_singleton_state(state, policy):
+                continue
+            # Per-thread state and consistently lock-guarded state are not
+            # hazards: the rule exists to surface *unprotected* interleaving,
+            # and demanding a baseline entry for every properly locked write
+            # would bury the real findings.
+            if state.is_thread_local or _all_writers_locked(
+                program, state_qual, hot_reachable
+            ):
                 continue
             owner = (f"{state.module}.{state.cls}" if state.cls else state.qualname)
             by_owner.setdefault(owner, []).append(state)
@@ -239,6 +279,8 @@ def check_check_then_act(program: Program, policy: ConcurrencyPolicy) -> List[Di
         for state_qual in sorted(set(fn.reads) & set(fn.writes)):
             state = program.shared.get(state_qual)
             if state is None or not state.is_shared(program.shared_classes):
+                continue
+            if state.is_thread_local:
                 continue
             if not (state.mutable or state.rebound):
                 continue

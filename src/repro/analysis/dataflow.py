@@ -82,6 +82,14 @@ def _is_rng_value(node: ast.AST) -> bool:
     return bool(chain) and chain[-1] in _RNG_CALLS
 
 
+def _is_thread_local_value(node: ast.AST) -> bool:
+    """``threading.local()`` (or any ``*.local()``) — per-thread by design."""
+    if not isinstance(node, ast.Call):
+        return False
+    chain = _attr_chain(node.func)
+    return bool(chain) and chain[-1] == "local"
+
+
 @dataclass
 class SharedState:
     """One piece of state that outlives a single function call."""
@@ -95,6 +103,9 @@ class SharedState:
     mutable: bool
     cls: Optional[str] = None     #: bare owning class name, if any
     is_rng: bool = False
+    #: Bound to ``threading.local()`` — each thread sees its own value, so
+    #: writes are not cross-thread hazards (REP402/REP405 skip these).
+    is_thread_local: bool = False
     #: Becomes True when some function rebinds the global via ``global``.
     rebound: bool = False
     #: For globals bound to a constructor call: the bare class name.
@@ -453,6 +464,7 @@ class Program:
             qualname=qual, kind=kind, module=mod.name, name=name,
             path=str(mod.path), lineno=lineno, cls=cls_name,
             mutable=_is_mutable_value(value), is_rng=_is_rng_value(value),
+            is_thread_local=_is_thread_local_value(value),
             value_class=value_class,
         )
 
@@ -520,6 +532,12 @@ class Program:
         qual = f"{mod.name}.{cls_name}.{node.name}" if cls_name else f"{mod.name}.{node.name}"
         info = FunctionInfo(qualname=qual, module=mod.name, name=node.name,
                             path=str(mod.path), lineno=node.lineno, cls=cls_name)
+        # Caller-holds-lock naming convention: a ``*_locked`` helper is
+        # only ever invoked with its owner's lock already held, so its
+        # writes count as guarded even though the ``with lock:`` lives in
+        # the caller (e.g. ``ModelRegistry._evict_over_budget_locked``).
+        if node.name.endswith("_locked"):
+            info.has_lock_guard = True
         visitor = _FunctionVisitor(info, mod)
         visitor.collect_locals(node)
         for stmt in node.body:

@@ -10,10 +10,12 @@ Commands
 - ``check-model`` static shape/graph check of the NECS variants
 - ``stats``      run an observable lifecycle and report the obs metrics
 - ``trace``      run an observable lifecycle with tracing, print the span tree
+- ``serve``      run the multi-tenant HTTP serving daemon over saved models
 - ``bench-recommend`` serving-latency benchmark (fast vs. reference path)
 - ``bench-train`` training-throughput benchmark (batched vs. reference engine)
 - ``bench-obs``  observability-overhead benchmark (suppressed/disabled/enabled)
 - ``bench-chaos`` fault-injection harness: the full lifecycle under chaos
+- ``bench-service`` serving-daemon benchmark (throughput/p99/bit-identity)
 
 Progress chatter goes to stderr through the shared ``repro.obs.log``
 logger (``-v`` for debug detail, ``-q`` for warnings only); results —
@@ -182,6 +184,37 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bobs.add_argument("--out", default="BENCH_obs.json",
                         help="where to write the JSON report")
     p_bobs.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve one or more saved LITE models over HTTP (multi-tenant)")
+    p_serve.add_argument("--model", action="append", default=[],
+                         metavar="NAME=PATH",
+                         help="tenant checkpoint as name=path (repeatable)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="port to bind (0 = OS-assigned)")
+    p_serve.add_argument("--max-tenants", type=int, default=4,
+                         help="models kept loaded at once (LRU beyond this)")
+    p_serve.add_argument("--max-inflight", type=int, default=16,
+                         help="concurrent requests before shedding with 503")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         help="micro-batch hold-open window per tenant")
+
+    p_bsvc = sub.add_parser(
+        "bench-service",
+        help="benchmark the serving daemon: throughput, p99, bit-identical "
+             "rankings, eviction and load shedding")
+    p_bsvc.add_argument("--tenants", type=int, default=2)
+    p_bsvc.add_argument("--requests", type=int, default=200)
+    p_bsvc.add_argument("--threads", type=int, default=4)
+    p_bsvc.add_argument("--candidates", type=int, default=8)
+    p_bsvc.add_argument("--seed", type=int, default=0)
+    p_bsvc.add_argument("--smoke", action="store_true",
+                        help="tiny tenants and few requests (CI gate)")
+    p_bsvc.add_argument("--out", default="BENCH_service.json",
+                        help="where to write the JSON report")
+    p_bsvc.add_argument("--json", action="store_true", help="machine-readable output")
 
     p_chaos = sub.add_parser(
         "bench-chaos",
@@ -503,6 +536,62 @@ def cmd_bench_obs(args) -> int:
     return 0 if result["within_budget"] else 1
 
 
+def cmd_serve(args) -> int:
+    from .serve import LiteService, ModelRegistry, ServiceConfig, make_server
+
+    checkpoints = {}
+    for item in args.model:
+        if "=" not in item:
+            raise SystemExit(f"--model expects NAME=PATH, got {item!r}")
+        name, path = item.split("=", 1)
+        checkpoints[name] = path
+    if not checkpoints:
+        raise SystemExit("serve needs at least one --model NAME=PATH tenant")
+    config = ServiceConfig(
+        host=args.host, port=args.port,
+        max_tenants=args.max_tenants, max_inflight=args.max_inflight,
+        batch_window_s=args.batch_window_ms / 1e3,
+    )
+    service = LiteService(ModelRegistry(checkpoints, max_tenants=args.max_tenants),
+                          config)
+    server = make_server(service)
+    host, port = server.server_address[:2]
+    _result(f"serving {len(checkpoints)} tenant(s) on http://{host}:{port} "
+            f"(POST /v1/recommend, POST /v1/feedback, GET /v1/stats, GET /v1/health)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        _LOG.info("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+def cmd_bench_service(args) -> int:
+    from .experiments.service_bench import run_service_benchmark
+
+    _LOG.info("training tenant checkpoints and driving the daemon...")
+    result = run_service_benchmark(
+        n_tenants=args.tenants, n_requests=args.requests,
+        threads=args.threads, n_candidates=args.candidates,
+        smoke=args.smoke, seed=args.seed, out=args.out,
+    )
+    if args.json:
+        _result(json.dumps(result, indent=2))
+    else:
+        lat = result["latency"]
+        _result(f"serving daemon, {result['n_tenants']} tenants, "
+                f"{result['n_requests']} requests x {result['threads']} threads:")
+        _result(f"  throughput {result['throughput_rps']:8.1f} req/s   "
+                f"p50 {lat['p50_ms']:7.1f} ms   p99 {lat['p99_ms']:7.1f} ms")
+        _result(f"  overload: {result['overload']['rejections']}/"
+                f"{result['overload']['burst']} shed with Retry-After")
+        for name, ok in sorted(result["checks"].items()):
+            _result(f"  [{'ok' if ok else 'FAIL'}] {name}")
+        _result(f"wrote {result['out']}")
+    return 0 if result["ok"] else 1
+
+
 def cmd_bench_chaos(args) -> int:
     from .experiments.chaos import ChaosError, run_chaos
 
@@ -554,7 +643,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check-model": cmd_check_model,
         "stats": cmd_stats,
         "trace": cmd_trace,
+        "serve": cmd_serve,
         "bench-recommend": cmd_bench_recommend,
+        "bench-service": cmd_bench_service,
         "bench-train": cmd_bench_train,
         "bench-obs": cmd_bench_obs,
         "bench-chaos": cmd_bench_chaos,

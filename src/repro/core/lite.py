@@ -16,6 +16,7 @@ Ties everything together:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -54,18 +55,43 @@ class LITEConfig:
     seed: int = 0
 
 
+@dataclass
+class RecommendQuery:
+    """One recommendation request inside a :meth:`LITE.recommend_many` batch."""
+
+    data_features: np.ndarray
+    n_candidates: Optional[int] = None
+    rng: Optional[np.random.Generator] = None
+
+
 class LITE:
-    """The end-to-end tuning system."""
+    """The end-to-end tuning system.
+
+    Thread safety: one instance may serve concurrent ``recommend`` /
+    ``feedback`` / ``stats`` callers (the multi-tenant daemon in
+    :mod:`repro.serve` runs one LITE per tenant under a thread pool).
+    All mutation of per-instance serving state — the template/encoding
+    caches, the probe-overhead ledger, the recommendation substream
+    counters and the feedback corpus — is serialised by ``self._lock``
+    (an ``RLock``: ``feedback`` holds it across ``adaptive_update``).
+    Default-rng recommendations draw from a per-application substream
+    ``derive(seed, "recommend", app, call_index)`` so each tenant's
+    ranking sequence is deterministic and independent of every other
+    application's call volume or thread interleaving.
+    """
 
     def __init__(self, config: LITEConfig = None):
         self.config = config or LITEConfig()
         self.estimator = NECSEstimator(self.config.necs)
         self.candidate_generator = AdaptiveCandidateGenerator(seed=self.config.seed)
         self.recommender = KnobRecommender(self.estimator)
-        # One generator for the lifetime of the instance: building a fresh
-        # identically-seeded generator per recommend call would make every
-        # default-rng recommendation sample the exact same candidate set.
-        self._recommend_rng = derive(self.config.seed, "recommend")
+        self._lock = threading.RLock()
+        # Per-application call counters feeding the default-rng substreams:
+        # building a fresh identically-seeded generator per recommend call
+        # would make every default-rng recommendation sample the exact same
+        # candidate set, and one shared advancing generator would make each
+        # app's rankings depend on every *other* app's call history.
+        self._recommend_seq: Dict[str, int] = {}
         self._templates: Dict[str, List[StageInstance]] = {}
         self._encoded: Dict[str, EncodedTemplates] = {}
         self._probe_overhead: Dict[str, float] = {}
@@ -82,6 +108,29 @@ class LITE:
         self.trained = False
 
     # ------------------------------------------------------------------
+    # Pickling: locks are per-process, not part of the model state.
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    def clear_serving_caches(self) -> None:
+        """Drop the per-app encoded-template caches.
+
+        The serving registry calls this on tenant eviction so the LRU
+        budget releases the encoder outputs, which dominate a hot
+        tenant's memory footprint; the caches repopulate lazily on the
+        next recommend.
+        """
+        with self._lock:
+            self._encoded.clear()
+
+    # ------------------------------------------------------------------
     # Offline phase
     # ------------------------------------------------------------------
     def offline_train(self, runs: Sequence[AppRun], verbose: bool = False) -> "LITE":
@@ -93,18 +142,20 @@ class LITE:
                     fsp.set(n_runs=len(runs), n_instances=len(instances))
             if not instances:
                 raise ValueError("training runs produced no stage instances")
-            self._source_instances = instances
             self.estimator.fit(instances, verbose=verbose)
             with obs.span(obsn.SPAN_ACG_FIT):
                 self.candidate_generator.fit(list(runs))
-            self._templates = {}
-            self._encoded = {}
-            for run in runs:
-                if run.success:
-                    current = self._templates.get(run.app_name)
-                    # Keep the structurally richest run as the template source.
-                    if current is None or run.num_stages > len(current):
-                        self._templates[run.app_name] = instances_from_run(run)
+            with self._lock:
+                self._source_instances = instances
+                self._templates = {}
+                self._encoded = {}
+                for run in runs:
+                    if run.success:
+                        current = self._templates.get(run.app_name)
+                        # Keep the structurally richest run as the template
+                        # source.
+                        if current is None or run.num_stages > len(current):
+                            self._templates[run.app_name] = instances_from_run(run)
             self.trained = True
             if sp:
                 sp.set(n_runs=len(runs), n_instances=len(instances),
@@ -143,21 +194,26 @@ class LITE:
         timed section, so its full cost is attributed here (and recorded
         on the returned :class:`Recommendation`) instead of leaking into
         the first ``rank`` after a miss or a version-bump invalidation.
+
+        The whole check-then-encode-then-insert runs under the instance
+        lock: two concurrent misses for one app would otherwise both
+        encode and clobber each other's insert.
         """
-        cached = self._encoded.get(app_name)
-        if cached is not None and cached.version == self.estimator.version:
-            obs.counter(obsn.CTR_CACHE_HIT).inc()
-            return cached, True, 0.0
-        if cached is None:
-            obs.counter(obsn.CTR_CACHE_MISS).inc()
-        else:
-            obs.counter(obsn.CTR_CACHE_INVALIDATION).inc()
-        t0 = time.perf_counter()
-        cached = self.estimator.encode_templates(self.stage_templates(app_name))
-        self.estimator.template_embeddings(cached)
-        encode_s = time.perf_counter() - t0
-        self._encoded[app_name] = cached
-        return cached, False, encode_s
+        with self._lock:
+            cached = self._encoded.get(app_name)
+            if cached is not None and cached.version == self.estimator.version:
+                obs.counter(obsn.CTR_CACHE_HIT).inc()
+                return cached, True, 0.0
+            if cached is None:
+                obs.counter(obsn.CTR_CACHE_MISS).inc()
+            else:
+                obs.counter(obsn.CTR_CACHE_INVALIDATION).inc()
+            t0 = time.perf_counter()
+            cached = self.estimator.encode_templates(self.stage_templates(app_name))
+            self.estimator.template_embeddings(cached)
+            encode_s = time.perf_counter() - t0
+            self._encoded[app_name] = cached
+            return cached, False, encode_s
 
     def cold_start_probe(
         self,
@@ -211,9 +267,10 @@ class LITE:
                         f"{retry_run_.failure_reason!r} with the minimal configuration"
                     )
                 run = retry_run_
-            self._templates[workload.name] = instances_from_run(run)
-            self._encoded.pop(workload.name, None)
-            self._probe_overhead[workload.name] = probe_time
+            with self._lock:
+                self._templates[workload.name] = instances_from_run(run)
+                self._encoded.pop(workload.name, None)
+                self._probe_overhead[workload.name] = probe_time
             if sp:
                 sp.set(app=workload.name, probe_time_s=round(probe_time, 3))
         return probe_time
@@ -229,44 +286,109 @@ class LITE:
         n_candidates: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> Recommendation:
-        """Recommend knob values for an application on target data/cluster."""
+        """Recommend knob values for an application on target data/cluster.
+
+        A single call is exactly a one-element :meth:`recommend_many`
+        batch, so serving-daemon micro-batches and direct library calls
+        produce bit-identical rankings by construction.
+        """
+        return self.recommend_many(
+            app_name,
+            [RecommendQuery(data_features, n_candidates, rng)],
+            cluster,
+        )[0]
+
+    def recommend_many(
+        self,
+        app_name: str,
+        queries: Sequence[RecommendQuery],
+        cluster: ClusterSpec,
+    ) -> List[Recommendation]:
+        """Answer several recommendation queries for one app in one forward.
+
+        Candidate generation stays per-query (each query draws from its own
+        RNG), but the template encoding is fetched once and every query's
+        candidates are scored by a single ``predict_encoded`` call — the
+        cross-request micro-batching primitive the serving daemon builds on.
+        ``predict_encoded`` is row-wise bit-stable across batch sizes, so
+        each query's ranking is identical to what a standalone
+        :meth:`recommend` with the same RNG would return.
+        """
         if not self.trained:
             raise RuntimeError("LITE must be trained before recommending")
+        if not queries:
+            raise ValueError("no recommendation queries")
         with obs.span(obsn.SPAN_RECOMMEND) as sp:
-            obs.counter(obsn.CTR_RECOMMENDATIONS).inc()
-            if rng is None:
-                rng = self._recommend_rng
-            n = n_candidates or self.config.n_candidates
-            data_features = np.asarray(data_features, dtype=np.float64)
-            candidates = self.candidate_generator.generate(
-                app_name, float(data_features[0]), n, rng
-            )
-            # Free submit-time validity check (what spark-submit/YARN would
-            # reject immediately): drop candidates the cluster cannot host.
-            hostable = self._filter_hostable(candidates, cluster)
-            if not hostable:
-                # The ACG region was learned on the training clusters and can
-                # sit entirely outside what this cluster hosts; never rank (and
-                # recommend) confs that would be rejected at submit time —
-                # widen to the full knob ranges instead.
-                hostable = self._sample_hostable(cluster, n, rng)
+            obs.counter(obsn.CTR_RECOMMENDATIONS).inc(len(queries))
+            prepared: List[Tuple[np.ndarray, int]] = []
+            for q in queries:
+                feats = np.atleast_1d(np.asarray(q.data_features, dtype=np.float64))
+                if feats.size == 0:
+                    raise ValueError(
+                        f"data_features for {app_name!r} is empty; expected at "
+                        "least the datasize feature"
+                    )
+                if q.n_candidates is None:
+                    n = self.config.n_candidates
+                else:
+                    n = int(q.n_candidates)
+                    if n < 1:
+                        raise ValueError(
+                            f"n_candidates must be >= 1, got {q.n_candidates!r}"
+                        )
+                prepared.append((feats, n))
+            with self._lock:
+                rngs: List[np.random.Generator] = []
+                for q in queries:
+                    if q.rng is not None:
+                        rngs.append(q.rng)
+                        continue
+                    seq = self._recommend_seq.get(app_name, 0)
+                    self._recommend_seq[app_name] = seq + 1
+                    rngs.append(
+                        derive(self.config.seed, "recommend", app_name, str(seq))
+                    )
+            per_query: List[List[SparkConf]] = []
+            for (feats, n), rng in zip(prepared, rngs):
+                candidates = self.candidate_generator.generate(
+                    app_name, float(feats[0]), n, rng
+                )
+                # Free submit-time validity check (what spark-submit/YARN
+                # would reject immediately): drop candidates the cluster
+                # cannot host.
+                hostable = self._filter_hostable(candidates, cluster)
+                if not hostable:
+                    # The ACG region was learned on the training clusters and
+                    # can sit entirely outside what this cluster hosts; never
+                    # rank (and recommend) confs that would be rejected at
+                    # submit time — widen to the full knob ranges instead.
+                    hostable = self._sample_hostable(cluster, n, rng)
+                per_query.append(hostable)
             templates = self.stage_templates(app_name)
             encoded, cache_hit, encode_s = self._encoded_with_status(app_name)
-            rec = self.recommender.rank(
-                templates, hostable, data_features, cluster, encoded=encoded,
+            recs = self.recommender.rank_many(
+                templates, per_query, [p[0] for p in prepared], cluster,
+                encoded=encoded,
             )
-            # A cold encode (first use, or a fit/adaptive-update version
-            # bump) is real serving latency but not ranking latency: report
-            # it on its own field instead of folding it into overhead_s.
-            rec.template_cache_hit = cache_hit
-            rec.encode_overhead_s = encode_s
-            # The first recommendation after a cold-start probe carries the
-            # probe's cost (counting it on every call would double-book it).
-            rec.probe_overhead_s = self._probe_overhead.pop(app_name, 0.0)
+            with self._lock:
+                probe_s = self._probe_overhead.pop(app_name, 0.0)
+            for i, rec in enumerate(recs):
+                # A cold encode (first use, or a fit/adaptive-update version
+                # bump) is real serving latency but not ranking latency:
+                # report it on its own field instead of folding it into
+                # overhead_s.  In a batch both one-off costs belong to the
+                # first query, mirroring what sequential calls would see.
+                rec.template_cache_hit = cache_hit
+                rec.encode_overhead_s = encode_s if i == 0 else 0.0
+                # The first recommendation after a cold-start probe carries
+                # the probe's cost (counting it on every call would
+                # double-book it).
+                rec.probe_overhead_s = probe_s if i == 0 else 0.0
             if sp:
-                sp.set(app=app_name, n_candidates=len(hostable),
+                sp.set(app=app_name, n_queries=len(queries),
+                       n_candidates=sum(len(h) for h in per_query),
                        cache_hit=cache_hit)
-        return rec
+        return recs
 
     @staticmethod
     def _filter_hostable(
@@ -348,35 +470,37 @@ class LITE:
         """
         with obs.span(obsn.SPAN_FEEDBACK) as sp:
             obs.counter(obsn.CTR_FEEDBACK_RUNS).inc()
-            if run.success:
-                instances = instances_from_run(run)
-                self._feedback_runs.append(run)
-                self._feedback_instances.extend(instances)
-                if getattr(run, "truncated", False):
-                    obs.counter(obsn.CTR_FEEDBACK_TRUNCATED).inc()
+            with self._lock:
+                if run.success:
+                    instances = instances_from_run(run)
+                    self._feedback_runs.append(run)
+                    self._feedback_instances.extend(instances)
+                    if getattr(run, "truncated", False):
+                        obs.counter(obsn.CTR_FEEDBACK_TRUNCATED).inc()
+                    else:
+                        self._record_drift(instances)
                 else:
-                    self._record_drift(instances)
-            else:
-                obs.counter(obsn.CTR_FEEDBACK_FAILED).inc()
-            ready = len(self._feedback_runs) >= self.config.feedback_batch_size
-            updated = False
-            # An explicit update request must retrain even when the current
-            # batch is empty but earlier batches were retained: the caller
-            # asked for a refresh of the model on everything seen so far.
-            triggered = (
-                (ready and bool(self._feedback_instances))
-                or (update_now and bool(self._feedback_instances or self._target_instances))
-            )
-            if triggered:
-                # Fold the consumed batch into the retained feedback corpus, so
-                # each update trains on *all* production feedback seen so far —
-                # consuming a batch must not make the model forget earlier rounds.
-                self._target_instances.extend(self._feedback_instances)
-                self._feedback_runs = []
-                self._feedback_instances = []
-                self.adaptive_update(self._target_instances)
-                obs.counter(obsn.CTR_UPDATES_TRIGGERED).inc()
-                updated = True
+                    obs.counter(obsn.CTR_FEEDBACK_FAILED).inc()
+                ready = len(self._feedback_runs) >= self.config.feedback_batch_size
+                updated = False
+                # An explicit update request must retrain even when the current
+                # batch is empty but earlier batches were retained: the caller
+                # asked for a refresh of the model on everything seen so far.
+                triggered = (
+                    (ready and bool(self._feedback_instances))
+                    or (update_now and bool(self._feedback_instances or self._target_instances))
+                )
+                if triggered:
+                    # Fold the consumed batch into the retained feedback
+                    # corpus, so each update trains on *all* production
+                    # feedback seen so far — consuming a batch must not make
+                    # the model forget earlier rounds.
+                    self._target_instances.extend(self._feedback_instances)
+                    self._feedback_runs = []
+                    self._feedback_instances = []
+                    self.adaptive_update(self._target_instances)
+                    obs.counter(obsn.CTR_UPDATES_TRIGGERED).inc()
+                    updated = True
             if sp:
                 sp.set(app=run.app_name, success=run.success, updated=updated)
             return updated
@@ -387,10 +511,13 @@ class LITE:
             # Feedback can legally arrive before NECS is fitted (tests,
             # pure-accumulation callers); there is no prediction to drift.
             return
-        predicted = self.estimator.predict(list(instances))
-        actual = np.array([inst.stage_time_s for inst in instances])
-        self.drift.record(predicted, actual)
-        stats = self.drift.stats()
+        # Re-entrant under feedback()'s lock; taken again here so a direct
+        # caller gets the same predict-vs-record consistency.
+        with self._lock:
+            predicted = self.estimator.predict(list(instances))
+            actual = np.array([inst.stage_time_s for inst in instances])
+            self.drift.record(predicted, actual)
+            stats = self.drift.stats()
         obs.gauge(obsn.GAUGE_DRIFT_N).set(stats.n)
         obs.gauge(obsn.GAUGE_DRIFT_SIGNED_ERR).set(stats.mean_signed_rel_err)
         obs.gauge(obsn.GAUGE_DRIFT_P).set(stats.wilcoxon_p)
@@ -415,8 +542,12 @@ class LITE:
         show whether the refresh actually closed the gap.
         """
         with obs.span(obsn.SPAN_ADAPTIVE_UPDATE) as sp:
-            updater = AdaptiveModelUpdater(self.estimator, self.config.update)
-            updater.update(self._source_instances, list(target_instances))
+            with self._lock:
+                # Serialised against recommend: the update bumps the
+                # estimator version mid-flight, and a concurrent encode
+                # against half-updated weights would poison the cache.
+                updater = AdaptiveModelUpdater(self.estimator, self.config.update)
+                updater.update(self._source_instances, list(target_instances))
             if sp:
                 sp.set(n_source=len(self._source_instances),
                        n_target=len(target_instances))

@@ -21,6 +21,7 @@ competitors of Table VII, and ``use_dag=False`` drops the GCN path.
 from __future__ import annotations
 
 import logging
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
@@ -213,6 +214,20 @@ class EncodedTemplates:
     version: int                                           # estimator.version at encode time
     h_code: Optional[np.ndarray] = None                    # (S, code_out), lazy
     h_dag: Optional[np.ndarray] = None                     # (S, gcn_hidden), lazy
+    #: Serialises the lazy ``h_code``/``h_dag`` fill: two concurrent first
+    #: uses would otherwise both run the CNN/GCN and clobber each other.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False,
+    )
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
 
 class NECSEstimator:
@@ -553,13 +568,14 @@ class NECSEstimator:
         if self.network is None:
             raise RuntimeError("NECS is not fitted")
         self._check_version(encoded)
-        if self.config.code_encoder != "none" and encoded.h_code is None:
-            with self._eval_mode():
-                encoded.h_code = self.network._encode_code(encoded.code_ids).numpy()
-        if self.config.use_dag and encoded.h_dag is None:
-            with self._eval_mode():
-                encoded.h_dag = self.network._encode_dags(encoded.graphs).numpy()
-        return encoded.h_code, encoded.h_dag
+        with encoded._lock:
+            if self.config.code_encoder != "none" and encoded.h_code is None:
+                with self._eval_mode():
+                    encoded.h_code = self.network._encode_code(encoded.code_ids).numpy()
+            if self.config.use_dag and encoded.h_dag is None:
+                with self._eval_mode():
+                    encoded.h_dag = self.network._encode_dags(encoded.graphs).numpy()
+            return encoded.h_code, encoded.h_dag
 
     def predict_encoded(
         self, encoded: EncodedTemplates, numeric_rows: np.ndarray

@@ -35,7 +35,11 @@ FORMAT = "repro-lite"
 # recorded by ``feedback`` and read by ``drift_stats``/``should_update``).
 # v4: LITE grew the per-instance recommendation RNG (the fix for the
 # fresh-identically-seeded-generator-per-call bug).
-VERSION = 4
+# v5: the single shared recommendation RNG became per-app derived
+# substreams (``_recommend_seq`` counters) so concurrent tenants draw
+# independent, deterministic candidate sequences; the ``_recommend_rng``
+# attribute is gone.
+VERSION = 5
 
 
 def save_lite(
@@ -100,9 +104,23 @@ def _migrate_v3_to_v4(payload: Dict[str, object]) -> Dict[str, object]:
     return {**payload, "version": 4}
 
 
+def _migrate_v4_to_v5(payload: Dict[str, object]) -> Dict[str, object]:
+    """v4 -> v5: shared recommend RNG -> per-app derived substreams."""
+    lite = payload["lite"]
+    # The old generator's position is deliberately dropped: substreams are
+    # re-derived from (seed, app, seq), so a migrated checkpoint recommends
+    # exactly like a freshly trained one.
+    if hasattr(lite, "_recommend_rng"):
+        del lite._recommend_rng
+    if not hasattr(lite, "_recommend_seq"):
+        lite._recommend_seq = {}
+    return {**payload, "version": 5}
+
+
 _MIGRATIONS: Dict[int, Callable[[Dict[str, object]], Dict[str, object]]] = {
     2: _migrate_v2_to_v3,
     3: _migrate_v3_to_v4,
+    4: _migrate_v4_to_v5,
 }
 
 
@@ -134,7 +152,17 @@ def load_lite(path: Union[str, Path]) -> LITE:
                 f"migration, writes version {VERSION})"
             )
         payload = migrate(payload)
-        version = payload.get("version")
+        new_version = payload.get("version")
+        # A migration that fails to advance the version would spin this
+        # loop forever (or re-run other migrations ad infinitum); surface
+        # the buggy migration instead of hanging the loader.
+        if not isinstance(new_version, int) or new_version <= version:
+            raise ValueError(
+                f"migration from LITE format version {version} did not "
+                f"advance the payload (got {new_version!r}); refusing to "
+                f"loop on a non-advancing migration"
+            )
+        version = new_version
     lite = payload["lite"]
     if not isinstance(lite, LITE) or not lite.trained:
         raise ValueError(f"{path} does not contain a trained LITE system")

@@ -92,8 +92,33 @@ class KnobRecommender:
         across calls; without it the templates are encoded here, which still
         amortises the code/DAG embeddings over all candidates.
         """
-        if not candidates:
-            raise ValueError("no candidate configurations")
+        return self.rank_many(
+            templates, [candidates], [data_features], cluster, encoded=encoded,
+        )[0]
+
+    def rank_many(
+        self,
+        templates: Sequence[StageInstance],
+        candidate_lists: Sequence[Sequence[SparkConf]],
+        data_features_list: Sequence[np.ndarray],
+        cluster: ClusterSpec,
+        encoded: Optional[EncodedTemplates] = None,
+    ) -> List[Recommendation]:
+        """Rank several candidate lists against one template set at once.
+
+        The micro-batching primitive: every list's numeric rows are stacked
+        into a single ``predict_encoded`` forward, then split back into one
+        :class:`Recommendation` per list.  ``predict_encoded`` is row-wise
+        bit-stable across batch sizes, so each returned ranking is identical
+        to what a standalone :meth:`rank` over that list would produce.
+        """
+        if not candidate_lists:
+            raise ValueError("no candidate lists to rank")
+        if len(candidate_lists) != len(data_features_list):
+            raise ValueError("one data_features row is required per candidate list")
+        for candidates in candidate_lists:
+            if not candidates:
+                raise ValueError("no candidate configurations")
         with obs.span(obsn.SPAN_RANK) as sp:
             start = time.perf_counter()
             if encoded is None:
@@ -101,14 +126,29 @@ class KnobRecommender:
                     raise ValueError("no stage templates for the application")
                 encoded = self.estimator.encode_templates(templates)
 
-            knob_matrix = np.stack([conf.to_vector() for conf in candidates])
-            numeric = numeric_feature_rows(
-                knob_matrix, data_features, cluster.feature_vector()
-            )
+            env = cluster.feature_vector()
+            rows = [
+                numeric_feature_rows(
+                    np.stack([conf.to_vector() for conf in candidates]),
+                    data_features, env,
+                )
+                for candidates, data_features
+                in zip(candidate_lists, data_features_list)
+            ]
+            numeric = rows[0] if len(rows) == 1 else np.concatenate(rows, axis=0)
             per_stage = self.estimator.predict_encoded(encoded, numeric)
+            totals = per_stage.sum(axis=1)
+            out: List[Recommendation] = []
+            offset = 0
+            for candidates in candidate_lists:
+                segment = totals[offset:offset + len(candidates)]
+                offset += len(candidates)
+                out.append(self._build(candidates, segment, start))
             if sp:
-                sp.set(n_candidates=len(candidates), n_stages=encoded.n_stages)
-            return self._build(candidates, per_stage.sum(axis=1), start)
+                sp.set(n_queries=len(candidate_lists),
+                       n_candidates=int(numeric.shape[0]),
+                       n_stages=encoded.n_stages)
+            return out
 
     def rank_per_instance(
         self,

@@ -1,0 +1,361 @@
+"""Serving-daemon benchmark: multi-tenant load against the HTTP service.
+
+``repro bench-recommend`` measures the ranking *library* fast path; this
+benchmark measures the *daemon* wrapped around it — the thing the paper's
+"low-overhead online tuning" claim meets in production.  One process
+hosts several tenants (independently trained LITE checkpoints) behind
+:class:`repro.serve.LiteService`; threaded clients then drive it through
+six phases:
+
+1. **endpoints** — health/stats plus one deliberately malformed request
+   (the error path must count, not crash);
+2. **correctness** — seeded recommends over HTTP, interleaved across
+   tenants, compared field-for-field against direct library calls on
+   pristine copies of the same checkpoints.  The gate is *bit-identical
+   rankings*: micro-batching and tenant interleaving must not change a
+   single ulp of any ranking;
+3. **throughput** — sustained concurrent load; gates on requests/sec and
+   client-observed p99 latency;
+4. **coalescing** — a barrier-released burst for one (tenant, app) must
+   coalesce into fewer model forwards than requests;
+5. **eviction** — touching one tenant more than the registry budget
+   evicts the LRU idle tenant (and the evicted tenant still answers
+   afterwards, via lazy reload);
+6. **overload** — a burst against a 1-slot service must shed load with
+   503 + ``Retry-After``, not queue unboundedly.
+
+Emits ``BENCH_service.json`` via the shared report writer; ``ok`` is the
+conjunction of every phase's check, and the CI ``service`` job gates on
+it (``repro bench-service --smoke``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .. import obs
+from ..obs import names as obsn
+from ..core.persistence import load_lite, save_lite
+from ..serve import LiteService, ModelRegistry, ServiceConfig, make_server
+from ..utils.rng import get_rng
+from .report import write_bench_report
+from .serving_bench import build_serving_lite
+
+DEFAULT_OUT = "BENCH_service.json"
+
+#: Gates for the CI smoke run — deliberately loose (shared runners), but
+#: real: a deadlocked batcher, an unbounded queue or a serialised server
+#: all blow straight through them.
+SMOKE_BUDGET = {"throughput_min_rps": 5.0, "p99_max_s": 2.0}
+FULL_BUDGET = {"throughput_min_rps": 20.0, "p99_max_s": 1.0}
+
+
+# ---------------------------------------------------------------------------
+# Tiny HTTP client (stdlib; one connection per request is plenty here)
+# ---------------------------------------------------------------------------
+def _request(
+    port: int, method: str, path: str, payload: Optional[Dict] = None,
+    raw_body: Optional[bytes] = None,
+) -> Tuple[int, Dict, Dict[str, str]]:
+    url = f"http://127.0.0.1:{port}{path}"
+    data = raw_body
+    if data is None and payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def _percentiles_ms(samples_s: List[float]) -> Dict[str, float]:
+    arr = np.asarray(samples_s, dtype=np.float64)
+    return {
+        "p50_ms": float(np.percentile(arr, 50)) * 1e3,
+        "p95_ms": float(np.percentile(arr, 95)) * 1e3,
+        "p99_ms": float(np.percentile(arr, 99)) * 1e3,
+        "mean_ms": float(arr.mean()) * 1e3,
+    }
+
+
+def _counter_value(name: str) -> int:
+    snapshot = obs.registry().snapshot()
+    entry = snapshot.get(name)
+    return int(entry["value"]) if entry else 0
+
+
+# ---------------------------------------------------------------------------
+# The benchmark
+# ---------------------------------------------------------------------------
+def run_service_benchmark(
+    n_tenants: int = 2,
+    n_requests: int = 200,
+    threads: int = 4,
+    n_candidates: int = 8,
+    smoke: bool = False,
+    seed: int = 0,
+    out: Optional[Union[str, Path]] = DEFAULT_OUT,
+    work_dir: Optional[Union[str, Path]] = None,
+) -> Dict[str, object]:
+    """Run all six phases and emit ``BENCH_service.json``."""
+    import tempfile
+
+    if smoke:
+        n_tenants = min(n_tenants, 2)
+        n_requests = min(n_requests, 24)
+        n_candidates = min(n_candidates, 6)
+    budget = SMOKE_BUDGET if smoke else FULL_BUDGET
+    app = "PageRank"   # the one app every build_serving_lite corpus contains
+    obs.reset_metrics()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(work_dir) if work_dir is not None else Path(tmp)
+        # One extra checkpoint beyond the registry budget: requesting it
+        # later is the eviction proof.
+        names = [f"tenant-{i}" for i in range(n_tenants + 1)]
+        checkpoints: Dict[str, Path] = {}
+        for i, name in enumerate(names):
+            lite = build_serving_lite(smoke=smoke, seed=seed + i)
+            checkpoints[name] = save_lite(lite, base / f"{name}.pkl")
+        data_features = [float(x) for x in _app_features(app)]
+
+        registry = ModelRegistry(checkpoints, max_tenants=n_tenants)
+        main = make_server(LiteService(registry, ServiceConfig(
+            max_tenants=n_tenants, max_inflight=max(threads * 4, 16),
+            batch_window_s=0.002,
+        )))
+        coalesce = make_server(LiteService(registry, ServiceConfig(
+            max_inflight=64, batch_window_s=0.05,
+        )))
+        overload = make_server(LiteService(registry, ServiceConfig(
+            max_inflight=1, batch_window_s=0.05,
+        )))
+        servers = (main, coalesce, overload)
+        for server in servers:
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+        port = main.server_address[1]
+        try:
+            result = _run_phases(
+                port, coalesce.server_address[1], overload.server_address[1],
+                registry, names, app, data_features,
+                n_tenants=n_tenants, n_requests=n_requests, threads=threads,
+                n_candidates=n_candidates, seed=seed, budget=budget,
+                checkpoints=checkpoints,
+            )
+        finally:
+            for server in servers:
+                server.shutdown()
+                server.server_close()
+
+    result.update(smoke=smoke, n_tenants=n_tenants, budget=budget)
+    result["ok"] = all(result["checks"].values())
+    if out is not None:
+        path = write_bench_report(
+            out, "service", result,
+            config={
+                "n_tenants": n_tenants, "n_requests": n_requests,
+                "threads": threads, "n_candidates": n_candidates,
+                "smoke": smoke, "seed": seed,
+            },
+        )
+        result["out"] = str(path)
+    return result
+
+
+def _app_features(app: str) -> np.ndarray:
+    from ..workloads import get_workload
+
+    return get_workload(app).data_spec("test").features()
+
+
+def _run_phases(
+    port: int,
+    coalesce_port: int,
+    overload_port: int,
+    registry: ModelRegistry,
+    names: List[str],
+    app: str,
+    data_features: List[float],
+    n_tenants: int,
+    n_requests: int,
+    threads: int,
+    n_candidates: int,
+    seed: int,
+    budget: Dict[str, float],
+    checkpoints: Dict[str, Path],
+) -> Dict[str, object]:
+    serving = names[:n_tenants]
+    overflow = names[n_tenants]
+    checks: Dict[str, bool] = {}
+
+    # -- phase 1: endpoints + error path --------------------------------
+    status, body, _ = _request(port, "GET", "/v1/health")
+    checks["health_ok"] = status == 200 and body.get("status") == "ok"
+    status, body, _ = _request(port, "GET", "/v1/stats")
+    checks["stats_ok"] = status == 200 and "metrics" in body
+    status, body, _ = _request(port, "POST", "/v1/recommend", raw_body=b"{not json")
+    checks["malformed_json_rejected"] = status == 400
+
+    # -- phase 2: interleaved seeded recommends, bit-identical ----------
+    def seeded_recommend(tenant: str, rng_seed: int):
+        return _request(port, "POST", "/v1/recommend", {
+            "tenant": tenant, "app": app, "data_features": data_features,
+            "n_candidates": n_candidates, "seed": rng_seed,
+        })
+
+    probes = [
+        (tenant, seed + 100 + k)
+        for tenant in serving
+        for k in range(2 if budget is SMOKE_BUDGET else 5)
+    ]
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        served = list(pool.map(lambda tk: seeded_recommend(*tk), probes))
+    from ..sparksim.cluster import get_cluster
+
+    cluster = get_cluster("C")
+    identical = all(s == 200 for s, _, _ in served)
+    for (tenant, rng_seed), (status, body, _) in zip(probes, served):
+        if status != 200:
+            identical = False
+            break
+        pristine = load_lite(checkpoints[tenant])
+        rec = pristine.recommend(
+            app, np.asarray(data_features), cluster,
+            n_candidates=n_candidates, rng=get_rng(rng_seed),
+        )
+        expected = json.loads(json.dumps(
+            [[conf.as_dict(), t] for conf, t in rec.ranking]
+        ))
+        if expected != body["ranking"]:
+            identical = False
+            break
+    checks["rankings_bit_identical"] = identical
+
+    # -- phase 3: sustained concurrent throughput -----------------------
+    latencies: List[float] = []
+    lat_lock = threading.Lock()
+
+    def timed_request(i: int) -> int:
+        tenant = serving[i % len(serving)]
+        t0 = time.perf_counter()
+        status, _, _ = _request(port, "POST", "/v1/recommend", {
+            "tenant": tenant, "app": app, "data_features": data_features,
+            "n_candidates": n_candidates, "seed": seed + 1000 + i,
+        })
+        elapsed = time.perf_counter() - t0
+        with lat_lock:
+            latencies.append(elapsed)
+        return status
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        statuses = list(pool.map(timed_request, range(n_requests)))
+    elapsed = time.perf_counter() - t0
+    throughput = n_requests / elapsed if elapsed > 0 else float("inf")
+    latency = _percentiles_ms(latencies)
+    checks["load_all_succeeded"] = all(s == 200 for s in statuses)
+    checks["throughput_floor"] = throughput >= budget["throughput_min_rps"]
+    checks["p99_bounded"] = latency["p99_ms"] / 1e3 <= budget["p99_max_s"]
+
+    # -- phase 4: micro-batch coalescing --------------------------------
+    batches_before = _counter_value(obsn.CTR_SERVE_BATCHES)
+    burst = max(threads * 2, 8)
+    barrier = threading.Barrier(burst)
+
+    def burst_request(i: int) -> int:
+        barrier.wait(timeout=30)
+        status, _, _ = _request(coalesce_port, "POST", "/v1/recommend", {
+            "tenant": serving[0], "app": app, "data_features": data_features,
+            "n_candidates": n_candidates, "seed": seed + 2000 + i,
+        })
+        return status
+
+    with ThreadPoolExecutor(max_workers=burst) as pool:
+        burst_statuses = list(pool.map(burst_request, range(burst)))
+    coalesced = _counter_value(obsn.CTR_SERVE_COALESCED)
+    batches_after = _counter_value(obsn.CTR_SERVE_BATCHES)
+    checks["burst_all_succeeded"] = all(s == 200 for s in burst_statuses)
+    checks["coalesced"] = coalesced > 0 and (batches_after - batches_before) < burst
+
+    # -- phase 5: feedback over HTTP ------------------------------------
+    status, body, _ = _request(port, "POST", "/v1/feedback", {
+        "tenant": serving[0], "app": app, "scale": "train0",
+        "conf": {}, "seed": seed,
+    })
+    checks["feedback_ok"] = status == 200 and body.get("run_success") is True
+
+    # -- phase 6: LRU eviction then lazy reload -------------------------
+    status, _, _ = _request(port, "POST", "/v1/recommend", {
+        "tenant": overflow, "app": app, "data_features": data_features,
+        "n_candidates": n_candidates, "seed": seed,
+    })
+    evictions = _counter_value(obsn.CTR_SERVE_EVICTIONS)
+    checks["eviction"] = (
+        status == 200
+        and evictions >= 1
+        and len(registry.loaded_tenants()) <= n_tenants
+    )
+    # The evicted tenant must still answer (lazy reload from checkpoint).
+    status, _, _ = _request(port, "POST", "/v1/recommend", {
+        "tenant": serving[0], "app": app, "data_features": data_features,
+        "n_candidates": n_candidates, "seed": seed,
+    })
+    checks["evicted_tenant_reloads"] = status == 200
+
+    # -- phase 7: overload shedding -------------------------------------
+    shed_burst = max(threads * 2, 8)
+    shed_barrier = threading.Barrier(shed_burst)
+    retry_after_seen = []
+
+    def shed_request(i: int) -> int:
+        shed_barrier.wait(timeout=30)
+        status, _, headers = _request(overload_port, "POST", "/v1/recommend", {
+            "tenant": serving[0], "app": app, "data_features": data_features,
+            "n_candidates": n_candidates, "seed": seed + 3000 + i,
+        })
+        if status == 503 and "Retry-After" in headers:
+            retry_after_seen.append(headers["Retry-After"])
+        return status
+
+    with ThreadPoolExecutor(max_workers=shed_burst) as pool:
+        shed_statuses = list(pool.map(shed_request, range(shed_burst)))
+    rejections = sum(1 for s in shed_statuses if s == 503)
+    checks["overload_rejected"] = rejections >= 1
+    checks["retry_after_present"] = len(retry_after_seen) == rejections
+
+    counters = {
+        name: _counter_value(name)
+        for name in (
+            obsn.CTR_SERVE_REQUESTS, obsn.CTR_SERVE_ERRORS,
+            obsn.CTR_SERVE_OVERLOAD, obsn.CTR_SERVE_EVICTIONS,
+            obsn.CTR_SERVE_MODEL_LOADS, obsn.CTR_SERVE_BATCHES,
+            obsn.CTR_SERVE_COALESCED,
+        )
+    }
+    return {
+        "app": app,
+        "n_requests": n_requests,
+        "threads": threads,
+        "n_candidates": n_candidates,
+        "throughput_rps": throughput,
+        "latency": latency,
+        "overload": {
+            "burst": shed_burst, "rejections": rejections,
+            "retry_after": retry_after_seen[:1],
+        },
+        "counters": counters,
+        "checks": checks,
+    }

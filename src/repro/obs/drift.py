@@ -25,6 +25,7 @@ retrains anything — it is a signal, not a policy.
 from __future__ import annotations
 
 import math
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Sequence, Union
@@ -79,6 +80,18 @@ class DriftMonitor:
         self._predicted: deque = deque(maxlen=window)
         self._actual: deque = deque(maxlen=window)
         self.total_recorded = 0
+        # Keeps the paired deques in lockstep when serving threads record
+        # and snapshot concurrently; dropped from pickles (see __getstate__).
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def record(
@@ -93,16 +106,18 @@ class DriftMonitor:
             raise ValueError(
                 f"predicted and actual must pair up: {pred.shape} vs {act.shape}"
             )
-        self._predicted.extend(pred.tolist())
-        self._actual.extend(act.tolist())
-        self.total_recorded += len(pred)
+        with self._lock:
+            self._predicted.extend(pred.tolist())
+            self._actual.extend(act.tolist())
+            self.total_recorded += len(pred)
 
     def __len__(self) -> int:
         return len(self._predicted)
 
     def reset(self) -> None:
-        self._predicted.clear()
-        self._actual.clear()
+        with self._lock:
+            self._predicted.clear()
+            self._actual.clear()
 
     # ------------------------------------------------------------------
     def stats(self) -> DriftStats:
@@ -111,15 +126,18 @@ class DriftMonitor:
         # at import time.
         from ..core.metrics import wilcoxon_signed_rank
 
-        n = len(self._predicted)
+        with self._lock:
+            # Snapshot under the lock so the pair stays aligned even while
+            # another thread is mid-record; the math below runs lock-free.
+            pred = np.array(self._predicted)
+            act = np.array(self._actual)
+        n = len(pred)
         if n == 0:
             return DriftStats(
                 n=0, window=self.window,
                 mean_signed_rel_err=math.nan, mean_abs_rel_err=math.nan,
                 wilcoxon_p=1.0, drifted=False,
             )
-        pred = np.array(self._predicted)
-        act = np.array(self._actual)
         denom = np.maximum(np.abs(act), 1e-9)
         rel = (pred - act) / denom
         # Two-sided via the one-sided test both ways (Bonferroni doubled):

@@ -44,36 +44,48 @@ _SUPPRESSED = False
 
 
 class Counter:
-    """A monotonically increasing integer."""
+    """A monotonically increasing integer.
 
-    __slots__ = ("name", "value")
+    ``inc`` takes a per-instrument lock: ``value += n`` is a read-modify-
+    write spanning several bytecodes, so concurrent serving threads would
+    lose increments without it.  The lock is uncontended in the common
+    case and far below the noise floor of any operation worth counting.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
         if _SUPPRESSED:
             return
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def to_dict(self) -> Dict[str, object]:
         return {"type": "counter", "value": self.value}
 
 
 class Gauge:
-    """A last-write-wins float."""
+    """A last-write-wins float (the lock keeps last-write-wins well defined
+    when serving threads race)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         if _SUPPRESSED:
             return
-        self.value = float(value)
+        value = float(value)
+        with self._lock:
+            self.value = value
 
     def to_dict(self) -> Dict[str, object]:
         return {"type": "gauge", "value": self.value}
@@ -91,7 +103,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "lo", "_log_lo", "_log_growth", "buckets", "count",
-                 "total", "min", "max", "_underflow")
+                 "total", "min", "max", "_underflow", "_lock")
 
     def __init__(self, name: str, lo: float = 1e-7, hi: float = 1e5, growth: float = 1.12):
         self.name = name
@@ -105,24 +117,29 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, x: float) -> None:
         if _SUPPRESSED:
             return
         x = float(x)
-        self.count += 1
-        self.total += x
-        if x < self.min:
-            self.min = x
-        if x > self.max:
-            self.max = x
-        if x < self.lo:
-            self._underflow += 1
-            return
-        idx = int((math.log(x) - self._log_lo) / self._log_growth)
-        if idx >= len(self.buckets):
-            idx = len(self.buckets) - 1
-        self.buckets[idx] += 1
+        # One lock around the whole update keeps count/sum/min/max/buckets
+        # mutually consistent — a torn min/max or a dropped bucket count
+        # under concurrent observes would skew the percentiles CI gates on.
+        with self._lock:
+            self.count += 1
+            self.total += x
+            if x < self.min:
+                self.min = x
+            if x > self.max:
+                self.max = x
+            if x < self.lo:
+                self._underflow += 1
+                return
+            idx = int((math.log(x) - self._log_lo) / self._log_growth)
+            if idx >= len(self.buckets):
+                idx = len(self.buckets) - 1
+            self.buckets[idx] += 1
 
     def quantile(self, q: float) -> float:
         """Approximate q-quantile; exact min/max at q=0/1, NaN when empty."""

@@ -13,6 +13,9 @@ Span taxonomy (``span.<name>.duration_s`` histograms accrue per name):
 - ``recommender.*`` — candidate ranking
 - ``collect.*``  — offline corpus collection
 - ``sparksim.*`` — simulated application runs
+- ``serve.*``    — the multi-tenant serving daemon (:mod:`repro.serve`);
+  exercised by ``tests/obs/test_lifecycle_coverage.py``'s service fixture
+  rather than the chaos lifecycle run
 """
 
 from __future__ import annotations
@@ -33,8 +36,16 @@ SPAN_ENCODE_TEMPLATES = "serving.encode_templates"
 SPAN_RANK = "recommender.rank"
 SPAN_COLLECT = "collect.runs"
 SPAN_SPARKSIM_RUN = "sparksim.run"
+SPAN_SERVE_RECOMMEND = "serve.recommend"
+SPAN_SERVE_FEEDBACK = "serve.feedback"
+SPAN_SERVE_STATS = "serve.stats"
+SPAN_SERVE_HEALTH = "serve.health"
 
 ALL_SPANS = frozenset({
+    SPAN_SERVE_RECOMMEND,
+    SPAN_SERVE_FEEDBACK,
+    SPAN_SERVE_STATS,
+    SPAN_SERVE_HEALTH,
     SPAN_OFFLINE_TRAIN,
     SPAN_FEATURISE,
     SPAN_ACG_FIT,
@@ -76,8 +87,24 @@ CTR_RETRY_RECOVERED = "retry.recovered"
 CTR_RETRY_EXHAUSTED = "retry.exhausted"
 # Successful feedback runs whose event log arrived truncated (drift skipped).
 CTR_FEEDBACK_TRUNCATED = "feedback.truncated_runs"
+# Serving daemon (repro.serve): request accounting, admission control,
+# tenant registry churn and micro-batching efficacy.
+CTR_SERVE_REQUESTS = "serve.requests"
+CTR_SERVE_ERRORS = "serve.errors"
+CTR_SERVE_OVERLOAD = "serve.overload_rejections"
+CTR_SERVE_EVICTIONS = "serve.tenant_evictions"
+CTR_SERVE_MODEL_LOADS = "serve.model_loads"
+CTR_SERVE_BATCHES = "serve.batches"
+CTR_SERVE_COALESCED = "serve.coalesced_requests"
 
 ALL_COUNTERS = frozenset({
+    CTR_SERVE_REQUESTS,
+    CTR_SERVE_ERRORS,
+    CTR_SERVE_OVERLOAD,
+    CTR_SERVE_EVICTIONS,
+    CTR_SERVE_MODEL_LOADS,
+    CTR_SERVE_BATCHES,
+    CTR_SERVE_COALESCED,
     CTR_CACHE_HIT,
     CTR_CACHE_MISS,
     CTR_CACHE_INVALIDATION,
@@ -110,8 +137,12 @@ GAUGE_UPDATE_DISC_LOSS = "update.disc_loss"
 GAUGE_DRIFT_N = "drift.window_n"
 GAUGE_DRIFT_SIGNED_ERR = "drift.mean_signed_rel_err"
 GAUGE_DRIFT_P = "drift.wilcoxon_p"
+GAUGE_SERVE_QUEUE_DEPTH = "serve.queue_depth"
+GAUGE_SERVE_TENANTS = "serve.tenants_loaded"
 
 ALL_GAUGES = frozenset({
+    GAUGE_SERVE_QUEUE_DEPTH,
+    GAUGE_SERVE_TENANTS,
     GAUGE_FIT_LAST_LOSS,
     GAUGE_DEDUP_RATIO,
     GAUGE_UNIQUE_TEMPLATES,

@@ -148,9 +148,10 @@ class Tracer:
     """
 
     def __init__(self, max_spans: int = 50_000):
-        # deque.append and itertools.count are atomic under the GIL, so
-        # the hot finish path takes no locks; the lock only guards the
-        # rare whole-buffer operations (records/clear).
+        # One lock guards the record ring and the histogram-handle cache.
+        # The finish path holds it only around the two container
+        # mutations — the clock reads and the histogram observe (which
+        # has its own per-instrument lock) stay outside.
         self._records: deque = deque(maxlen=max_spans)
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -177,20 +178,21 @@ class Tracer:
         # Raw tuples on the hot path; records() rehydrates SpanRecords.
         # A dataclass __init__ here costs about as much as everything
         # else in the finish path combined.
-        self._records.append((
-            span.span_id, span.parent_id, span.name,
-            span._t0, duration_s, span.depth, span.attrs,
-        ))
-        # Cache the per-name duration histogram: the f-string plus the
-        # registry lookup would otherwise dominate short spans' cost.
-        # setdefault keeps concurrent first-finishers converging on one
-        # histogram object (the registry dedupes by name underneath).
-        hist = self._hists.get(span.name)
-        if hist is None:
-            hist = self._hists.setdefault(
-                span.name,
-                _metrics.registry().histogram(f"span.{span.name}.duration_s"),
-            )
+        with self._lock:
+            self._records.append((
+                span.span_id, span.parent_id, span.name,
+                span._t0, duration_s, span.depth, span.attrs,
+            ))
+            # Cache the per-name duration histogram: the f-string plus
+            # the registry lookup would otherwise dominate short spans'
+            # cost.  Populated under the tracer lock so concurrent
+            # first-finishers converge on one histogram object (the
+            # registry dedupes by name underneath anyway).
+            hist = self._hists.get(span.name)
+            if hist is None:
+                hist = self._hists[span.name] = _metrics.registry().histogram(
+                    f"span.{span.name}.duration_s"
+                )
         hist.observe(duration_s)
 
     # -- public --------------------------------------------------------

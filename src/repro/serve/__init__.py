@@ -1,0 +1,30 @@
+"""Multi-tenant serving daemon for trained LITE systems (DESIGN.md §14).
+
+A *tenant* is a named LITE checkpoint.  The daemon keeps a bounded
+registry of loaded tenants (:class:`~repro.serve.registry.ModelRegistry`,
+LRU-evicted), coalesces concurrent recommendation requests per tenant
+into single batched forwards (:class:`~repro.serve.batching.MicroBatcher`
+over ``LITE.recommend_many``), and fronts it all with a stdlib-only
+HTTP/JSON API (:mod:`~repro.serve.daemon`):
+
+- ``POST /v1/recommend`` — rank candidate configurations for a tenant;
+- ``POST /v1/feedback``  — replay a production run into the tenant's
+  feedback loop (drift window + adaptive update trigger);
+- ``GET /v1/stats``      — obs metrics snapshot + registry state;
+- ``GET /v1/health``     — liveness.
+
+Start it with ``repro serve``; benchmark it with ``repro bench-service``.
+"""
+
+from .batching import MicroBatcher
+from .daemon import LiteService, ServiceConfig, ServiceError, make_server
+from .registry import ModelRegistry
+
+__all__ = [
+    "LiteService",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ServiceConfig",
+    "ServiceError",
+    "make_server",
+]

@@ -1,0 +1,103 @@
+"""Cross-request micro-batching: coalesce concurrent calls into one batch.
+
+The daemon's recommendation hot path is a batched tower-MLP forward whose
+per-row cost shrinks as the batch grows, so concurrent requests for the
+same (tenant, app, cluster) are worth coalescing into one
+``LITE.recommend_many`` call.  The first thread to arrive for a key
+becomes the *leader*: it holds the batch open for ``window_s`` (a couple
+of milliseconds — bounded added latency), then runs the whole batch and
+publishes results; threads arriving inside the window become *followers*
+that just wait for their slot.  ``predict_encoded`` is row-wise
+bit-stable across batch sizes, so a coalesced request returns exactly the
+ranking a standalone call would have.
+
+Error semantics: the batch runner validates nothing — callers must
+validate requests *before* submitting, so an exception out of the runner
+is systemic (model failure), and delivering it to every member of the
+batch is the honest outcome.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, TypeVar
+
+from .. import obs
+from ..obs import names as obsn
+
+__all__ = ["MicroBatcher"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class _Batch:
+    """One open batch: items, completion event, shared result/error."""
+
+    __slots__ = ("items", "done", "results", "error")
+
+    def __init__(self):
+        self.items: List[object] = []
+        self.done = threading.Event()
+        self.results: Optional[Sequence[object]] = None
+        self.error: Optional[BaseException] = None
+
+
+class MicroBatcher:
+    """Per-key leader/follower request coalescing."""
+
+    def __init__(self, window_s: float = 0.002):
+        if window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        self.window_s = window_s
+        self._lock = threading.Lock()
+        self._pending: Dict[Hashable, _Batch] = {}
+
+    def submit(
+        self,
+        key: Hashable,
+        item: T,
+        run_batch: Callable[[List[T]], Sequence[R]],
+    ) -> R:
+        """Add ``item`` to the key's open batch and return its result.
+
+        The calling thread blocks until the batch leader has run
+        ``run_batch`` over every coalesced item (order of arrival); the
+        leader is whichever caller opened the batch.  ``run_batch`` must
+        return one result per item, in order.
+        """
+        with self._lock:
+            batch = self._pending.get(key)
+            leader = batch is None
+            if leader:
+                batch = _Batch()
+                self._pending[key] = batch
+            index = len(batch.items)
+            batch.items.append(item)
+        if leader:
+            if self.window_s > 0:
+                time.sleep(self.window_s)
+            with self._lock:
+                # Close the window: late arrivals open a fresh batch.
+                self._pending.pop(key, None)
+            try:
+                results = run_batch(list(batch.items))
+                if len(results) != len(batch.items):
+                    raise RuntimeError(
+                        f"batch runner returned {len(results)} results for "
+                        f"{len(batch.items)} items"
+                    )
+                batch.results = results
+                obs.counter(obsn.CTR_SERVE_BATCHES).inc()
+                if len(batch.items) > 1:
+                    obs.counter(obsn.CTR_SERVE_COALESCED).inc(len(batch.items) - 1)
+            except BaseException as exc:
+                batch.error = exc
+            finally:
+                batch.done.set()
+        else:
+            batch.done.wait()
+        if batch.error is not None:
+            raise batch.error
+        return batch.results[index]

@@ -1,0 +1,344 @@
+"""The HTTP/JSON serving daemon: stdlib-only, thread-per-request.
+
+:class:`LiteService` is the transport-free core — four methods
+(``recommend`` / ``feedback`` / ``stats`` / ``health``) taking and
+returning plain dicts, with validation, admission control and per-tenant
+micro-batching inside.  :func:`make_server` wraps it in a
+``ThreadingHTTPServer``; ``repro serve`` runs that forever.
+
+Request semantics:
+
+- every request is validated *before* it reaches a model, so an invalid
+  request can never poison a coalesced batch (400 with the reason);
+- an unknown tenant is 404 (the registry knows neither a loaded model
+  nor a checkpoint for it);
+- when ``max_inflight`` recommend/feedback requests are already being
+  served, new ones are rejected immediately with 503 and a
+  ``Retry-After`` header — bounded latency beats an unbounded queue;
+- a request carrying an explicit ``seed`` is fully deterministic:
+  the daemon answers with bit-identical rankings to a direct
+  ``LITE.recommend(..., rng=get_rng(seed))`` call, however requests
+  interleave (``repro bench-service`` gates on exactly this).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from .. import obs
+from ..obs import metrics as obs_metrics
+from ..obs import names as obsn
+from ..core.lite import RecommendQuery
+from ..core.recommender import Recommendation
+from ..sparksim.cluster import get_cluster
+from ..sparksim.config import SparkConf
+from ..sparksim.costmodel import SparkJobError
+from ..utils.rng import get_rng
+from .batching import MicroBatcher
+from .registry import ModelRegistry
+
+__all__ = ["LiteService", "ServiceConfig", "ServiceError", "make_server"]
+
+
+@dataclass
+class ServiceConfig:
+    host: str = "127.0.0.1"
+    port: int = 0                  #: 0 = let the OS pick (tests, benches)
+    max_tenants: int = 4           #: registry LRU budget
+    max_inflight: int = 16         #: admission-control bound
+    batch_window_s: float = 0.002  #: micro-batch hold-open window
+    default_cluster: str = "C"
+    retry_after_s: int = 1         #: advertised on 503 responses
+
+
+class ServiceError(Exception):
+    """An error with a definite HTTP status (and optional Retry-After)."""
+
+    def __init__(self, status: int, message: str, retry_after: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+def _recommendation_to_dict(rec: Recommendation) -> Dict[str, object]:
+    return {
+        "conf": rec.conf.as_dict(),
+        "predicted_time_s": rec.predicted_time_s,
+        "ranking": [[conf.as_dict(), t] for conf, t in rec.ranking],
+        "overhead_s": rec.overhead_s,
+        "probe_overhead_s": rec.probe_overhead_s,
+        "encode_overhead_s": rec.encode_overhead_s,
+        "template_cache_hit": rec.template_cache_hit,
+    }
+
+
+class LiteService:
+    """Transport-free serving core: dict in, dict out, ServiceError on bad."""
+
+    def __init__(self, registry: ModelRegistry, config: Optional[ServiceConfig] = None):
+        self.registry = registry
+        self.config = config or ServiceConfig()
+        self.batcher = MicroBatcher(window_s=self.config.batch_window_s)
+        self._admission_lock = threading.Lock()
+        self._inflight = 0
+
+    # -- admission control ----------------------------------------------
+    @contextmanager
+    def _admission(self) -> Iterator[None]:
+        with self._admission_lock:
+            if self._inflight >= self.config.max_inflight:
+                obs.counter(obsn.CTR_SERVE_OVERLOAD).inc()
+                raise ServiceError(
+                    503,
+                    f"server at capacity ({self.config.max_inflight} requests "
+                    f"in flight); retry shortly",
+                    retry_after=self.config.retry_after_s,
+                )
+            self._inflight += 1
+            obs.gauge(obsn.GAUGE_SERVE_QUEUE_DEPTH).set(self._inflight)
+        try:
+            yield
+        finally:
+            with self._admission_lock:
+                self._inflight -= 1
+                obs.gauge(obsn.GAUGE_SERVE_QUEUE_DEPTH).set(self._inflight)
+
+    # -- validation helpers ----------------------------------------------
+    @staticmethod
+    def _require_str(payload: Dict, key: str) -> str:
+        value = payload.get(key)
+        if not isinstance(value, str) or not value:
+            raise ServiceError(400, f"{key!r} must be a non-empty string")
+        return value
+
+    def _parse_cluster(self, payload: Dict):
+        name = payload.get("cluster", self.config.default_cluster)
+        try:
+            return get_cluster(str(name))
+        except KeyError as exc:
+            raise ServiceError(400, str(exc.args[0]))
+
+    # -- endpoints --------------------------------------------------------
+    def recommend(self, payload: Dict) -> Dict[str, object]:
+        with obs.span(obsn.SPAN_SERVE_RECOMMEND) as sp:
+            obs.counter(obsn.CTR_SERVE_REQUESTS).inc()
+            tenant = self._require_str(payload, "tenant")
+            app = self._require_str(payload, "app")
+            try:
+                feats = np.atleast_1d(
+                    np.asarray(payload.get("data_features"), dtype=np.float64)
+                )
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(400, f"'data_features' must be numeric: {exc}")
+            if feats.size == 0 or feats.ndim != 1 or not np.all(np.isfinite(feats)):
+                raise ServiceError(
+                    400, "'data_features' must be a non-empty flat list of "
+                         "finite numbers"
+                )
+            n_candidates = payload.get("n_candidates")
+            if n_candidates is not None:
+                try:
+                    n_candidates = int(n_candidates)
+                except (TypeError, ValueError):
+                    raise ServiceError(400, "'n_candidates' must be an integer")
+                if n_candidates < 1:
+                    raise ServiceError(400, "'n_candidates' must be >= 1")
+            cluster = self._parse_cluster(payload)
+            seed = payload.get("seed")
+            if seed is not None:
+                try:
+                    seed = int(seed)
+                except (TypeError, ValueError):
+                    raise ServiceError(400, "'seed' must be an integer")
+            rng = get_rng(seed) if seed is not None else None
+            with self._admission():
+                try:
+                    with self.registry.lease(tenant) as lite:
+                        query = RecommendQuery(feats, n_candidates, rng)
+                        key = (tenant, app, cluster.name)
+                        try:
+                            rec = self.batcher.submit(
+                                key, query,
+                                lambda queries: lite.recommend_many(
+                                    app, queries, cluster
+                                ),
+                            )
+                        except KeyError as exc:
+                            # Unknown application for this tenant (no stage
+                            # templates); distinct from an unknown tenant.
+                            raise ServiceError(400, str(exc.args[0]))
+                        except (ValueError, RuntimeError) as exc:
+                            raise ServiceError(400, str(exc))
+                except KeyError as exc:
+                    raise ServiceError(404, str(exc.args[0]))
+            if sp:
+                sp.set(tenant=tenant, app=app, cluster=cluster.name)
+            body = _recommendation_to_dict(rec)
+            body.update(tenant=tenant, app=app, cluster=cluster.name)
+            return body
+
+    def feedback(self, payload: Dict) -> Dict[str, object]:
+        from ..workloads import get_workload
+
+        with obs.span(obsn.SPAN_SERVE_FEEDBACK) as sp:
+            obs.counter(obsn.CTR_SERVE_REQUESTS).inc()
+            tenant = self._require_str(payload, "tenant")
+            app = self._require_str(payload, "app")
+            cluster = self._parse_cluster(payload)
+            scale = payload.get("scale", "train0")
+            seed = int(payload.get("seed", 0))
+            update_now = bool(payload.get("update_now", False))
+            conf_values = payload.get("conf") or {}
+            if not isinstance(conf_values, dict):
+                raise ServiceError(400, "'conf' must be a knob-name -> value object")
+            try:
+                conf = SparkConf(conf_values)
+            except (KeyError, ValueError) as exc:
+                raise ServiceError(400, f"invalid 'conf': {exc}")
+            try:
+                workload = get_workload(app)
+            except KeyError as exc:
+                raise ServiceError(400, str(exc.args[0]))
+            with self._admission():
+                try:
+                    with self.registry.lease(tenant) as lite:
+                        try:
+                            run = workload.run(
+                                conf, cluster, scale=str(scale), seed=seed
+                            )
+                        except (SparkJobError, KeyError, ValueError) as exc:
+                            raise ServiceError(
+                                400, f"feedback run failed validation: {exc}"
+                            )
+                        updated = lite.feedback(run, update_now=update_now)
+                        drift = lite.drift_stats()
+                except KeyError as exc:
+                    raise ServiceError(404, str(exc.args[0]))
+            if sp:
+                sp.set(tenant=tenant, app=app, updated=updated)
+            return {
+                "tenant": tenant,
+                "app": app,
+                "run_success": run.success,
+                "run_time_s": run.duration_s,
+                "updated": updated,
+                "drift": drift.to_dict(),
+            }
+
+    def stats(self) -> Dict[str, object]:
+        with obs.span(obsn.SPAN_SERVE_STATS):
+            obs.counter(obsn.CTR_SERVE_REQUESTS).inc()
+            with self._admission_lock:
+                inflight = self._inflight
+            return {
+                "registry": self.registry.stats(),
+                "inflight": inflight,
+                "max_inflight": self.config.max_inflight,
+                "metrics": obs_metrics.registry().snapshot(),
+            }
+
+    def health(self) -> Dict[str, object]:
+        with obs.span(obsn.SPAN_SERVE_HEALTH):
+            obs.counter(obsn.CTR_SERVE_REQUESTS).inc()
+            return {
+                "status": "ok",
+                "tenants": self.registry.tenants(),
+                "loaded": self.registry.loaded_tenants(),
+            }
+
+
+# ---------------------------------------------------------------------------
+# HTTP transport
+# ---------------------------------------------------------------------------
+class _RequestHandler(BaseHTTPRequestHandler):
+    service: LiteService   # injected by make_server onto the subclass
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------
+    def log_message(self, format, *args):   # noqa: A002 - stdlib signature
+        pass   # request logging goes through obs counters, not stderr
+
+    def _read_json(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length > 0 else b""
+        if not raw:
+            raise ServiceError(400, "empty request body; expected a JSON object")
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(400, f"malformed JSON body: {exc}")
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "JSON body must be an object")
+        return payload
+
+    def _send(self, status: int, body: Dict, headers: Optional[Dict[str, str]] = None) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    # -- dispatch ---------------------------------------------------------
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if method == "GET" and path == "/v1/health":
+                body = self.service.health()
+            elif method == "GET" and path == "/v1/stats":
+                body = self.service.stats()
+            elif method == "POST" and path == "/v1/recommend":
+                body = self.service.recommend(self._read_json())
+            elif method == "POST" and path == "/v1/feedback":
+                body = self.service.feedback(self._read_json())
+            else:
+                raise ServiceError(404, f"no such endpoint: {method} {path}")
+        except ServiceError as exc:
+            obs.counter(obsn.CTR_SERVE_ERRORS).inc()
+            headers = {}
+            if exc.retry_after is not None:
+                headers["Retry-After"] = str(exc.retry_after)
+            self._send(exc.status, {"error": exc.message}, headers)
+            return
+        except Exception as exc:   # pragma: no cover - systemic failure path
+            obs.counter(obsn.CTR_SERVE_ERRORS).inc()
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        self._send(200, body)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+
+def make_server(
+    service: LiteService,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server for the service (port 0 = OS-assigned).
+
+    The caller owns the lifecycle: ``serve_forever()`` to run,
+    ``shutdown()`` + ``server_close()`` to stop.  The bound port is
+    ``server.server_address[1]``.
+    """
+    handler = type("BoundHandler", (_RequestHandler,), {"service": service})
+    server = ThreadingHTTPServer(
+        (host if host is not None else service.config.host,
+         port if port is not None else service.config.port),
+        handler,
+    )
+    server.daemon_threads = True
+    return server

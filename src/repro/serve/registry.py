@@ -1,0 +1,178 @@
+"""Per-tenant model registry: lazy loads, LRU eviction, busy protection.
+
+Tenants come from two sources: *checkpoint-backed* (a path registered via
+``add_checkpoint``/the constructor, loaded through
+:func:`repro.core.persistence.load_lite` on first use) and *in-memory*
+(a live LITE handed over via ``register`` — tests and benchmarks).  The
+registry keeps at most ``max_tenants`` loaded at once; when the budget is
+exceeded the least-recently-used **idle, checkpoint-backed** tenant is
+evicted — its encoded-template caches are dropped with it, so eviction
+actually releases the memory the budget exists to bound.  In-memory
+tenants are never evicted (there is no checkpoint to reload them from),
+and a tenant with requests in flight is never evicted mid-request: every
+access goes through :meth:`lease`, which pins the entry until released.
+
+Loads are serialised per tenant (double-checked under a per-tenant load
+lock), so a thundering herd on a cold tenant performs exactly one
+``load_lite``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Union
+
+from contextlib import contextmanager
+
+from .. import obs
+from ..obs import names as obsn
+from ..core.lite import LITE
+from ..core.persistence import load_lite
+
+__all__ = ["ModelRegistry"]
+
+
+@dataclass
+class _Entry:
+    lite: LITE
+    #: Requests currently holding a lease; an entry with inflight > 0 is
+    #: pinned against eviction.
+    inflight: int = 0
+    #: Checkpoint-backed entries can be evicted and reloaded; in-memory
+    #: ones cannot.
+    evictable: bool = True
+
+
+class ModelRegistry:
+    """Bounded, thread-safe map of tenant name -> loaded LITE."""
+
+    def __init__(
+        self,
+        checkpoints: Optional[Mapping[str, Union[str, Path]]] = None,
+        max_tenants: int = 4,
+    ):
+        if max_tenants < 1:
+            raise ValueError("max_tenants must be >= 1")
+        self.max_tenants = max_tenants
+        self._lock = threading.Lock()
+        self._sources: Dict[str, Path] = {
+            name: Path(path) for name, path in (checkpoints or {}).items()
+        }
+        self._loaded: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._load_locks: Dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    def add_checkpoint(self, name: str, path: Union[str, Path]) -> None:
+        """Register a checkpoint-backed tenant (loaded lazily on first use)."""
+        with self._lock:
+            self._sources[name] = Path(path)
+
+    def register(self, name: str, lite: LITE) -> None:
+        """Install a live LITE as an in-memory (never-evicted) tenant."""
+        with self._lock:
+            self._loaded[name] = _Entry(lite=lite, evictable=False)
+            self._loaded.move_to_end(name)
+            self._evict_over_budget_locked()
+            self._publish_gauge_locked()
+
+    def tenants(self) -> List[str]:
+        """Every known tenant name, loaded or not."""
+        with self._lock:
+            return sorted(set(self._sources) | set(self._loaded))
+
+    def loaded_tenants(self) -> List[str]:
+        with self._lock:
+            return list(self._loaded)
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def lease(self, name: str) -> Iterator[LITE]:
+        """Yield the tenant's LITE, pinned against eviction for the block.
+
+        Raises ``KeyError`` for a tenant that is neither loaded nor
+        checkpoint-backed — the daemon maps that to 404.
+        """
+        entry = self._acquire(name)
+        try:
+            yield entry.lite
+        finally:
+            with self._lock:
+                entry.inflight -= 1
+                # A tenant that was over budget but pinned becomes
+                # evictable the moment its last lease drops.
+                self._evict_over_budget_locked()
+                self._publish_gauge_locked()
+
+    def _acquire(self, name: str) -> _Entry:
+        with self._lock:
+            entry = self._loaded.get(name)
+            if entry is not None:
+                entry.inflight += 1
+                self._loaded.move_to_end(name)
+                return entry
+            source = self._sources.get(name)
+            if source is None:
+                raise KeyError(
+                    f"unknown tenant {name!r}; known: {sorted(set(self._sources) | set(self._loaded))}"
+                )
+            load_lock = self._load_locks.setdefault(name, threading.Lock())
+        with load_lock:
+            # Double-checked: a concurrent caller may have finished the
+            # load while this thread waited on the per-tenant lock.
+            with self._lock:
+                entry = self._loaded.get(name)
+                if entry is not None:
+                    entry.inflight += 1
+                    self._loaded.move_to_end(name)
+                    return entry
+            lite = load_lite(source)   # slow I/O outside the registry lock
+            obs.counter(obsn.CTR_SERVE_MODEL_LOADS).inc()
+            with self._lock:
+                entry = _Entry(lite=lite, inflight=1)
+                self._loaded[name] = entry
+                self._loaded.move_to_end(name)
+                self._evict_over_budget_locked()
+                self._publish_gauge_locked()
+                return entry
+
+    # ------------------------------------------------------------------
+    def _evict_over_budget_locked(self) -> None:
+        """Evict LRU idle checkpoint-backed tenants down to the budget.
+
+        Caller holds ``self._lock``.  Pinned (inflight > 0) and in-memory
+        tenants are skipped; if everything over budget is pinned the
+        registry temporarily exceeds the budget and re-checks on the next
+        lease release.
+        """
+        while len(self._loaded) > self.max_tenants:
+            victim = next(
+                (n for n, e in self._loaded.items()
+                 if e.inflight == 0 and e.evictable),
+                None,
+            )
+            if victim is None:
+                return
+            entry = self._loaded.pop(victim)
+            # Drop the per-app encoded-template caches with the tenant —
+            # they are the bulk of a hot tenant's serving footprint.
+            entry.lite.clear_serving_caches()
+            obs.counter(obsn.CTR_SERVE_EVICTIONS).inc()
+
+    def _publish_gauge_locked(self) -> None:
+        obs.gauge(obsn.GAUGE_SERVE_TENANTS).set(len(self._loaded))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "max_tenants": self.max_tenants,
+                "loaded": list(self._loaded),
+                "known": sorted(set(self._sources) | set(self._loaded)),
+                "inflight": {
+                    name: entry.inflight
+                    for name, entry in self._loaded.items() if entry.inflight
+                },
+            }

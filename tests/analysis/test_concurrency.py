@@ -135,6 +135,137 @@ class TestRep402HotPathSingletonWrite:
         assert "REP402" not in rep_ids(diags)
 
 
+class TestRep402LockAwareness:
+    """REP402 excuses states whose writers are all guarded (or cold)."""
+
+    def test_silent_when_every_hot_writer_holds_a_lock(self, tmp_path):
+        write(tmp_path, "s.py", (
+            "import threading\n"
+            "class Reg:\n"
+            "    def __init__(self):\n"
+            "        self.items = []\n"
+            "        self.lock = threading.Lock()\n"
+            "    def add_item(self, x):\n"
+            "        with self.lock:\n"
+            "            self.items.append(x)\n"
+            "REG = Reg()\n"
+            "def rank(xs):\n"
+            "    REG.add_item(xs)\n"
+            "    return xs\n"
+        ))
+        diags = [d for d in run_rules([tmp_path / "s.py"], shared_classes=["Reg"])
+                 if d.rule_id == "REP402"]
+        assert diags == []
+
+    def test_silent_when_unlocked_writer_is_not_hot_reachable(self, tmp_path):
+        # The migration pattern: an unguarded writer that no hot path can
+        # reach runs pre-publication and does not condemn the state.
+        write(tmp_path, "s.py", (
+            "import threading\n"
+            "class Reg:\n"
+            "    def __init__(self):\n"
+            "        self.items = []\n"
+            "        self.lock = threading.Lock()\n"
+            "    def add_item(self, x):\n"
+            "        with self.lock:\n"
+            "            self.items.append(x)\n"
+            "def migrate(reg):\n"
+            "    reg.items = []\n"
+            "REG = Reg()\n"
+            "def rank(xs):\n"
+            "    REG.add_item(xs)\n"
+            "    return xs\n"
+        ))
+        diags = [d for d in run_rules([tmp_path / "s.py"], shared_classes=["Reg"])
+                 if d.rule_id == "REP402"]
+        assert diags == []
+
+    def test_fires_when_a_hot_writer_is_unlocked(self, tmp_path):
+        write(tmp_path, "s.py", (
+            "import threading\n"
+            "class Reg:\n"
+            "    def __init__(self):\n"
+            "        self.items = []\n"
+            "        self.lock = threading.Lock()\n"
+            "    def add_item(self, x):\n"
+            "        with self.lock:\n"
+            "            self.items.append(x)\n"
+            "    def add_fast(self, x):\n"
+            "        self.items.append(x)\n"
+            "REG = Reg()\n"
+            "def rank(xs):\n"
+            "    REG.add_fast(xs)\n"
+            "    return xs\n"
+        ))
+        diags = [d for d in run_rules([tmp_path / "s.py"], shared_classes=["Reg"])
+                 if d.rule_id == "REP402"]
+        assert [d.symbol for d in diags] == ["s.rank->s.Reg"]
+
+    def test_locked_suffix_counts_as_guarded(self, tmp_path):
+        # Caller-holds-lock convention: a *_locked helper's writes are
+        # guarded even though the `with lock:` lives in its caller.
+        write(tmp_path, "s.py", (
+            "import threading\n"
+            "class Reg:\n"
+            "    def __init__(self):\n"
+            "        self.items = []\n"
+            "        self.lock = threading.Lock()\n"
+            "    def add_item(self, x):\n"
+            "        with self.lock:\n"
+            "            self._add_locked(x)\n"
+            "    def _add_locked(self, x):\n"
+            "        if x not in self.items:\n"
+            "            self.items.append(x)\n"
+            "REG = Reg()\n"
+            "def rank(xs):\n"
+            "    REG.add_item(xs)\n"
+            "    return xs\n"
+        ))
+        diags = run_rules([tmp_path / "s.py"], shared_classes=["Reg"])
+        assert [d for d in diags if d.rule_id in ("REP402", "REP405")] == []
+
+
+class TestThreadLocalState:
+    SRC = (
+        "import threading\n"
+        "class Tracer:\n"
+        "    def __init__(self):\n"
+        "        self.stacks = threading.local()\n"
+        "    def push(self, x):\n"
+        "        stack = getattr(self.stacks, 'stack', None)\n"
+        "        if stack is None:\n"
+        "            stack = self.stacks.stack = []\n"
+        "        stack.append(x)\n"
+        "TRACER = Tracer()\n"
+        "def rank(xs):\n"
+        "    TRACER.push(xs)\n"
+        "    return xs\n"
+    )
+
+    def test_thread_local_attr_is_modeled(self, tmp_path):
+        write(tmp_path, "t.py", self.SRC)
+        program = build_program([tmp_path / "t.py"], shared_classes=["Tracer"])
+        assert program.shared["t.Tracer.stacks"].is_thread_local
+
+    def test_thread_local_global_excused_by_402_and_405(self, tmp_path):
+        # Per-thread storage is not shared state: the classic
+        # check-then-act lazy init on a threading.local() is safe.
+        write(tmp_path, "t.py", (
+            "import threading\n"
+            "LOCAL = threading.local()\n"
+            "def rank(xs):\n"
+            "    stack = getattr(LOCAL, 'stack', None)\n"
+            "    if stack is None:\n"
+            "        stack = LOCAL.stack = []\n"
+            "    stack.append(xs)\n"
+            "    return xs\n"
+        ))
+        program = build_program([tmp_path / "t.py"])
+        assert program.shared["t.LOCAL"].is_thread_local
+        diags = run_rules([tmp_path / "t.py"])
+        assert [d for d in diags if d.rule_id in ("REP402", "REP405")] == []
+
+
 class TestRep403SharedRng:
     def test_fires_on_multi_path_draws(self, tmp_path):
         write(tmp_path, "r.py", (

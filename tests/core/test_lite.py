@@ -80,6 +80,64 @@ class TestRecommendation:
         assert a.conf == b.conf
 
 
+class TestRecommendValidation:
+    """Degenerate data_features / n_candidates answer clearly, never crash."""
+
+    def test_empty_data_features_is_a_clear_valueerror(self, trained_lite):
+        with pytest.raises(ValueError, match="empty"):
+            trained_lite.recommend("PageRank", np.array([]), CLUSTER_C)
+        with pytest.raises(ValueError, match="empty"):
+            trained_lite.recommend("PageRank", [], CLUSTER_C)
+
+    def test_scalar_data_features_never_bare_indexerror(self, trained_lite):
+        # A python float / 0-d array is normalised via atleast_1d: it must
+        # never escape as a bare IndexError from `data_features[0]`.  (It
+        # can still fail downstream where the model wants the full feature
+        # vector — but as a ValueError, not a crash.)
+        for scalar in (2.0e9, np.float64(2.0e9), np.array(2.0e9)):
+            try:
+                trained_lite.recommend("PageRank", scalar, CLUSTER_C)
+            except ValueError:
+                pass
+
+    def test_zero_candidates_is_an_error_not_the_default(self, trained_lite):
+        # n_candidates=0 used to silently fall back to the configured
+        # default through `n_candidates or ...`.
+        with pytest.raises(ValueError, match="n_candidates"):
+            trained_lite.recommend(
+                "PageRank",
+                get_workload("PageRank").data_spec("valid").features(),
+                CLUSTER_C, n_candidates=0)
+        with pytest.raises(ValueError, match="n_candidates"):
+            trained_lite.recommend(
+                "PageRank",
+                get_workload("PageRank").data_spec("valid").features(),
+                CLUSTER_C, n_candidates=-3)
+
+    def test_recommend_many_matches_sequential_recommends(self, trained_lite):
+        from repro.core.lite import RecommendQuery
+
+        wl = get_workload("PageRank")
+        d = wl.data_spec("valid").features()
+        direct = [
+            trained_lite.recommend(wl.name, d, CLUSTER_C, n_candidates=6,
+                                   rng=np.random.default_rng(seed))
+            for seed in (1, 2, 3)
+        ]
+        batched = trained_lite.recommend_many(
+            wl.name,
+            [RecommendQuery(d, 6, np.random.default_rng(seed)) for seed in (1, 2, 3)],
+            CLUSTER_C,
+        )
+        for a, b in zip(direct, batched):
+            assert a.conf == b.conf
+            assert [t for _, t in a.ranking] == [t for _, t in b.ranking]
+
+    def test_recommend_many_rejects_empty_batch(self, trained_lite):
+        with pytest.raises(ValueError, match="queries"):
+            trained_lite.recommend_many("PageRank", [], CLUSTER_C)
+
+
 class TestFeedbackLoop:
     def test_feedback_batches_then_updates(self, small_corpus_module):
         cfg = LITEConfig(

@@ -79,13 +79,15 @@ class TestPersistenceFailureModes:
         with pytest.raises(ValueError, match="corrupt or truncated"):
             load_lite(bad)
 
-    def _aged_payload(self, tiny_lite, version, strip):
+    def _aged_payload(self, tiny_lite, version, strip, add=None):
         """A payload as an older build would have written it."""
         import pickle
 
         clone = pickle.loads(pickle.dumps(tiny_lite))
         for attr in strip:
             delattr(clone, attr)
+        for attr, value in (add or {}).items():
+            setattr(clone, attr, value)
         return pickle.dumps({"format": "repro-lite", "version": version, "lite": clone})
 
     def test_v2_payload_is_migrated_not_rejected(self, tiny_lite, tmp_path):
@@ -93,10 +95,13 @@ class TestPersistenceFailureModes:
 
         path = tmp_path / "v2.pkl"
         path.write_bytes(self._aged_payload(
-            tiny_lite, 2, strip=("drift", "_recommend_rng")))
+            tiny_lite, 2, strip=("drift", "_recommend_seq")))
         loaded = load_lite(path)
         assert isinstance(loaded.drift, DriftMonitor)
-        assert hasattr(loaded, "_recommend_rng")
+        # The chain runs v2->3->4->5: the transient v4 shared RNG must
+        # not survive into the per-app substream world.
+        assert not hasattr(loaded, "_recommend_rng")
+        assert loaded._recommend_seq == {}
         # The migrated system serves, records drift and updates normally.
         rec = self._recommend(loaded)
         assert rec.predicted_time_s > 0
@@ -105,17 +110,43 @@ class TestPersistenceFailureModes:
         loaded.feedback(run)
         assert loaded.drift.total_recorded > 0
 
-    def test_v3_payload_gains_the_recommend_rng(self, tiny_lite, tmp_path):
+    def test_v3_payload_gains_the_substream_counters(self, tiny_lite, tmp_path):
         path = tmp_path / "v3.pkl"
-        path.write_bytes(self._aged_payload(tiny_lite, 3, strip=("_recommend_rng",)))
+        path.write_bytes(self._aged_payload(tiny_lite, 3, strip=("_recommend_seq",)))
         loaded = load_lite(path)
-        assert hasattr(loaded, "_recommend_rng")
+        assert not hasattr(loaded, "_recommend_rng")
+        assert loaded._recommend_seq == {}
         # The RNG fix holds for migrated systems too: successive
         # default-rng recommends draw fresh candidates.
         d = get_workload("PageRank").data_spec("valid").features()
         a = loaded.recommend("PageRank", d, CLUSTER_C)
         b = loaded.recommend("PageRank", d, CLUSTER_C)
         assert [c for c, _ in a.ranking] != [c for c, _ in b.ranking]
+
+    def test_v4_shared_rng_is_replaced_by_substreams(self, tiny_lite, tmp_path):
+        path = tmp_path / "v4.pkl"
+        path.write_bytes(self._aged_payload(
+            tiny_lite, 4, strip=("_recommend_seq",),
+            add={"_recommend_rng": np.random.default_rng(0)}))
+        loaded = load_lite(path)
+        assert not hasattr(loaded, "_recommend_rng")
+        # Substreams re-derive from (seed, app, seq): a migrated v4
+        # checkpoint recommends exactly like a freshly loaded v5 one.
+        fresh = load_lite(save_lite(tiny_lite, tmp_path / "v5.pkl"))
+        a = self._recommend(loaded)
+        b = self._recommend(fresh)
+        assert a.conf == b.conf
+
+    def test_non_advancing_migration_is_refused(self, tiny_lite, tmp_path, monkeypatch):
+        from repro.core import persistence
+
+        # A buggy migration that forgets to bump "version" must surface
+        # as an error naming the stuck version, not hang the loader.
+        monkeypatch.setitem(persistence._MIGRATIONS, 4, lambda payload: dict(payload))
+        path = tmp_path / "v4.pkl"
+        path.write_bytes(self._aged_payload(tiny_lite, 4, strip=("_recommend_seq",)))
+        with pytest.raises(ValueError, match=r"version 4 did not advance"):
+            load_lite(path)
 
     def test_crash_mid_save_keeps_previous_checkpoint(self, tiny_lite, tmp_path):
         path = save_lite(tiny_lite, tmp_path / "lite.pkl")

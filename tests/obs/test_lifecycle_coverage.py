@@ -44,7 +44,7 @@ def lifecycle():
 
 @pytest.fixture(scope="module")
 def chaos():
-    """One traced chaos run — the only driver that fires *every* name."""
+    """One traced chaos run — fires every *library* (non-serving) name."""
     from repro.experiments.chaos import run_chaos
 
     obs.reset()
@@ -62,27 +62,64 @@ def chaos():
     return captured
 
 
+@pytest.fixture(scope="module")
+def service():
+    """One traced smoke service benchmark — fires every ``serve.*`` name."""
+    from repro.experiments.service_bench import run_service_benchmark
+
+    obs.reset()
+    obs.enable_tracing()
+    try:
+        summary = run_service_benchmark(smoke=True, seed=0, out=None)
+    finally:
+        obs.disable_tracing()
+    captured = {
+        "summary": summary,
+        "snapshot": obs.metrics_snapshot(),
+        "span_names": {r.name for r in obs.get_tracer().records()},
+    }
+    obs.reset()
+    return captured
+
+
+#: The serving daemon's names fire in the service benchmark, everything
+#: else in the chaos lifecycle; the union must cover the taxonomy.
+_SERVE = "serve."
+
+
+def _split(names):
+    names = set(names)
+    return (
+        {n for n in names if not n.startswith(_SERVE)},
+        {n for n in names if n.startswith(_SERVE)},
+    )
+
+
 class TestNameCoverage:
     def test_every_span_name_fires(self, chaos):
-        missing = set(obsn.ALL_SPANS) - chaos["span_names"]
+        library_spans, _ = _split(obsn.ALL_SPANS)
+        missing = library_spans - chaos["span_names"]
         assert not missing, f"spans never entered: {sorted(missing)}"
 
     def test_every_span_feeds_a_duration_histogram(self, chaos):
         snap = chaos["snapshot"]
-        for name in obsn.ALL_SPANS:
+        library_spans, _ = _split(obsn.ALL_SPANS)
+        for name in library_spans:
             key = f"span.{name}.duration_s"
             assert key in snap, key
             assert snap[key]["count"] > 0, key
 
     def test_every_counter_is_nonzero(self, chaos):
         snap = chaos["snapshot"]
-        for name in obsn.ALL_COUNTERS:
+        library_counters, _ = _split(obsn.ALL_COUNTERS)
+        for name in library_counters:
             assert name in snap, name
             assert snap[name]["value"] > 0, name
 
     def test_every_gauge_is_set(self, chaos):
         snap = chaos["snapshot"]
-        for name in obsn.ALL_GAUGES:
+        library_gauges, _ = _split(obsn.ALL_GAUGES)
+        for name in library_gauges:
             assert name in snap, name
 
     def test_fit_epoch_histogram_populated(self, chaos):
@@ -93,6 +130,38 @@ class TestNameCoverage:
     def test_chaos_survives_and_reports(self, chaos):
         assert chaos["summary"]["ok"]
         assert all(chaos["summary"]["checks"].values())
+
+
+class TestServiceNameCoverage:
+    """The ``serve.*`` half of the taxonomy, driven over real HTTP."""
+
+    def test_every_serve_span_fires_and_feeds_histograms(self, service):
+        _, serve_spans = _split(obsn.ALL_SPANS)
+        assert serve_spans, "serve spans missing from the taxonomy"
+        missing = serve_spans - service["span_names"]
+        assert not missing, f"spans never entered: {sorted(missing)}"
+        snap = service["snapshot"]
+        for name in serve_spans:
+            key = f"span.{name}.duration_s"
+            assert key in snap and snap[key]["count"] > 0, key
+
+    def test_every_serve_counter_is_nonzero(self, service):
+        snap = service["snapshot"]
+        _, serve_counters = _split(obsn.ALL_COUNTERS)
+        assert serve_counters, "serve counters missing from the taxonomy"
+        for name in serve_counters:
+            assert name in snap, name
+            assert snap[name]["value"] > 0, name
+
+    def test_every_serve_gauge_is_set(self, service):
+        snap = service["snapshot"]
+        _, serve_gauges = _split(obsn.ALL_GAUGES)
+        assert serve_gauges, "serve gauges missing from the taxonomy"
+        for name in serve_gauges:
+            assert name in snap, name
+
+    def test_benchmark_passes_its_own_gates(self, service):
+        assert service["summary"]["ok"], service["summary"]["checks"]
 
 
 class TestLifecycleSemantics:

@@ -1,0 +1,32 @@
+"""Shared fixtures for the serving-daemon tests.
+
+Training even a smoke-sized LITE dominates this suite's runtime, so the
+two tenant models (and their checkpoints) are built once per session and
+shared; tests that need isolation load fresh copies from the checkpoints.
+"""
+
+import pytest
+
+from repro.core.persistence import save_lite
+from repro.experiments.serving_bench import build_serving_lite
+
+TENANT_SEEDS = {"acme": 11, "globex": 23}
+
+
+@pytest.fixture(scope="session")
+def tenant_lites():
+    """name -> trained smoke LITE (distinct weights per tenant)."""
+    return {
+        name: build_serving_lite(smoke=True, seed=seed)
+        for name, seed in TENANT_SEEDS.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def tenant_checkpoints(tenant_lites, tmp_path_factory):
+    """name -> checkpoint path for every tenant model."""
+    root = tmp_path_factory.mktemp("serve-checkpoints")
+    return {
+        name: save_lite(lite, root / f"{name}.pkl")
+        for name, lite in tenant_lites.items()
+    }

@@ -1,0 +1,79 @@
+"""MicroBatcher: leader/follower coalescing, ordering, error delivery."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve.batching import MicroBatcher
+
+
+class TestMicroBatcher:
+    def test_single_submit_returns_its_result(self):
+        batcher = MicroBatcher(window_s=0.0)
+        assert batcher.submit("k", 3, lambda items: [x * 2 for x in items]) == 6
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(window_s=-0.001)
+
+    def test_concurrent_submits_coalesce_into_one_batch(self):
+        batcher = MicroBatcher(window_s=0.2)
+        calls = []
+        barrier = threading.Barrier(4)
+
+        def run_batch(items):
+            calls.append(list(items))
+            return [x + 100 for x in items]
+
+        def submit(x):
+            barrier.wait()
+            return batcher.submit("k", x, run_batch)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(submit, range(4)))
+
+        # One batch ran, and every caller got the result for *its* item.
+        assert len(calls) == 1
+        assert sorted(calls[0]) == [0, 1, 2, 3]
+        assert results == [100, 101, 102, 103]
+
+    def test_distinct_keys_do_not_coalesce(self):
+        batcher = MicroBatcher(window_s=0.1)
+        calls = []
+        barrier = threading.Barrier(2)
+
+        def run_batch(items):
+            calls.append(list(items))
+            return list(items)
+
+        def submit(key, x):
+            barrier.wait()
+            return batcher.submit(key, x, run_batch)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            a = pool.submit(submit, "ka", 1)
+            b = pool.submit(submit, "kb", 2)
+            assert a.result() == 1 and b.result() == 2
+        assert sorted(map(tuple, calls)) == [(1,), (2,)]
+
+    def test_runner_error_is_delivered_to_every_member(self):
+        batcher = MicroBatcher(window_s=0.2)
+        barrier = threading.Barrier(3)
+
+        def boom(items):
+            raise RuntimeError("model exploded")
+
+        def submit(x):
+            barrier.wait()
+            with pytest.raises(RuntimeError, match="model exploded"):
+                batcher.submit("k", x, boom)
+            return True
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            assert all(pool.map(submit, range(3)))
+
+    def test_result_length_mismatch_is_an_error(self):
+        batcher = MicroBatcher(window_s=0.0)
+        with pytest.raises(RuntimeError, match="0 results for 1 items"):
+            batcher.submit("k", 1, lambda items: [])

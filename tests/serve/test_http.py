@@ -1,0 +1,151 @@
+"""End-to-end HTTP tests: real ThreadingHTTPServer, real sockets."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import load_lite
+from repro.serve import LiteService, ModelRegistry, ServiceConfig, make_server
+from repro.sparksim import CLUSTER_C
+from repro.utils.rng import get_rng
+from repro.workloads import get_workload
+
+APP = "PageRank"
+
+
+@pytest.fixture()
+def server(tenant_checkpoints):
+    reg = ModelRegistry(tenant_checkpoints)
+    service = LiteService(reg, ServiceConfig(batch_window_s=0.0))
+    srv = make_server(service)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+def _request(server, method, path, payload=None, raw_body=None):
+    """Returns (status, parsed body, headers)."""
+    port = server.server_address[1]
+    url = f"http://127.0.0.1:{port}{path}"
+    data = raw_body if raw_body is not None else (
+        json.dumps(payload).encode() if payload is not None else None
+    )
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read().decode()), dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read().decode()), dict(err.headers)
+
+
+def _recommend_payload(**over):
+    base = {
+        "tenant": "acme",
+        "app": APP,
+        "data_features": get_workload(APP).data_spec("valid").features().tolist(),
+        "n_candidates": 5,
+        "seed": 17,
+    }
+    base.update(over)
+    return base
+
+
+class TestEndpoints:
+    def test_health(self, server):
+        status, body, _ = _request(server, "GET", "/v1/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["tenants"] == ["acme", "globex"]
+
+    def test_recommend_matches_direct_library_call(
+            self, server, tenant_checkpoints):
+        status, body, _ = _request(
+            server, "POST", "/v1/recommend", _recommend_payload())
+        assert status == 200
+        # Bit-identical to a direct call on a fresh copy of the same
+        # checkpoint with the same seed, through the same JSON encoding.
+        direct = load_lite(tenant_checkpoints["acme"]).recommend(
+            APP, np.asarray(_recommend_payload()["data_features"]),
+            CLUSTER_C, n_candidates=5, rng=get_rng(17),
+        )
+        direct_json = json.loads(json.dumps(
+            {"conf": direct.conf.as_dict(),
+             "ranking": [[c.as_dict(), t] for c, t in direct.ranking]}))
+        assert body["conf"] == direct_json["conf"]
+        assert body["ranking"] == direct_json["ranking"]
+
+    def test_feedback_roundtrip(self, server):
+        status, rec, _ = _request(
+            server, "POST", "/v1/recommend", _recommend_payload())
+        assert status == 200
+        status, body, _ = _request(server, "POST", "/v1/feedback", {
+            "tenant": "acme", "app": APP, "conf": rec["conf"], "scale": "train0",
+        })
+        assert status == 200
+        assert body["run_success"] is True
+
+    def test_stats(self, server):
+        status, body, _ = _request(server, "GET", "/v1/stats")
+        assert status == 200
+        assert body["inflight"] == 0
+        assert "registry" in body and "metrics" in body
+
+
+class TestErrorStatuses:
+    def test_malformed_json_is_400(self, server):
+        status, body, _ = _request(
+            server, "POST", "/v1/recommend", raw_body=b"{not json!")
+        assert status == 400
+        assert "malformed JSON" in body["error"]
+
+    def test_empty_body_is_400(self, server):
+        status, body, _ = _request(server, "POST", "/v1/recommend", raw_body=b"")
+        assert status == 400
+        assert "empty request body" in body["error"]
+
+    def test_non_object_body_is_400(self, server):
+        status, body, _ = _request(
+            server, "POST", "/v1/recommend", raw_body=b"[1, 2, 3]")
+        assert status == 400
+        assert "must be an object" in body["error"]
+
+    def test_unknown_tenant_is_404(self, server):
+        status, body, _ = _request(
+            server, "POST", "/v1/recommend", _recommend_payload(tenant="nobody"))
+        assert status == 404
+        assert "unknown tenant" in body["error"]
+
+    def test_unknown_endpoint_is_404(self, server):
+        status, body, _ = _request(server, "GET", "/v1/nope")
+        assert status == 404
+
+    def test_overload_is_503_with_retry_after(self, tenant_checkpoints):
+        reg = ModelRegistry(tenant_checkpoints)
+        # Zero slots: every data-path request is deterministically shed.
+        service = LiteService(
+            reg, ServiceConfig(max_inflight=0, retry_after_s=3))
+        srv = make_server(service)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, body, headers = _request(
+                srv, "POST", "/v1/recommend", _recommend_payload())
+            assert status == 503
+            assert "capacity" in body["error"]
+            assert headers.get("Retry-After") == "3"
+            # Health stays available under overload.
+            status, body, _ = _request(srv, "GET", "/v1/health")
+            assert status == 200
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=5)

@@ -1,0 +1,104 @@
+"""ModelRegistry: lazy loads, LRU eviction, pinning, single-flight loads."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve import registry as registry_mod
+from repro.serve.registry import ModelRegistry
+
+
+class TestBasics:
+    def test_unknown_tenant_raises_keyerror(self, tenant_checkpoints):
+        reg = ModelRegistry(tenant_checkpoints)
+        with pytest.raises(KeyError, match="unknown tenant 'nobody'"):
+            with reg.lease("nobody"):
+                pass
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ModelRegistry(max_tenants=0)
+
+    def test_lazy_load_on_first_lease(self, tenant_checkpoints):
+        reg = ModelRegistry(tenant_checkpoints)
+        assert reg.loaded_tenants() == []
+        assert reg.tenants() == sorted(tenant_checkpoints)
+        with reg.lease("acme") as lite:
+            assert lite.trained
+        assert reg.loaded_tenants() == ["acme"]
+
+    def test_stats_shape(self, tenant_checkpoints):
+        reg = ModelRegistry(tenant_checkpoints)
+        with reg.lease("acme"):
+            stats = reg.stats()
+            assert stats["inflight"] == {"acme": 1}
+        stats = reg.stats()
+        assert stats["loaded"] == ["acme"]
+        assert stats["known"] == sorted(tenant_checkpoints)
+        assert stats["inflight"] == {}
+
+
+class TestEviction:
+    def test_lru_tenant_evicted_over_budget_and_reloadable(self, tenant_checkpoints):
+        reg = ModelRegistry(tenant_checkpoints, max_tenants=1)
+        with reg.lease("acme"):
+            pass
+        with reg.lease("globex"):
+            pass
+        # acme (least recently used, idle) was evicted to stay in budget…
+        assert reg.loaded_tenants() == ["globex"]
+        # …and transparently reloads from its checkpoint on the next lease.
+        with reg.lease("acme") as lite:
+            assert lite.trained
+        assert reg.loaded_tenants() == ["acme"]
+
+    def test_pinned_tenant_survives_over_budget(self, tenant_checkpoints):
+        reg = ModelRegistry(tenant_checkpoints, max_tenants=1)
+        with reg.lease("acme"):
+            with reg.lease("globex"):
+                # Both pinned: the registry tolerates being over budget
+                # rather than evicting a tenant mid-request.
+                assert sorted(reg.loaded_tenants()) == ["acme", "globex"]
+            # globex's lease dropped while acme stays pinned: globex is
+            # the only evictable entry and goes.
+            assert reg.loaded_tenants() == ["acme"]
+
+    def test_in_memory_tenant_never_evicted(self, tenant_checkpoints, tenant_lites):
+        reg = ModelRegistry(tenant_checkpoints, max_tenants=1)
+        reg.register("resident", tenant_lites["acme"])
+        with reg.lease("globex"):
+            pass
+        # The checkpoint-backed tenant was evicted, not the in-memory one.
+        assert reg.loaded_tenants() == ["resident"]
+        with reg.lease("resident") as lite:
+            assert lite is tenant_lites["acme"]
+
+
+class TestSingleFlightLoad:
+    def test_thundering_herd_loads_once(self, tenant_checkpoints, monkeypatch):
+        real_load = registry_mod.load_lite
+        loads = []
+        lock = threading.Lock()
+
+        def counting_load(path):
+            with lock:
+                loads.append(path)
+            time.sleep(0.05)   # widen the race window
+            return real_load(path)
+
+        monkeypatch.setattr(registry_mod, "load_lite", counting_load)
+        reg = ModelRegistry(tenant_checkpoints)
+        barrier = threading.Barrier(8)
+
+        def hit():
+            barrier.wait()
+            with reg.lease("acme") as lite:
+                return lite
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            lites = [f.result() for f in [pool.submit(hit) for _ in range(8)]]
+
+        assert len(loads) == 1
+        assert all(l is lites[0] for l in lites)
