@@ -2,10 +2,13 @@
 
 Ranking N candidates used to cost N full featurisation passes over the
 same stage templates; the fast path encodes each template once and runs
-one batched tower-MLP forward.  This benchmark measures both paths on the
-acceptance workload size (40 candidates x >= 5 stage templates), asserts
-the speedup floor and ranking equivalence, and records the numbers in
-``BENCH_serving.json`` at the repository root.
+one batched tower-MLP forward — now through a float32 snapshot of the
+tower and fused no-tape kernels.  This benchmark measures all four paths
+(float32 fused, float64 fused, float64 taped, per-instance reference) on
+the acceptance workload size (40 candidates x >= 5 stage templates),
+asserts the speedup floors, ranking equivalence and the float32 serving
+contract, and records the numbers in ``BENCH_serving.json`` at the
+repository root.
 """
 
 from __future__ import annotations
@@ -15,7 +18,10 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.serving_bench import run_serving_benchmark
+from repro.experiments.serving_bench import (
+    DTYPE_SPEEDUP_FLOOR,
+    run_serving_benchmark,
+)
 
 from conftest import print_table
 
@@ -32,28 +38,51 @@ def serving_result():
 
 class TestServingLatency:
     def test_speedup_floor(self, serving_result):
-        fast, ref = serving_result["fast"], serving_result["reference"]
+        fast, taped, ref = (
+            serving_result["fast"],
+            serving_result["fast_taped"],
+            serving_result["reference"],
+        )
         print_table(
-            "Serving latency: fast path vs. per-instance reference",
+            "Serving latency: fast path vs. taped vs. per-instance reference",
             ("path", "p50 ms", "p95 ms", "cand/s"),
             [
-                ("fast", f"{fast['p50_ms']:.2f}", f"{fast['p95_ms']:.2f}",
-                 f"{fast['candidates_per_s']:.0f}"),
+                ("fast (f32 fused)", f"{fast['p50_ms']:.2f}",
+                 f"{fast['p95_ms']:.2f}", f"{fast['candidates_per_s']:.0f}"),
+                ("taped (f64)", f"{taped['p50_ms']:.2f}",
+                 f"{taped['p95_ms']:.2f}", f"{taped['candidates_per_s']:.0f}"),
                 ("reference", f"{ref['p50_ms']:.2f}", f"{ref['p95_ms']:.2f}",
                  f"{ref['candidates_per_s']:.0f}"),
             ],
         )
-        print(f"speedup: {serving_result['speedup_p50']:.1f}x (p50)")
+        print(f"speedup: {serving_result['speedup_p50']:.1f}x (p50) vs reference, "
+              f"{serving_result['speedup_p50_vs_taped']:.1f}x tower vs taped")
         assert serving_result["n_candidates"] == 40
         assert serving_result["n_stages"] >= 5
         assert serving_result["speedup_p50"] >= SPEEDUP_FLOOR
 
+    def test_dtype_speedup_floor_vs_taped(self, serving_result):
+        # The PR-over-PR gate: the float32 fused tower forward must beat
+        # the taped float64 forward it replaced by the serving floor.
+        assert serving_result["dtype"] == "float32"
+        assert serving_result["speedup_vs_taped_enforced"]
+        assert serving_result["speedup_p50_vs_taped"] >= DTYPE_SPEEDUP_FLOOR
+        assert serving_result["speedup_vs_taped_ok"]
+
     def test_rankings_equivalent(self, serving_result):
         assert serving_result["rankings_identical"]
         assert serving_result["totals_bit_identical"]
+
+    def test_float32_serving_contract(self, serving_result):
+        eq = serving_result["dtype_equivalence"]
+        assert eq["topk_identical"]
+        assert eq["max_rel_err"] <= eq["rel_err_bound"]
+        assert eq["within_tolerance"]
 
     def test_report_written(self, serving_result):
         report = json.loads(OUT_PATH.read_text())
         assert report["fast"]["p50_ms"] == serving_result["fast"]["p50_ms"]
         assert report["reference"]["p50_ms"] == serving_result["reference"]["p50_ms"]
         assert {"p50_ms", "p95_ms", "candidates_per_s"} <= set(report["fast"])
+        assert {"fast", "taped"} <= set(report["predict_encoded"])
+        assert report["dtype_equivalence"]["within_tolerance"]

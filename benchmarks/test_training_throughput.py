@@ -7,6 +7,11 @@ and gathers embeddings back to batch order.  This benchmark fits the same
 corpus with both engines, asserts the speedup floor AND that the loss
 curves still match (a fast path that trains a different model is a bug),
 and records the numbers in ``BENCH_training.json`` at the repository root.
+
+The run also exercises the multi-process data-parallel engine at 4
+workers: bit-identical loss curves and weights are asserted on every
+machine, while the 2.5x speedup floor is only enforced on hosts with
+enough CPUs to demonstrate it (the report records ``cpu_count``).
 """
 
 from __future__ import annotations
@@ -16,7 +21,11 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.train_bench import LOSS_TOLERANCE, run_training_benchmark
+from repro.experiments.train_bench import (
+    LOSS_TOLERANCE,
+    PARALLEL_SPEEDUP_FLOOR,
+    run_training_benchmark,
+)
 
 from conftest import print_table
 
@@ -28,7 +37,8 @@ OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_training.json"
 @pytest.fixture(scope="module")
 def training_result():
     return run_training_benchmark(
-        epochs=4, update_epochs=2, smoke=False, seed=0, out=OUT_PATH, repeats=5
+        epochs=4, update_epochs=2, smoke=False, seed=0, out=OUT_PATH, repeats=5,
+        workers=4,
     )
 
 
@@ -63,6 +73,26 @@ class TestTrainingThroughput:
         assert eq["post_update_pred_max_rel_diff"] <= LOSS_TOLERANCE
         assert eq["within_tolerance"]
 
+    def test_parallel_fit_bit_identical(self, training_result):
+        par = training_result["parallel"]
+        gate = (f"floor {par['speedup_floor']}x enforced"
+                if par["speedup_gate_enforced"]
+                else f"floor waived on {par['cpu_count']} CPU(s)")
+        print(f"parallel fit x{par['workers']}: {par['speedup']:.2f}x ({gate})")
+        # Determinism is unconditional — any machine, any worker count.
+        assert par["workers"] == 4
+        assert par["loss_curves_bit_identical"]
+        assert par["weights_bit_identical"]
+
+    def test_parallel_fit_speedup_floor(self, training_result):
+        # Hardware-conditional: a single-core runner cannot demonstrate a
+        # multi-process speedup, so the floor only binds with >= 4 CPUs.
+        par = training_result["parallel"]
+        if not par["speedup_gate_enforced"]:
+            pytest.skip(f"only {par['cpu_count']} CPU(s); floor not enforced")
+        assert par["speedup"] >= PARALLEL_SPEEDUP_FLOOR
+        assert par["speedup_ok"]
+
     def test_report_written(self, training_result):
         report = json.loads(OUT_PATH.read_text())
         assert report["fit"]["speedup"] == training_result["fit"]["speedup"]
@@ -70,3 +100,5 @@ class TestTrainingThroughput:
             report["fit"]
         )
         assert report["equivalence"]["within_tolerance"]
+        assert report["parallel"]["loss_curves_bit_identical"]
+        assert report["meta"]["cpu_count"] >= 1

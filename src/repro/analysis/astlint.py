@@ -16,7 +16,11 @@ and flags the patterns that bite this codebase:
 
 Files that *implement* the tape legitimately touch ``.data``; they are
 whitelisted via :data:`SUBSTRATE_FILES` and only lose the REP101/REP102
-rules — everything else still applies to them.
+rules — everything else still applies to them.  Similarly, the serving
+fast path deliberately trades precision for throughput inside one module
+(:data:`SERVING_DTYPE_FILES`): that dtype boundary loses only REP104, so
+float32 leaking anywhere *else* — in particular into the training path —
+still fires.
 """
 
 from __future__ import annotations
@@ -34,6 +38,14 @@ SUBSTRATE_FILES: Tuple[str, ...] = (
     "repro/nn/functional.py",
     "repro/nn/optim.py",
     "repro/nn/module.py",
+    "repro/nn/parallel.py",
+)
+
+#: Module paths (suffix match) that *are* the float32 serving boundary: all
+#: dtype casting for the serving fast path is concentrated here so the rest
+#: of the codebase stays float64.  These files lose only REP104.
+SERVING_DTYPE_FILES: Tuple[str, ...] = (
+    "repro/core/serving_dtype.py",
 )
 
 #: Legacy numpy global-RNG entry points (all draw from unseeded process state
@@ -69,10 +81,16 @@ def _is_substrate(path: str) -> bool:
     return any(norm.endswith(suffix) for suffix in SUBSTRATE_FILES)
 
 
+def _is_serving_dtype(path: str) -> bool:
+    norm = PurePosixPath(path.replace("\\", "/")).as_posix()
+    return any(norm.endswith(suffix) for suffix in SERVING_DTYPE_FILES)
+
+
 class _LintVisitor(ast.NodeVisitor):
-    def __init__(self, path: str, substrate: bool):
+    def __init__(self, path: str, substrate: bool, serving_dtype: bool = False):
         self.path = path
         self.substrate = substrate
+        self.serving_dtype = serving_dtype
         self.diagnostics: List[Diagnostic] = []
         #: (lineno, col) of ``.data``/``.grad`` attribute nodes already
         #: reported as mutations, so REP101 does not double-report them.
@@ -142,7 +160,12 @@ class _LintVisitor(ast.NodeVisitor):
             )
         # REP104: np.float32 attribute
         chain = _attr_chain(node)
-        if chain and chain[0] in _NUMPY_NAMES and chain[-1] in ("float32", "single"):
+        if (
+            not self.serving_dtype
+            and chain
+            and chain[0] in _NUMPY_NAMES
+            and chain[-1] in ("float32", "single")
+        ):
             self._emit("REP104", node, f"`{'.'.join(chain)}` mixes float32 into a float64 engine")
         self.generic_visit(node)
 
@@ -167,13 +190,14 @@ class _LintVisitor(ast.NodeVisitor):
                 )
 
         # REP104: astype("float32") / dtype="float32"
-        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
-            for arg in node.args:
-                if isinstance(arg, ast.Constant) and arg.value == "float32":
-                    self._emit("REP104", arg, 'astype("float32") mixes float32 into a float64 engine')
-        for kw in node.keywords:
-            if kw.arg == "dtype" and isinstance(kw.value, ast.Constant) and kw.value.value == "float32":
-                self._emit("REP104", kw.value, 'dtype="float32" mixes float32 into a float64 engine')
+        if not self.serving_dtype:
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+                for arg in node.args:
+                    if isinstance(arg, ast.Constant) and arg.value == "float32":
+                        self._emit("REP104", arg, 'astype("float32") mixes float32 into a float64 engine')
+            for kw in node.keywords:
+                if kw.arg == "dtype" and isinstance(kw.value, ast.Constant) and kw.value.value == "float32":
+                    self._emit("REP104", kw.value, 'dtype="float32" mixes float32 into a float64 engine')
 
         # REP106: Tensor(x.numpy()) -> x.detach()
         func_name = chain[-1] if chain else None
@@ -203,7 +227,11 @@ class _LintVisitor(ast.NodeVisitor):
 def lint_source(source: str, path: str = "<string>") -> List[Diagnostic]:
     """Lint one Python source string; returns unsuppressed diagnostics."""
     tree = ast.parse(source, filename=path)
-    visitor = _LintVisitor(path, substrate=_is_substrate(path))
+    visitor = _LintVisitor(
+        path,
+        substrate=_is_substrate(path),
+        serving_dtype=_is_serving_dtype(path),
+    )
     visitor.visit(tree)
     return apply_suppressions(visitor.diagnostics, noqa_lines(source))
 

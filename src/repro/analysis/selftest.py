@@ -7,6 +7,12 @@ of every REP401–REP406 hazard into a temporary directory, runs the full
 concurrency pass over it, and verifies that each rule fires at least once
 — plus that an intentionally clean function is classified ``pure`` (the
 pass must not fire on everything either).
+
+The self-test also probes the REP104 dtype *boundary*: the same float32
+source is linted once under a ``serving_dtype``-whitelisted path (must be
+silent — the serving fast path is sanctioned) and once under a sibling
+path (must fire — float32 anywhere else is still a hazard).  A whitelist
+that silently widened to everything would be caught here.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import tempfile
 from pathlib import Path
 from typing import Dict, List, Tuple
 
+from .astlint import lint_source
 from .concurrency import (
     DEFAULT_HOT_PATHS,
     DEFAULT_SHARED_CLASSES,
@@ -103,6 +110,48 @@ def rank(items):
 '''
 
 
+#: Every REP104 trigger shape in one snippet: the np.float32 attribute, the
+#: astype("float32") call and the dtype="float32" keyword.  Linted twice —
+#: under the sanctioned serving-dtype path and under a sibling path.
+HAZ_DTYPE = '''\
+"""Seeded hazard: REP104 (float32 in a float64 engine)."""
+import numpy as np
+
+
+def narrow(arr):
+    lo = np.asarray(arr, dtype="float32")
+    return lo.astype("float32") + np.float32(0.0)
+'''
+
+
+def check_rep104_boundary() -> Tuple[bool, List[str]]:
+    """``(ok, report_lines)`` for the REP104 whitelist-boundary probe."""
+    lines: List[str] = []
+    ok = True
+    sanctioned = lint_source(HAZ_DTYPE, path="src/repro/core/serving_dtype.py")
+    rep104_in = [d for d in sanctioned if d.rule_id == "REP104"]
+    if rep104_in:
+        lines.append(
+            f"  REP104: fired {len(rep104_in)}x inside the serving-dtype "
+            f"boundary (must be sanctioned there)"
+        )
+        ok = False
+    else:
+        lines.append("  REP104: silent inside the serving-dtype boundary")
+    sibling = lint_source(HAZ_DTYPE, path="src/repro/core/necs.py")
+    rep104_out = [d for d in sibling if d.rule_id == "REP104"]
+    # One finding per trigger shape: attribute, astype, dtype kwarg.
+    if len(rep104_out) >= 3:
+        lines.append(f"  REP104: fired {len(rep104_out)}x outside the boundary")
+    else:
+        lines.append(
+            f"  REP104: MISSED seeded hazard outside the boundary "
+            f"(fired {len(rep104_out)}x, expected >= 3)"
+        )
+        ok = False
+    return ok, lines
+
+
 def write_fixture(dst: Path) -> List[Path]:
     """Materialise the hazard fixture under ``dst``; returns the files."""
     dst = Path(dst)
@@ -156,6 +205,9 @@ def run_self_test() -> Tuple[bool, List[str]]:
         if flagged_pure:
             lines.append(f"  {pure_qual}: falsely flagged {len(flagged_pure)}x")
             ok = False
+        dtype_ok, dtype_lines = check_rep104_boundary()
+        ok = ok and dtype_ok
+        lines.extend(dtype_lines)
         header = (
             "self-test: all REP4xx rules fired on seeded hazards"
             if ok else "self-test: FAILED — the analysis missed seeded hazards"

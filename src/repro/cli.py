@@ -155,6 +155,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--candidates", type=int, default=40)
     p_bench.add_argument("--repeats", type=int, default=20)
     p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--dtype", default=None, choices=("float32", "float64"),
+                         help="serving dtype for the fast path "
+                              "(default: the trained config's, float32)")
     p_bench.add_argument("--smoke", action="store_true",
                          help="tiny corpus/model and few repeats (CI gate)")
     p_bench.add_argument("--out", default="BENCH_serving.json",
@@ -167,6 +170,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_btrain.add_argument("--epochs", type=int, default=4)
     p_btrain.add_argument("--update-epochs", type=int, default=2)
     p_btrain.add_argument("--seed", type=int, default=0)
+    p_btrain.add_argument("--workers", type=int, default=0,
+                          help="also benchmark the multi-process data-parallel "
+                               "engine at this worker count (>= 2)")
     p_btrain.add_argument("--smoke", action="store_true",
                           help="tiny corpus and few epochs (CI gate)")
     p_btrain.add_argument("--out", default="BENCH_training.json",
@@ -200,6 +206,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="concurrent requests before shedding with 503")
     p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
                          help="micro-batch hold-open window per tenant")
+    p_serve.add_argument("--quota-rps", type=float, default=None,
+                         help="per-tenant sustained request rate; exhausted "
+                              "tenants get 429 (default: quotas disabled)")
+    p_serve.add_argument("--quota-burst", type=float, default=8.0,
+                         help="per-tenant token-bucket burst capacity")
 
     p_bsvc = sub.add_parser(
         "bench-service",
@@ -461,24 +472,36 @@ def cmd_bench_recommend(args) -> int:
     result = run_serving_benchmark(
         n_candidates=args.candidates, repeats=args.repeats, smoke=args.smoke,
         seed=args.seed, out=args.out, lite=lite,
-        app_name=args.app, cluster_name=args.cluster,
+        app_name=args.app, cluster_name=args.cluster, dtype=args.dtype,
     )
+    eq = result["dtype_equivalence"]
     if args.json:
         _result(json.dumps(result, indent=2))
     else:
-        fast, ref = result["fast"], result["reference"]
+        fast, taped, ref = (
+            result["fast"], result["fast_taped"], result["reference"]
+        )
         _result(f"serving latency for {result['app']} "
                 f"({result['n_candidates']} candidates x {result['n_stages']} stages, "
-                f"{result['repeats']} repeats):")
+                f"{result['repeats']} repeats, dtype {result['dtype']}):")
         _result(f"  fast path:      p50 {fast['p50_ms']:8.2f} ms  p95 {fast['p95_ms']:8.2f} ms  "
                 f"{fast['candidates_per_s']:10.0f} cand/s")
+        _result(f"  taped float64:  p50 {taped['p50_ms']:8.2f} ms  p95 {taped['p95_ms']:8.2f} ms  "
+                f"{taped['candidates_per_s']:10.0f} cand/s")
         _result(f"  per-instance:   p50 {ref['p50_ms']:8.2f} ms  p95 {ref['p95_ms']:8.2f} ms  "
                 f"{ref['candidates_per_s']:10.0f} cand/s")
-        _result(f"  speedup: {result['speedup_p50']:.1f}x (p50), "
-                f"{result['speedup_p95']:.1f}x (p95); "
-                f"rankings identical: {result['rankings_identical']}")
+        _result(f"  speedup: {result['speedup_p50']:.1f}x (p50) vs per-instance, "
+                f"{result['speedup_p50_vs_taped']:.1f}x tower forward vs taped "
+                f"(floor {result['speedup_vs_taped_floor']}x, "
+                f"ok: {result['speedup_vs_taped_ok']})")
+        _result(f"  rankings identical: {result['rankings_identical']}; "
+                f"float64 totals bit-identical: {result['totals_bit_identical']}; "
+                f"top-{eq['topk']} identical: {eq['topk_identical']} "
+                f"(max rel err {eq['max_rel_err']:.1e})")
         _result(f"wrote {result['out']}")
-    return 0
+    ok = (result["rankings_identical"] and result["totals_bit_identical"]
+          and eq["within_tolerance"])
+    return 0 if ok else 1
 
 
 def cmd_bench_train(args) -> int:
@@ -487,7 +510,7 @@ def cmd_bench_train(args) -> int:
     _LOG.info("collecting corpus and fitting both engines...")
     result = run_training_benchmark(
         epochs=args.epochs, update_epochs=args.update_epochs,
-        smoke=args.smoke, seed=args.seed, out=args.out,
+        smoke=args.smoke, seed=args.seed, out=args.out, workers=args.workers,
     )
     if args.json:
         _result(json.dumps(result, indent=2))
@@ -504,8 +527,24 @@ def cmd_bench_train(args) -> int:
                 f"speedup {upd['speedup']:.2f}x")
         _result(f"  loss-curve max |diff|: {eq['loss_curve_max_abs_diff']:.2e} "
                 f"(within tolerance: {eq['within_tolerance']})")
+        if "parallel" in result:
+            par = result["parallel"]
+            gate = (f"floor {par['speedup_floor']}x enforced"
+                    if par["speedup_gate_enforced"]
+                    else f"floor waived: {par['cpu_count']} CPU(s)")
+            _result(f"  parallel fit ({par['workers']} workers): "
+                    f"{par['multi_inst_per_s']:8.0f} inst/s   "
+                    f"speedup {par['speedup']:.2f}x ({gate})")
+            _result(f"  parallel determinism: losses bit-identical "
+                    f"{par['loss_curves_bit_identical']}, weights bit-identical "
+                    f"{par['weights_bit_identical']}")
         _result(f"wrote {result['out']}")
-    return 0 if eq_ok(result) else 1
+    ok = eq_ok(result)
+    if "parallel" in result:
+        par = result["parallel"]
+        ok = ok and par["loss_curves_bit_identical"] and \
+            par["weights_bit_identical"] and par["speedup_ok"]
+    return 0 if ok else 1
 
 
 def cmd_bench_obs(args) -> int:
@@ -551,6 +590,7 @@ def cmd_serve(args) -> int:
         host=args.host, port=args.port,
         max_tenants=args.max_tenants, max_inflight=args.max_inflight,
         batch_window_s=args.batch_window_ms / 1e3,
+        quota_rps=args.quota_rps, quota_burst=args.quota_burst,
     )
     service = LiteService(ModelRegistry(checkpoints, max_tenants=args.max_tenants),
                           config)

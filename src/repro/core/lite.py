@@ -129,6 +129,8 @@ class LITE:
         """
         with self._lock:
             self._encoded.clear()
+            # The float32 tower snapshot is derived state too.
+            self.estimator._serving_snapshot = None
 
     # ------------------------------------------------------------------
     # Offline phase
@@ -210,7 +212,9 @@ class LITE:
                 obs.counter(obsn.CTR_CACHE_INVALIDATION).inc()
             t0 = time.perf_counter()
             cached = self.estimator.encode_templates(self.stage_templates(app_name))
-            self.estimator.template_embeddings(cached)
+            # Fills the CNN/GCN embeddings *and* the serving-dtype cast +
+            # tower snapshot, so the first rank after a miss pays nothing.
+            self.estimator.warm_serving(cached)
             encode_s = time.perf_counter() - t0
             self._encoded[app_name] = cached
             return cached, False, encode_s

@@ -34,6 +34,7 @@ from ..utils.rng import get_rng
 from .. import nn, obs
 from ..obs import names as obsn
 from ..ml.scaler import StandardScaler
+from . import serving_dtype
 from .dagfeat import DagEncoder
 from .instances import StageInstance, numeric_feature_rows, numeric_features
 from .tokenizer import CodeTokenizer
@@ -67,6 +68,20 @@ class NECSConfig:
     lr: float = 2e-3
     grad_clip: float = 5.0
     seed: int = 0
+    #: Data-parallel training (DESIGN.md §15).  ``0`` keeps the legacy
+    #: single-process engine; ``>= 1`` selects the sharded engine — ``1``
+    #: runs the shards in-process, ``N`` forks N worker processes.  Loss
+    #: curves and final weights are bit-identical across worker counts
+    #: (canonical-order gradient reduction), though not to ``0``'s
+    #: whole-batch engine (different float summation order).
+    train_workers: int = 0
+    #: Rows per gradient shard for the data-parallel engine.  The shard
+    #: plan depends only on this and the batch — never the worker count.
+    train_shard_rows: int = 8
+    #: Tower dtype for the ``predict_encoded`` serving fast path (see
+    #: :mod:`repro.core.serving_dtype`); ``"float64"`` opts out of the
+    #: float32 cast.  Training is float64 regardless.
+    serving_dtype: str = "float32"
 
 
 class NECSNetwork(nn.Module):
@@ -214,6 +229,11 @@ class EncodedTemplates:
     version: int                                           # estimator.version at encode time
     h_code: Optional[np.ndarray] = None                    # (S, code_out), lazy
     h_dag: Optional[np.ndarray] = None                     # (S, gcn_hidden), lazy
+    #: Serving-dtype casts of ``h_code``/``h_dag`` (filled lazily under
+    #: ``_lock`` by the float32 fast path; ``None`` until first use).
+    h_code_cast: Optional[np.ndarray] = None
+    h_dag_cast: Optional[np.ndarray] = None
+    cast_dtype: Optional[str] = None
     #: Serialises the lazy ``h_code``/``h_dag`` fill: two concurrent first
     #: uses would otherwise both run the CNN/GCN and clobber each other.
     _lock: threading.Lock = field(
@@ -226,6 +246,11 @@ class EncodedTemplates:
         return state
 
     def __setstate__(self, state):
+        # Checkpoints written before the serving-dtype cache existed lack
+        # the cast fields; default them rather than growing a migration.
+        state.setdefault("h_code_cast", None)
+        state.setdefault("h_dag_cast", None)
+        state.setdefault("cast_dtype", None)
         self.__dict__.update(state)
         self._lock = threading.Lock()
 
@@ -243,13 +268,30 @@ class NECSEstimator:
         self._y_std = 1.0
         self.train_losses_: List[float] = []
         #: Monotonic counter of weight/featuriser changes.  Anything derived
-        #: from the network (cached template encodings/embeddings) carries
-        #: the version it was computed at and must be discarded on mismatch.
+        #: from the network (cached template encodings/embeddings, the
+        #: serving-dtype tower snapshot) carries the version it was computed
+        #: at and must be discarded on mismatch.
         self.version = 0
+        #: Lazily-built :class:`~repro.core.serving_dtype.TowerSnapshot`
+        #: for the ``predict_encoded`` fast path; version-stamped.
+        self._serving_snapshot: Optional[serving_dtype.TowerSnapshot] = None
 
     def bump_version(self) -> None:
         """Invalidate derived caches after an in-place weight change."""
         self.version += 1
+        self._serving_snapshot = None
+
+    def __getstate__(self):
+        # The tower snapshot holds a thread-local scratch dict (unpicklable)
+        # and is cheap to rebuild on first use; checkpoints drop it.
+        state = self.__dict__.copy()
+        state["_serving_snapshot"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Also covers checkpoints written before the snapshot existed.
+        self._serving_snapshot = None
 
     # ------------------------------------------------------------------
     # Featurisation
@@ -396,6 +438,11 @@ class NECSEstimator:
         directly comparable.
         """
         cfg = self.config
+        if int(getattr(cfg, "train_workers", 0) or 0) >= 1:
+            self._train_loop_parallel(
+                numeric, code_ids, graphs, targets, verbose, template_index
+            )
+            return
         params = self.network.parameters()
         optimizer = nn.Adam(params, lr=cfg.lr)
         rng = get_rng(cfg.seed + 1)
@@ -434,6 +481,88 @@ class NECSEstimator:
                 logging.INFO if verbose else logging.DEBUG,
                 "epoch %d: loss %.4f", epoch, self.train_losses_[-1],
             )
+
+    def _make_shard_fn(self, numeric, code_ids, graphs, targets, template_index):
+        """Per-shard forward/backward closure for the data-parallel engine.
+
+        Returns ``(stats, grad_vec)`` for a shard's row indices: ``stats``
+        is ``[sse]`` (sum of squared errors — the shard-decomposable loss
+        form) and ``grad_vec`` the flat gradient of that sum over the
+        network's canonical parameter order.  With ``template_index``, the
+        shard encodes only *its* unique templates (``np.unique`` subset +
+        re-indexed gather), so workers never touch the full template set.
+        """
+        network = self.network
+        params = network.parameters()
+
+        def shard_fn(rows: np.ndarray):
+            if template_index is not None:
+                sub_templates, sub_index = np.unique(
+                    template_index[rows], return_inverse=True
+                )
+                codes = code_ids[sub_templates] if code_ids is not None else None
+                shard_graphs = (
+                    [graphs[i] for i in sub_templates] if graphs is not None else None
+                )
+                pred = network(
+                    numeric[rows], codes, shard_graphs, template_index=sub_index
+                )
+            else:
+                codes = code_ids[rows] if code_ids is not None else None
+                shard_graphs = [graphs[i] for i in rows] if graphs is not None else None
+                pred = network(numeric[rows], codes, shard_graphs)
+            sse = nn.squared_error_sum(pred, targets[rows])
+            network.zero_grad()
+            sse.backward()
+            return np.array([sse.item()]), nn.flat_grads(params)
+
+        return shard_fn
+
+    def _train_loop_parallel(
+        self, numeric, code_ids, graphs, targets, verbose: bool, template_index=None
+    ) -> None:
+        """Data-parallel variant of :meth:`_train_loop` (DESIGN.md §15).
+
+        Each batch is cut into fixed-size shards (a pure function of the
+        seeded permutation and ``train_shard_rows``), each shard computes a
+        *sum*-form loss and gradient, and the engine reduces them in shard
+        order before one ``1/B`` scaling — so ``workers=N`` reproduces
+        ``workers=1`` bit-for-bit.  The RNG draw sequence matches the
+        serial loop, so the batches are the same; the loss values differ
+        from ``train_workers=0`` only by float summation order.
+        """
+        cfg = self.config
+        params = self.network.parameters()
+        optimizer = nn.Adam(params, lr=cfg.lr)
+        rng = get_rng(cfg.seed + 1)
+        n = len(targets)
+        shard_fn = self._make_shard_fn(numeric, code_ids, graphs, targets, template_index)
+        shard_size = max(1, int(getattr(cfg, "train_shard_rows", 8)))
+        self.train_losses_ = []
+        with nn.ParallelGradEngine(params, shard_fn, workers=cfg.train_workers) as engine:
+            for epoch in range(cfg.epochs):
+                epoch_t0 = time.perf_counter()
+                order = rng.permutation(n)
+                epoch_loss = 0.0
+                batches = 0
+                for start in range(0, n, cfg.batch_size):
+                    idx = order[start : start + cfg.batch_size]
+                    stats, grad = engine.step(nn.shard_rows(idx, shard_size))
+                    grad *= 1.0 / len(idx)
+                    nn.set_flat_grads(params, grad)
+                    nn.clip_grad_norm(params, cfg.grad_clip)
+                    optimizer.step()
+                    epoch_loss += stats[0] / len(idx)
+                    batches += 1
+                self.train_losses_.append(float(epoch_loss / max(batches, 1)))
+                obs.counter(obsn.CTR_FIT_EPOCHS).inc()
+                obs.gauge(obsn.GAUGE_FIT_LAST_LOSS).set(self.train_losses_[-1])
+                obs.histogram(obsn.HIST_FIT_EPOCH_S).observe(time.perf_counter() - epoch_t0)
+                _LOG.log(
+                    logging.INFO if verbose else logging.DEBUG,
+                    "epoch %d: loss %.4f (%d-way data-parallel)",
+                    epoch, self.train_losses_[-1], cfg.train_workers,
+                )
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -577,21 +706,92 @@ class NECSEstimator:
                     encoded.h_dag = self.network._encode_dags(encoded.graphs).numpy()
             return encoded.h_code, encoded.h_dag
 
+    def _cast_template_embeddings(
+        self, encoded: EncodedTemplates, dtype_name: str
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Serving-dtype casts of the cached template embeddings.
+
+        float64 passes the cached arrays through untouched; float32 casts
+        once per (encoding, dtype) and caches the result on the entry —
+        the fill runs under ``encoded._lock`` like the embedding fill.
+        """
+        h_code, h_dag = encoded.h_code, encoded.h_dag
+        if dtype_name == "float64":
+            return h_code, h_dag
+        with encoded._lock:
+            if encoded.cast_dtype != dtype_name:
+                encoded.h_code_cast = serving_dtype.cast_array(h_code, dtype_name)
+                encoded.h_dag_cast = serving_dtype.cast_array(h_dag, dtype_name)
+                encoded.cast_dtype = dtype_name
+            return encoded.h_code_cast, encoded.h_dag_cast
+
+    def _tower_snapshot(self, dtype_name: str) -> serving_dtype.TowerSnapshot:
+        """The inference snapshot of the tower MLP, rebuilt on staleness.
+
+        Guarded by the ``version`` stamp: a concurrent rebuild race is
+        benign (both snapshots describe the same version; last write
+        wins and each caller keeps using the one it fetched).
+        """
+        snap = self._serving_snapshot
+        if snap is None or snap.version != self.version or snap.dtype_name != dtype_name:
+            snap = serving_dtype.TowerSnapshot(self.network.mlp, dtype_name, self.version)
+            self._serving_snapshot = snap
+        return snap
+
+    def warm_serving(self, encoded: EncodedTemplates) -> None:
+        """Precompute the serving fast path's derived state.
+
+        Fills the template-embedding cache, its serving-dtype cast, and
+        the tower snapshot — called by ``LITE`` inside the timed encode
+        section so request latency never pays for a cold cast.
+        """
+        dtype_name = serving_dtype.resolve_dtype(
+            getattr(self.config, "serving_dtype", None)
+        )
+        self.template_embeddings(encoded)
+        self._cast_template_embeddings(encoded, dtype_name)
+        self._tower_snapshot(dtype_name)
+
     def predict_encoded(
-        self, encoded: EncodedTemplates, numeric_rows: np.ndarray
+        self,
+        encoded: EncodedTemplates,
+        numeric_rows: np.ndarray,
+        dtype: Optional[str] = None,
+        fused: bool = True,
     ) -> np.ndarray:
         """Score N candidates against pre-encoded templates in one forward.
 
         ``numeric_rows`` holds one *raw* numeric row per candidate (see
         :func:`repro.core.instances.numeric_feature_rows`); the stage
         dimension is broadcast here.  Returns predicted stage seconds with
-        shape ``(N, n_stages)``.  Costs one batched tower-MLP forward over
+        shape ``(N, n_stages)``.  Costs one tower forward over
         ``N * n_stages`` rows; the code/DAG embeddings are reused from the
         template cache.
+
+        ``fused=True`` (default) runs the no-tape fused kernel on a
+        version-stamped :class:`~repro.core.serving_dtype.TowerSnapshot`
+        in ``dtype`` (``None`` = ``config.serving_dtype``, float32 by
+        default).  In float64 the fused path is bit-identical to the taped
+        one; in float32 the contract is identical top-k rankings with
+        bounded relative error.  ``fused=False`` keeps the taped float64
+        forward — the pre-fusion reference path the serving benchmark
+        times against.
         """
         if self.network is None:
             raise RuntimeError("NECS is not fitted")
         self._check_version(encoded)
+        if not fused:
+            if dtype == "float32":
+                raise ValueError(
+                    "the taped reference path is float64-only; use fused=True "
+                    "for float32 serving"
+                )
+            dtype_name = "float64"
+        else:
+            dtype_name = serving_dtype.resolve_dtype(
+                dtype if dtype is not None
+                else getattr(self.config, "serving_dtype", None)
+            )
         with obs.span(obsn.SPAN_NECS_PREDICT_ENCODED) as sp:
             h_code, h_dag = self.template_embeddings(encoded)
             numeric = self.numeric_scaler.transform(
@@ -599,18 +799,30 @@ class NECSEstimator:
             )
             n, s = numeric.shape[0], encoded.n_stages
             if sp:
-                sp.set(app=encoded.app_name, n_candidates=n, n_stages=s)
+                sp.set(app=encoded.app_name, n_candidates=n, n_stages=s,
+                       dtype=dtype_name, fused=bool(fused))
             # Candidate-major, stage-minor — the same row order the
             # per-instance path produces when it fans templates out over
             # candidates.
-            parts = [np.repeat(numeric, s, axis=0)]
-            if h_code is not None:
-                parts.append(np.tile(h_code, (n, 1)))
-            if h_dag is not None:
-                parts.append(np.tile(h_dag, (n, 1)))
-            feats = np.concatenate(parts, axis=1)
-            with self._eval_mode():
-                out = self.network.mlp(nn.Tensor(feats)).numpy().reshape(n, s)
+            if fused:
+                snap = self._tower_snapshot(dtype_name)
+                h_code, h_dag = self._cast_template_embeddings(encoded, dtype_name)
+                parts = [np.repeat(snap.cast_features(numeric), s, axis=0)]
+                if h_code is not None:
+                    parts.append(np.tile(h_code, (n, 1)))
+                if h_dag is not None:
+                    parts.append(np.tile(h_dag, (n, 1)))
+                feats = np.concatenate(parts, axis=1)
+                out = snap.forward(feats).reshape(n, s)
+            else:
+                parts = [np.repeat(numeric, s, axis=0)]
+                if h_code is not None:
+                    parts.append(np.tile(h_code, (n, 1)))
+                if h_dag is not None:
+                    parts.append(np.tile(h_dag, (n, 1)))
+                feats = np.concatenate(parts, axis=1)
+                with self._eval_mode():
+                    out = self.network.mlp(nn.Tensor(feats)).numpy().reshape(n, s)
             return np.expm1(out * self._y_std + self._y_mean)
 
     # ------------------------------------------------------------------

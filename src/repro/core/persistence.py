@@ -39,7 +39,11 @@ FORMAT = "repro-lite"
 # substreams (``_recommend_seq`` counters) so concurrent tenants draw
 # independent, deterministic candidate sequences; the ``_recommend_rng``
 # attribute is gone.
-VERSION = 5
+# v6: NECSConfig grew the parallel-substrate knobs (``train_workers``,
+# ``train_shard_rows``, ``serving_dtype``).  The config is a *frozen*
+# dataclass, so a v5 checkpoint's instance is rebuilt field-by-field with
+# the new defaults instead of patched with setattr.
+VERSION = 6
 
 
 def save_lite(
@@ -117,10 +121,34 @@ def _migrate_v4_to_v5(payload: Dict[str, object]) -> Dict[str, object]:
     return {**payload, "version": 5}
 
 
+def _migrate_v5_to_v6(payload: Dict[str, object]) -> Dict[str, object]:
+    """v5 -> v6: rebuild the frozen NECSConfig with the new field set.
+
+    ``LITE.config.necs`` and ``NECSEstimator.config`` are the same object
+    in a live system, so both references are pointed at the rebuilt one.
+    The serving snapshot is derived state and starts empty.
+    """
+    from dataclasses import fields
+
+    from .necs import NECSConfig
+
+    lite = payload["lite"]
+    old = lite.config.necs
+    rebuilt = NECSConfig(
+        **{f.name: getattr(old, f.name, f.default) for f in fields(NECSConfig)}
+    )
+    lite.config.necs = rebuilt
+    lite.estimator.config = rebuilt
+    if not hasattr(lite.estimator, "_serving_snapshot"):
+        lite.estimator._serving_snapshot = None
+    return {**payload, "version": 6}
+
+
 _MIGRATIONS: Dict[int, Callable[[Dict[str, object]], Dict[str, object]]] = {
     2: _migrate_v2_to_v3,
     3: _migrate_v3_to_v4,
     4: _migrate_v4_to_v5,
+    5: _migrate_v5_to_v6,
 }
 
 

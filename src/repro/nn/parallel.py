@@ -1,0 +1,238 @@
+"""Deterministic data-parallel gradient execution (DESIGN.md §15).
+
+Splits one training batch into fixed-size *shards*, runs forward/backward
+per shard (in-process or across forked worker processes), and reduces the
+per-shard loss sums and gradient vectors in a **fixed canonical order** —
+ascending shard index — so the result is a pure function of the batch and
+the shard size, never of the worker count or of completion order:
+``workers=N`` reproduces ``workers=1`` loss curves and final weights
+bit-for-bit.
+
+Three properties make this hold:
+
+- **Shard plan is worker-independent.**  :func:`shard_rows` cuts the
+  (already seeded/permuted) batch into contiguous chunks of
+  ``shard_size`` rows; the plan depends only on the batch and the config.
+- **Per-shard math is self-contained.**  The shard function computes a
+  *sum*-form loss (SSE / BCE-sum) and a flat gradient vector for its rows
+  only; no cross-shard state, no mean over a worker-dependent count.
+- **Reduction is canonical.**  The parent always accumulates
+  ``stats``/``grad`` in shard-index order with the same float additions,
+  regardless of which worker produced which shard or when.  (Float
+  addition is not associative — a completion-order or per-worker-partial
+  reduction would *not* be reproducible.)
+
+Worker processes are started with the ``fork`` method so they inherit the
+network, the encoded corpus, and the shard closure copy-on-write — only
+the flat parameter vector is broadcast per step and only ``(shard_id,
+stats, grad_vec)`` tuples come back.  Where ``fork`` is unavailable
+(e.g. Windows) the engine degrades to in-process execution, which is
+bit-identical by construction — just not concurrent.
+
+Caveat: bit-parity across worker counts requires an RNG-free forward
+(true for every NECS encoder here — dropout is 0.0 throughout); a
+forward that consumed random state per call would draw in a different
+order under different worker assignments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = [
+    "ParallelGradEngine",
+    "flat_data",
+    "flat_grads",
+    "set_flat_data",
+    "set_flat_grads",
+    "shard_rows",
+]
+
+
+# ----------------------------------------------------------------------
+# Flat parameter/gradient vectors (canonical order = the order of the
+# parameter list, i.e. Module.named_parameters()'s sorted-name order).
+# ----------------------------------------------------------------------
+def flat_data(params: Sequence[Parameter]) -> np.ndarray:
+    """Concatenate every parameter's values into one float64 vector."""
+    if not params:
+        return np.zeros(0)
+    return np.concatenate([p.data.reshape(-1) for p in params])
+
+
+def set_flat_data(params: Sequence[Parameter], vec: np.ndarray) -> None:
+    """Load a :func:`flat_data` vector back into the parameters (exact bits)."""
+    offset = 0
+    for p in params:
+        size = p.data.size
+        p.data = vec[offset : offset + size].reshape(p.data.shape).copy()
+        offset += size
+    if offset != vec.size:
+        raise ValueError(f"flat vector has {vec.size} entries, parameters need {offset}")
+
+
+def flat_grads(params: Sequence[Parameter]) -> np.ndarray:
+    """Concatenate gradients into one vector; ``None`` grads contribute zeros."""
+    parts = []
+    for p in params:
+        if p.grad is None:
+            parts.append(np.zeros(p.data.size))
+        else:
+            parts.append(np.asarray(p.grad).reshape(-1))
+    return np.concatenate(parts) if parts else np.zeros(0)
+
+
+def set_flat_grads(params: Sequence[Parameter], vec: np.ndarray) -> None:
+    """Scatter a :func:`flat_grads` vector back onto ``p.grad``."""
+    offset = 0
+    for p in params:
+        size = p.data.size
+        p.grad = vec[offset : offset + size].reshape(p.data.shape).copy()
+        offset += size
+    if offset != vec.size:
+        raise ValueError(f"flat vector has {vec.size} entries, parameters need {offset}")
+
+
+def shard_rows(idx: np.ndarray, shard_size: int) -> List[np.ndarray]:
+    """Cut a batch index array into contiguous shards of ``shard_size`` rows.
+
+    The plan is a pure function of ``idx`` and ``shard_size`` — worker
+    count never enters, so the same batch always yields the same shards.
+    """
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    return [idx[start : start + shard_size] for start in range(0, len(idx), shard_size)]
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+#: shard_fn(payload) -> (stats, grad_vec): ``stats`` is a small 1-D float64
+#: array of sum-form statistics (e.g. ``[sse]``), ``grad_vec`` a flat
+#: gradient over the engine's parameter list.
+ShardFn = Callable[[object], Tuple[np.ndarray, np.ndarray]]
+
+
+def _worker_loop(conn, params: Sequence[Parameter], shard_fn: ShardFn) -> None:
+    """Forked worker: sync params, run assigned shards, ship results back."""
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                break
+            vec, tasks = msg
+            set_flat_data(params, vec)
+            out = []
+            for shard_id, payload in tasks:
+                stats, grad_vec = shard_fn(payload)
+                out.append((shard_id, stats, grad_vec))
+            conn.send(out)
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
+        pass
+    finally:
+        conn.close()
+
+
+class ParallelGradEngine:
+    """Canonical-order gradient reduction over batch shards.
+
+    ``workers=1`` executes shards serially in-process; ``workers>1`` forks
+    that many persistent processes (created lazily on the first step, so
+    the fork snapshots the fully-encoded corpus).  Both paths run the
+    exact same float operations in the exact same order — the pooled mode
+    only changes *where* each shard's forward/backward happens.
+    """
+
+    def __init__(self, params: Sequence[Parameter], shard_fn: ShardFn, workers: int = 1):
+        self.params = list(params)
+        self.shard_fn = shard_fn
+        self.workers = max(1, int(workers))
+        self._procs: list = []
+        self._pipes: list = []
+        self._started = False
+
+    # -- pool lifecycle -------------------------------------------------
+    def _ensure_pool(self) -> None:
+        if self._started or self.workers == 1:
+            return
+        self._started = True
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platform
+            return  # serial fallback, bit-identical by construction
+        for _ in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_loop,
+                args=(child_conn, self.params, self.shard_fn),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._pipes.append(parent_conn)
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op for the serial engine)."""
+        for conn in self._pipes:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._pipes:
+            conn.close()
+        self._pipes, self._procs = [], []
+        self._started = False
+
+    def __enter__(self) -> "ParallelGradEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- one reduced step ----------------------------------------------
+    def step(self, payloads: Sequence[object]) -> Tuple[np.ndarray, np.ndarray]:
+        """Run every shard and reduce ``(stats, grad_vec)`` canonically.
+
+        Returns the shard-index-ordered sums of the per-shard statistics
+        vectors and gradient vectors.  The caller owns any 1/B scaling.
+        """
+        self._ensure_pool()
+        tasks = list(enumerate(payloads))
+        if self._pipes:
+            vec = flat_data(self.params)
+            assigned = []
+            for w, conn in enumerate(self._pipes):
+                chunk = tasks[w :: len(self._pipes)]
+                if chunk:
+                    conn.send((vec, chunk))
+                    assigned.append(conn)
+            results = []
+            for conn in assigned:
+                results.extend(conn.recv())
+        else:
+            results = [(shard_id, *self.shard_fn(payload)) for shard_id, payload in tasks]
+        # Canonical reduction: ascending shard index, one running sum.
+        results.sort(key=lambda r: r[0])
+        stats_sum = None
+        grad_sum = None
+        for _, stats, grad_vec in results:
+            if stats_sum is None:
+                stats_sum = np.array(stats, dtype=np.float64)
+                grad_sum = np.array(grad_vec, dtype=np.float64)
+            else:
+                stats_sum += stats
+                grad_sum += grad_vec
+        if stats_sum is None:
+            raise ValueError("step() called with no shards")
+        return stats_sum, grad_sum

@@ -96,6 +96,9 @@ CTR_SERVE_EVICTIONS = "serve.tenant_evictions"
 CTR_SERVE_MODEL_LOADS = "serve.model_loads"
 CTR_SERVE_BATCHES = "serve.batches"
 CTR_SERVE_COALESCED = "serve.coalesced_requests"
+# Per-tenant token-bucket quota decisions (allowed vs 429-rejected).
+CTR_SERVE_QUOTA_ALLOWED = "serve.quota.allowed"
+CTR_SERVE_QUOTA_REJECTED = "serve.quota.rejected"
 
 ALL_COUNTERS = frozenset({
     CTR_SERVE_REQUESTS,
@@ -105,6 +108,8 @@ ALL_COUNTERS = frozenset({
     CTR_SERVE_MODEL_LOADS,
     CTR_SERVE_BATCHES,
     CTR_SERVE_COALESCED,
+    CTR_SERVE_QUOTA_ALLOWED,
+    CTR_SERVE_QUOTA_REJECTED,
     CTR_CACHE_HIT,
     CTR_CACHE_MISS,
     CTR_CACHE_INVALIDATION,

@@ -13,18 +13,26 @@ HTTP/JSON API (:mod:`~repro.serve.daemon`):
 - ``GET /v1/stats``      — obs metrics snapshot + registry state;
 - ``GET /v1/health``     — liveness.
 
+Two rejection layers keep latency bounded: global admission control
+(``max_inflight`` → 503) and optional per-tenant token-bucket quotas
+(:mod:`~repro.serve.quota`, ``quota_rps``/``quota_burst`` → 429), both
+with honest ``Retry-After`` headers.
+
 Start it with ``repro serve``; benchmark it with ``repro bench-service``.
 """
 
 from .batching import MicroBatcher
 from .daemon import LiteService, ServiceConfig, ServiceError, make_server
+from .quota import QuotaManager, TokenBucket
 from .registry import ModelRegistry
 
 __all__ = [
     "LiteService",
     "MicroBatcher",
     "ModelRegistry",
+    "QuotaManager",
     "ServiceConfig",
     "ServiceError",
+    "TokenBucket",
     "make_server",
 ]

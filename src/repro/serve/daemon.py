@@ -15,6 +15,9 @@ Request semantics:
 - when ``max_inflight`` recommend/feedback requests are already being
   served, new ones are rejected immediately with 503 and a
   ``Retry-After`` header — bounded latency beats an unbounded queue;
+- when per-tenant quotas are enabled (``quota_rps``), a tenant that
+  exhausts its token bucket gets 429 + ``Retry-After`` *before* touching
+  a model, so one chatty tenant cannot starve its neighbours;
 - a request carrying an explicit ``seed`` is fully deterministic:
   the daemon answers with bit-identical rankings to a direct
   ``LITE.recommend(..., rng=get_rng(seed))`` call, however requests
@@ -42,6 +45,7 @@ from ..sparksim.config import SparkConf
 from ..sparksim.costmodel import SparkJobError
 from ..utils.rng import get_rng
 from .batching import MicroBatcher
+from .quota import QuotaManager
 from .registry import ModelRegistry
 
 __all__ = ["LiteService", "ServiceConfig", "ServiceError", "make_server"]
@@ -56,6 +60,10 @@ class ServiceConfig:
     batch_window_s: float = 0.002  #: micro-batch hold-open window
     default_cluster: str = "C"
     retry_after_s: int = 1         #: advertised on 503 responses
+    #: Per-tenant sustained request rate (tokens/s); None disables quotas.
+    quota_rps: Optional[float] = None
+    #: Per-tenant burst capacity (bucket size) when quotas are enabled.
+    quota_burst: float = 8.0
 
 
 class ServiceError(Exception):
@@ -87,6 +95,10 @@ class LiteService:
         self.registry = registry
         self.config = config or ServiceConfig()
         self.batcher = MicroBatcher(window_s=self.config.batch_window_s)
+        self.quota: Optional[QuotaManager] = (
+            QuotaManager(self.config.quota_rps, self.config.quota_burst)
+            if self.config.quota_rps is not None else None
+        )
         self._admission_lock = threading.Lock()
         self._inflight = 0
 
@@ -111,6 +123,28 @@ class LiteService:
                 self._inflight -= 1
                 obs.gauge(obsn.GAUGE_SERVE_QUEUE_DEPTH).set(self._inflight)
 
+    # -- per-tenant quotas ------------------------------------------------
+    def _check_quota(self, tenant: str) -> None:
+        """Charge one request to the tenant's bucket; 429 when exhausted.
+
+        Runs after the tenant name parses but before any model work, so a
+        rejected request costs the server nothing but this bookkeeping.
+        """
+        if self.quota is None:
+            return
+        allowed, retry_after_s = self.quota.check(tenant)
+        if allowed:
+            obs.counter(obsn.CTR_SERVE_QUOTA_ALLOWED).inc()
+            return
+        obs.counter(obsn.CTR_SERVE_QUOTA_REJECTED).inc()
+        raise ServiceError(
+            429,
+            f"tenant {tenant!r} exceeded its request quota "
+            f"({self.config.quota_rps:g} req/s sustained, "
+            f"burst {self.config.quota_burst:g}); retry shortly",
+            retry_after=max(1, int(np.ceil(retry_after_s))),
+        )
+
     # -- validation helpers ----------------------------------------------
     @staticmethod
     def _require_str(payload: Dict, key: str) -> str:
@@ -131,6 +165,7 @@ class LiteService:
         with obs.span(obsn.SPAN_SERVE_RECOMMEND) as sp:
             obs.counter(obsn.CTR_SERVE_REQUESTS).inc()
             tenant = self._require_str(payload, "tenant")
+            self._check_quota(tenant)
             app = self._require_str(payload, "app")
             try:
                 feats = np.atleast_1d(
@@ -191,6 +226,7 @@ class LiteService:
         with obs.span(obsn.SPAN_SERVE_FEEDBACK) as sp:
             obs.counter(obsn.CTR_SERVE_REQUESTS).inc()
             tenant = self._require_str(payload, "tenant")
+            self._check_quota(tenant)
             app = self._require_str(payload, "app")
             cluster = self._parse_cluster(payload)
             scale = payload.get("scale", "train0")

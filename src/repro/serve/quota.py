@@ -1,0 +1,99 @@
+"""Per-tenant token-bucket quotas for the serving daemon.
+
+Admission control (``max_inflight``) protects the *server* from aggregate
+overload; quotas protect *tenants from each other*.  One chatty tenant
+saturating the daemon would starve every co-located tenant even though the
+server itself never exceeds its in-flight bound.  A token bucket per
+tenant caps each tenant's sustained request rate (``rate`` tokens/s)
+while still absorbing short bursts (up to ``burst`` tokens).
+
+The clock is injectable so tests exercise refill arithmetic without
+sleeping; production uses ``time.monotonic`` (wall-clock jumps must not
+mint or destroy tokens).  Buckets refill lazily on access — there is no
+background thread to leak.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["TokenBucket", "QuotaManager"]
+
+Clock = Callable[[], float]
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/s refill, ``burst`` capacity.
+
+    Thread-safe; every operation holds the bucket's own lock, so con-
+    current requests for one tenant serialise only against each other.
+    """
+
+    def __init__(self, rate: float, burst: float, clock: Optional[Clock] = None):
+        if rate <= 0:
+            raise ValueError(f"quota rate must be > 0 tokens/s, got {rate}")
+        if burst < 1:
+            raise ValueError(f"quota burst must allow >= 1 request, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock: Clock = clock if clock is not None else time.monotonic
+        self._tokens = float(burst)   # a fresh bucket starts full
+        self._last = self._clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> Tuple[bool, float]:
+        """Take ``tokens`` if available: ``(allowed, retry_after_s)``.
+
+        ``retry_after_s`` is 0.0 on success, otherwise the time until the
+        refill covers the deficit — the honest ``Retry-After`` value.
+        """
+        with self._lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._last)
+            self._last = now
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True, 0.0
+            return False, (tokens - self._tokens) / self.rate
+
+    def available(self) -> float:
+        """Current token count after a lazy refill (monitoring helper)."""
+        with self._lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._last)
+            self._last = now
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            return self._tokens
+
+
+class QuotaManager:
+    """One :class:`TokenBucket` per tenant, created on first request.
+
+    All tenants share the same ``rate``/``burst`` policy; the map grows by
+    one small bucket per distinct tenant name the daemon ever sees, which
+    the registry already bounds in practice.
+    """
+
+    def __init__(self, rate: float, burst: float, clock: Optional[Clock] = None):
+        # Validate the policy eagerly, not on the first unlucky request.
+        TokenBucket(rate, burst, clock=clock)
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def check(self, tenant: str) -> Tuple[bool, float]:
+        """Charge one request to ``tenant``: ``(allowed, retry_after_s)``."""
+        with self._lock:
+            bucket = self._buckets.setdefault(
+                tenant, TokenBucket(self.rate, self.burst, clock=self._clock)
+            )
+        return bucket.try_acquire()
+
+    def tenants(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._buckets))

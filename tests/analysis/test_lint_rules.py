@@ -84,6 +84,40 @@ class TestRep104Float32:
         assert rule_ids("x = np.zeros(3, dtype=np.float64)\n") == []
 
 
+class TestRep104ServingDtypeBoundary:
+    """The float32 serving module is sanctioned; everywhere else still fires."""
+
+    FLOAT32_EVERY_SHAPE = (
+        'a = np.float32(0.0)\n'
+        'b = x.astype("float32")\n'
+        'c = np.array(x, dtype="float32")\n'
+    )
+
+    def test_serving_dtype_module_is_exempt(self):
+        assert rule_ids(
+            self.FLOAT32_EVERY_SHAPE, path="src/repro/core/serving_dtype.py"
+        ) == []
+
+    def test_sibling_module_still_fires(self):
+        assert rule_ids(
+            self.FLOAT32_EVERY_SHAPE, path="src/repro/core/necs.py"
+        ) == ["REP104"]
+
+    def test_training_path_still_fires(self):
+        assert rule_ids(
+            'grad = grad.astype("float32")\n', path="src/repro/nn/optim.py"
+        ) == ["REP104"]
+
+    def test_exemption_is_only_rep104(self):
+        # The serving-dtype module keeps every other rule.
+        src = "x = tensor.data\ny = np.float32(1.0)\n"
+        assert rule_ids(src, path="src/repro/core/serving_dtype.py") == ["REP101"]
+
+    def test_parallel_substrate_exempt_from_tensor_rules_only(self):
+        src = "p.data = vec\nq = np.float32(1.0)\n"
+        assert rule_ids(src, path="src/repro/nn/parallel.py") == ["REP104"]
+
+
 class TestRep105BareExcept:
     def test_fires_on_bare_except(self):
         src = "try:\n    f()\nexcept:\n    pass\n"

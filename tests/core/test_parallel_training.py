@@ -1,0 +1,88 @@
+"""Multi-process training must reproduce single-process training exactly.
+
+The whole value of ``NECSConfig.train_workers`` rests on one contract:
+the shard plan, per-shard sum-form losses and canonical-order reduction
+make ``workers=N`` arithmetically identical to ``workers=1`` — same loss
+curve, same weights, bit for bit.  These tests pin that contract for both
+``NECSEstimator.fit`` and ``AdaptiveModelUpdater.update``.
+
+``workers=0`` (the default) keeps the legacy whole-batch engine; its loss
+values may differ from the parallel engine's in the last few ulps (float
+summation order), which is documented, not gated.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.necs import NECSConfig, NECSEstimator
+from repro.core.update import AdaptiveModelUpdater, UpdateConfig
+
+BASE = NECSConfig(epochs=3, max_tokens=96, mlp_hidden=48, conv_filters=16, seed=0)
+
+
+def _fit(instances, workers):
+    est = NECSEstimator(replace(BASE, train_workers=workers))
+    est.fit(instances)
+    return est
+
+
+def _weights_equal(a, b):
+    sa, sb = a.network.state_dict(), b.network.state_dict()
+    assert sa.keys() == sb.keys()
+    return all(np.array_equal(sa[k], sb[k]) for k in sa)
+
+
+@pytest.fixture(scope="module")
+def fitted_pair(small_instances):
+    return _fit(small_instances, 1), _fit(small_instances, 4)
+
+
+class TestFitParity:
+    def test_loss_curves_bit_identical(self, fitted_pair):
+        one, four = fitted_pair
+        assert one.train_losses_ == four.train_losses_
+
+    def test_weights_bit_identical(self, fitted_pair):
+        one, four = fitted_pair
+        assert _weights_equal(one, four)
+
+    def test_predictions_bit_identical(self, small_instances, fitted_pair):
+        one, four = fitted_pair
+        np.testing.assert_array_equal(
+            one.predict(small_instances[:16]), four.predict(small_instances[:16])
+        )
+
+    def test_serial_engine_still_trains(self, small_instances):
+        est = _fit(small_instances, 0)
+        assert len(est.train_losses_) == BASE.epochs
+        assert np.isfinite(est.train_losses_).all()
+
+
+class TestUpdaterParity:
+    def _update(self, instances, workers):
+        est = _fit(instances, workers)
+        src = [i for i in instances if i.app_name == "WordCount"]
+        tgt = [i for i in instances if i.app_name == "PageRank"][:20]
+        upd = AdaptiveModelUpdater(est, UpdateConfig(epochs=2))
+        upd.update(src, tgt)
+        return est, upd
+
+    def test_update_bit_identical(self, small_instances):
+        est1, upd1 = self._update(small_instances, 1)
+        est4, upd4 = self._update(small_instances, 4)
+        assert upd1.history_ == upd4.history_
+        assert _weights_equal(est1, est4)
+
+
+class TestShardSizeInvariance:
+    def test_shard_size_changes_plan_not_workers(self, small_instances):
+        # Different shard sizes legitimately change the summation order
+        # (different plan), but for a fixed shard size the worker count
+        # still must not matter.
+        cfg = replace(BASE, epochs=2, train_workers=1, train_shard_rows=16)
+        one = NECSEstimator(cfg).fit(small_instances)
+        two = NECSEstimator(replace(cfg, train_workers=2)).fit(small_instances)
+        assert one.train_losses_ == two.train_losses_
+        assert _weights_equal(one, two)

@@ -137,6 +137,35 @@ class TestPersistenceFailureModes:
         b = self._recommend(fresh)
         assert a.conf == b.conf
 
+    def test_v5_config_rebuilt_with_parallel_substrate_fields(
+        self, tiny_lite, tmp_path
+    ):
+        import pickle
+
+        # A v5 build's NECSConfig predates train_workers/train_shard_rows/
+        # serving_dtype; the frozen dataclass stores fields in __dict__, so
+        # aging one is deleting those attributes.
+        clone = pickle.loads(pickle.dumps(tiny_lite))
+        for name in ("train_workers", "train_shard_rows", "serving_dtype"):
+            object.__delattr__(clone.config.necs, name)
+        if hasattr(clone.estimator, "_serving_snapshot"):
+            del clone.estimator._serving_snapshot
+        path = tmp_path / "v5.pkl"
+        path.write_bytes(pickle.dumps(
+            {"format": "repro-lite", "version": 5, "lite": clone}))
+        loaded = load_lite(path)
+        cfg = loaded.config.necs
+        assert cfg.train_workers == 0
+        assert cfg.train_shard_rows == 8
+        assert cfg.serving_dtype == "float32"
+        # Both references must point at the one rebuilt config.
+        assert loaded.estimator.config is cfg
+        assert loaded.estimator._serving_snapshot is None
+        # And the migrated system serves through the float32 fast path.
+        rec = self._recommend(loaded)
+        assert rec.predicted_time_s > 0
+        assert loaded.estimator._serving_snapshot is not None
+
     def test_non_advancing_migration_is_refused(self, tiny_lite, tmp_path, monkeypatch):
         from repro.core import persistence
 

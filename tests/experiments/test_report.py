@@ -28,7 +28,9 @@ class TestGitSha:
 class TestMeta:
     def test_environment_fields(self):
         env = bench_environment()
-        assert {"git_sha", "platform", "machine", "python", "numpy"} == set(env)
+        assert {"git_sha", "platform", "machine", "python", "numpy",
+                "cpu_count"} == set(env)
+        assert env["cpu_count"] >= 1
 
     def test_meta_shape(self):
         meta = bench_meta("serving", {"repeats": 3})

@@ -1,0 +1,143 @@
+"""The data-parallel gradient engine: flat parameter IO, shard planning,
+and the workers=N == workers=1 bit-identity contract on a toy problem.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.parallel import (
+    ParallelGradEngine,
+    flat_data,
+    flat_grads,
+    set_flat_data,
+    set_flat_grads,
+    shard_rows,
+)
+from repro.utils.rng import get_rng
+
+
+@pytest.fixture()
+def mlp():
+    return nn.MLP(4, 8, 1, depth=2, rng=get_rng(0))
+
+
+class TestFlatIO:
+    def test_data_roundtrip_is_exact(self, mlp):
+        params = mlp.parameters()
+        vec = flat_data(params)
+        assert vec.ndim == 1
+        assert vec.size == sum(int(np.prod(p.shape)) for p in params)
+        before = [p.numpy() for p in params]
+        set_flat_data(params, vec * 1.0)
+        for p, orig in zip(params, before):
+            np.testing.assert_array_equal(p.numpy(), orig)
+
+    def test_data_roundtrip_preserves_shapes(self, mlp):
+        params = mlp.parameters()
+        shapes = [p.shape for p in params]
+        set_flat_data(params, flat_data(params))
+        assert [p.shape for p in params] == shapes
+
+    def test_size_mismatch_rejected(self, mlp):
+        params = mlp.parameters()
+        with pytest.raises(ValueError):
+            set_flat_data(params, np.zeros(3))
+        with pytest.raises(ValueError):
+            set_flat_grads(params, np.zeros(3))
+
+    def test_flat_grads_none_becomes_zeros(self, mlp):
+        params = mlp.parameters()
+        mlp.zero_grad()
+        vec = flat_grads(params)
+        assert np.all(vec == 0.0)
+        assert vec.size == flat_data(params).size
+
+    def test_grads_roundtrip(self, mlp):
+        params = mlp.parameters()
+        x = nn.Tensor(get_rng(1).normal(size=(6, 4)))
+        loss = nn.squared_error_sum(mlp(x), nn.Tensor(np.zeros((6, 1))))
+        mlp.zero_grad()
+        loss.backward()
+        vec = flat_grads(params)
+        assert not np.all(vec == 0.0)
+        set_flat_grads(params, vec)
+        np.testing.assert_array_equal(flat_grads(params), vec)
+
+
+class TestShardRows:
+    def test_contiguous_cover(self):
+        idx = np.arange(10)
+        shards = shard_rows(idx, 4)
+        assert [s.tolist() for s in shards] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_plan_independent_of_worker_count(self):
+        # The contract underlying bit-identity: the plan depends only on
+        # the batch and shard size, never on how many workers exist.
+        idx = get_rng(3).permutation(17)
+        again = shard_rows(idx, 5)
+        np.testing.assert_array_equal(np.concatenate(again), idx)
+        assert all(len(s) == 5 for s in again[:-1])
+
+    def test_invalid_shard_size(self):
+        with pytest.raises(ValueError):
+            shard_rows(np.arange(4), 0)
+
+
+def _toy_shard_fn(params, X, y):
+    """Least-squares shard closure over a single Linear layer."""
+    lin = nn.Dense(X.shape[1], 1, rng=get_rng(0))
+    # parameters() is sorted by attribute name: bias before weight.
+    lin.bias, lin.weight = params[0], params[1]
+
+    def shard_fn(rows):
+        pred = lin(nn.Tensor(X[rows]))
+        loss = nn.squared_error_sum(pred, nn.Tensor(y[rows]))
+        lin.zero_grad()
+        loss.backward()
+        return np.array([loss.item()]), flat_grads(params)
+
+    return shard_fn
+
+
+class TestEngineParity:
+    def _run(self, workers):
+        rng = get_rng(7)
+        X = rng.normal(size=(24, 3))
+        y = X @ np.array([[1.0], [-2.0], [0.5]]) + 0.1 * rng.normal(size=(24, 1))
+        lin = nn.Dense(3, 1, rng=get_rng(0))
+        params = lin.parameters()
+        opt = nn.Adam(params, lr=0.05)
+        losses = []
+        with ParallelGradEngine(
+            params, _toy_shard_fn(params, X, y), workers=workers
+        ) as engine:
+            for step in range(5):
+                idx = get_rng(100 + step).permutation(24)
+                stats, grad = engine.step(shard_rows(idx, 6))
+                grad *= 1.0 / len(idx)
+                set_flat_grads(params, grad)
+                opt.step()
+                losses.append(stats[0] / len(idx))
+        return losses, flat_data(params)
+
+    def test_workers_2_matches_workers_1_bitwise(self):
+        l1, w1 = self._run(1)
+        l2, w2 = self._run(2)
+        assert l1 == l2
+        np.testing.assert_array_equal(w1, w2)
+
+    def test_workers_3_matches_workers_1_bitwise(self):
+        l1, w1 = self._run(1)
+        l3, w3 = self._run(3)
+        assert l1 == l3
+        np.testing.assert_array_equal(w1, w3)
+
+    def test_empty_step_rejected(self):
+        lin = nn.Dense(2, 1, rng=get_rng(0))
+        params = lin.parameters()
+        with ParallelGradEngine(
+            params, lambda rows: (np.zeros(1), flat_grads(params)), workers=1
+        ) as engine:
+            with pytest.raises(ValueError):
+                engine.step([])

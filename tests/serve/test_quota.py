@@ -1,0 +1,143 @@
+"""Per-tenant token-bucket quotas: refill arithmetic with a fake clock,
+thread safety, and the daemon's 429 + Retry-After behaviour.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import QuotaManager, TokenBucket
+from repro.serve.daemon import LiteService, ServiceConfig, ServiceError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_reject(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_acquire()[0] for _ in range(3)] == [True] * 3
+        allowed, retry = bucket.try_acquire()
+        assert not allowed
+        assert retry == pytest.approx(1.0)
+
+    def test_refill_is_lazy_and_capped(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4, clock=clock)
+        for _ in range(4):
+            bucket.try_acquire()
+        clock.advance(1.0)   # +2 tokens
+        assert bucket.available() == pytest.approx(2.0)
+        clock.advance(100.0)  # refill far past capacity
+        assert bucket.available() == pytest.approx(4.0)
+
+    def test_retry_after_matches_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.5, burst=1, clock=clock)
+        assert bucket.try_acquire()[0]
+        _, retry = bucket.try_acquire()
+        assert retry == pytest.approx(2.0)
+        clock.advance(2.0)
+        assert bucket.try_acquire()[0]
+
+    def test_backwards_clock_does_not_mint_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        clock.advance(-50.0)
+        assert bucket.available() <= 2.0
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=2)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+        with pytest.raises(ValueError):
+            QuotaManager(rate=-1.0, burst=2)
+
+    def test_thread_safety_no_overdraw(self):
+        bucket = TokenBucket(rate=1e-9, burst=50, clock=lambda: 0.0)
+        granted = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(20):
+                if bucket.try_acquire()[0]:
+                    granted.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(granted) == 50
+
+
+class TestQuotaManager:
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        quota = QuotaManager(rate=1.0, burst=1, clock=clock)
+        assert quota.check("a")[0]
+        assert not quota.check("a")[0]
+        assert quota.check("b")[0]   # b's bucket is untouched by a
+        assert quota.tenants() == ("a", "b")
+
+    def test_same_tenant_same_bucket(self):
+        clock = FakeClock()
+        quota = QuotaManager(rate=1.0, burst=2, clock=clock)
+        assert quota.check("a")[0]
+        assert quota.check("a")[0]
+        assert not quota.check("a")[0]
+        assert quota.tenants() == ("a",)
+
+
+class TestServiceQuota:
+    def _service(self, **kw):
+        # No registry access happens before the quota check, so a dummy
+        # registry object is enough for the rejection path.
+        class _Registry:
+            def lease(self, tenant):
+                raise AssertionError("quota must reject before any lease")
+
+        return LiteService(_Registry(), ServiceConfig(**kw))
+
+    def test_quota_disabled_by_default(self):
+        service = self._service()
+        assert service.quota is None
+        service._check_quota("anyone")   # no-op, never raises
+
+    def test_429_with_retry_after(self):
+        service = self._service(quota_rps=0.001, quota_burst=1)
+        service._check_quota("t1")
+        with pytest.raises(ServiceError) as err:
+            service._check_quota("t1")
+        assert err.value.status == 429
+        assert err.value.retry_after >= 1
+        assert "quota" in err.value.message
+
+    def test_rejection_is_per_tenant(self):
+        service = self._service(quota_rps=0.001, quota_burst=1)
+        service._check_quota("t1")
+        with pytest.raises(ServiceError):
+            service._check_quota("t1")
+        service._check_quota("t2")   # other tenants unaffected
+
+    def test_recommend_rejects_before_validation_of_payload_body(self):
+        # The quota check runs right after the tenant parses: a rejected
+        # request never reaches data_features validation or the registry.
+        service = self._service(quota_rps=0.001, quota_burst=1)
+        service._check_quota("t1")
+        with pytest.raises(ServiceError) as err:
+            service.recommend({"tenant": "t1"})
+        assert err.value.status == 429
