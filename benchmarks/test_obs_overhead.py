@@ -26,6 +26,7 @@ from repro import obs
 from repro.experiments.obs_bench import (
     DISABLED_BUDGET,
     ENABLED_BUDGET,
+    LABELED_MAX_US,
     run_obs_benchmark,
 )
 
@@ -92,9 +93,18 @@ class TestObsOverhead:
         assert disabled_us < 5.0
         assert enabled_us < 50.0
 
+    def test_labeled_counter_cost(self, obs_result):
+        """Labeled series must stay O(1) per update: absolute gate."""
+        lab = obs_result["labeled"]
+        print(f"\nlabeled counter: {lab['labeled_us_per_op']:.3f} us/op "
+              f"(unlabeled {lab['unlabeled_us_per_op']:.3f} us/op, "
+              f"{lab['labeled_over_unlabeled']:.1f}x)")
+        assert lab["labeled_us_per_op"] < LABELED_MAX_US
+        assert lab["within_budget"]
+
     def test_report_written(self, obs_result):
         report = json.loads(OUT_PATH.read_text())
         assert report["meta"]["kind"] == "obs-overhead"
         assert report["meta"]["schema_version"] >= 1
-        assert {"rank", "fit", "budget", "within_budget"} <= set(report)
+        assert {"rank", "fit", "labeled", "budget", "within_budget"} <= set(report)
         assert report["rank"]["suppressed_ms"] == obs_result["rank"]["suppressed_ms"]

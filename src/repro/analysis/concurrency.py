@@ -6,7 +6,9 @@ under concurrent load.  These rules flag the patterns that silently break
 there, using the whole-program inventory and call graph built by
 :mod:`.dataflow`:
 
-- ``REP401`` module-level mutable global mutated from function scope;
+- ``REP401`` module-level mutable global mutated from function scope
+  (globals bound to ``threading.local()`` are excused — attribute writes
+  there are per-thread by design);
 - ``REP402`` (transitive) write to a known shared singleton from a
   hot-path function, where the hot paths are declared in
   :data:`DEFAULT_HOT_PATHS` (serving entry points + metric/trace record
@@ -116,6 +118,8 @@ def check_global_mutation(program: Program, policy: ConcurrencyPolicy) -> List[D
             if state is None or state.kind != "global":
                 continue
             if not state.is_shared(program.shared_classes):
+                continue
+            if state.is_thread_local:
                 continue
             verb = "rebinds" if state.rebound and not state.mutable else "mutates"
             out.append(Diagnostic(

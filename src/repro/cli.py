@@ -132,6 +132,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="larger corpus/model (default: smoke-sized)")
     p_stats.add_argument("--out", default=None,
                          help="also write the metrics snapshot as JSON to this path")
+    p_stats.add_argument("--url", default=None, metavar="http://host:port",
+                         help="fetch and render a live daemon's /v1/stats "
+                              "(incl. SLO burn rates) instead of running a "
+                              "local lifecycle")
     p_stats.add_argument("--json", action="store_true", help="machine-readable output")
 
     p_trace = sub.add_parser(
@@ -211,6 +215,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "tenants get 429 (default: quotas disabled)")
     p_serve.add_argument("--quota-burst", type=float, default=8.0,
                          help="per-tenant token-bucket burst capacity")
+    p_serve.add_argument("--audit-log", default=None, metavar="PATH",
+                         help="append one JSONL audit record per request "
+                              "(tenant, route, status, latency, trace id)")
 
     p_bsvc = sub.add_parser(
         "bench-service",
@@ -413,17 +420,8 @@ def _run_observed_lifecycle(args):
     return summary
 
 
-def cmd_stats(args) -> int:
-    obs.reset()
-    summary = _run_observed_lifecycle(args)
-    snapshot = obs.metrics_snapshot()
-    if args.out:
-        obs.export_metrics_json(args.out)
-        _LOG.info("metrics snapshot written to %s", args.out)
-    if args.json:
-        _result(json.dumps(
-            {"lifecycle": summary, "metrics": snapshot}, indent=2, default=str))
-        return 0
+def _render_metrics(snapshot) -> None:
+    """Print the counters/gauges/histograms sections of a metrics snapshot."""
     counters = {k: v for k, v in snapshot.items() if v["type"] == "counter"}
     gauges = {k: v for k, v in snapshot.items() if v["type"] == "gauge"}
     hists = {k: v for k, v in snapshot.items() if v["type"] == "histogram"}
@@ -437,6 +435,68 @@ def cmd_stats(args) -> int:
     for name, m in sorted(hists.items()):
         _result(f"  {name:44s} n={m['count']:<6d} p50={m['p50']:.4g} "
                 f"p95={m['p95']:.4g} p99={m['p99']:.4g}")
+
+
+def _render_slo(slo) -> None:
+    """Print a daemon's SLO evaluation (the /v1/stats "slo" block)."""
+    alerting = slo.get("alerting") or []
+    _result("slo:")
+    for name, s in sorted(slo.get("slos", {}).items()):
+        flag = "ALERTING" if s["alerting"] else "ok"
+        _result(f"  {name:28s} target={s['target']:.4g} "
+                f"good={s['good_total']} bad={s['bad_total']} "
+                f"worst_burn={s['worst_burn_rate']:.2f} "
+                f"budget_left={s['error_budget_remaining']:.2%} [{flag}]")
+        for w in s["windows"]:
+            _result(f"    {w['window']:8s} long {w['long_s']:g}s "
+                    f"burn={w['long']['burn_rate']:.2f} | short {w['short_s']:g}s "
+                    f"burn={w['short']['burn_rate']:.2f} "
+                    f"(threshold {w['threshold']:g})")
+    _result(f"  worst burn rate: {slo.get('worst_burn_rate', 0.0):.2f}; "
+            f"alerting: {', '.join(alerting) if alerting else 'none'}")
+
+
+def _stats_from_url(args) -> int:
+    """Render a live daemon's /v1/stats instead of running a lifecycle."""
+    import urllib.request
+
+    from .utils.atomic import atomic_write_text
+
+    url = args.url.rstrip("/") + "/v1/stats"
+    _LOG.info("fetching %s ...", url)
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        body = json.loads(resp.read().decode("utf-8"))
+    if args.out:
+        atomic_write_text(args.out, json.dumps(body, indent=2, default=str) + "\n")
+        _LOG.info("stats written to %s", args.out)
+    if args.json:
+        _result(json.dumps(body, indent=2, default=str))
+        return 0
+    reg = body.get("registry", {})
+    _result(f"daemon {args.url}: inflight {body.get('inflight')}/"
+            f"{body.get('max_inflight')}, tenants loaded "
+            f"{reg.get('loaded', reg)}")
+    _result(f"trace id: {body.get('trace_id')}")
+    _render_metrics(body.get("metrics", {}))
+    if "slo" in body:
+        _render_slo(body["slo"])
+    return 0
+
+
+def cmd_stats(args) -> int:
+    if args.url:
+        return _stats_from_url(args)
+    obs.reset()
+    summary = _run_observed_lifecycle(args)
+    snapshot = obs.metrics_snapshot()
+    if args.out:
+        obs.export_metrics_json(args.out)
+        _LOG.info("metrics snapshot written to %s", args.out)
+    if args.json:
+        _result(json.dumps(
+            {"lifecycle": summary, "metrics": snapshot}, indent=2, default=str))
+        return 0
+    _render_metrics(snapshot)
     d = summary["drift"]
     _result(f"drift window: n={d['n']} signed_rel_err={d['mean_signed_rel_err']:+.3f} "
             f"wilcoxon_p={d['wilcoxon_p']:.3g} drifted={d['drifted']}")
@@ -568,6 +628,11 @@ def cmd_bench_obs(args) -> int:
                     f"(best {100 * r['best_overhead_disabled']:+6.2f}%)   "
                     f"enabled {100 * r['overhead_enabled']:+6.2f}% "
                     f"(best {100 * r['best_overhead_enabled']:+6.2f}%)")
+        lab = result["labeled"]
+        _result(f"  label base {lab['unlabeled_us_per_op']:8.3f} us/op   "
+                f"labeled {lab['labeled_us_per_op']:8.3f} us/op "
+                f"({lab['labeled_over_unlabeled']:.1f}x, "
+                f"budget < {lab['budget_us']:.0f} us)")
         _result(f"  budgets: disabled < {100 * result['budget']['disabled_max']:.0f}%, "
                 f"enabled < {100 * result['budget']['enabled_max']:.0f}%  "
                 f"-> within budget: {result['within_budget']}")
@@ -591,19 +656,24 @@ def cmd_serve(args) -> int:
         max_tenants=args.max_tenants, max_inflight=args.max_inflight,
         batch_window_s=args.batch_window_ms / 1e3,
         quota_rps=args.quota_rps, quota_burst=args.quota_burst,
+        audit_log=args.audit_log,
     )
     service = LiteService(ModelRegistry(checkpoints, max_tenants=args.max_tenants),
                           config)
     server = make_server(service)
     host, port = server.server_address[:2]
     _result(f"serving {len(checkpoints)} tenant(s) on http://{host}:{port} "
-            f"(POST /v1/recommend, POST /v1/feedback, GET /v1/stats, GET /v1/health)")
+            f"(POST /v1/recommend, POST /v1/feedback, GET /v1/stats, "
+            f"GET /v1/metrics, GET /v1/health)")
+    if args.audit_log:
+        _result(f"audit log: {args.audit_log}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         _LOG.info("shutting down")
     finally:
         server.server_close()
+        service.close()
     return 0
 
 

@@ -26,7 +26,17 @@ six phases:
 7. **quota** — against a quota-enabled service, one tenant burning
    through its token bucket gets 429 + ``Retry-After`` while a quiet
    sibling tenant still answers 200 (per-tenant isolation, not a global
-   brake).
+   brake);
+8. **slo** — ``/v1/stats`` must report the declared objectives with
+   multi-window burn rates: zero-burn (no alert) on the healthy main
+   server, and a firing availability alert on the overload server right
+   after a fresh shed burst;
+9. **observability surface** — the trace id round-trips (request header
+   → response header → JSON body), ``GET /v1/metrics`` emits valid
+   Prometheus text with per-tenant label sets, the audit log holds one
+   JSONL record per request with the fields the tentpole promises, and
+   an end-to-end traced request yields a stitched span tree sharing one
+   trace id (embedded in the report for CI artifacts).
 
 Emits ``BENCH_service.json`` via the shared report writer; ``ok`` is the
 conjunction of every phase's check, and the CI ``service`` job gates on
@@ -36,6 +46,7 @@ it (``repro bench-service --smoke``).
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 import urllib.error
@@ -68,15 +79,17 @@ FULL_BUDGET = {"throughput_min_rps": 20.0, "p99_max_s": 1.0}
 # ---------------------------------------------------------------------------
 def _request(
     port: int, method: str, path: str, payload: Optional[Dict] = None,
-    raw_body: Optional[bytes] = None,
+    raw_body: Optional[bytes] = None, headers: Optional[Dict[str, str]] = None,
 ) -> Tuple[int, Dict, Dict[str, str]]:
     url = f"http://127.0.0.1:{port}{path}"
     data = raw_body
     if data is None and payload is not None:
         data = json.dumps(payload).encode("utf-8")
+    send_headers = dict(headers or {})
+    if data:
+        send_headers.setdefault("Content-Type", "application/json")
     req = urllib.request.Request(
-        url, data=data, method=method,
-        headers={"Content-Type": "application/json"} if data else {},
+        url, data=data, method=method, headers=send_headers,
     )
     try:
         with urllib.request.urlopen(req, timeout=60) as resp:
@@ -95,10 +108,42 @@ def _percentiles_ms(samples_s: List[float]) -> Dict[str, float]:
     }
 
 
+def _request_text(
+    port: int, method: str, path: str, headers: Optional[Dict[str, str]] = None,
+) -> Tuple[int, str, Dict[str, str]]:
+    """Like :func:`_request` for endpoints that answer text, not JSON."""
+    url = f"http://127.0.0.1:{port}{path}"
+    req = urllib.request.Request(url, method=method, headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, resp.read().decode("utf-8"), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8"), dict(exc.headers)
+
+
 def _counter_value(name: str) -> int:
     snapshot = obs.registry().snapshot()
     entry = snapshot.get(name)
     return int(entry["value"]) if entry else 0
+
+
+#: One sample line of Prometheus text exposition: name, optional labels,
+#: one float (scientific notation and signed infinities included).
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [+-]?(Inf|[0-9.eE+-]+)$"
+)
+
+
+def _valid_exposition(text: str) -> bool:
+    """Every non-comment line parses as a sample; at least one sample."""
+    samples = 0
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        if not _PROM_SAMPLE.match(line):
+            return False
+        samples += 1
+    return samples > 0
 
 
 # ---------------------------------------------------------------------------
@@ -137,22 +182,26 @@ def run_service_benchmark(
         data_features = [float(x) for x in _app_features(app)]
 
         registry = ModelRegistry(checkpoints, max_tenants=n_tenants)
-        main = make_server(LiteService(registry, ServiceConfig(
-            max_tenants=n_tenants, max_inflight=max(threads * 4, 16),
-            batch_window_s=0.002,
-        )))
-        coalesce = make_server(LiteService(registry, ServiceConfig(
-            max_inflight=64, batch_window_s=0.05,
-        )))
-        overload = make_server(LiteService(registry, ServiceConfig(
-            max_inflight=1, batch_window_s=0.05,
-        )))
-        # Tiny burst, near-zero refill: the quota phase exhausts the bucket
-        # deterministically with a handful of sequential requests.
-        quota = make_server(LiteService(registry, ServiceConfig(
-            max_inflight=16, batch_window_s=0.002,
-            quota_rps=0.001, quota_burst=2,
-        )))
+        audit_path = base / "audit.jsonl"
+        services = (
+            LiteService(registry, ServiceConfig(
+                max_tenants=n_tenants, max_inflight=max(threads * 4, 16),
+                batch_window_s=0.002, audit_log=str(audit_path),
+            )),
+            LiteService(registry, ServiceConfig(
+                max_inflight=64, batch_window_s=0.05,
+            )),
+            LiteService(registry, ServiceConfig(
+                max_inflight=1, batch_window_s=0.05,
+            )),
+            # Tiny burst, near-zero refill: the quota phase exhausts the
+            # bucket deterministically with a few sequential requests.
+            LiteService(registry, ServiceConfig(
+                max_inflight=16, batch_window_s=0.002,
+                quota_rps=0.001, quota_burst=2,
+            )),
+        )
+        main, coalesce, overload, quota = (make_server(s) for s in services)
         servers = (main, coalesce, overload, quota)
         for server in servers:
             threading.Thread(target=server.serve_forever, daemon=True).start()
@@ -164,12 +213,14 @@ def run_service_benchmark(
                 registry, names, app, data_features,
                 n_tenants=n_tenants, n_requests=n_requests, threads=threads,
                 n_candidates=n_candidates, seed=seed, budget=budget,
-                checkpoints=checkpoints,
+                checkpoints=checkpoints, audit_path=audit_path,
             )
         finally:
             for server in servers:
                 server.shutdown()
                 server.server_close()
+            for service in services:
+                service.close()
 
     result.update(smoke=smoke, n_tenants=n_tenants, budget=budget)
     result["ok"] = all(result["checks"].values())
@@ -208,6 +259,7 @@ def _run_phases(
     seed: int,
     budget: Dict[str, float],
     checkpoints: Dict[str, Path],
+    audit_path: Path,
 ) -> Dict[str, object]:
     serving = names[:n_tenants]
     overflow = names[n_tenants]
@@ -372,6 +424,106 @@ def _run_phases(
     })
     checks["quota_isolates_tenants"] = len(serving) < 2 or status == 200
 
+    # -- phase 9 (part 1): end-to-end trace sample, captured with tracing
+    # forced on so the report can embed a stitched span tree for CI.
+    trace_probe_id = f"bench{seed:04x}trace00"[:16]
+    tracing_was_on = obs.tracing_enabled()
+    obs.enable_tracing()
+    try:
+        status, body, resp_headers = _request(
+            port, "POST", "/v1/recommend", {
+                "tenant": serving[0], "app": app,
+                "data_features": data_features,
+                "n_candidates": n_candidates, "seed": seed + 5000,
+            },
+            headers={obs.TRACE_HEADER: trace_probe_id},
+        )
+    finally:
+        if not tracing_was_on:
+            obs.disable_tracing()
+    trace_spans = [
+        rec.to_dict()
+        for rec in obs.get_tracer().records()
+        if rec.trace_id == trace_probe_id
+    ]
+    checks["trace_header_roundtrip"] = (
+        status == 200
+        and resp_headers.get(obs.TRACE_HEADER) == trace_probe_id
+        and body.get("trace_id") == trace_probe_id
+    )
+    # At minimum the request span and the batch-run span share the id.
+    span_names = {sp["name"] for sp in trace_spans}
+    checks["trace_spans_stitched"] = (
+        obsn.SPAN_SERVE_REQUEST in span_names
+        and obsn.SPAN_SERVE_BATCH_RUN in span_names
+    )
+
+    # -- phase 8: SLO burn rates ----------------------------------------
+    # Healthy server first: no 5xx has ever hit `main`, so availability
+    # must be quiet.  (The latency SLO may legitimately burn on a slow CI
+    # runner — report it, but never gate on it.)
+    status, body, _ = _request(port, "GET", "/v1/stats")
+    slo = body.get("slo", {}) if status == 200 else {}
+    slo_names = set(slo.get("slos", {}))
+    checks["slo_reported"] = {"availability", "recommend_latency"} <= slo_names
+    checks["slo_healthy_on_main"] = "availability" not in slo.get("alerting", [])
+
+    # Overload server: fire a FRESH shed burst immediately before reading
+    # its stats, so the short burn window deterministically contains bad
+    # events no matter how long the earlier phases took.
+    slo_burst = max(threads * 2, 8)
+    slo_barrier = threading.Barrier(slo_burst)
+
+    def slo_shed_request(i: int) -> int:
+        slo_barrier.wait(timeout=30)
+        status, _, _ = _request(overload_port, "POST", "/v1/recommend", {
+            "tenant": serving[0], "app": app, "data_features": data_features,
+            "n_candidates": n_candidates, "seed": seed + 6000 + i,
+        })
+        return status
+
+    with ThreadPoolExecutor(max_workers=slo_burst) as pool:
+        slo_statuses = list(pool.map(slo_shed_request, range(slo_burst)))
+    status, body, _ = _request(overload_port, "GET", "/v1/stats")
+    overload_slo = body.get("slo", {}) if status == 200 else {}
+    checks["slo_alert_fires_under_overload"] = (
+        sum(1 for s in slo_statuses if s == 503) >= 1
+        and "availability" in overload_slo.get("alerting", [])
+    )
+
+    # -- phase 9 (part 2): metrics exposition + audit log ---------------
+    status, prom_text, prom_headers = _request_text(port, "GET", "/v1/metrics")
+    checks["metrics_exposition_valid"] = (
+        status == 200
+        and prom_headers.get("Content-Type", "").startswith("text/plain")
+        and _valid_exposition(prom_text)
+    )
+    checks["metrics_tenant_labels"] = any(
+        line.startswith("repro_serve_requests_total{")
+        and f'tenant="{serving[0]}"' in line
+        for line in prom_text.splitlines()
+    )
+
+    audit_ok = False
+    audit_records = 0
+    required_fields = {
+        "ts", "trace_id", "route", "method", "status", "latency_ms",
+        "tenant", "decision",
+    }
+    if audit_path.exists():
+        lines = [
+            json.loads(line)
+            for line in audit_path.read_text().splitlines()
+            if line.strip()
+        ]
+        audit_records = len(lines)
+        audit_ok = (
+            audit_records >= n_requests
+            and all(required_fields <= set(rec) for rec in lines)
+            and any(rec["trace_id"] == trace_probe_id for rec in lines)
+        )
+    checks["audit_log_complete"] = audit_ok
+
     counters = {
         name: _counter_value(name)
         for name in (
@@ -379,7 +531,7 @@ def _run_phases(
             obsn.CTR_SERVE_OVERLOAD, obsn.CTR_SERVE_EVICTIONS,
             obsn.CTR_SERVE_MODEL_LOADS, obsn.CTR_SERVE_BATCHES,
             obsn.CTR_SERVE_COALESCED, obsn.CTR_SERVE_QUOTA_ALLOWED,
-            obsn.CTR_SERVE_QUOTA_REJECTED,
+            obsn.CTR_SERVE_QUOTA_REJECTED, obsn.CTR_SERVE_AUDIT_RECORDS,
         )
     }
     return {
@@ -398,6 +550,11 @@ def _run_phases(
             "rejections": quota_rejections,
             "retry_after": quota_retry_after[:1],
         },
+        "slo": {"main": slo, "overload": overload_slo},
+        "audit_records": audit_records,
+        # CI artifacts: a real exposition page and a stitched span tree.
+        "prometheus_sample": prom_text,
+        "trace_sample": {"trace_id": trace_probe_id, "spans": trace_spans},
         "counters": counters,
         "checks": checks,
     }

@@ -38,10 +38,13 @@ order under different worker assignments.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
+from ..obs import names as obsn
 from .module import Parameter
 
 __all__ = [
@@ -119,19 +122,33 @@ ShardFn = Callable[[object], Tuple[np.ndarray, np.ndarray]]
 
 
 def _worker_loop(conn, params: Sequence[Parameter], shard_fn: ShardFn) -> None:
-    """Forked worker: sync params, run assigned shards, ship results back."""
+    """Forked worker: sync params, run assigned shards, ship results back.
+
+    A worker's obs state is a fork-time copy the parent never sees, so it
+    does not open spans of its own.  When the parent asks (``want_spans``)
+    it times each shard on the shared monotonic clock and ships raw
+    ``(shard_id, start_s, duration_s)`` triples back with the gradients;
+    the parent *adopts* them into its tracer, re-parented under its
+    ``parallel.step`` span (:meth:`repro.obs.tracing.Tracer.adopt`).
+    """
     try:
         while True:
             msg = conn.recv()
             if msg is None:
                 break
-            vec, tasks = msg
+            vec, tasks, want_spans = msg
             set_flat_data(params, vec)
             out = []
+            timings = []
             for shard_id, payload in tasks:
-                stats, grad_vec = shard_fn(payload)
+                if want_spans:
+                    t0 = time.perf_counter()
+                    stats, grad_vec = shard_fn(payload)
+                    timings.append((shard_id, t0, time.perf_counter() - t0))
+                else:
+                    stats, grad_vec = shard_fn(payload)
                 out.append((shard_id, stats, grad_vec))
-            conn.send(out)
+            conn.send((out, timings))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
         pass
     finally:
@@ -209,19 +226,48 @@ class ParallelGradEngine:
         """
         self._ensure_pool()
         tasks = list(enumerate(payloads))
-        if self._pipes:
-            vec = flat_data(self.params)
-            assigned = []
-            for w, conn in enumerate(self._pipes):
-                chunk = tasks[w :: len(self._pipes)]
-                if chunk:
-                    conn.send((vec, chunk))
-                    assigned.append(conn)
-            results = []
-            for conn in assigned:
-                results.extend(conn.recv())
-        else:
-            results = [(shard_id, *self.shard_fn(payload)) for shard_id, payload in tasks]
+        with obs.span(obsn.SPAN_PARALLEL_STEP) as step_sp:
+            if step_sp:
+                step_sp.set(n_shards=len(tasks), workers=self.workers)
+            want_spans = bool(step_sp)
+            if self._pipes:
+                vec = flat_data(self.params)
+                assigned = []
+                for w, conn in enumerate(self._pipes):
+                    chunk = tasks[w :: len(self._pipes)]
+                    if chunk:
+                        conn.send((vec, chunk, want_spans))
+                        assigned.append(conn)
+                results = []
+                timings = []
+                for conn in assigned:
+                    out, shard_timings = conn.recv()
+                    results.extend(out)
+                    timings.extend(shard_timings)
+                if want_spans:
+                    # Stitch the workers' shard timings into this trace:
+                    # same trace id, parented under the step span.  The
+                    # fork shares CLOCK_MONOTONIC, so worker start times
+                    # sit on the same axis as local spans.
+                    tracer = obs.get_tracer()
+                    for shard_id, start_s, duration_s in sorted(timings):
+                        tracer.adopt(
+                            obsn.SPAN_PARALLEL_SHARD,
+                            start_s,
+                            duration_s,
+                            parent_id=step_sp.span_id,
+                            depth=step_sp.depth + 1,
+                            trace_id=step_sp.trace_id,
+                            attrs={"shard": shard_id, "remote": True},
+                        )
+            else:
+                results = []
+                for shard_id, payload in tasks:
+                    with obs.span(obsn.SPAN_PARALLEL_SHARD) as sp:
+                        if sp:
+                            sp.set(shard=shard_id)
+                        stats, grad_vec = self.shard_fn(payload)
+                    results.append((shard_id, stats, grad_vec))
         # Canonical reduction: ascending shard index, one running sum.
         results.sort(key=lambda r: r[0])
         stats_sum = None

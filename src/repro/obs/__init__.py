@@ -32,9 +32,11 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-from . import log, names
+from . import context, log, names
+from .context import TRACE_HEADER, TraceContext, new_trace_id
 from .drift import DriftMonitor, DriftStats
 from .metrics import (
+    OVERFLOW_LABEL,
     Counter,
     Gauge,
     Histogram,
@@ -46,10 +48,13 @@ from .metrics import (
 from .metrics import export_json as export_metrics_json
 from .metrics import is_suppressed, registry, set_suppressed
 from .metrics import reset as reset_metrics
+from .prom import render_prometheus
+from .slo import SLOMonitor, SLOSpec, SLOTracker
 from .tracing import (
     NULL_SPAN,
     Span,
     Tracer,
+    current_span,
     get_tracer,
     span,
 )
@@ -60,13 +65,16 @@ from .tracing import format_tree as format_trace_tree
 from .tracing import is_enabled as tracing_enabled
 
 __all__ = [
-    "log", "names",
+    "log", "names", "context",
+    "TRACE_HEADER", "TraceContext", "new_trace_id",
     "DriftMonitor", "DriftStats",
-    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "OVERFLOW_LABEL",
     "counter", "gauge", "histogram", "registry",
     "metrics_snapshot", "reset_metrics", "export_metrics_json",
+    "render_prometheus",
+    "SLOMonitor", "SLOSpec", "SLOTracker",
     "set_suppressed", "is_suppressed", "suppressed",
-    "NULL_SPAN", "Span", "Tracer", "span", "get_tracer",
+    "NULL_SPAN", "Span", "Tracer", "span", "current_span", "get_tracer",
     "enable_tracing", "disable_tracing", "tracing_enabled",
     "export_trace_jsonl", "format_trace_tree",
     "reset",

@@ -11,8 +11,23 @@ The registry can be *suppressed* (see :func:`suppress`), which turns
 every record operation into a single flag test; the obs overhead
 benchmark uses this as its un-instrumented baseline.
 
+Instruments may carry **labels** (``counter("serve.requests",
+tenant="acme")``): each distinct label set is its own series, keyed as
+``name{k="v",...}`` with sorted label keys.  Two rules keep labels safe
+at serving scale:
+
+- **Bounded cardinality.**  A registry admits at most ``max_label_sets``
+  distinct label sets per metric name; once the bound is hit, new label
+  values collapse into the sentinel :data:`OVERFLOW_LABEL` series, so a
+  tenant-id flood cannot grow the registry without bound.
+- **Parent aggregation.**  A labeled series also forwards every record
+  into its unlabeled base instrument, so ``counter("serve.requests")``
+  remains the exact all-tenants aggregate and existing snapshot readers
+  keep working unchanged.
+
 Export: :meth:`MetricsRegistry.snapshot` returns a plain JSON-able dict;
-``repro stats`` renders it, and :func:`export_json` persists it.
+``repro stats`` renders it, :func:`export_json` persists it, and
+:func:`repro.obs.prom.render_prometheus` emits text exposition.
 """
 
 from __future__ import annotations
@@ -21,13 +36,16 @@ import json
 import math
 import threading
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..utils.atomic import atomic_write_text
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "OVERFLOW_LABEL",
     "registry",
     "counter",
     "gauge",
@@ -42,6 +60,19 @@ __all__ = [
 #: Module-level kill switch checked by every record operation.
 _SUPPRESSED = False
 
+#: Sentinel label value absorbing series beyond the cardinality bound.
+OVERFLOW_LABEL = "__other__"
+
+#: Default cap on distinct label sets per metric name.
+MAX_LABEL_SETS = 64
+
+_LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _series_key(name: str, items: _LabelItems) -> str:
+    labels = ",".join(f'{k}="{v}"' for k, v in items)
+    return f"{name}{{{labels}}}"
+
 
 class Counter:
     """A monotonically increasing integer.
@@ -52,11 +83,14 @@ class Counter:
     case and far below the noise floor of any operation worth counting.
     """
 
-    __slots__ = ("name", "value", "_lock")
+    __slots__ = ("name", "value", "labels", "_parent", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[_LabelItems] = None,
+                 parent: Optional["Counter"] = None):
         self.name = name
         self.value = 0
+        self.labels = labels
+        self._parent = parent
         self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
@@ -64,20 +98,28 @@ class Counter:
             return
         with self._lock:
             self.value += n
+        if self._parent is not None:
+            self._parent.inc(n)
 
     def to_dict(self) -> Dict[str, object]:
-        return {"type": "counter", "value": self.value}
+        out: Dict[str, object] = {"type": "counter", "value": self.value}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
 
 
 class Gauge:
     """A last-write-wins float (the lock keeps last-write-wins well defined
     when serving threads race)."""
 
-    __slots__ = ("name", "value", "_lock")
+    __slots__ = ("name", "value", "labels", "_parent", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[_LabelItems] = None,
+                 parent: Optional["Gauge"] = None):
         self.name = name
         self.value = 0.0
+        self.labels = labels
+        self._parent = parent
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
@@ -86,9 +128,14 @@ class Gauge:
         value = float(value)
         with self._lock:
             self.value = value
+        if self._parent is not None:
+            self._parent.set(value)
 
     def to_dict(self) -> Dict[str, object]:
-        return {"type": "gauge", "value": self.value}
+        out: Dict[str, object] = {"type": "gauge", "value": self.value}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
 
 
 class Histogram:
@@ -103,10 +150,14 @@ class Histogram:
     """
 
     __slots__ = ("name", "lo", "_log_lo", "_log_growth", "buckets", "count",
-                 "total", "min", "max", "_underflow", "_lock")
+                 "total", "min", "max", "_underflow", "labels", "_parent", "_lock")
 
-    def __init__(self, name: str, lo: float = 1e-7, hi: float = 1e5, growth: float = 1.12):
+    def __init__(self, name: str, lo: float = 1e-7, hi: float = 1e5, growth: float = 1.12,
+                 labels: Optional[_LabelItems] = None,
+                 parent: Optional["Histogram"] = None):
         self.name = name
+        self.labels = labels
+        self._parent = parent
         self.lo = lo
         self._log_lo = math.log(lo)
         self._log_growth = math.log(growth)
@@ -122,6 +173,8 @@ class Histogram:
     def observe(self, x: float) -> None:
         if _SUPPRESSED:
             return
+        if self._parent is not None:
+            self._parent.observe(x)
         x = float(x)
         # One lock around the whole update keeps count/sum/min/max/buckets
         # mutually consistent — a torn min/max or a dropped bucket count
@@ -165,7 +218,7 @@ class Histogram:
         return self.total / self.count if self.count else math.nan
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "type": "histogram",
             "count": self.count,
             "sum": self.total,
@@ -176,37 +229,80 @@ class Histogram:
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
         }
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
 
 
 class MetricsRegistry:
-    """Name -> instrument map with idempotent, type-checked constructors."""
+    """Name -> instrument map with idempotent, type-checked constructors.
 
-    def __init__(self):
+    Labeled series are stored under their rendered key
+    (``name{k="v"}``), so they sort adjacent to their base name in
+    snapshots.  ``max_label_sets`` bounds the number of distinct label
+    sets admitted per name; the excess collapses into one
+    :data:`OVERFLOW_LABEL` series per label shape.
+    """
+
+    def __init__(self, max_label_sets: int = MAX_LABEL_SETS):
         self._lock = threading.Lock()
         self._metrics: Dict[str, object] = {}
+        self.max_label_sets = max_label_sets
+        self._label_sets: Dict[str, set] = {}
 
-    def _get(self, name: str, cls):
-        metric = self._metrics.get(name)
-        if metric is None:
-            with self._lock:
-                metric = self._metrics.setdefault(name, cls(name))
+    def _get(self, name: str, cls, labels: Optional[Dict[str, object]] = None):
+        if not labels:
+            metric = self._metrics.get(name)
+            if metric is None:
+                with self._lock:
+                    metric = self._metrics.setdefault(name, cls(name))
+        else:
+            items: _LabelItems = tuple(
+                sorted((str(k), str(v)) for k, v in labels.items())
+            )
+            key = _series_key(name, items)
+            metric = self._metrics.get(key)
+            if metric is None:
+                # The base aggregate exists before any labeled child so the
+                # child can forward into it (created outside the label
+                # bookkeeping below — _get re-takes the lock itself).
+                parent = self._get(name, cls)
+                with self._lock:
+                    seen = self._label_sets.setdefault(name, set())
+                    if items not in seen and len(seen) >= self.max_label_sets:
+                        # Cardinality bound hit: collapse the values (not
+                        # the keys) into the overflow sentinel so a tenant
+                        # flood degrades to one catch-all series.
+                        items = tuple((k, OVERFLOW_LABEL) for k, _ in items)
+                        key = _series_key(name, items)
+                    seen.add(items)
+                    metric = self._metrics.get(key)
+                    if metric is None:
+                        metric = self._metrics[key] = cls(
+                            name, labels=items, parent=parent
+                        )
         if not isinstance(metric, cls):
             raise TypeError(
                 f"metric {name!r} is a {type(metric).__name__}, not a {cls.__name__}"
             )
         return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(name, Counter, labels or None)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(name, Gauge, labels or None)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(name, Histogram, labels or None)
 
     def names(self) -> List[str]:
         return sorted(self._metrics)
+
+    def instruments(self) -> List[object]:
+        """All instruments (base and labeled series), sorted by key."""
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """All metrics as a JSON-able dict, sorted by name."""
@@ -215,6 +311,7 @@ class MetricsRegistry:
     def reset(self) -> None:
         with self._lock:
             self._metrics.clear()
+            self._label_sets.clear()
 
 
 _REGISTRY = MetricsRegistry()
@@ -225,16 +322,16 @@ def registry() -> MetricsRegistry:
     return _REGISTRY
 
 
-def counter(name: str) -> Counter:
-    return _REGISTRY.counter(name)
+def counter(name: str, **labels) -> Counter:
+    return _REGISTRY.counter(name, **labels)
 
 
-def gauge(name: str) -> Gauge:
-    return _REGISTRY.gauge(name)
+def gauge(name: str, **labels) -> Gauge:
+    return _REGISTRY.gauge(name, **labels)
 
 
-def histogram(name: str) -> Histogram:
-    return _REGISTRY.histogram(name)
+def histogram(name: str, **labels) -> Histogram:
+    return _REGISTRY.histogram(name, **labels)
 
 
 def reset() -> None:
@@ -268,5 +365,5 @@ def export_json(path: Union[str, Path], reg: Optional[MetricsRegistry] = None) -
     """Persist a snapshot of the registry as indented JSON."""
     reg = reg or _REGISTRY
     path = Path(path)
-    path.write_text(json.dumps(reg.snapshot(), indent=2, default=str) + "\n")
+    atomic_write_text(path, json.dumps(reg.snapshot(), indent=2, default=str) + "\n")
     return path

@@ -40,12 +40,24 @@ SPAN_SERVE_RECOMMEND = "serve.recommend"
 SPAN_SERVE_FEEDBACK = "serve.feedback"
 SPAN_SERVE_STATS = "serve.stats"
 SPAN_SERVE_HEALTH = "serve.health"
+# Request-scoped serving spans: the per-request root opened by the HTTP
+# handler and the micro-batch leader's coalesced forward (followers link in).
+SPAN_SERVE_REQUEST = "serve.request"
+SPAN_SERVE_BATCH_RUN = "serve.batch.run"
+# Data-parallel training: the coordinator's reduce step and the per-shard
+# worker spans adopted back across the process boundary.
+SPAN_PARALLEL_STEP = "parallel.step"
+SPAN_PARALLEL_SHARD = "parallel.shard"
 
 ALL_SPANS = frozenset({
     SPAN_SERVE_RECOMMEND,
     SPAN_SERVE_FEEDBACK,
     SPAN_SERVE_STATS,
     SPAN_SERVE_HEALTH,
+    SPAN_SERVE_REQUEST,
+    SPAN_SERVE_BATCH_RUN,
+    SPAN_PARALLEL_STEP,
+    SPAN_PARALLEL_SHARD,
     SPAN_OFFLINE_TRAIN,
     SPAN_FEATURISE,
     SPAN_ACG_FIT,
@@ -99,8 +111,16 @@ CTR_SERVE_COALESCED = "serve.coalesced_requests"
 # Per-tenant token-bucket quota decisions (allowed vs 429-rejected).
 CTR_SERVE_QUOTA_ALLOWED = "serve.quota.allowed"
 CTR_SERVE_QUOTA_REJECTED = "serve.quota.rejected"
+# Structured JSONL audit records appended by the daemon (--audit-log).
+CTR_SERVE_AUDIT_RECORDS = "serve.request.audit_records"
+# SLO accounting (repro.obs.slo): good/bad events across all objectives.
+CTR_SLO_GOOD = "slo.events.good"
+CTR_SLO_BAD = "slo.events.bad"
 
 ALL_COUNTERS = frozenset({
+    CTR_SERVE_AUDIT_RECORDS,
+    CTR_SLO_GOOD,
+    CTR_SLO_BAD,
     CTR_SERVE_REQUESTS,
     CTR_SERVE_ERRORS,
     CTR_SERVE_OVERLOAD,
@@ -144,10 +164,16 @@ GAUGE_DRIFT_SIGNED_ERR = "drift.mean_signed_rel_err"
 GAUGE_DRIFT_P = "drift.wilcoxon_p"
 GAUGE_SERVE_QUEUE_DEPTH = "serve.queue_depth"
 GAUGE_SERVE_TENANTS = "serve.tenants_loaded"
+# SLO health: worst multi-window burn rate and the tightest remaining
+# error-budget fraction across declared objectives (set on evaluation).
+GAUGE_SLO_WORST_BURN = "slo.worst_burn_rate"
+GAUGE_SLO_BUDGET_REMAINING = "slo.error_budget_remaining"
 
 ALL_GAUGES = frozenset({
     GAUGE_SERVE_QUEUE_DEPTH,
     GAUGE_SERVE_TENANTS,
+    GAUGE_SLO_WORST_BURN,
+    GAUGE_SLO_BUDGET_REMAINING,
     GAUGE_FIT_LAST_LOSS,
     GAUGE_DEDUP_RATIO,
     GAUGE_UNIQUE_TEMPLATES,
@@ -161,5 +187,7 @@ ALL_GAUGES = frozenset({
 
 # -- histograms fed directly (spans feed span.<name>.duration_s) -------
 HIST_FIT_EPOCH_S = "necs.fit.epoch_s"
+# End-to-end wall time per HTTP request, labeled {tenant, route}.
+HIST_SERVE_REQUEST_LATENCY = "serve.request.latency_s"
 
-ALL_HISTOGRAMS = frozenset({HIST_FIT_EPOCH_S})
+ALL_HISTOGRAMS = frozenset({HIST_FIT_EPOCH_S, HIST_SERVE_REQUEST_LATENCY})

@@ -1,0 +1,102 @@
+"""Prometheus text exposition (format 0.0.4) for the metrics registry.
+
+The daemon serves this from ``GET /v1/metrics`` so a stock Prometheus
+scraper can pull per-tenant serving metrics without any client library
+on our side.  Mapping rules:
+
+- Metric names are sanitised (``.`` and other illegal characters become
+  ``_``) and prefixed ``repro_``; counters get the conventional
+  ``_total`` suffix.
+- A family that has labeled series exposes *only* the labeled series:
+  the unlabeled base instrument is their exact sum by construction (see
+  parent aggregation in :mod:`repro.obs.metrics`), and exposing both
+  would double-count under ``sum()``.
+- Histograms are exposed as Prometheus *summaries* — our log-bucketed
+  histograms already reduce to quantiles, so we emit ``{quantile=...}``
+  series plus ``_sum``/``_count`` rather than inventing ``le`` bucket
+  boundaries.  Quantile lines are skipped while a histogram is empty
+  (never emit NaN).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from . import metrics as _metrics
+
+__all__ = ["render_prometheus", "CONTENT_TYPE"]
+
+#: Content-Type for the exposition, sent by ``GET /v1/metrics``.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _metric_name(name: str) -> str:
+    return "repro_" + _NAME_BAD.sub("_", name)
+
+
+def _label_str(items: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{_LABEL_BAD.sub("_", k)}="{_escape(v)}"' for k, v in items]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(x: float) -> str:
+    if math.isinf(x):
+        return "+Inf" if x > 0 else "-Inf"
+    return repr(float(x))
+
+
+def render_prometheus(reg: Optional[_metrics.MetricsRegistry] = None) -> str:
+    """The registry as Prometheus text exposition, families sorted by name."""
+    reg = reg or _metrics.registry()
+    families: Dict[str, List[object]] = {}
+    for inst in reg.instruments():
+        families.setdefault(inst.name, []).append(inst)
+
+    lines: List[str] = []
+    for name in sorted(families):
+        series = families[name]
+        labeled = [s for s in series if s.labels]
+        exposed = labeled if labeled else series
+        kind = type(exposed[0]).__name__
+        if kind == "Counter":
+            prom = _metric_name(name) + "_total"
+            lines.append(f"# HELP {prom} Counter {name} from the repro metrics registry.")
+            lines.append(f"# TYPE {prom} counter")
+            for s in exposed:
+                lines.append(f"{prom}{_label_str(s.labels or ())} {_fmt(s.value)}")
+        elif kind == "Gauge":
+            prom = _metric_name(name)
+            lines.append(f"# HELP {prom} Gauge {name} from the repro metrics registry.")
+            lines.append(f"# TYPE {prom} gauge")
+            for s in exposed:
+                lines.append(f"{prom}{_label_str(s.labels or ())} {_fmt(s.value)}")
+        else:  # Histogram -> summary
+            prom = _metric_name(name)
+            lines.append(f"# HELP {prom} Histogram {name} from the repro metrics registry.")
+            lines.append(f"# TYPE {prom} summary")
+            for s in exposed:
+                items = s.labels or ()
+                if s.count:
+                    for q in _QUANTILES:
+                        qlabel = f'quantile="{q}"'
+                        lines.append(
+                            f"{prom}{_label_str(items, qlabel)} {_fmt(s.quantile(q))}"
+                        )
+                lines.append(f"{prom}_sum{_label_str(items)} {_fmt(s.total)}")
+                lines.append(f"{prom}_count{_label_str(items)} {_fmt(s.count)}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,240 @@
+"""Service-level objectives with multi-window burn-rate alerting.
+
+An :class:`SLOSpec` declares a target fraction of *good* events
+(``availability: 99.5% of data requests answer below 500``, ``latency:
+99% of recommends finish within 500 ms``).  An :class:`SLOTracker`
+consumes a stream of good/bad events and evaluates the Google-SRE
+multi-window, multi-burn-rate alert rule:
+
+- **burn rate** = observed error rate / error budget, where the error
+  budget is ``1 - target``.  Burn 1.0 spends the budget exactly at the
+  sustainable pace; burn 14.4 exhausts a 30-day budget in ~2 days.
+- An alert fires only when **both** a long window and its paired short
+  window exceed the threshold: the long window gives significance (a
+  blip cannot fire it), the short window gives fast reset (the alert
+  clears as soon as the error stops, instead of lingering for the whole
+  long window).
+
+Window lengths here default to seconds, not hours — the daemon's SLOs
+must be observable inside a benchmark run and a CI job, and the rule is
+scale-free: only the ratios matter.  Clocks are injectable
+(``time.monotonic`` by default) exactly like
+:class:`repro.serve.quota.TokenBucket`, so tests drive the windows
+deterministically.
+
+The :class:`SLOMonitor` owns one tracker per objective, feeds the
+``slo.events.*`` counters, and publishes worst-burn / budget-remaining
+gauges on evaluation.  It is instance-owned state (the daemon's
+``LiteService`` holds one), not a module global.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from . import metrics as _metrics
+from . import names as obsn
+
+__all__ = [
+    "BurnWindow",
+    "SLOSpec",
+    "SLOTracker",
+    "SLOMonitor",
+    "DEFAULT_WINDOWS",
+]
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One long/short window pair with its burn-rate alert threshold."""
+
+    name: str
+    long_s: float
+    short_s: float
+    threshold: float
+
+    def __post_init__(self):
+        if self.long_s <= self.short_s:
+            raise ValueError(
+                f"window {self.name!r}: long_s ({self.long_s}) must exceed "
+                f"short_s ({self.short_s})"
+            )
+        if self.threshold <= 0:
+            raise ValueError(f"window {self.name!r}: threshold must be positive")
+
+
+#: The classic page-worthy pair from the SRE workbook (14.4x over
+#: 1h/5m, 6x over 6h/30m), compressed 60:1 so a bench run exercises it.
+DEFAULT_WINDOWS: Tuple[BurnWindow, ...] = (
+    BurnWindow("fast", long_s=60.0, short_s=5.0, threshold=14.4),
+    BurnWindow("slow", long_s=600.0, short_s=30.0, threshold=6.0),
+)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """A declared objective: at least ``target`` of events must be good."""
+
+    name: str
+    target: float
+    description: str = ""
+    windows: Tuple[BurnWindow, ...] = DEFAULT_WINDOWS
+
+    def __post_init__(self):
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"SLO {self.name!r}: target must be in (0, 1)")
+        if not self.windows:
+            raise ValueError(f"SLO {self.name!r}: at least one burn window required")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+
+class SLOTracker:
+    """Event stream -> windowed burn rates for one objective.
+
+    Events are ``(timestamp, good)`` pairs in a pruned deque; the memory
+    bound is whatever arrives within the longest window (requests at
+    daemon scale, not metrics at datapoint scale).  All access is
+    lock-protected — serving threads record concurrently with stats
+    evaluation.
+    """
+
+    def __init__(self, spec: SLOSpec, clock: Clock = time.monotonic):
+        self.spec = spec
+        self._clock = clock
+        self._horizon = max(w.long_s for w in spec.windows)
+        self._events: deque = deque()
+        self._good = 0
+        self._bad = 0
+        self._lock = threading.Lock()
+
+    def record(self, good: bool) -> None:
+        now = self._clock()
+        with self._lock:
+            self._events.append((now, bool(good)))
+            if good:
+                self._good += 1
+            else:
+                self._bad += 1
+            self._prune_locked(now)
+
+    def _prune_locked(self, now: float) -> None:
+        cutoff = now - self._horizon
+        events = self._events
+        while events and events[0][0] < cutoff:
+            events.popleft()
+
+    def _window_counts(self, events, now: float, horizon: float) -> Tuple[int, int]:
+        cutoff = now - horizon
+        total = bad = 0
+        # Newest events live at the right end; walk backwards and stop at
+        # the first event older than the window.
+        for t, good in reversed(events):
+            if t < cutoff:
+                break
+            total += 1
+            if not good:
+                bad += 1
+        return total, bad
+
+    def burn_rate(self, events_total: int, events_bad: int) -> float:
+        if events_total == 0:
+            return 0.0
+        return (events_bad / events_total) / self.spec.error_budget
+
+    def evaluate(self) -> Dict[str, object]:
+        """Current burn rates per window plus the alert decision."""
+        now = self._clock()
+        with self._lock:
+            self._prune_locked(now)
+            events = list(self._events)
+            good, bad = self._good, self._bad
+        windows: List[Dict[str, object]] = []
+        alerting = False
+        worst = 0.0
+        budget_remaining = 1.0
+        for w in self.spec.windows:
+            lt, lb = self._window_counts(events, now, w.long_s)
+            st, sb = self._window_counts(events, now, w.short_s)
+            long_burn = self.burn_rate(lt, lb)
+            short_burn = self.burn_rate(st, sb)
+            fires = (
+                lt > 0 and st > 0
+                and long_burn >= w.threshold
+                and short_burn >= w.threshold
+            )
+            alerting = alerting or fires
+            # The burn both windows agree on — the value the threshold
+            # actually gates (either window alone can spike harmlessly).
+            worst = max(worst, min(long_burn, short_burn))
+            if lt:
+                remaining = 1.0 - (lb / lt) / self.spec.error_budget
+                budget_remaining = min(budget_remaining, max(0.0, remaining))
+            windows.append({
+                "window": w.name,
+                "long_s": w.long_s,
+                "short_s": w.short_s,
+                "threshold": w.threshold,
+                "long": {"total": lt, "bad": lb, "burn_rate": long_burn},
+                "short": {"total": st, "bad": sb, "burn_rate": short_burn},
+                "alerting": fires,
+            })
+        return {
+            "name": self.spec.name,
+            "description": self.spec.description,
+            "target": self.spec.target,
+            "error_budget": self.spec.error_budget,
+            "good_total": good,
+            "bad_total": bad,
+            "windows": windows,
+            "worst_burn_rate": worst,
+            "error_budget_remaining": budget_remaining,
+            "alerting": alerting,
+        }
+
+
+class SLOMonitor:
+    """All declared objectives for one service instance."""
+
+    def __init__(self, specs: Sequence[SLOSpec], clock: Clock = time.monotonic):
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        self._trackers: Dict[str, SLOTracker] = {
+            spec.name: SLOTracker(spec, clock) for spec in specs
+        }
+
+    def record(self, slo_name: str, good: bool) -> None:
+        """Feed one good/bad event into the named objective."""
+        self._trackers[slo_name].record(good)
+        if good:
+            _metrics.counter(obsn.CTR_SLO_GOOD).inc()
+        else:
+            _metrics.counter(obsn.CTR_SLO_BAD).inc()
+
+    def specs(self) -> List[SLOSpec]:
+        return [t.spec for t in self._trackers.values()]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Evaluate every objective and publish the summary gauges."""
+        slos = {name: t.evaluate() for name, t in self._trackers.items()}
+        worst = max((s["worst_burn_rate"] for s in slos.values()), default=0.0)
+        remaining = min(
+            (s["error_budget_remaining"] for s in slos.values()), default=1.0
+        )
+        _metrics.gauge(obsn.GAUGE_SLO_WORST_BURN).set(worst)
+        _metrics.gauge(obsn.GAUGE_SLO_BUDGET_REMAINING).set(remaining)
+        return {
+            "slos": slos,
+            "worst_burn_rate": worst,
+            "error_budget_remaining": remaining,
+            "alerting": sorted(n for n, s in slos.items() if s["alerting"]),
+        }

@@ -21,6 +21,14 @@ The subsystem is built around three states (see :mod:`repro.obs`):
 Finished spans export as JSON-lines (one span per line, parent ids
 included) via :func:`export_jsonl`, or as an indented tree via
 :func:`format_tree` for ``repro trace``.
+
+Spans are request-scoped when a :class:`repro.obs.context.TraceContext`
+is attached: each span inherits the context's ``trace_id``, a span opened
+on a thread with an empty stack parents under the context's captured span
+(the cross-thread case), and spans finished in *other processes* can be
+re-parented into this tracer's buffer via :meth:`Tracer.adopt`.  Spans
+may also carry *links* — references to other contexts whose work was
+coalesced into this span (the micro-batch leader links every follower).
 """
 
 from __future__ import annotations
@@ -32,14 +40,17 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
+from . import context as _context
 from . import metrics as _metrics
+from ..utils.atomic import atomic_overwrite
 
 __all__ = [
     "Span",
     "Tracer",
     "span",
+    "current_span",
     "enable",
     "disable",
     "is_enabled",
@@ -60,9 +71,11 @@ class SpanRecord:
     duration_s: float
     depth: int
     attrs: Dict[str, object] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    links: Tuple[Dict[str, object], ...] = ()
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out = {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
@@ -71,6 +84,11 @@ class SpanRecord:
             "depth": self.depth,
             "attrs": self.attrs,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.links:
+            out["links"] = list(self.links)
+        return out
 
 
 class _NullSpan:
@@ -91,6 +109,9 @@ class _NullSpan:
     def set(self, **attrs) -> "_NullSpan":
         return self
 
+    def add_link(self, ctx) -> "_NullSpan":
+        return self
+
     def __bool__(self) -> bool:
         return False
 
@@ -106,20 +127,38 @@ class Span:
             sp.set(n_instances=len(instances))
     """
 
-    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "depth", "_t0")
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "depth",
+                 "trace_id", "links", "_t0")
 
-    def __init__(self, tracer: "Tracer", name: str, parent_id: Optional[int], depth: int):
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        parent_id: Optional[int],
+        depth: int,
+        trace_id: Optional[str] = None,
+    ):
         self.tracer = tracer
         self.name = name
         self.attrs: Dict[str, object] = {}
         self.span_id = tracer._next_id()
         self.parent_id = parent_id
         self.depth = depth
+        self.trace_id = trace_id
+        self.links: Optional[List[Dict[str, object]]] = None
         self._t0 = 0.0
 
     def set(self, **attrs) -> "Span":
         """Attach attributes (counts, sizes, flags) to the span."""
         self.attrs.update(attrs)
+        return self
+
+    def add_link(self, ctx: Optional["_context.TraceContext"]) -> "Span":
+        """Link another request's context into this span (batch coalescing)."""
+        if ctx is not None:
+            if self.links is None:
+                self.links = []
+            self.links.append(ctx.link())
         return self
 
     def __bool__(self) -> bool:
@@ -182,29 +221,78 @@ class Tracer:
             self._records.append((
                 span.span_id, span.parent_id, span.name,
                 span._t0, duration_s, span.depth, span.attrs,
+                span.trace_id, tuple(span.links) if span.links else (),
             ))
-            # Cache the per-name duration histogram: the f-string plus
-            # the registry lookup would otherwise dominate short spans'
-            # cost.  Populated under the tracer lock so concurrent
-            # first-finishers converge on one histogram object (the
-            # registry dedupes by name underneath anyway).
-            hist = self._hists.get(span.name)
-            if hist is None:
-                hist = self._hists[span.name] = _metrics.registry().histogram(
-                    f"span.{span.name}.duration_s"
-                )
+            hist = self._hist_locked(span.name)
         hist.observe(duration_s)
+
+    def _hist_locked(self, name: str) -> _metrics.Histogram:
+        # Cache the per-name duration histogram: the f-string plus the
+        # registry lookup would otherwise dominate short spans' cost.
+        # Called under the tracer lock so concurrent first-finishers
+        # converge on one histogram object (the registry dedupes by name
+        # underneath anyway).
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = _metrics.registry().histogram(
+                f"span.{name}.duration_s"
+            )
+        return hist
 
     # -- public --------------------------------------------------------
     def span(self, name: str) -> Span:
         stack = self._stack()
-        parent = stack[-1] if stack else None
-        return Span(
-            self,
-            name,
-            parent_id=parent.span_id if parent else None,
-            depth=len(stack),
-        )
+        ctx = _context.current()
+        if stack:
+            # Nested span: parent is the innermost live span; the trace id
+            # follows the attached context (normally identical to the
+            # parent's, but an inner attach wins).
+            parent = stack[-1]
+            parent_id = parent.span_id
+            depth = len(stack)
+            trace_id = ctx.trace_id if ctx is not None else parent.trace_id
+        elif ctx is not None:
+            # Empty stack under an attached context: the cross-thread
+            # case.  Hang new spans beneath the span the context captured.
+            parent_id = ctx.span_id
+            depth = ctx.depth if ctx.span_id is not None else 0
+            trace_id = ctx.trace_id
+        else:
+            parent_id = None
+            depth = 0
+            trace_id = None
+        return Span(self, name, parent_id=parent_id, depth=depth, trace_id=trace_id)
+
+    def adopt(
+        self,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        parent_id: Optional[int] = None,
+        depth: int = 0,
+        trace_id: Optional[str] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> int:
+        """Ingest a span that finished elsewhere (another process).
+
+        Parallel training workers cannot share this tracer — they run in
+        forked processes whose registry/tracer state dies with them — so
+        they ship raw ``(name, start, duration)`` timings back with their
+        results and the coordinator *adopts* them: a fresh span id is
+        allocated here, the record is re-parented under the coordinator's
+        span, and the duration feeds the same per-name histogram as a
+        locally finished span.  Returns the allocated span id.
+        """
+        span_id = self._next_id()
+        with self._lock:
+            self._records.append((
+                span_id, parent_id, name,
+                start_s, duration_s, depth, dict(attrs) if attrs else {},
+                trace_id, (),
+            ))
+            hist = self._hist_locked(name)
+        hist.observe(duration_s)
+        return span_id
 
     def records(self) -> List[SpanRecord]:
         """Finished spans, oldest first."""
@@ -262,6 +350,15 @@ def span(name: str):
     return tracer.span(name)
 
 
+def current_span() -> Optional[Span]:
+    """The innermost live span on this thread, or None (also when disabled)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return None
+    stack = tracer._stack()
+    return stack[-1] if stack else None
+
+
 # ----------------------------------------------------------------------
 # Export
 # ----------------------------------------------------------------------
@@ -269,7 +366,9 @@ def export_jsonl(path: Union[str, Path], tracer: Optional[Tracer] = None) -> Pat
     """Write finished spans as JSON-lines, one span per line."""
     tracer = tracer or _TRACER
     path = Path(path)
-    with path.open("w") as fh:
+    # Atomic replace: a reader (or a crash) mid-export never sees a
+    # half-written trace, matching how BENCH_*.json and checkpoints land.
+    with atomic_overwrite(path, mode="w") as fh:
         for record in tracer.records():
             fh.write(json.dumps(record.to_dict(), default=str) + "\n")
     return path

@@ -10,8 +10,15 @@ HTTP/JSON API (:mod:`~repro.serve.daemon`):
 - ``POST /v1/recommend`` — rank candidate configurations for a tenant;
 - ``POST /v1/feedback``  — replay a production run into the tenant's
   feedback loop (drift window + adaptive update trigger);
-- ``GET /v1/stats``      — obs metrics snapshot + registry state;
+- ``GET /v1/stats``      — obs metrics snapshot + registry state + SLO
+  burn-rate evaluation;
+- ``GET /v1/metrics``    — Prometheus text exposition (per-tenant series);
 - ``GET /v1/health``     — liveness.
+
+Every response carries an ``X-Repro-Trace-Id`` header (echoed from the
+request when well-formed, minted otherwise) and JSON bodies repeat it as
+``trace_id``; with ``--audit-log`` each finished request also appends a
+structured JSONL audit record (:mod:`~repro.serve.audit`).
 
 Two rejection layers keep latency bounded: global admission control
 (``max_inflight`` → 503) and optional per-tenant token-bucket quotas
@@ -21,12 +28,14 @@ with honest ``Retry-After`` headers.
 Start it with ``repro serve``; benchmark it with ``repro bench-service``.
 """
 
+from .audit import AuditLog
 from .batching import MicroBatcher
 from .daemon import LiteService, ServiceConfig, ServiceError, make_server
 from .quota import QuotaManager, TokenBucket
 from .registry import ModelRegistry
 
 __all__ = [
+    "AuditLog",
     "LiteService",
     "MicroBatcher",
     "ModelRegistry",

@@ -1,0 +1,53 @@
+"""Structured per-request audit log: one JSON object per line, appended.
+
+Metrics say *how much*; the audit log says *who and what*.  Every request
+the daemon finishes appends one record — tenant, app, route, status,
+latency, trace id, cache hit, micro-batch size, and the admission
+decision (ok / quota_rejected / shed / invalid / error) — so a latency
+regression or a quota dispute can be traced to the exact requests that
+caused it, then joined against the trace export on ``trace_id``.
+
+This is an append-only event stream, not a snapshot, so it deliberately
+does *not* go through :mod:`repro.utils.atomic` (tmp+rename would
+truncate history): each record is written and flushed under a lock, and a
+crash can lose at most the final partial line, which a JSONL reader
+skips.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Union
+
+from .. import obs
+from ..obs import names as obsn
+
+__all__ = ["AuditLog"]
+
+
+class AuditLog:
+    """Lock-guarded JSONL appender for per-request audit records."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def record(self, **fields) -> None:
+        """Append one audit record; silently drops after :meth:`close`."""
+        line = json.dumps(fields, default=str)
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+        obs.counter(obsn.CTR_SERVE_AUDIT_RECORDS).inc()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()

@@ -15,6 +15,15 @@ Error semantics: the batch runner validates nothing — callers must
 validate requests *before* submitting, so an exception out of the runner
 is systemic (model failure), and delivering it to every member of the
 batch is the honest outcome.
+
+Trace stitching: each submitter's trace context is captured with its
+item, and the leader's ``serve.batch.run`` span records every follower's
+context as a span *link* — one coalesced forward visibly serves N
+requests, and each follower's trace still shows which batch absorbed it.
+The leader also stamps ``batch_size``/``coalesced`` into every member's
+context annotations before releasing them (the ``done`` event provides
+the happens-before edge), so the HTTP layer can audit the batching
+decision per request.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ import time
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, TypeVar
 
 from .. import obs
+from ..obs import context as obs_context
 from ..obs import names as obsn
 
 __all__ = ["MicroBatcher"]
@@ -33,12 +43,13 @@ R = TypeVar("R")
 
 
 class _Batch:
-    """One open batch: items, completion event, shared result/error."""
+    """One open batch: items, member contexts, completion event, result."""
 
-    __slots__ = ("items", "done", "results", "error")
+    __slots__ = ("items", "ctxs", "done", "results", "error")
 
     def __init__(self):
         self.items: List[object] = []
+        self.ctxs: List[Optional[obs_context.TraceContext]] = []
         self.done = threading.Event()
         self.results: Optional[Sequence[object]] = None
         self.error: Optional[BaseException] = None
@@ -67,6 +78,7 @@ class MicroBatcher:
         leader is whichever caller opened the batch.  ``run_batch`` must
         return one result per item, in order.
         """
+        ctx = obs_context.capture()
         with self._lock:
             batch = self._pending.get(key)
             leader = batch is None
@@ -75,6 +87,7 @@ class MicroBatcher:
                 self._pending[key] = batch
             index = len(batch.items)
             batch.items.append(item)
+            batch.ctxs.append(ctx)
         if leader:
             if self.window_s > 0:
                 time.sleep(self.window_s)
@@ -82,13 +95,26 @@ class MicroBatcher:
                 # Close the window: late arrivals open a fresh batch.
                 self._pending.pop(key, None)
             try:
-                results = run_batch(list(batch.items))
+                with obs.span(obsn.SPAN_SERVE_BATCH_RUN) as sp:
+                    if sp:
+                        sp.set(batch_size=len(batch.items))
+                        # The leader's own context (index 0) is already
+                        # this span's ancestry; followers become links.
+                        for member in batch.ctxs[1:]:
+                            sp.add_link(member)
+                    results = run_batch(list(batch.items))
                 if len(results) != len(batch.items):
                     raise RuntimeError(
                         f"batch runner returned {len(results)} results for "
                         f"{len(batch.items)} items"
                     )
                 batch.results = results
+                size = len(batch.items)
+                for member in batch.ctxs:
+                    if member is not None:
+                        member.annotate(batch_size=size, coalesced=member is not ctx)
+                        if member is not ctx and ctx is not None:
+                            member.annotate(coalesced_into=ctx.trace_id)
                 obs.counter(obsn.CTR_SERVE_BATCHES).inc()
                 if len(batch.items) > 1:
                     obs.counter(obsn.CTR_SERVE_COALESCED).inc(len(batch.items) - 1)

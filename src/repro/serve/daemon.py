@@ -27,7 +27,9 @@ Request semantics:
 from __future__ import annotations
 
 import json
+import re
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -36,19 +38,35 @@ from typing import Dict, Iterator, Optional
 import numpy as np
 
 from .. import obs
+from ..obs import context as obs_context
 from ..obs import metrics as obs_metrics
 from ..obs import names as obsn
+from ..obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
+from ..obs.prom import render_prometheus
+from ..obs.slo import SLOMonitor, SLOSpec
 from ..core.lite import RecommendQuery
 from ..core.recommender import Recommendation
 from ..sparksim.cluster import get_cluster
 from ..sparksim.config import SparkConf
 from ..sparksim.costmodel import SparkJobError
 from ..utils.rng import get_rng
+from .audit import AuditLog
 from .batching import MicroBatcher
 from .quota import QuotaManager
 from .registry import ModelRegistry
 
 __all__ = ["LiteService", "ServiceConfig", "ServiceError", "make_server"]
+
+#: Accepted shapes for a client-supplied X-Repro-Trace-Id header; anything
+#: else gets a fresh server-side id rather than polluting the trace store.
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+#: Label value for requests that carry no (valid) tenant field.
+_NO_TENANT = "__none__"
+
+#: Audit-log decision per rejection status (everything < 400 is "ok").
+_DECISIONS = {400: "invalid", 404: "unknown_tenant", 429: "quota_rejected",
+              503: "shed"}
 
 
 @dataclass
@@ -64,6 +82,14 @@ class ServiceConfig:
     quota_rps: Optional[float] = None
     #: Per-tenant burst capacity (bucket size) when quotas are enabled.
     quota_burst: float = 8.0
+    #: Path to the per-request JSONL audit log; None disables auditing.
+    audit_log: Optional[str] = None
+    #: Availability SLO: this fraction of data requests must answer < 500.
+    slo_availability_target: float = 0.995
+    #: Latency SLO: this fraction of successful recommends must finish
+    #: within ``slo_latency_threshold_s``.
+    slo_latency_target: float = 0.99
+    slo_latency_threshold_s: float = 0.5
 
 
 class ServiceError(Exception):
@@ -99,8 +125,30 @@ class LiteService:
             QuotaManager(self.config.quota_rps, self.config.quota_burst)
             if self.config.quota_rps is not None else None
         )
+        self.slo = SLOMonitor([
+            SLOSpec(
+                "availability",
+                self.config.slo_availability_target,
+                description="data requests (recommend/feedback) answered "
+                            "without a 5xx",
+            ),
+            SLOSpec(
+                "recommend_latency",
+                self.config.slo_latency_target,
+                description=f"successful recommends within "
+                            f"{self.config.slo_latency_threshold_s * 1e3:.0f} ms",
+            ),
+        ])
+        self.audit: Optional[AuditLog] = (
+            AuditLog(self.config.audit_log) if self.config.audit_log else None
+        )
         self._admission_lock = threading.Lock()
         self._inflight = 0
+
+    def close(self) -> None:
+        """Release owned resources (currently: the audit log handle)."""
+        if self.audit is not None:
+            self.audit.close()
 
     # -- admission control ----------------------------------------------
     @contextmanager
@@ -163,7 +211,6 @@ class LiteService:
     # -- endpoints --------------------------------------------------------
     def recommend(self, payload: Dict) -> Dict[str, object]:
         with obs.span(obsn.SPAN_SERVE_RECOMMEND) as sp:
-            obs.counter(obsn.CTR_SERVE_REQUESTS).inc()
             tenant = self._require_str(payload, "tenant")
             self._check_quota(tenant)
             app = self._require_str(payload, "app")
@@ -224,7 +271,6 @@ class LiteService:
         from ..workloads import get_workload
 
         with obs.span(obsn.SPAN_SERVE_FEEDBACK) as sp:
-            obs.counter(obsn.CTR_SERVE_REQUESTS).inc()
             tenant = self._require_str(payload, "tenant")
             self._check_quota(tenant)
             app = self._require_str(payload, "app")
@@ -271,24 +317,83 @@ class LiteService:
 
     def stats(self) -> Dict[str, object]:
         with obs.span(obsn.SPAN_SERVE_STATS):
-            obs.counter(obsn.CTR_SERVE_REQUESTS).inc()
             with self._admission_lock:
                 inflight = self._inflight
+            # Evaluate SLOs before snapshotting metrics so the slo.* gauges
+            # the evaluation publishes appear in the same response.
+            slo = self.slo.snapshot()
             return {
                 "registry": self.registry.stats(),
                 "inflight": inflight,
                 "max_inflight": self.config.max_inflight,
+                "slo": slo,
                 "metrics": obs_metrics.registry().snapshot(),
             }
 
     def health(self) -> Dict[str, object]:
         with obs.span(obsn.SPAN_SERVE_HEALTH):
-            obs.counter(obsn.CTR_SERVE_REQUESTS).inc()
             return {
                 "status": "ok",
                 "tenants": self.registry.tenants(),
                 "loaded": self.registry.loaded_tenants(),
             }
+
+    # -- per-request accounting ------------------------------------------
+    def observe_request(
+        self,
+        *,
+        route: str,
+        method: str,
+        status: int,
+        latency_s: float,
+        trace_id: str,
+        tenant: Optional[str],
+        app: Optional[str],
+        annotations: Optional[Dict[str, object]] = None,
+        cache_hit: Optional[bool] = None,
+    ) -> None:
+        """Settle one finished HTTP request: labeled series, SLOs, audit.
+
+        Called by the transport for *every* response, including errors —
+        this is the single place request identity (tenant, route) meets
+        request outcome (status, latency), which is exactly what the
+        labeled metrics, the SLO trackers and the audit log all need.
+        """
+        label = tenant if tenant else _NO_TENANT
+        obs.counter(obsn.CTR_SERVE_REQUESTS, tenant=label).inc()
+        if status >= 400:
+            obs.counter(obsn.CTR_SERVE_ERRORS, tenant=label).inc()
+        obs.histogram(
+            obsn.HIST_SERVE_REQUEST_LATENCY, tenant=label, route=route
+        ).observe(latency_s)
+        if route in ("recommend", "feedback"):
+            # Client errors (4xx incl. quota 429s) do not burn the
+            # availability budget — only the server failing does.
+            self.slo.record("availability", status < 500)
+            if route == "recommend" and status == 200:
+                self.slo.record(
+                    "recommend_latency",
+                    latency_s <= self.config.slo_latency_threshold_s,
+                )
+        # Snapshot the handle so the check and the write see one object;
+        # the log itself serialises appends under its own lock.
+        audit = self.audit
+        if audit is not None:
+            ann = annotations or {}
+            audit.record(
+                ts=time.time(),
+                trace_id=trace_id,
+                route=route,
+                method=method,
+                status=status,
+                latency_ms=round(latency_s * 1e3, 3),
+                tenant=tenant,
+                app=app,
+                cache_hit=cache_hit,
+                batch_size=ann.get("batch_size"),
+                coalesced=ann.get("coalesced"),
+                decision=_DECISIONS.get(status, "ok" if status < 500 else "error"),
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -325,32 +430,93 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _send_text(self, status: int, text: str, content_type: str,
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
     # -- dispatch ---------------------------------------------------------
+    _ROUTES = {
+        ("GET", "/v1/health"): "health",
+        ("GET", "/v1/stats"): "stats",
+        ("GET", "/v1/metrics"): "metrics",
+        ("POST", "/v1/recommend"): "recommend",
+        ("POST", "/v1/feedback"): "feedback",
+    }
+
     def _dispatch(self, method: str) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        try:
-            if method == "GET" and path == "/v1/health":
-                body = self.service.health()
-            elif method == "GET" and path == "/v1/stats":
-                body = self.service.stats()
-            elif method == "POST" and path == "/v1/recommend":
-                body = self.service.recommend(self._read_json())
-            elif method == "POST" and path == "/v1/feedback":
-                body = self.service.feedback(self._read_json())
-            else:
-                raise ServiceError(404, f"no such endpoint: {method} {path}")
-        except ServiceError as exc:
-            obs.counter(obsn.CTR_SERVE_ERRORS).inc()
-            headers = {}
-            if exc.retry_after is not None:
-                headers["Retry-After"] = str(exc.retry_after)
-            self._send(exc.status, {"error": exc.message}, headers)
-            return
-        except Exception as exc:   # pragma: no cover - systemic failure path
-            obs.counter(obsn.CTR_SERVE_ERRORS).inc()
-            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
-            return
-        self._send(200, body)
+        route = self._ROUTES.get((method, path), "unknown")
+        incoming = (self.headers.get(obs_context.TRACE_HEADER) or "").strip()
+        # Reuse a well-formed client id (distributed callers thread their
+        # own); otherwise mint one — every response names its trace.
+        trace_id = incoming if _TRACE_ID_RE.match(incoming) else obs_context.new_trace_id()
+        headers: Dict[str, str] = {obs_context.TRACE_HEADER: trace_id}
+        status = 200
+        body: Optional[Dict[str, object]] = None
+        text: Optional[str] = None
+        tenant: Optional[str] = None
+        app: Optional[str] = None
+        t0 = time.perf_counter()
+        with obs_context.request(trace_id) as ctx:
+            with obs.span(obsn.SPAN_SERVE_REQUEST) as sp:
+                if sp:
+                    sp.set(route=route, method=method)
+                try:
+                    if route == "health":
+                        body = self.service.health()
+                    elif route == "stats":
+                        body = self.service.stats()
+                    elif route == "metrics":
+                        text = render_prometheus()
+                    elif route in ("recommend", "feedback"):
+                        payload = self._read_json()
+                        raw_tenant = payload.get("tenant")
+                        if isinstance(raw_tenant, str) and raw_tenant:
+                            tenant = raw_tenant
+                        raw_app = payload.get("app")
+                        if isinstance(raw_app, str) and raw_app:
+                            app = raw_app
+                        if route == "recommend":
+                            body = self.service.recommend(payload)
+                        else:
+                            body = self.service.feedback(payload)
+                    else:
+                        raise ServiceError(404, f"no such endpoint: {method} {path}")
+                except ServiceError as exc:
+                    status = exc.status
+                    body = {"error": exc.message}
+                    if exc.retry_after is not None:
+                        headers["Retry-After"] = str(exc.retry_after)
+                except Exception as exc:   # pragma: no cover - systemic failure path
+                    status = 500
+                    body = {"error": f"{type(exc).__name__}: {exc}"}
+                if sp:
+                    sp.set(status=status)
+        latency_s = time.perf_counter() - t0
+        cache_hit = body.get("template_cache_hit") if isinstance(body, dict) else None
+        self.service.observe_request(
+            route=route,
+            method=method,
+            status=status,
+            latency_s=latency_s,
+            trace_id=trace_id,
+            tenant=tenant,
+            app=app,
+            annotations=ctx.annotations,
+            cache_hit=cache_hit,
+        )
+        if text is not None:
+            self._send_text(status, text, PROM_CONTENT_TYPE, headers)
+        else:
+            body["trace_id"] = trace_id
+            self._send(status, body, headers)
 
     def do_GET(self) -> None:
         self._dispatch("GET")

@@ -265,6 +265,19 @@ class TestThreadLocalState:
         diags = run_rules([tmp_path / "t.py"])
         assert [d for d in diags if d.rule_id in ("REP402", "REP405")] == []
 
+    def test_thread_local_global_excused_by_401(self, tmp_path):
+        # Attribute writes on a threading.local() global are per-thread
+        # by design — a context-attach helper must not trip REP401.
+        write(tmp_path, "t.py", (
+            "import threading\n"
+            "LOCAL = threading.local()\n"
+            "def attach(ctx):\n"
+            "    LOCAL.ctx = ctx\n"
+            "    return ctx\n"
+        ))
+        diags = run_rules([tmp_path / "t.py"])
+        assert [d for d in diags if d.rule_id == "REP401"] == []
+
 
 class TestRep403SharedRng:
     def test_fires_on_multi_path_draws(self, tmp_path):

@@ -1,0 +1,172 @@
+"""Labeled metrics: per-series storage, parent aggregation, bounded
+cardinality, and the Prometheus text exposition built on top of them.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro import obs
+from repro.obs.metrics import (
+    MAX_LABEL_SETS,
+    OVERFLOW_LABEL,
+    MetricsRegistry,
+)
+from repro.obs.prom import render_prometheus
+
+
+class TestLabeledSeries:
+    def test_same_labels_return_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("t.req", tenant="acme")
+        b = reg.counter("t.req", tenant="acme")
+        assert a is b
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("t.lat", tenant="acme", route="recommend")
+        b = reg.histogram("t.lat", route="recommend", tenant="acme")
+        assert a is b
+
+    def test_distinct_labels_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("t.req", tenant="acme").inc(2)
+        reg.counter("t.req", tenant="globex").inc(3)
+        snap = reg.snapshot()
+        assert snap['t.req{tenant="acme"}']["value"] == 2
+        assert snap['t.req{tenant="globex"}']["value"] == 3
+        assert snap['t.req{tenant="acme"}']["labels"] == {"tenant": "acme"}
+
+    def test_parent_is_exact_aggregate(self):
+        reg = MetricsRegistry()
+        reg.counter("t.req", tenant="acme").inc(2)
+        reg.counter("t.req", tenant="globex").inc(3)
+        reg.counter("t.req").inc()   # unlabeled traffic also lands in the base
+        assert reg.counter("t.req").value == 6
+
+    def test_labeled_gauge_and_histogram_forward(self):
+        reg = MetricsRegistry()
+        reg.gauge("t.depth", tenant="acme").set(4.0)
+        assert reg.gauge("t.depth").value == 4.0
+        reg.histogram("t.lat", tenant="acme").observe(0.25)
+        reg.histogram("t.lat", tenant="globex").observe(0.75)
+        base = reg.histogram("t.lat")
+        assert base.count == 2
+        assert base.total == 1.0
+
+
+class TestCardinalityBound:
+    def test_overflow_collapses_values_not_keys(self):
+        reg = MetricsRegistry(max_label_sets=2)
+        reg.counter("t.req", tenant="a").inc()
+        reg.counter("t.req", tenant="b").inc()
+        c = reg.counter("t.req", tenant="c")
+        d = reg.counter("t.req", tenant="d")
+        # Past the bound every new value maps onto one sentinel series.
+        assert c is d
+        assert c.labels == (("tenant", OVERFLOW_LABEL),)
+        c.inc(5)
+        d.inc()
+        snap = reg.snapshot()
+        assert snap[f't.req{{tenant="{OVERFLOW_LABEL}"}}']["value"] == 6
+        # The base aggregate saw every inc regardless of collapsing.
+        assert snap["t.req"]["value"] == 8
+
+    def test_known_series_still_resolve_after_overflow(self):
+        reg = MetricsRegistry(max_label_sets=2)
+        a = reg.counter("t.req", tenant="a")
+        reg.counter("t.req", tenant="b")
+        reg.counter("t.req", tenant="c")   # overflow
+        assert reg.counter("t.req", tenant="a") is a
+
+    def test_base_aggregate_survives_tenant_flood(self):
+        reg = MetricsRegistry()
+        for i in range(MAX_LABEL_SETS * 4):
+            reg.counter("t.req", tenant=f"tenant-{i}").inc()
+        assert reg.counter("t.req").value == MAX_LABEL_SETS * 4
+        # Series count stays bounded: the cap plus the one overflow series
+        # plus the unlabeled base.
+        series = [n for n in reg.names() if n.startswith("t.req")]
+        assert len(series) <= MAX_LABEL_SETS + 2
+
+    def test_bound_is_per_name(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.counter("t.a", tenant="x").inc()
+        fresh = reg.counter("t.b", tenant="y")
+        assert fresh.labels == (("tenant", "y"),)
+
+
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [+-]?(Inf|[0-9.eE+-]+)$"
+)
+
+
+class TestPrometheusExposition:
+    def test_counter_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests", tenant="acme").inc(3)
+        text = render_prometheus(reg)
+        assert 'repro_serve_requests_total{tenant="acme"} 3.0' in text
+        assert "# TYPE repro_serve_requests_total counter" in text
+
+    def test_labeled_family_hides_double_counting_base(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests", tenant="acme").inc(3)
+        lines = [
+            l for l in render_prometheus(reg).splitlines()
+            if l.startswith("repro_serve_requests_total")
+        ]
+        # Only the labeled series: the base is their exact sum and
+        # exposing both would double-count under sum().
+        assert lines == ['repro_serve_requests_total{tenant="acme"} 3.0']
+
+    def test_unlabeled_family_renders_base(self):
+        reg = MetricsRegistry()
+        reg.gauge("serve.queue_depth").set(2.0)
+        assert "repro_serve_queue_depth 2.0" in render_prometheus(reg)
+
+    def test_histogram_as_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("serve.latency", route="recommend")
+        for x in (0.1, 0.2, 0.3):
+            h.observe(x)
+        text = render_prometheus(reg)
+        assert 'repro_serve_latency{route="recommend",quantile="0.5"}' in text
+        assert 'repro_serve_latency_sum{route="recommend"}' in text
+        assert 'repro_serve_latency_count{route="recommend"} 3.0' in text
+        assert "# TYPE repro_serve_latency summary" in text
+
+    def test_empty_histogram_skips_quantiles_never_nan(self):
+        reg = MetricsRegistry()
+        reg.histogram("serve.latency")
+        text = render_prometheus(reg)
+        assert "NaN" not in text and "nan" not in text
+        assert "quantile" not in text
+        assert "repro_serve_latency_count 0" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("t.req", tenant='we"ird\nname').inc()
+        text = render_prometheus(reg)
+        assert 'tenant="we\\"ird\\nname"' in text
+
+    def test_every_sample_line_parses(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests", tenant="acme").inc()
+        reg.gauge("serve.queue_depth").set(1.0)
+        reg.histogram("serve.latency", route="recommend").observe(0.05)
+        reg.histogram("t.empty")
+        for line in render_prometheus(reg).splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            assert _SAMPLE.match(line), line
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_global_helpers_accept_labels(self):
+        obs.counter("t.req", tenant="acme").inc()
+        obs.gauge("t.depth", tenant="acme").set(1.0)
+        obs.histogram("t.lat", tenant="acme").observe(0.5)
+        snap = obs.metrics_snapshot()
+        assert snap['t.req{tenant="acme"}']["value"] == 1

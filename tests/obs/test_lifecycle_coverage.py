@@ -82,49 +82,83 @@ def service():
     return captured
 
 
-#: The serving daemon's names fire in the service benchmark, everything
-#: else in the chaos lifecycle; the union must cover the taxonomy.
-_SERVE = "serve."
+@pytest.fixture(scope="module")
+def parallel():
+    """One traced pooled gradient step — fires every ``parallel.*`` name.
+
+    Neither the chaos harness nor the service benchmark runs the
+    data-parallel engine (chaos trains serially; the daemon's update path
+    defaults to in-process), so the ``parallel.*`` spans get a harness of
+    their own: a 2-worker engine stepping a trivial shard function, which
+    exercises both the local ``parallel.step`` span and the worker-timed,
+    coordinator-adopted ``parallel.shard`` spans.
+    """
+    import numpy as np
+
+    from repro.nn.module import Parameter
+    from repro.nn.parallel import ParallelGradEngine
+
+    def shard_fn(payload):
+        return np.array([float(payload)]), np.ones(3)
+
+    obs.reset()
+    obs.enable_tracing()
+    try:
+        with ParallelGradEngine([Parameter(np.zeros(3))], shard_fn, workers=2) as eng:
+            eng.step([1.0, 2.0, 3.0])
+    finally:
+        obs.disable_tracing()
+    captured = {
+        "snapshot": obs.metrics_snapshot(),
+        "span_names": {r.name for r in obs.get_tracer().records()},
+    }
+    obs.reset()
+    return captured
 
 
-def _split(names):
-    names = set(names)
-    return (
-        {n for n in names if not n.startswith(_SERVE)},
-        {n for n in names if n.startswith(_SERVE)},
-    )
+#: Three-way partition of the taxonomy by firing harness: the serving
+#: daemon's (and its SLO monitor's) names fire in the service benchmark,
+#: the data-parallel engine's in a tiny traced step of its own, and
+#: everything else in the chaos lifecycle.  The union covers the taxonomy.
+def _bucket(name: str) -> str:
+    if name.startswith(("serve.", "slo.")):
+        return "service"
+    if name.startswith("parallel."):
+        return "parallel"
+    return "library"
+
+
+def _names_for(names, bucket: str):
+    return {n for n in names if _bucket(n) == bucket}
 
 
 class TestNameCoverage:
     def test_every_span_name_fires(self, chaos):
-        library_spans, _ = _split(obsn.ALL_SPANS)
+        library_spans = _names_for(obsn.ALL_SPANS, "library")
         missing = library_spans - chaos["span_names"]
         assert not missing, f"spans never entered: {sorted(missing)}"
 
     def test_every_span_feeds_a_duration_histogram(self, chaos):
         snap = chaos["snapshot"]
-        library_spans, _ = _split(obsn.ALL_SPANS)
-        for name in library_spans:
+        for name in _names_for(obsn.ALL_SPANS, "library"):
             key = f"span.{name}.duration_s"
             assert key in snap, key
             assert snap[key]["count"] > 0, key
 
     def test_every_counter_is_nonzero(self, chaos):
         snap = chaos["snapshot"]
-        library_counters, _ = _split(obsn.ALL_COUNTERS)
-        for name in library_counters:
+        for name in _names_for(obsn.ALL_COUNTERS, "library"):
             assert name in snap, name
             assert snap[name]["value"] > 0, name
 
     def test_every_gauge_is_set(self, chaos):
         snap = chaos["snapshot"]
-        library_gauges, _ = _split(obsn.ALL_GAUGES)
-        for name in library_gauges:
+        for name in _names_for(obsn.ALL_GAUGES, "library"):
             assert name in snap, name
 
     def test_fit_epoch_histogram_populated(self, chaos):
         snap = chaos["snapshot"]
-        for name in obsn.ALL_HISTOGRAMS:
+        for name in _names_for(obsn.ALL_HISTOGRAMS, "library"):
             assert snap[name]["count"] > 0, name
 
     def test_chaos_survives_and_reports(self, chaos):
@@ -133,10 +167,10 @@ class TestNameCoverage:
 
 
 class TestServiceNameCoverage:
-    """The ``serve.*`` half of the taxonomy, driven over real HTTP."""
+    """The ``serve.*``/``slo.*`` slice of the taxonomy, over real HTTP."""
 
     def test_every_serve_span_fires_and_feeds_histograms(self, service):
-        _, serve_spans = _split(obsn.ALL_SPANS)
+        serve_spans = _names_for(obsn.ALL_SPANS, "service")
         assert serve_spans, "serve spans missing from the taxonomy"
         missing = serve_spans - service["span_names"]
         assert not missing, f"spans never entered: {sorted(missing)}"
@@ -147,7 +181,7 @@ class TestServiceNameCoverage:
 
     def test_every_serve_counter_is_nonzero(self, service):
         snap = service["snapshot"]
-        _, serve_counters = _split(obsn.ALL_COUNTERS)
+        serve_counters = _names_for(obsn.ALL_COUNTERS, "service")
         assert serve_counters, "serve counters missing from the taxonomy"
         for name in serve_counters:
             assert name in snap, name
@@ -155,13 +189,34 @@ class TestServiceNameCoverage:
 
     def test_every_serve_gauge_is_set(self, service):
         snap = service["snapshot"]
-        _, serve_gauges = _split(obsn.ALL_GAUGES)
+        serve_gauges = _names_for(obsn.ALL_GAUGES, "service")
         assert serve_gauges, "serve gauges missing from the taxonomy"
         for name in serve_gauges:
             assert name in snap, name
 
+    def test_every_serve_histogram_populated(self, service):
+        snap = service["snapshot"]
+        serve_hists = _names_for(obsn.ALL_HISTOGRAMS, "service")
+        assert serve_hists, "serve histograms missing from the taxonomy"
+        for name in serve_hists:
+            assert name in snap and snap[name]["count"] > 0, name
+
     def test_benchmark_passes_its_own_gates(self, service):
         assert service["summary"]["ok"], service["summary"]["checks"]
+
+
+class TestParallelNameCoverage:
+    """The ``parallel.*`` slice: one traced multi-worker gradient step."""
+
+    def test_parallel_spans_fire_and_feed_histograms(self, parallel):
+        parallel_spans = _names_for(obsn.ALL_SPANS, "parallel")
+        assert parallel_spans, "parallel spans missing from the taxonomy"
+        missing = parallel_spans - parallel["span_names"]
+        assert not missing, f"spans never entered: {sorted(missing)}"
+        snap = parallel["snapshot"]
+        for name in parallel_spans:
+            key = f"span.{name}.duration_s"
+            assert key in snap and snap[key]["count"] > 0, key
 
 
 class TestLifecycleSemantics:

@@ -56,6 +56,16 @@ class TestHistogram:
         assert h.quantile(0.0) == 3.0
         assert h.quantile(1.0) == 3.0
 
+    def test_empty_histogram_mean_is_nan_never_divides(self):
+        h = Histogram("t")
+        assert math.isnan(h.mean)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert math.isnan(h.quantile(q))
+        d = h.to_dict()
+        assert d["count"] == 0
+        assert math.isnan(d["mean"])
+        assert d["min"] is None and d["max"] is None
+
     def test_underflow_lands_on_min(self):
         h = Histogram("t", lo=1e-3)
         h.observe(0.0)

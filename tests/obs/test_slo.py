@@ -1,0 +1,199 @@
+"""SLO trackers: window math, burn rates, multi-window alerting, pruning.
+
+Every test drives a fake monotonic clock (the same injection pattern as
+the quota token bucket), so window membership is exact and nothing
+sleeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import names as obsn
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SLOMonitor,
+    SLOSpec,
+    SLOTracker,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def _spec(target=0.9, windows=None):
+    return SLOSpec(
+        "availability", target,
+        windows=windows or (BurnWindow("w", long_s=100.0, short_s=10.0,
+                                       threshold=10.0),),
+    )
+
+
+class TestSpecs:
+    def test_target_must_be_fraction(self):
+        with pytest.raises(ValueError):
+            SLOSpec("x", 1.0)
+        with pytest.raises(ValueError):
+            SLOSpec("x", 0.0)
+
+    def test_error_budget(self):
+        assert SLOSpec("x", 0.99).error_budget == pytest.approx(0.01)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            BurnWindow("w", long_s=5.0, short_s=5.0, threshold=1.0)
+        with pytest.raises(ValueError):
+            BurnWindow("w", long_s=10.0, short_s=5.0, threshold=0.0)
+
+    def test_default_windows_are_the_sre_pair(self):
+        assert [w.threshold for w in DEFAULT_WINDOWS] == [14.4, 6.0]
+        assert all(w.long_s > w.short_s for w in DEFAULT_WINDOWS)
+
+
+class TestBurnRate:
+    def test_zero_events_zero_burn(self):
+        t = SLOTracker(_spec(), clock=FakeClock())
+        assert t.burn_rate(0, 0) == 0.0
+        ev = t.evaluate()
+        assert ev["worst_burn_rate"] == 0.0
+        assert not ev["alerting"]
+
+    def test_burn_is_error_rate_over_budget(self):
+        # target 0.9 -> budget 0.1; a 50% error rate burns at 5x.
+        t = SLOTracker(_spec(target=0.9), clock=FakeClock())
+        assert t.burn_rate(10, 5) == pytest.approx(5.0)
+
+    def test_all_good_keeps_full_budget(self):
+        clock = FakeClock()
+        t = SLOTracker(_spec(), clock=clock)
+        for _ in range(20):
+            t.record(True)
+        ev = t.evaluate()
+        assert ev["worst_burn_rate"] == 0.0
+        assert ev["error_budget_remaining"] == 1.0
+        assert ev["good_total"] == 20 and ev["bad_total"] == 0
+
+
+class TestMultiWindowAlerting:
+    def test_alert_requires_both_windows(self):
+        clock = FakeClock()
+        t = SLOTracker(_spec(target=0.9), clock=clock)
+        # Old failures inside the long window only: the short window is
+        # clean, so the alert must NOT fire (fast reset).
+        for _ in range(10):
+            t.record(False)
+        clock.advance(50.0)   # past short_s=10, inside long_s=100
+        for _ in range(10):
+            t.record(True)
+        ev = t.evaluate()
+        (w,) = ev["windows"]
+        assert w["long"]["burn_rate"] >= 10.0 * 0.5
+        assert w["short"]["burn_rate"] == 0.0
+        assert not ev["alerting"]
+
+    def test_alert_fires_when_both_windows_burn(self):
+        clock = FakeClock()
+        t = SLOTracker(_spec(target=0.9), clock=clock)
+        for _ in range(8):
+            t.record(False)
+        ev = t.evaluate()
+        assert ev["alerting"]
+        (w,) = ev["windows"]
+        assert w["alerting"]
+        # 100% errors over a 0.1 budget = burn 10, exactly at threshold.
+        assert w["long"]["burn_rate"] == pytest.approx(10.0)
+
+    def test_worst_burn_is_min_of_the_pair(self):
+        clock = FakeClock()
+        t = SLOTracker(_spec(target=0.9), clock=clock)
+        for _ in range(10):
+            t.record(False)
+        clock.advance(50.0)
+        for _ in range(10):
+            t.record(True)
+        ev = t.evaluate()
+        # Long window burns at 5x but the short window is clean: the
+        # gated value is what both windows agree on.
+        assert ev["worst_burn_rate"] == 0.0
+
+    def test_recovery_clears_alert_via_short_window(self):
+        clock = FakeClock()
+        t = SLOTracker(_spec(target=0.9), clock=clock)
+        for _ in range(10):
+            t.record(False)
+        assert t.evaluate()["alerting"]
+        clock.advance(20.0)   # failures age out of the 10 s short window
+        for _ in range(5):
+            t.record(True)
+        assert not t.evaluate()["alerting"]
+
+
+class TestPruning:
+    def test_events_age_out_of_the_horizon(self):
+        clock = FakeClock()
+        t = SLOTracker(_spec(target=0.9), clock=clock)
+        for _ in range(10):
+            t.record(False)
+        clock.advance(101.0)   # past long_s=100
+        ev = t.evaluate()
+        (w,) = ev["windows"]
+        assert w["long"]["total"] == 0
+        assert not ev["alerting"]
+        # Lifetime totals survive pruning.
+        assert ev["bad_total"] == 10
+        assert len(t._events) == 0
+
+    def test_budget_remaining_tracks_long_window(self):
+        clock = FakeClock()
+        t = SLOTracker(_spec(target=0.9), clock=clock)
+        for good in [True] * 19 + [False]:
+            t.record(good)
+        ev = t.evaluate()
+        # 5% errors over a 10% budget: half the budget left.
+        assert ev["error_budget_remaining"] == pytest.approx(0.5)
+
+
+class TestMonitor:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SLOMonitor([_spec(), _spec()])
+
+    def test_record_feeds_counters(self):
+        mon = SLOMonitor([_spec()], clock=FakeClock())
+        mon.record("availability", True)
+        mon.record("availability", False)
+        snap = obs.metrics_snapshot()
+        assert snap[obsn.CTR_SLO_GOOD]["value"] == 1
+        assert snap[obsn.CTR_SLO_BAD]["value"] == 1
+
+    def test_unknown_objective_raises(self):
+        mon = SLOMonitor([_spec()], clock=FakeClock())
+        with pytest.raises(KeyError):
+            mon.record("nope", True)
+
+    def test_snapshot_publishes_gauges_and_alert_list(self):
+        clock = FakeClock()
+        mon = SLOMonitor(
+            [_spec(), SLOSpec("latency", 0.9, windows=_spec().windows)],
+            clock=clock,
+        )
+        for _ in range(8):
+            mon.record("availability", False)
+            mon.record("latency", True)
+        snap = mon.snapshot()
+        assert snap["alerting"] == ["availability"]
+        assert snap["worst_burn_rate"] == pytest.approx(10.0)
+        assert snap["error_budget_remaining"] == 0.0
+        gauges = obs.metrics_snapshot()
+        assert gauges[obsn.GAUGE_SLO_WORST_BURN]["value"] == pytest.approx(10.0)
+        assert gauges[obsn.GAUGE_SLO_BUDGET_REMAINING]["value"] == 0.0
