@@ -74,6 +74,8 @@ DEFAULT_SHARED_CLASSES: Tuple[str, ...] = (
     "LITE",
     "EncodedTemplates",
     "DriftMonitor",
+    "KeyedDriftMonitor",
+    "TaskSwitchDetector",
     "ModelRegistry",
     "LiteService",
     "MicroBatcher",

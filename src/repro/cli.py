@@ -16,6 +16,7 @@ Commands
 - ``bench-obs``  observability-overhead benchmark (suppressed/disabled/enabled)
 - ``bench-chaos`` fault-injection harness: the full lifecycle under chaos
 - ``bench-service`` serving-daemon benchmark (throughput/p99/bit-identity)
+- ``bench-adapt`` task-switch detection + transfer warm-start benchmark
 
 Progress chatter goes to stderr through the shared ``repro.obs.log``
 logger (``-v`` for debug detail, ``-q`` for warnings only); results —
@@ -245,6 +246,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--out", default="BENCH_chaos.json",
                          help="where to write the JSON report")
     p_chaos.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_adapt = sub.add_parser(
+        "bench-adapt",
+        help="task-switch detection + transfer warm start: post-switch "
+             "error of warm vs from-scratch updates")
+    p_adapt.add_argument("--seed", type=int, default=0)
+    p_adapt.add_argument("--cluster", default="C", choices=("A", "B", "C"))
+    p_adapt.add_argument("--smoke", action="store_true",
+                         help="tiny corpus/model and short schedules (CI gate)")
+    p_adapt.add_argument("--out", default="BENCH_adapt.json",
+                         help="where to write the JSON report")
+    p_adapt.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
 
@@ -736,6 +749,40 @@ def cmd_bench_chaos(args) -> int:
     return 0 if result["ok"] else 1
 
 
+def cmd_bench_adapt(args) -> int:
+    from .experiments.adapt_bench import AdaptBenchError, run_adapt_benchmark
+
+    _LOG.info("running the task-switch / transfer warm-start scenario...")
+    try:
+        result = run_adapt_benchmark(
+            smoke=args.smoke, seed=args.seed, cluster_name=args.cluster,
+            out=args.out,
+        )
+    except AdaptBenchError as exc:
+        _LOG.error("%s", exc)
+        return 1
+    if args.json:
+        _result(json.dumps(result, indent=2, default=str))
+    else:
+        errs = result["post_switch_mean_abs_rel_err"]
+        imp = result["improvement"]
+        _result(f"adapt scenario on cluster {result['cluster']} "
+                f"({'smoke' if result['smoke'] else 'full'}):")
+        _result(f"  switch detected after "
+                f"{result['switch']['detected_after_runs']} post-switch runs "
+                f"(context window {result['switch']['context_window']})")
+        _result(f"  post-switch mean |rel err| over {result['n_eval_runs']} "
+                f"held-out runs:")
+        _result(f"    pre-update   {errs['pre_update']:.3f}")
+        _result(f"    from-scratch {errs['from_scratch']:.3f}")
+        _result(f"    warm start   {errs['warm_start']:.3f} "
+                f"({imp['warm_vs_scratch']:+.1%} vs from-scratch)")
+        for name, ok in result["checks"].items():
+            _result(f"  [{'ok' if ok else 'FAIL'}] {name}")
+        _result(f"wrote {result['out']}")
+    return 0 if result["ok"] else 1
+
+
 def eq_ok(result) -> bool:
     """The benchmark fails loudly if the engines trained different models."""
     return bool(result["equivalence"]["within_tolerance"])
@@ -759,6 +806,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-train": cmd_bench_train,
         "bench-obs": cmd_bench_obs,
         "bench-chaos": cmd_bench_chaos,
+        "bench-adapt": cmd_bench_adapt,
     }
     return handlers[args.command](args)
 

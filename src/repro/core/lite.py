@@ -28,7 +28,12 @@ from ..utils.rng import derive
 
 from .. import obs
 from ..obs import names as obsn
-from ..obs.drift import DriftMonitor, DriftStats
+from ..obs.drift import (
+    REL_ERR_FLOOR_S,
+    DriftStats,
+    KeyedDriftMonitor,
+    TaskSwitchDetector,
+)
 from ..sparksim.cluster import ClusterSpec
 from ..sparksim.config import SparkConf
 from ..sparksim.eventlog import AppRun
@@ -36,6 +41,7 @@ from .candidates import AdaptiveCandidateGenerator
 from .instances import StageInstance, build_dataset, instances_from_run
 from .necs import EncodedTemplates, NECSConfig, NECSEstimator
 from .recommender import KnobRecommender, Recommendation
+from .transfer import TransferConfig, TransferPlan, build_transfer_plan
 from .update import AdaptiveModelUpdater, UpdateConfig
 
 
@@ -52,6 +58,27 @@ class LITEConfig:
     drift_min_samples: int = 10
     drift_rel_err_threshold: float = 0.35
     drift_p_threshold: float = 0.01
+    #: Per-app drift windows kept by the keyed monitor (LRU-evicted).
+    drift_max_apps: int = 32
+    #: Task-switch detection + transfer warm start (ATO-style, see
+    #: :class:`repro.obs.drift.TaskSwitchDetector` and
+    #: :mod:`repro.core.transfer`).  Default-off: with
+    #: ``switch_detection=False`` the detector never observes and the
+    #: feedback/update path is bit-identical to the pre-switch system.
+    switch_detection: bool = False
+    #: When a pending switch exists, trigger the warm-started update from
+    #: inside ``feedback`` (set False to detect but drive updates manually).
+    switch_auto_update: bool = True
+    switch_context_window: int = 5
+    switch_baseline_window: int = 20
+    switch_min_baseline: int = 8
+    switch_z_threshold: float = 4.0
+    switch_std_floor: float = 0.02
+    #: Transfer warm start: donors spliced into the post-switch update
+    #: corpus.  ``transfer_top_k=0`` detects switches but retrains blind.
+    transfer_top_k: int = 2
+    transfer_max_instances: int = 200
+    transfer_min_similarity: float = 0.0
     seed: int = 0
 
 
@@ -99,12 +126,24 @@ class LITE:
         self._feedback_runs: List[AppRun] = []
         self._feedback_instances: List[StageInstance] = []
         self._target_instances: List[StageInstance] = []
-        self.drift = DriftMonitor(
+        self.drift = KeyedDriftMonitor(
             window=self.config.drift_window,
             min_samples=self.config.drift_min_samples,
             rel_err_threshold=self.config.drift_rel_err_threshold,
             p_threshold=self.config.drift_p_threshold,
+            max_apps=self.config.drift_max_apps,
         )
+        self.task_switch = TaskSwitchDetector(
+            context_window=self.config.switch_context_window,
+            baseline_window=self.config.switch_baseline_window,
+            min_baseline=self.config.switch_min_baseline,
+            z_threshold=self.config.switch_z_threshold,
+            std_floor=self.config.switch_std_floor,
+            max_apps=self.config.drift_max_apps,
+        )
+        #: Summary of the most recent transfer warm start (None until a
+        #: switch-triggered update runs); surfaced by the serving stats.
+        self.last_transfer: Optional[Dict[str, object]] = None
         self.trained = False
 
     # ------------------------------------------------------------------
@@ -487,14 +526,28 @@ class LITE:
                     obs.counter(obsn.CTR_FEEDBACK_FAILED).inc()
                 ready = len(self._feedback_runs) >= self.config.feedback_batch_size
                 updated = False
+                # A detected task switch retrains immediately (warm-started)
+                # instead of waiting out the batch: the old model is chasing
+                # a regime that no longer exists.
+                switch_pending = (
+                    self.config.switch_detection
+                    and self.config.switch_auto_update
+                    and self.task_switch.pending(run.app_name)
+                )
                 # An explicit update request must retrain even when the current
                 # batch is empty but earlier batches were retained: the caller
                 # asked for a refresh of the model on everything seen so far.
                 triggered = (
                     (ready and bool(self._feedback_instances))
                     or (update_now and bool(self._feedback_instances or self._target_instances))
+                    or (switch_pending and bool(self._feedback_instances or self._target_instances))
                 )
                 if triggered:
+                    plan: Optional[TransferPlan] = None
+                    if switch_pending:
+                        self.task_switch.consume(run.app_name)
+                        if self.config.transfer_top_k > 0:
+                            plan = self.build_transfer_plan(run.app_name)
                     # Fold the consumed batch into the retained feedback
                     # corpus, so each update trains on *all* production
                     # feedback seen so far — consuming a batch must not make
@@ -502,7 +555,7 @@ class LITE:
                     self._target_instances.extend(self._feedback_instances)
                     self._feedback_runs = []
                     self._feedback_instances = []
-                    self.adaptive_update(self._target_instances)
+                    self.adaptive_update(self._target_instances, transfer=plan)
                     obs.counter(obsn.CTR_UPDATES_TRIGGERED).inc()
                     updated = True
             if sp:
@@ -510,48 +563,122 @@ class LITE:
             return updated
 
     def _record_drift(self, instances: Sequence[StageInstance]) -> None:
-        """Pair predicted and actual stage times into the rolling window."""
+        """Pair predicted and actual stage times into the rolling windows.
+
+        Pairs land in the aggregate window (the old global trigger) *and*
+        the run's app window, so one tenant's shift cannot move another
+        tenant's per-app stats.  When switch detection is enabled, the
+        run's mean signed relative error additionally feeds the per-app
+        :class:`TaskSwitchDetector` as one run-level signal.
+        """
         if self.estimator.network is None:
             # Feedback can legally arrive before NECS is fitted (tests,
             # pure-accumulation callers); there is no prediction to drift.
             return
+        app = instances[0].app_name if instances else None
         # Re-entrant under feedback()'s lock; taken again here so a direct
         # caller gets the same predict-vs-record consistency.
         with self._lock:
             predicted = self.estimator.predict(list(instances))
             actual = np.array([inst.stage_time_s for inst in instances])
-            self.drift.record(predicted, actual)
+            self.drift.record(predicted, actual, app=app)
             stats = self.drift.stats()
+            if self.config.switch_detection and app is not None:
+                signal = float(np.mean(
+                    (predicted - actual) / np.maximum(np.abs(actual), REL_ERR_FLOOR_S)
+                ))
+                if self.task_switch.observe(app, signal):
+                    obs.counter(obsn.CTR_SWITCH_DETECTED).inc()
         obs.gauge(obsn.GAUGE_DRIFT_N).set(stats.n)
         obs.gauge(obsn.GAUGE_DRIFT_SIGNED_ERR).set(stats.mean_signed_rel_err)
         obs.gauge(obsn.GAUGE_DRIFT_P).set(stats.wilcoxon_p)
 
-    def drift_stats(self) -> DriftStats:
-        """Drift summary over the rolling predicted-vs-actual window."""
-        return self.drift.stats()
+    def drift_stats(self, app: Optional[str] = None) -> DriftStats:
+        """Drift summary: the global aggregate, or one app's own window."""
+        if app is None:
+            return self.drift.stats()
+        return self.drift.app_stats(app)
 
-    def should_update(self) -> bool:
-        """True when the drift window says ``adaptive_update`` is worth it."""
-        return self.drift.should_update()
+    def should_update(self, app: Optional[str] = None) -> bool:
+        """True when the drift window says ``adaptive_update`` is worth it.
 
-    def adaptive_update(self, target_instances: Sequence[StageInstance]) -> None:
+        With an ``app``, asks that app's own window — the per-tenant
+        trigger; without one, keeps the old global-aggregate semantics.
+        """
+        return self.drift_stats(app).drifted
+
+    def drift_state(self) -> Dict[str, object]:
+        """JSON-able per-app drift + task-switch snapshot (serving stats)."""
+        return {
+            "aggregate": self.drift.stats().to_dict(),
+            "by_app": {
+                app: stats.to_dict()
+                for app, stats in self.drift.stats_by_app().items()
+            },
+            "switch": {
+                "enabled": bool(self.config.switch_detection),
+                "by_app": self.task_switch.state_by_app(),
+                "last_transfer": self.last_transfer,
+            },
+        }
+
+    def build_transfer_plan(self, app_name: str) -> TransferPlan:
+        """Rank donors and gather instances to warm-start ``app_name``.
+
+        The donor corpus is everything the system has retained: the
+        offline training instances plus all accumulated feedback (both
+        the consumed ``_target_instances`` and the still-batching
+        ``_feedback_instances``), grouped by app.
+        """
+        with self._lock:
+            corpus: Dict[str, List[StageInstance]] = {}
+            for inst in (
+                self._source_instances
+                + self._target_instances
+                + self._feedback_instances
+            ):
+                corpus.setdefault(inst.app_name, []).append(inst)
+            cfg = TransferConfig(
+                top_k=self.config.transfer_top_k,
+                max_instances=self.config.transfer_max_instances,
+                min_similarity=self.config.transfer_min_similarity,
+            )
+            return build_transfer_plan(
+                self.estimator, self._templates, corpus, app_name, cfg
+            )
+
+    def adaptive_update(
+        self,
+        target_instances: Sequence[StageInstance],
+        transfer: Optional[TransferPlan] = None,
+    ) -> None:
         """Adversarial fine-tuning against the accumulated source domain.
 
         Trains on exactly the given target instances (callers doing one-off
         domain migrations control their own corpus); batched production
         feedback arrives here through :meth:`feedback`, which passes the
-        full retained feedback corpus.  The update bumps the estimator
-        version, invalidating cached template encodings; the drift window
-        deliberately survives the update — post-update feedback pairs will
-        show whether the refresh actually closed the gap.
+        full retained feedback corpus.  A ``transfer`` plan warm-starts the
+        fine-tune by splicing the donors' instances ahead of the target
+        corpus (capped and similarity-weighted by the plan builder).  The
+        update bumps the estimator version, invalidating cached template
+        encodings; the drift window deliberately survives the update —
+        post-update feedback pairs will show whether the refresh actually
+        closed the gap.
         """
         with obs.span(obsn.SPAN_ADAPTIVE_UPDATE) as sp:
             with self._lock:
+                target = list(target_instances)
+                n_transfer = 0
+                if transfer is not None and transfer.instances:
+                    target = list(transfer.instances) + target
+                    n_transfer = len(transfer.instances)
+                    self.last_transfer = transfer.summary()
                 # Serialised against recommend: the update bumps the
                 # estimator version mid-flight, and a concurrent encode
                 # against half-updated weights would poison the cache.
                 updater = AdaptiveModelUpdater(self.estimator, self.config.update)
-                updater.update(self._source_instances, list(target_instances))
+                updater.update(self._source_instances, target)
             if sp:
                 sp.set(n_source=len(self._source_instances),
-                       n_target=len(target_instances))
+                       n_target=len(target_instances),
+                       n_transfer=n_transfer)

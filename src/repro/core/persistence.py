@@ -43,7 +43,12 @@ FORMAT = "repro-lite"
 # ``train_shard_rows``, ``serving_dtype``).  The config is a *frozen*
 # dataclass, so a v5 checkpoint's instance is rebuilt field-by-field with
 # the new defaults instead of patched with setattr.
-VERSION = 6
+# v7: the global DriftMonitor became a KeyedDriftMonitor (per-app windows
+# behind the same aggregate), LITE grew the TaskSwitchDetector and the
+# transfer warm-start config/ledger.  A v6 monitor's window contents and
+# lifetime count carry over into the aggregate; its pairs carried no app
+# key, so the per-app windows start empty.
+VERSION = 7
 
 
 def save_lite(
@@ -144,11 +149,67 @@ def _migrate_v5_to_v6(payload: Dict[str, object]) -> Dict[str, object]:
     return {**payload, "version": 6}
 
 
+def _migrate_v6_to_v7(payload: Dict[str, object]) -> Dict[str, object]:
+    """v6 -> v7: keyed drift monitor + task-switch detector + transfer config.
+
+    The old global monitor's rolling window and lifetime count are copied
+    into the keyed monitor's aggregate; per-app windows start empty (v6
+    never recorded app keys).  The detector starts fresh and the transfer
+    ledger empty — both accrue from post-migration feedback only.
+    """
+    from ..obs.drift import REL_ERR_FLOOR_S, KeyedDriftMonitor, TaskSwitchDetector
+
+    lite = payload["lite"]
+    _ensure_config_defaults(lite.config, {
+        "drift_max_apps": 32,
+        "switch_detection": False,
+        "switch_auto_update": True,
+        "switch_context_window": 5,
+        "switch_baseline_window": 20,
+        "switch_min_baseline": 8,
+        "switch_z_threshold": 4.0,
+        "switch_std_floor": 0.02,
+        "transfer_top_k": 2,
+        "transfer_max_instances": 200,
+        "transfer_min_similarity": 0.0,
+    })
+    def as_keyed(old):
+        if isinstance(old, KeyedDriftMonitor):
+            return old
+        keyed = KeyedDriftMonitor(
+            window=old.window,
+            min_samples=old.min_samples,
+            rel_err_threshold=old.rel_err_threshold,
+            p_threshold=old.p_threshold,
+            rel_err_floor_s=getattr(old, "rel_err_floor_s", REL_ERR_FLOOR_S),
+            max_apps=lite.config.drift_max_apps,
+        )
+        keyed._predicted.extend(old._predicted)
+        keyed._actual.extend(old._actual)
+        keyed.total_recorded = old.total_recorded
+        return keyed
+
+    lite.drift = as_keyed(lite.drift)
+    if not hasattr(lite, "task_switch"):
+        lite.task_switch = TaskSwitchDetector(
+            context_window=lite.config.switch_context_window,
+            baseline_window=lite.config.switch_baseline_window,
+            min_baseline=lite.config.switch_min_baseline,
+            z_threshold=lite.config.switch_z_threshold,
+            std_floor=lite.config.switch_std_floor,
+            max_apps=lite.config.drift_max_apps,
+        )
+    if not hasattr(lite, "last_transfer"):
+        lite.last_transfer = None
+    return {**payload, "version": 7}
+
+
 _MIGRATIONS: Dict[int, Callable[[Dict[str, object]], Dict[str, object]]] = {
     2: _migrate_v2_to_v3,
     3: _migrate_v3_to_v4,
     4: _migrate_v4_to_v5,
     5: _migrate_v5_to_v6,
+    6: _migrate_v6_to_v7,
 }
 
 

@@ -1,0 +1,175 @@
+"""Transfer-learning warm start for a task-switched application.
+
+When :class:`repro.obs.drift.TaskSwitchDetector` declares that an app's
+workload changed regime, the adaptive update should not retrain blind on
+the handful of post-switch runs: the system has usually already learned
+apps whose stages behave like the new regime.  Following the
+retrieval-augmented shape of "Zero-Execution Retrieval-Augmented
+Configuration Tuning of Spark Applications" (arXiv 2503.03826), donors
+are ranked by **cosine similarity of mean stage-template embeddings** —
+the same ``h_i`` vectors (:meth:`NECSEstimator.feature_embeddings`) the
+adversarial update discriminates on, so "similar" means similar in
+exactly the space the fine-tune moves through.
+
+:func:`build_transfer_plan` turns the ranking into a concrete
+:class:`TransferPlan`: the top-k donors above a similarity floor
+contribute their retained instances, newest first, with a per-donor
+quota proportional to similarity and a global cap (``max_instances``)
+so donors season the target corpus without drowning the post-switch
+evidence.  ``LITE.adaptive_update`` splices ``plan.instances`` into the
+target side of the adversarial fine-tune.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..obs import names as obsn
+from .instances import StageInstance
+from .necs import NECSEstimator
+
+__all__ = [
+    "TransferConfig",
+    "TransferPlan",
+    "mean_template_embedding",
+    "rank_similar_apps",
+    "build_transfer_plan",
+]
+
+
+@dataclass(frozen=True)
+class TransferConfig:
+    """Shape of a transfer warm start."""
+
+    top_k: int = 2                 #: donors spliced into the update corpus
+    max_instances: int = 200       #: global cap on spliced donor instances
+    min_similarity: float = 0.0    #: donors below this cosine are dropped
+
+    def __post_init__(self):
+        if self.top_k < 0:
+            raise ValueError("top_k must be non-negative")
+        if self.max_instances < 0:
+            raise ValueError("max_instances must be non-negative")
+
+
+@dataclass
+class TransferPlan:
+    """Concrete warm-start decision for one switched app."""
+
+    target_app: str
+    #: every known app with its cosine similarity, best first
+    ranked: List[Tuple[str, float]] = field(default_factory=list)
+    #: the donors actually contributing instances (subset of ranked)
+    donors: List[str] = field(default_factory=list)
+    #: per-donor spliced instance counts
+    quota: Dict[str, int] = field(default_factory=dict)
+    #: donor instances to splice into the update's target corpus
+    instances: List[StageInstance] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-able digest for serving stats and bench reports."""
+        return {
+            "target_app": self.target_app,
+            "ranked": [[app, round(sim, 6)] for app, sim in self.ranked],
+            "donors": list(self.donors),
+            "quota": dict(self.quota),
+            "n_instances": len(self.instances),
+        }
+
+
+def mean_template_embedding(
+    estimator: NECSEstimator, templates: Sequence[StageInstance]
+) -> np.ndarray:
+    """One app = the mean of its stage-template ``h_i`` embeddings."""
+    if not templates:
+        raise ValueError("no stage templates to embed")
+    return estimator.feature_embeddings(list(templates)).mean(axis=0)
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> float:
+    denom = float(np.linalg.norm(a)) * float(np.linalg.norm(b))
+    if denom <= 0.0:
+        return 0.0
+    return float(np.dot(a, b) / denom)
+
+
+def rank_similar_apps(
+    estimator: NECSEstimator,
+    templates_by_app: Dict[str, Sequence[StageInstance]],
+    target_app: str,
+) -> List[Tuple[str, float]]:
+    """All other known apps ranked by cosine similarity to ``target_app``.
+
+    Ties break on the app name so the ranking is deterministic across
+    processes and dict orders.
+    """
+    if target_app not in templates_by_app:
+        raise KeyError(f"{target_app!r} has no stage templates to rank against")
+    target_emb = mean_template_embedding(estimator, templates_by_app[target_app])
+    ranked: List[Tuple[str, float]] = []
+    for app, templates in templates_by_app.items():
+        if app == target_app or not templates:
+            continue
+        ranked.append(
+            (app, _cosine(target_emb, mean_template_embedding(estimator, templates)))
+        )
+    ranked.sort(key=lambda pair: (-pair[1], pair[0]))
+    return ranked
+
+
+def build_transfer_plan(
+    estimator: NECSEstimator,
+    templates_by_app: Dict[str, Sequence[StageInstance]],
+    corpus_by_app: Dict[str, Sequence[StageInstance]],
+    target_app: str,
+    config: TransferConfig = TransferConfig(),
+) -> TransferPlan:
+    """Rank donors and gather their capped, similarity-weighted instances.
+
+    ``corpus_by_app`` holds each app's retained instances (training corpus
+    plus accumulated feedback); donors contribute their **newest**
+    instances first, since late feedback reflects the scales production
+    actually runs at.  Per-donor quotas split ``max_instances``
+    proportionally to similarity among the selected donors, each donor
+    bounded by what its corpus holds.
+    """
+    ranked = rank_similar_apps(estimator, templates_by_app, target_app)
+    obs.counter(obsn.CTR_TRANSFER_APPS_RANKED).inc(len(ranked))
+    plan = TransferPlan(target_app=target_app, ranked=ranked)
+    if config.top_k == 0 or config.max_instances == 0:
+        return plan
+    selected = [
+        (app, sim)
+        for app, sim in ranked[: config.top_k]
+        if sim >= config.min_similarity and len(corpus_by_app.get(app, ())) > 0
+    ]
+    if not selected:
+        return plan
+    total_sim = sum(max(sim, 0.0) for _, sim in selected)
+    for app, sim in selected:
+        if total_sim > 0.0:
+            share = max(sim, 0.0) / total_sim
+        else:
+            share = 1.0 / len(selected)
+        quota = max(1, int(round(config.max_instances * share)))
+        donated = list(corpus_by_app[app])[-quota:]
+        if not donated:
+            continue
+        plan.donors.append(app)
+        plan.quota[app] = len(donated)
+        plan.instances.extend(donated)
+    if len(plan.instances) > config.max_instances:
+        # Rounding can overshoot the global cap by a few instances; trim
+        # from the tail (the least-similar donor's oldest contribution).
+        plan.instances = plan.instances[: config.max_instances]
+        trimmed: Dict[str, int] = {}
+        for inst in plan.instances:
+            trimmed[inst.app_name] = trimmed.get(inst.app_name, 0) + 1
+        plan.quota = {app: trimmed.get(app, 0) for app in plan.donors}
+    if plan.instances:
+        obs.counter(obsn.CTR_TRANSFER_INSTANCES_SPLICED).inc(len(plan.instances))
+    return plan

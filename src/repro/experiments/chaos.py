@@ -6,7 +6,7 @@ flake with OOM and event logs arrive truncated, does the offline-train →
 recommend → feedback → adaptive-update loop *degrade gracefully* instead
 of crashing, looping or corrupting state?
 
-The harness runs three segments and asserts on each:
+The harness runs four segments and asserts on each:
 
 1. **Fault showcase** — each fault kind at probability 1.0 against a
    clean baseline, proving the injector does what it claims (slowdowns
@@ -21,6 +21,12 @@ The harness runs three segments and asserts on each:
    on the retained corpus, a retry-budget exhaustion that stays bounded,
    and a simulated crash mid-save that must leave the previous checkpoint
    loadable and recommending identically.
+4. **Task switch + transfer warm start** — the probe app runs clean at
+   its training scale to build a per-app residual baseline, then shifts
+   to the large ``test`` scale; the :class:`TaskSwitchDetector` must fire
+   within its context window and the switch-triggered update must
+   warm-start from the most similar apps' retained corpora
+   (:mod:`repro.core.transfer`).
 
 The result dict mirrors ``run_lifecycle``'s summary shape (the obs
 name-coverage test drives this harness to prove every span *and* every
@@ -191,6 +197,16 @@ def run_chaos(
         update=UpdateConfig(epochs=1 if smoke else 2),
         n_candidates=8 if smoke else 24,
         feedback_batch_size=3,
+        # Per-app switch detection stays live through the chaotic segments
+        # (it must not crash under faults); segment 4 asserts it fires on a
+        # real scale shift.  Small windows fit the harness's run counts.
+        switch_detection=True,
+        switch_min_baseline=4,
+        switch_context_window=3,
+        switch_baseline_window=12,
+        switch_z_threshold=3.5,
+        switch_std_floor=0.05,
+        transfer_max_instances=60,
         seed=seed,
     )
     runs = collect_training_runs(
@@ -301,6 +317,43 @@ def run_chaos(
         _require(checks, "crash_mid_save_leaves_checkpoint_intact",
                  crashed and rec_a.conf == rec_b.conf and not leftovers)
 
+    # -- segment 4: task switch + transfer warm start --------------------
+    # Clean runs only: the detector must see a stable baseline, then an
+    # unmistakable regime shift (train0 -> test datasize), per app.
+    switch_wl = probe_wl
+    baseline_runs = config.switch_min_baseline + config.switch_context_window + 1
+    for i in range(baseline_runs):
+        lite.feedback(switch_wl.run(SparkConf.default(), cluster,
+                                    scale="train0", seed=seed + 300 + i))
+    # Batch updates can move the model mid-baseline, so chaos only requires
+    # the *shift* to be detected (delta in the count); the strict
+    # no-false-positive-on-stationary-noise gate lives in bench-adapt,
+    # where the model is frozen during the scenario.
+    det_before = lite.task_switch.detections(switch_wl.name)
+    detected_at = None
+    warm_started = False
+    for i in range(config.switch_context_window + 2):
+        run = switch_wl.run(SparkConf.default(), cluster,
+                            scale="test", seed=seed + 400 + i)
+        warm_started = lite.feedback(run) or warm_started
+        if lite.task_switch.detections(switch_wl.name) > det_before:
+            detected_at = i + 1
+            break
+    _require(checks, "task_switch_detected_on_scale_shift",
+             detected_at is not None
+             and detected_at <= config.switch_context_window + 2)
+    _require(checks, "switch_triggered_warm_start", warm_started)
+    transfer = lite.last_transfer
+    _require(checks, "transfer_plan_spliced_donor_instances",
+             transfer is not None
+             and transfer["target_app"] == switch_wl.name
+             and transfer["n_instances"] > 0
+             and len(transfer["donors"]) > 0)
+    rec_switched = lite.recommend(
+        switch_wl.name, switch_wl.data_spec("test").features(), cluster, rng=rng)
+    _require(checks, "post_switch_recommendation_hostable",
+             _hostable(rec_switched.conf, cluster))
+
     # Across the whole harness — showcase, mixed lifecycle schedule and
     # the exhaustion segment — every fault kind must have actually fired.
     fault_counts = {
@@ -342,6 +395,18 @@ def run_chaos(
             "post_update": {"cache_hit": rec_post.template_cache_hit},
         },
         "drift": lite.drift_stats().to_dict(),
+        "switch": {
+            "app": switch_wl.name,
+            "baseline_runs": baseline_runs,
+            "detected_after_runs": detected_at,
+            "context_window": config.switch_context_window,
+            "detector": lite.task_switch.state(switch_wl.name),
+            "transfer": transfer,
+            "per_app_drift": {
+                app: stats.to_dict()
+                for app, stats in lite.drift.stats_by_app().items()
+            },
+        },
     }
     if out:
         result["out"] = str(write_bench_report(

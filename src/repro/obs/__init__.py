@@ -34,7 +34,13 @@ from contextlib import contextmanager
 
 from . import context, log, names
 from .context import TRACE_HEADER, TraceContext, new_trace_id
-from .drift import DriftMonitor, DriftStats
+from .drift import (
+    REL_ERR_FLOOR_S,
+    DriftMonitor,
+    DriftStats,
+    KeyedDriftMonitor,
+    TaskSwitchDetector,
+)
 from .metrics import (
     OVERFLOW_LABEL,
     Counter,
@@ -67,7 +73,8 @@ from .tracing import is_enabled as tracing_enabled
 __all__ = [
     "log", "names", "context",
     "TRACE_HEADER", "TraceContext", "new_trace_id",
-    "DriftMonitor", "DriftStats",
+    "DriftMonitor", "DriftStats", "KeyedDriftMonitor", "TaskSwitchDetector",
+    "REL_ERR_FLOOR_S",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "OVERFLOW_LABEL",
     "counter", "gauge", "histogram", "registry",
     "metrics_snapshot", "reset_metrics", "export_metrics_json",

@@ -20,19 +20,44 @@ enough samples, the bias is material (``rel_err_threshold``), and the
 Wilcoxon test confirms it is systematic rather than a couple of unlucky
 samples (``p_threshold``).  The monitor itself never
 retrains anything — it is a signal, not a policy.
+
+Two multi-app extensions live beside the plain monitor:
+
+- :class:`KeyedDriftMonitor` — a :class:`DriftMonitor` whose aggregate
+  window keeps the old global semantics while additionally routing each
+  pair into a bounded, LRU-evicted per-app window, so one tenant's
+  workload shift cannot pollute another tenant's trigger.
+- :class:`TaskSwitchDetector` — an ATO-style rolling mean/std change
+  test (arXiv 2309.01901) over per-app run-level residual series.  Drift
+  asks "is the model biased?"; the detector asks the sharper question
+  "did this app's workload *change regime*?", which is what should gate
+  a transfer-learning warm start rather than a blind retrain.
 """
 
 from __future__ import annotations
 
 import math
 import threading
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Dict, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["DriftStats", "DriftMonitor"]
+__all__ = [
+    "DriftStats",
+    "DriftMonitor",
+    "KeyedDriftMonitor",
+    "TaskSwitchDetector",
+    "REL_ERR_FLOOR_S",
+]
+
+#: Floor (seconds) for the relative-error denominator.  Stage times near
+#: zero otherwise contribute unbounded relative errors: with the old 1e-9
+#: clamp a single ~0 s stage could dominate the window mean and trip the
+#: bias trigger alone.  0.1 s is well below any stage the simulator emits
+#: for real work, so normal pairs are untouched.
+REL_ERR_FLOOR_S = 0.1
 
 
 @dataclass(frozen=True)
@@ -45,6 +70,7 @@ class DriftStats:
     mean_abs_rel_err: float
     wilcoxon_p: float             #: two-sided p, predicted vs actual
     drifted: bool                 #: the should_update() decision
+    total_recorded: int = 0       #: lifetime pairs ever recorded (survives reset())
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -54,6 +80,7 @@ class DriftStats:
             "mean_abs_rel_err": self.mean_abs_rel_err,
             "wilcoxon_p": self.wilcoxon_p,
             "drifted": self.drifted,
+            "total_recorded": self.total_recorded,
         }
 
 
@@ -70,6 +97,7 @@ class DriftMonitor:
         min_samples: int = 10,
         rel_err_threshold: float = 0.35,
         p_threshold: float = 0.01,
+        rel_err_floor_s: float = REL_ERR_FLOOR_S,
     ):
         if window <= 0:
             raise ValueError("window must be positive")
@@ -77,8 +105,13 @@ class DriftMonitor:
         self.min_samples = min_samples
         self.rel_err_threshold = rel_err_threshold
         self.p_threshold = p_threshold
+        self.rel_err_floor_s = rel_err_floor_s
         self._predicted: deque = deque(maxlen=window)
         self._actual: deque = deque(maxlen=window)
+        # Lifetime count: deliberately NOT cleared by reset() — it answers
+        # "has feedback ever flowed?" (the chaos harness leans on this),
+        # while DriftStats.n answers "what is in the window now".  Both are
+        # exposed in DriftStats.
         self.total_recorded = 0
         # Keeps the paired deques in lockstep when serving threads record
         # and snapshot concurrently; dropped from pickles (see __getstate__).
@@ -91,6 +124,8 @@ class DriftMonitor:
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        # Old pickles predate the configurable denominator floor.
+        self.__dict__.setdefault("rel_err_floor_s", REL_ERR_FLOOR_S)
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -112,9 +147,13 @@ class DriftMonitor:
             self.total_recorded += len(pred)
 
     def __len__(self) -> int:
-        return len(self._predicted)
+        # Under the lock: record() extends the deque on serving threads and
+        # a torn read here could observe the pair mid-extend.
+        with self._lock:
+            return len(self._predicted)
 
     def reset(self) -> None:
+        """Clear the window.  ``total_recorded`` is lifetime and survives."""
         with self._lock:
             self._predicted.clear()
             self._actual.clear()
@@ -131,14 +170,15 @@ class DriftMonitor:
             # another thread is mid-record; the math below runs lock-free.
             pred = np.array(self._predicted)
             act = np.array(self._actual)
+            total = self.total_recorded
         n = len(pred)
         if n == 0:
             return DriftStats(
                 n=0, window=self.window,
                 mean_signed_rel_err=math.nan, mean_abs_rel_err=math.nan,
-                wilcoxon_p=1.0, drifted=False,
+                wilcoxon_p=1.0, drifted=False, total_recorded=total,
             )
-        denom = np.maximum(np.abs(act), 1e-9)
+        denom = np.maximum(np.abs(act), self.rel_err_floor_s)
         rel = (pred - act) / denom
         # Two-sided via the one-sided test both ways (Bonferroni doubled):
         # drift is just as real when the model over-estimates.
@@ -161,8 +201,272 @@ class DriftMonitor:
             mean_abs_rel_err=float(np.abs(rel).mean()),
             wilcoxon_p=p_two,
             drifted=drifted,
+            total_recorded=total,
         )
 
     def should_update(self) -> bool:
         """True when the window says an adaptive update is worth triggering."""
         return self.stats().drifted
+
+
+class KeyedDriftMonitor(DriftMonitor):
+    """Drift monitor with per-app windows behind the global aggregate.
+
+    The aggregate window (inherited from :class:`DriftMonitor`) keeps the
+    exact old semantics — every pair lands there regardless of app — so
+    existing callers of ``stats()`` / ``should_update()`` / ``len()`` see
+    no change.  Pairs recorded with an ``app`` key are additionally routed
+    to that app's own :class:`DriftMonitor`, bounded to ``max_apps``
+    windows with least-recently-recorded eviction.
+    """
+
+    def __init__(
+        self,
+        window: int = 256,
+        min_samples: int = 10,
+        rel_err_threshold: float = 0.35,
+        p_threshold: float = 0.01,
+        rel_err_floor_s: float = REL_ERR_FLOOR_S,
+        max_apps: int = 32,
+    ):
+        if max_apps <= 0:
+            raise ValueError("max_apps must be positive")
+        super().__init__(
+            window=window,
+            min_samples=min_samples,
+            rel_err_threshold=rel_err_threshold,
+            p_threshold=p_threshold,
+            rel_err_floor_s=rel_err_floor_s,
+        )
+        self.max_apps = max_apps
+        # Insertion/recording order doubles as the LRU order; guarded by
+        # the inherited self._lock (per-app monitors carry their own).
+        self._apps: "OrderedDict[str, DriftMonitor]" = OrderedDict()
+
+    # -- recording -----------------------------------------------------
+    def record(
+        self,
+        predicted: Union[float, Sequence[float], np.ndarray],
+        actual: Union[float, Sequence[float], np.ndarray],
+        app: Optional[str] = None,
+    ) -> None:
+        """Record into the aggregate window, and ``app``'s window if keyed."""
+        super().record(predicted, actual)
+        if app is None:
+            return
+        with self._lock:
+            mon = self._apps.get(app)
+            if mon is None:
+                mon = DriftMonitor(
+                    window=self.window,
+                    min_samples=self.min_samples,
+                    rel_err_threshold=self.rel_err_threshold,
+                    p_threshold=self.p_threshold,
+                    rel_err_floor_s=self.rel_err_floor_s,
+                )
+                self._apps[app] = mon
+            self._apps.move_to_end(app)
+            while len(self._apps) > self.max_apps:
+                self._apps.popitem(last=False)
+        mon.record(predicted, actual)
+
+    # -- inspection ----------------------------------------------------
+    def apps(self) -> List[str]:
+        """Tracked app keys, least-recently-recorded first."""
+        with self._lock:
+            return list(self._apps)
+
+    def app_stats(self, app: str) -> DriftStats:
+        """Stats for one app's window (empty stats for unknown apps)."""
+        with self._lock:
+            mon = self._apps.get(app)
+        if mon is None:
+            return DriftStats(
+                n=0, window=self.window,
+                mean_signed_rel_err=math.nan, mean_abs_rel_err=math.nan,
+                wilcoxon_p=1.0, drifted=False, total_recorded=0,
+            )
+        return mon.stats()
+
+    def stats_by_app(self) -> Dict[str, DriftStats]:
+        with self._lock:
+            monitors = dict(self._apps)
+        return {app: mon.stats() for app, mon in monitors.items()}
+
+    def app_should_update(self, app: str) -> bool:
+        """Per-app trigger: has *this* app's window drifted materially?"""
+        return self.app_stats(app).drifted
+
+    def reset(self, app: Optional[str] = None) -> None:
+        """Clear one app's window, or the aggregate plus every app window."""
+        if app is not None:
+            with self._lock:
+                mon = self._apps.get(app)
+            if mon is not None:
+                mon.reset()
+            return
+        super().reset()
+        with self._lock:
+            monitors = list(self._apps.values())
+        for mon in monitors:
+            mon.reset()
+
+
+class TaskSwitchDetector:
+    """ATO-style per-app task-switch detection over residual series.
+
+    Each successful feedback run contributes one run-level signal per app
+    (LITE feeds the run's mean signed relative error).  Per app the
+    detector keeps a short series and, once at least ``min_baseline``
+    baseline points plus a full ``context_window`` are present, compares
+    the context (the most recent ``context_window`` signals) against the
+    baseline (everything before it):
+
+        z = |mean(context) - mean(baseline)| / max(std(baseline), std_floor)
+
+    ``z > z_threshold`` declares a task switch — the app's workload has
+    changed regime, as opposed to the model being merely biased (which is
+    :class:`DriftMonitor`'s job and fires on a *stationary* bias too).
+    On detection the app's series is cleared so the new regime becomes
+    the next baseline and the detector cannot re-fire on the same shift;
+    the detection is latched as *pending* until a consumer (the warm
+    start in ``LITE.feedback``) calls :meth:`consume`.
+
+    Series are bounded to ``max_apps`` apps (least-recently-observed
+    eviction) and ``baseline_window + context_window`` points per app.
+    """
+
+    def __init__(
+        self,
+        context_window: int = 5,
+        baseline_window: int = 20,
+        min_baseline: int = 8,
+        z_threshold: float = 4.0,
+        std_floor: float = 0.02,
+        max_apps: int = 32,
+    ):
+        if context_window <= 0 or baseline_window <= 0:
+            raise ValueError("context_window and baseline_window must be positive")
+        if min_baseline < 2:
+            raise ValueError("min_baseline must be at least 2")
+        if max_apps <= 0:
+            raise ValueError("max_apps must be positive")
+        self.context_window = context_window
+        self.baseline_window = baseline_window
+        self.min_baseline = min_baseline
+        self.z_threshold = z_threshold
+        self.std_floor = std_floor
+        self.max_apps = max_apps
+        # app -> series state; OrderedDict order is the LRU order.
+        self._series: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def _new_series(self) -> Dict[str, object]:
+        return {
+            "values": deque(maxlen=self.baseline_window + self.context_window),
+            "n_seen": 0,
+            "detections": 0,
+            "pending": False,
+            "last_z": math.nan,
+        }
+
+    # ------------------------------------------------------------------
+    def observe(self, app: str, value: float) -> bool:
+        """Feed one run-level signal for ``app``; True on a detected switch."""
+        with self._lock:
+            series = self._series.get(app)
+            if series is None:
+                series = self._new_series()
+                self._series[app] = series
+            self._series.move_to_end(app)
+            while len(self._series) > self.max_apps:
+                self._series.popitem(last=False)
+            values: deque = series["values"]  # type: ignore[assignment]
+            values.append(float(value))
+            series["n_seen"] = int(series["n_seen"]) + 1
+            if len(values) < self.min_baseline + self.context_window:
+                return False
+            arr = np.asarray(values, dtype=np.float64)
+            baseline = arr[: -self.context_window]
+            context = arr[-self.context_window:]
+            spread = max(float(baseline.std(ddof=1)), self.std_floor)
+            z = abs(float(context.mean()) - float(baseline.mean())) / spread
+            series["last_z"] = z
+            if z <= self.z_threshold:
+                return False
+            series["detections"] = int(series["detections"]) + 1
+            series["pending"] = True
+            # Restart the series: post-switch observations become the new
+            # baseline, so the same shift cannot re-fire every run.
+            values.clear()
+            return True
+
+    # ------------------------------------------------------------------
+    def pending(self, app: str) -> bool:
+        """True when a detected switch has not yet been consumed."""
+        with self._lock:
+            series = self._series.get(app)
+            return bool(series is not None and series["pending"])
+
+    def consume(self, app: str) -> bool:
+        """Clear ``app``'s pending latch; True if one was pending."""
+        with self._lock:
+            series = self._series.get(app)
+            if series is None or not series["pending"]:
+                return False
+            series["pending"] = False
+            return True
+
+    def detections(self, app: str) -> int:
+        """Lifetime switch count for ``app`` (0 for unknown apps)."""
+        with self._lock:
+            series = self._series.get(app)
+            return 0 if series is None else int(series["detections"])
+
+    def observations(self, app: str) -> int:
+        """Lifetime signals observed for ``app`` (0 for unknown apps)."""
+        with self._lock:
+            series = self._series.get(app)
+            return 0 if series is None else int(series["n_seen"])
+
+    def apps(self) -> List[str]:
+        with self._lock:
+            return list(self._series)
+
+    def state(self, app: str) -> Dict[str, object]:
+        """JSON-able snapshot of one app's detector state."""
+        with self._lock:
+            series = self._series.get(app)
+            if series is None:
+                return {
+                    "observations": 0, "series_n": 0, "detections": 0,
+                    "pending": False, "last_z": math.nan,
+                }
+            return {
+                "observations": int(series["n_seen"]),
+                "series_n": len(series["values"]),  # type: ignore[arg-type]
+                "detections": int(series["detections"]),
+                "pending": bool(series["pending"]),
+                "last_z": float(series["last_z"]),  # type: ignore[arg-type]
+            }
+
+    def state_by_app(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            apps = list(self._series)
+        return {app: self.state(app) for app in apps}
+
+    def reset(self, app: Optional[str] = None) -> None:
+        with self._lock:
+            if app is not None:
+                self._series.pop(app, None)
+            else:
+                self._series.clear()

@@ -99,6 +99,11 @@ CTR_RETRY_RECOVERED = "retry.recovered"
 CTR_RETRY_EXHAUSTED = "retry.exhausted"
 # Successful feedback runs whose event log arrived truncated (drift skipped).
 CTR_FEEDBACK_TRUNCATED = "feedback.truncated_runs"
+# Per-app task-switch detection (repro.obs.drift.TaskSwitchDetector) and the
+# transfer-learning warm start it gates (repro.core.transfer).
+CTR_SWITCH_DETECTED = "drift.switch.detected"
+CTR_TRANSFER_APPS_RANKED = "transfer.apps_ranked"
+CTR_TRANSFER_INSTANCES_SPLICED = "transfer.instances_spliced"
 # Serving daemon (repro.serve): request accounting, admission control,
 # tenant registry churn and micro-batching efficacy.
 CTR_SERVE_REQUESTS = "serve.requests"
@@ -150,6 +155,9 @@ ALL_COUNTERS = frozenset({
     CTR_RETRY_RECOVERED,
     CTR_RETRY_EXHAUSTED,
     CTR_FEEDBACK_TRUNCATED,
+    CTR_SWITCH_DETECTED,
+    CTR_TRANSFER_APPS_RANKED,
+    CTR_TRANSFER_INSTANCES_SPLICED,
 })
 
 # -- gauges ------------------------------------------------------------

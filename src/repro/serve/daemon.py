@@ -302,6 +302,8 @@ class LiteService:
                             )
                         updated = lite.feedback(run, update_now=update_now)
                         drift = lite.drift_stats()
+                        app_drift = lite.drift_stats(app=app)
+                        switch = lite.task_switch.state(app)
                 except KeyError as exc:
                     raise ServiceError(404, str(exc.args[0]))
             if sp:
@@ -313,6 +315,8 @@ class LiteService:
                 "run_time_s": run.duration_s,
                 "updated": updated,
                 "drift": drift.to_dict(),
+                "app_drift": app_drift.to_dict(),
+                "switch": switch,
             }
 
     def stats(self) -> Dict[str, object]:
@@ -322,11 +326,18 @@ class LiteService:
             # Evaluate SLOs before snapshotting metrics so the slo.* gauges
             # the evaluation publishes appear in the same response.
             slo = self.slo.snapshot()
+            # Per-tenant drift/switch state reads via peek (not lease): a
+            # stats poll must not refresh LRU recency or pin tenants.
+            drift = {
+                tenant: lite.drift_state()
+                for tenant, lite in self.registry.peek_loaded().items()
+            }
             return {
                 "registry": self.registry.stats(),
                 "inflight": inflight,
                 "max_inflight": self.config.max_inflight,
                 "slo": slo,
+                "drift": drift,
                 "metrics": obs_metrics.registry().snapshot(),
             }
 

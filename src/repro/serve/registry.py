@@ -87,6 +87,16 @@ class ModelRegistry:
         with self._lock:
             return list(self._loaded)
 
+    def peek_loaded(self) -> Dict[str, LITE]:
+        """Snapshot of the loaded tenants' LITEs, without touching LRU order.
+
+        Read-only introspection (the stats endpoint's per-tenant drift
+        surface): unlike :meth:`lease`, peeking must not refresh a
+        tenant's recency or pin it against eviction.
+        """
+        with self._lock:
+            return {name: entry.lite for name, entry in self._loaded.items()}
+
     # ------------------------------------------------------------------
     @contextmanager
     def lease(self, name: str) -> Iterator[LITE]:

@@ -164,3 +164,81 @@ class TestFeedbackLoop:
         )
         assert not bad.success
         assert lite.feedback(bad) is False
+
+    def test_truncated_and_successful_runs_interleaved_across_two_apps(
+        self, small_corpus_module
+    ):
+        """Truncated runs feed the corpus but never drift; apps stay isolated."""
+        from repro.sparksim.faults import FaultInjector, FaultPlan
+
+        cfg = LITEConfig(
+            necs=NECSConfig(epochs=2, max_tokens=64, mlp_hidden=24, conv_filters=8),
+            feedback_batch_size=10 ** 9,   # no updates mid-test
+        )
+        lite = LITE(cfg).offline_train(small_corpus_module[:20])
+        wl_a, wl_b = get_workload("WordCount"), get_workload("PageRank")
+        trunc = FaultInjector(FaultPlan(seed=0, log_truncation_prob=1.0))
+        conf = SparkConf.default()
+
+        corpus_before = len(lite._feedback_instances)
+        drift_pairs = 0
+        for i in range(3):
+            clean_a = wl_a.run(conf, CLUSTER_C, scale="valid", seed=10 + i)
+            lite.feedback(clean_a)
+            drift_pairs += clean_a.num_stages
+            cut_b = wl_b.run(conf, CLUSTER_C, scale="valid", seed=20 + i,
+                             fault_injector=trunc)
+            assert cut_b.success and cut_b.truncated
+            lite.feedback(cut_b)
+
+        # Truncated runs fed the corpus...
+        assert len(lite._feedback_instances) > corpus_before + drift_pairs
+        # ...but never the drift monitor: only app A's clean pairs landed.
+        assert lite.drift.total_recorded == drift_pairs
+        assert lite.drift_stats("WordCount").n == drift_pairs
+        assert lite.drift_stats("PageRank").n == 0
+        assert lite.drift_stats("PageRank").total_recorded == 0
+
+        # App A's drift never moves app B's stats: hammer A with wildly
+        # biased pairs directly and snapshot B around it.
+        b_before = lite.drift_stats("PageRank").to_dict()
+        for _ in range(50):
+            lite.drift.record(
+                np.array([100.0]), np.array([1.0]), app="WordCount")
+        assert lite.drift_stats("PageRank").to_dict() == b_before
+        assert lite.drift_stats("WordCount").n > drift_pairs
+
+    def test_switch_disabled_is_bit_identical_to_enabled_but_unswitched(
+        self, small_corpus_module
+    ):
+        """Default-off config and an enabled-but-never-triggered detector
+        produce identical recommendations and identical drift decisions."""
+        base = LITEConfig(
+            necs=NECSConfig(epochs=2, max_tokens=64, mlp_hidden=24,
+                            conv_filters=8, seed=0),
+            update=UpdateConfig(epochs=1),
+            feedback_batch_size=3,
+        )
+        on = LITEConfig(
+            necs=NECSConfig(epochs=2, max_tokens=64, mlp_hidden=24,
+                            conv_filters=8, seed=0),
+            update=UpdateConfig(epochs=1),
+            feedback_batch_size=3,
+            switch_detection=True,
+            # Thresholds high enough that stationary feedback never fires.
+            switch_z_threshold=50.0, switch_min_baseline=100,
+        )
+        lite_off = LITE(base).offline_train(small_corpus_module[:30])
+        lite_on = LITE(on).offline_train(small_corpus_module[:30])
+        wl = get_workload("WordCount")
+        conf = SparkConf.default()
+        for i in range(4):
+            run = wl.run(conf, CLUSTER_C, scale="valid", seed=40 + i)
+            assert lite_off.feedback(run) == lite_on.feedback(run)
+        d = wl.data_spec("valid").features()
+        a = lite_off.recommend(wl.name, d, CLUSTER_C, rng=np.random.default_rng(7))
+        b = lite_on.recommend(wl.name, d, CLUSTER_C, rng=np.random.default_rng(7))
+        assert a.conf == b.conf
+        assert a.predicted_time_s == pytest.approx(b.predicted_time_s, abs=0.0)
+        assert [t for _, t in a.ranking] == pytest.approx(
+            [t for _, t in b.ranking], abs=0.0)

@@ -166,6 +166,54 @@ class TestPersistenceFailureModes:
         assert rec.predicted_time_s > 0
         assert loaded.estimator._serving_snapshot is not None
 
+    def test_v6_global_drift_becomes_keyed_with_detector(self, tiny_lite, tmp_path):
+        import pickle
+
+        from repro.obs.drift import DriftMonitor, KeyedDriftMonitor, TaskSwitchDetector
+
+        # Age a v6 checkpoint: a plain global DriftMonitor carrying data,
+        # no detector, no transfer ledger, a config predating the
+        # switch/transfer fields.
+        clone = pickle.loads(pickle.dumps(tiny_lite))
+        old = DriftMonitor(window=clone.config.drift_window,
+                           min_samples=clone.config.drift_min_samples)
+        old.record(np.array([10.0, 20.0]), np.array([11.0, 19.0]))
+        old.record(np.array([5.0]), np.array([5.5]))
+        clone.drift = old
+        del clone.task_switch
+        del clone.last_transfer
+        for name in ("drift_max_apps", "switch_detection", "switch_auto_update",
+                     "switch_context_window", "switch_baseline_window",
+                     "switch_min_baseline", "switch_z_threshold",
+                     "switch_std_floor", "transfer_top_k",
+                     "transfer_max_instances", "transfer_min_similarity"):
+            delattr(clone.config, name)
+        path = tmp_path / "v6.pkl"
+        path.write_bytes(pickle.dumps(
+            {"format": "repro-lite", "version": 6, "lite": clone}))
+
+        loaded = load_lite(path)
+        # The keyed monitor inherits the old aggregate window verbatim.
+        assert isinstance(loaded.drift, KeyedDriftMonitor)
+        assert loaded.drift.stats().n == 3
+        assert loaded.drift.total_recorded == 3
+        assert loaded.drift.apps() == []          # v6 never recorded app keys
+        # Detector installed fresh from the (defaulted) config.
+        assert isinstance(loaded.task_switch, TaskSwitchDetector)
+        assert loaded.last_transfer is None
+        assert loaded.config.switch_detection is False
+        assert loaded.config.transfer_top_k == 2
+        # The migrated system round-trips through the v7 writer...
+        again = load_lite(save_lite(loaded, tmp_path / "v7.pkl"))
+        assert again.drift.stats().n == 3
+        assert again.drift.total_recorded == 3
+        # ...and records per-app drift from post-migration feedback.
+        rec = self._recommend(loaded)
+        run = get_workload("PageRank").run(
+            rec.conf, CLUSTER_C, scale="train0", seed=0)
+        loaded.feedback(run)
+        assert loaded.drift.apps() == ["PageRank"]
+
     def test_non_advancing_migration_is_refused(self, tiny_lite, tmp_path, monkeypatch):
         from repro.core import persistence
 

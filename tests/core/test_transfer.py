@@ -1,0 +1,183 @@
+"""Tests for the transfer-learning warm start (repro.core.transfer)."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.lite import LITE, LITEConfig
+from repro.core.necs import NECSConfig
+from repro.core.transfer import (
+    TransferConfig,
+    TransferPlan,
+    build_transfer_plan,
+    mean_template_embedding,
+    rank_similar_apps,
+)
+from repro.obs import names as obsn
+from repro.sparksim import CLUSTER_C
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_lite():
+    from repro.experiments.collect import collect_training_runs
+
+    wls = [get_workload(n) for n in ("WordCount", "PageRank", "KMeans")]
+    runs = collect_training_runs(
+        workloads=wls, clusters=[CLUSTER_C], scales=("train0",),
+        confs_per_cell=2, seed=5,
+    )
+    cfg = LITEConfig(
+        necs=NECSConfig(epochs=2, max_tokens=48, mlp_hidden=16, conv_filters=8),
+        n_candidates=6,
+    )
+    return LITE(cfg).offline_train(runs)
+
+
+class TestRanking:
+    def test_excludes_target_and_covers_every_other_app(self, tiny_lite):
+        ranked = rank_similar_apps(
+            tiny_lite.estimator, tiny_lite._templates, "KMeans")
+        apps = [app for app, _ in ranked]
+        assert "KMeans" not in apps
+        assert sorted(apps) == ["PageRank", "WordCount"]
+
+    def test_similarities_are_cosines(self, tiny_lite):
+        ranked = rank_similar_apps(
+            tiny_lite.estimator, tiny_lite._templates, "WordCount")
+        assert all(-1.0 - 1e-9 <= sim <= 1.0 + 1e-9 for _, sim in ranked)
+        # best-first ordering
+        sims = [sim for _, sim in ranked]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_deterministic_across_dict_orders(self, tiny_lite):
+        fwd = dict(tiny_lite._templates)
+        rev = dict(reversed(list(tiny_lite._templates.items())))
+        a = rank_similar_apps(tiny_lite.estimator, fwd, "KMeans")
+        b = rank_similar_apps(tiny_lite.estimator, rev, "KMeans")
+        assert a == b
+
+    def test_unknown_target_is_a_keyerror(self, tiny_lite):
+        with pytest.raises(KeyError, match="Terasort"):
+            rank_similar_apps(tiny_lite.estimator, tiny_lite._templates, "Terasort")
+
+    def test_mean_embedding_rejects_empty(self, tiny_lite):
+        with pytest.raises(ValueError, match="templates"):
+            mean_template_embedding(tiny_lite.estimator, [])
+
+
+class TestPlanBuilding:
+    def _corpus(self, lite):
+        corpus = {}
+        for inst in lite._source_instances:
+            corpus.setdefault(inst.app_name, []).append(inst)
+        return corpus
+
+    def test_plan_caps_and_quotas(self, tiny_lite):
+        corpus = self._corpus(tiny_lite)
+        cap = 10
+        plan = build_transfer_plan(
+            tiny_lite.estimator, tiny_lite._templates, corpus, "KMeans",
+            TransferConfig(top_k=2, max_instances=cap),
+        )
+        assert isinstance(plan, TransferPlan)
+        assert 0 < len(plan.instances) <= cap
+        assert sum(plan.quota.values()) == len(plan.instances)
+        assert set(plan.quota) == set(plan.donors)
+        # donated instances come only from donors, never the target
+        assert all(inst.app_name in plan.donors for inst in plan.instances)
+        assert all(inst.app_name != "KMeans" for inst in plan.instances)
+
+    def test_donors_take_newest_instances_first(self, tiny_lite):
+        corpus = self._corpus(tiny_lite)
+        donor = rank_similar_apps(
+            tiny_lite.estimator, tiny_lite._templates, "KMeans")[0][0]
+        quota = 3
+        plan = build_transfer_plan(
+            tiny_lite.estimator, tiny_lite._templates, corpus, "KMeans",
+            TransferConfig(top_k=1, max_instances=quota),
+        )
+        assert plan.donors == [donor]
+        assert plan.instances == list(corpus[donor])[-quota:]
+
+    def test_zero_top_k_or_cap_means_empty_plan(self, tiny_lite):
+        corpus = self._corpus(tiny_lite)
+        for cfg in (TransferConfig(top_k=0), TransferConfig(max_instances=0)):
+            plan = build_transfer_plan(
+                tiny_lite.estimator, tiny_lite._templates, corpus, "KMeans", cfg)
+            assert plan.instances == [] and plan.donors == []
+            assert len(plan.ranked) == 2  # ranking still reported
+
+    def test_similarity_floor_can_exclude_everyone(self, tiny_lite):
+        plan = build_transfer_plan(
+            tiny_lite.estimator, tiny_lite._templates, self._corpus(tiny_lite),
+            "KMeans", TransferConfig(min_similarity=1.1),
+        )
+        assert plan.instances == [] and plan.donors == []
+
+    def test_empty_donor_corpus_contributes_nothing(self, tiny_lite):
+        plan = build_transfer_plan(
+            tiny_lite.estimator, tiny_lite._templates, {}, "KMeans",
+            TransferConfig(top_k=2, max_instances=50),
+        )
+        assert plan.instances == [] and plan.donors == []
+
+    def test_counters_fire(self, tiny_lite):
+        ranked_before = obs.counter(obsn.CTR_TRANSFER_APPS_RANKED).value
+        spliced_before = obs.counter(obsn.CTR_TRANSFER_INSTANCES_SPLICED).value
+        plan = build_transfer_plan(
+            tiny_lite.estimator, tiny_lite._templates, self._corpus(tiny_lite),
+            "KMeans", TransferConfig(top_k=2, max_instances=20),
+        )
+        assert obs.counter(obsn.CTR_TRANSFER_APPS_RANKED).value \
+            == ranked_before + len(plan.ranked)
+        assert obs.counter(obsn.CTR_TRANSFER_INSTANCES_SPLICED).value \
+            == spliced_before + len(plan.instances)
+
+    def test_summary_is_jsonable(self, tiny_lite):
+        import json
+
+        plan = build_transfer_plan(
+            tiny_lite.estimator, tiny_lite._templates, self._corpus(tiny_lite),
+            "KMeans", TransferConfig(top_k=2, max_instances=20),
+        )
+        digest = json.loads(json.dumps(plan.summary()))
+        assert digest["target_app"] == "KMeans"
+        assert digest["n_instances"] == len(plan.instances)
+        assert digest["donors"] == plan.donors
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="top_k"):
+            TransferConfig(top_k=-1)
+        with pytest.raises(ValueError, match="max_instances"):
+            TransferConfig(max_instances=-5)
+
+
+class TestLiteIntegration:
+    def test_lite_plan_uses_feedback_corpus_too(self, tiny_lite):
+        import pickle
+
+        lite = pickle.loads(pickle.dumps(tiny_lite))
+        donor = rank_similar_apps(
+            lite.estimator, lite._templates, "KMeans")[0][0]
+        wl = get_workload(donor)
+        from repro.sparksim import SparkConf
+
+        before = len(lite.build_transfer_plan("KMeans").instances)
+        # Feedback instances (still batching) count as donor corpus.
+        run = wl.run(SparkConf.default(), CLUSTER_C, scale="test", seed=11)
+        lite.feedback(run)
+        plan = lite.build_transfer_plan("KMeans")
+        cap = lite.config.transfer_max_instances
+        assert len(plan.instances) == min(cap, before + run.num_stages) or \
+            len(plan.instances) <= cap
+
+    def test_warm_update_splices_and_records_summary(self, tiny_lite):
+        import pickle
+
+        lite = pickle.loads(pickle.dumps(tiny_lite))
+        plan = lite.build_transfer_plan("KMeans")
+        assert plan.instances
+        target = [i for i in lite._source_instances if i.app_name == "KMeans"]
+        lite.adaptive_update(target[:8], transfer=plan)
+        assert lite.last_transfer == plan.summary()

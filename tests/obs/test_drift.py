@@ -1,13 +1,25 @@
-"""DriftMonitor: window mechanics and the material-AND-significant trigger."""
+"""Drift monitors and the task-switch detector.
+
+DriftMonitor: window mechanics and the material-AND-significant trigger.
+KeyedDriftMonitor: per-app routing, isolation and LRU bounding behind the
+unchanged global aggregate.  TaskSwitchDetector: the ATO-style rolling
+mean/std change test that gates transfer warm starts.
+"""
 
 from __future__ import annotations
 
 import math
+import pickle
 
 import numpy as np
 import pytest
 
-from repro.obs.drift import DriftMonitor
+from repro.obs.drift import (
+    REL_ERR_FLOOR_S,
+    DriftMonitor,
+    KeyedDriftMonitor,
+    TaskSwitchDetector,
+)
 
 
 def _feed(monitor: DriftMonitor, scale: float, n: int = 40, seed: int = 0):
@@ -45,6 +57,16 @@ class TestRecording:
         assert stats.n == 0
         assert math.isnan(stats.mean_signed_rel_err)
         assert not stats.drifted
+
+    def test_total_recorded_is_lifetime_and_survives_reset(self):
+        # Documented contract: the window empties, the lifetime count does
+        # not — both are visible side by side in DriftStats.
+        m = _feed(DriftMonitor(), scale=1.0, n=40)
+        m.reset()
+        assert m.total_recorded == 40
+        stats = m.stats()
+        assert stats.n == 0
+        assert stats.total_recorded == 40
 
 
 class TestTrigger:
@@ -94,10 +116,232 @@ class TestTrigger:
     def test_stats_to_dict_is_jsonable(self):
         d = _feed(DriftMonitor(), scale=0.5).stats().to_dict()
         assert set(d) == {"n", "window", "mean_signed_rel_err",
-                          "mean_abs_rel_err", "wilcoxon_p", "drifted"}
+                          "mean_abs_rel_err", "wilcoxon_p", "drifted",
+                          "total_recorded"}
+
+    def test_zero_time_pair_cannot_trip_trigger_alone(self):
+        # Regression: the denominator used to clamp at 1e-9, so a single
+        # ~0 s stage contributed a ~1e9x relative error that dominated the
+        # window mean and tripped the bias trigger by itself.  With the
+        # 0.1 s floor an otherwise-unbiased window stays calm.
+        m = _feed(DriftMonitor(), scale=1.0, n=40)
+        m.record(1.0, 0.0)   # one zero-time actual, predicted 1 s
+        stats = m.stats()
+        # The pair contributes (1.0 - 0.0) / 0.1 = 10, diluted over the
+        # window, instead of 1e9 swamping everything.
+        assert abs(stats.mean_signed_rel_err) < 0.35
+        assert not stats.drifted
+
+    def test_rel_err_floor_value(self):
+        m = DriftMonitor(min_samples=1)
+        m.record(1.0, 0.0)
+        assert m.stats().mean_signed_rel_err == pytest.approx(1.0 / REL_ERR_FLOOR_S)
 
 
 class TestValidation:
     def test_nonpositive_window_rejected(self):
         with pytest.raises(ValueError):
             DriftMonitor(window=0)
+
+    def test_nonpositive_max_apps_rejected(self):
+        with pytest.raises(ValueError):
+            KeyedDriftMonitor(max_apps=0)
+
+
+class TestKeyedDriftMonitor:
+    def test_unkeyed_pairs_land_in_aggregate_only(self):
+        m = KeyedDriftMonitor()
+        m.record([1.0, 2.0], [2.0, 3.0])
+        assert len(m) == 2
+        assert m.apps() == []
+
+    def test_keyed_pairs_route_to_app_and_aggregate(self):
+        m = KeyedDriftMonitor()
+        _feed_keyed(m, "a", scale=1.0, n=20)
+        _feed_keyed(m, "b", scale=0.4, n=20, seed=1)
+        assert m.stats().n == 40
+        assert m.app_stats("a").n == 20
+        assert m.app_stats("b").n == 20
+
+    def test_one_apps_drift_never_moves_anothers_stats(self):
+        m = KeyedDriftMonitor(min_samples=10)
+        _feed_keyed(m, "calm", scale=1.0, n=30)
+        before = m.app_stats("calm")
+        _feed_keyed(m, "shifted", scale=0.4, n=30, seed=1)
+        after = m.app_stats("calm")
+        assert after == before
+        assert not m.app_should_update("calm")
+        assert m.app_should_update("shifted")
+        # ... while the polluted aggregate fires: exactly the old
+        # cross-tenant behaviour the keyed mode exists to fix.
+        assert m.stats().n == 60
+
+    def test_unknown_app_stats_are_empty_not_error(self):
+        m = KeyedDriftMonitor()
+        stats = m.app_stats("never-seen")
+        assert stats.n == 0
+        assert not stats.drifted
+        assert not m.app_should_update("never-seen")
+
+    def test_lru_eviction_bounds_app_windows(self):
+        m = KeyedDriftMonitor(max_apps=2)
+        _feed_keyed(m, "a", scale=1.0, n=3)
+        _feed_keyed(m, "b", scale=1.0, n=3, seed=1)
+        _feed_keyed(m, "a", scale=1.0, n=3, seed=2)   # refresh a
+        _feed_keyed(m, "c", scale=1.0, n=3, seed=3)   # evicts b, the LRU
+        assert set(m.apps()) == {"a", "c"}
+        assert m.app_stats("b").n == 0
+
+    def test_stats_by_app_matches_individual_stats(self):
+        m = KeyedDriftMonitor()
+        _feed_keyed(m, "a", scale=1.0, n=15)
+        _feed_keyed(m, "b", scale=0.5, n=15, seed=1)
+        by_app = m.stats_by_app()
+        assert set(by_app) == {"a", "b"}
+        assert by_app["a"] == m.app_stats("a")
+        assert by_app["b"] == m.app_stats("b")
+
+    def test_reset_one_app_leaves_others_and_aggregate(self):
+        m = KeyedDriftMonitor()
+        _feed_keyed(m, "a", scale=1.0, n=10)
+        _feed_keyed(m, "b", scale=1.0, n=10, seed=1)
+        m.reset("a")
+        assert m.app_stats("a").n == 0
+        assert m.app_stats("b").n == 10
+        assert m.stats().n == 20
+
+    def test_reset_all_clears_every_window(self):
+        m = KeyedDriftMonitor()
+        _feed_keyed(m, "a", scale=1.0, n=10)
+        m.reset()
+        assert m.stats().n == 0
+        assert m.app_stats("a").n == 0
+        assert m.total_recorded == 10   # lifetime, still
+
+    def test_pickle_roundtrip_preserves_app_windows(self):
+        m = KeyedDriftMonitor()
+        _feed_keyed(m, "a", scale=0.5, n=20)
+        clone = pickle.loads(pickle.dumps(m))
+        assert clone.app_stats("a") == m.app_stats("a")
+        assert clone.stats() == m.stats()
+        clone.record(1.0, 1.0, app="a")   # lock was rebuilt
+
+
+def _feed_keyed(m: KeyedDriftMonitor, app: str, scale: float, n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    actual = rng.uniform(5.0, 50.0, size=n)
+    m.record(scale * actual * rng.uniform(0.97, 1.03, size=n), actual, app=app)
+    return m
+
+
+class TestTaskSwitchDetector:
+    def _detector(self, **kw):
+        defaults = dict(context_window=3, baseline_window=12, min_baseline=5,
+                        z_threshold=3.0, std_floor=0.02)
+        defaults.update(kw)
+        return TaskSwitchDetector(**defaults)
+
+    @staticmethod
+    def _stationary(rng, n):
+        return rng.normal(0.02, 0.03, size=n)
+
+    def test_mean_shift_fires_within_context_window(self):
+        det = self._detector()
+        rng = np.random.default_rng(0)
+        for v in self._stationary(rng, 10):
+            assert not det.observe("app", float(v))
+        fired_at = None
+        for i in range(det.context_window):
+            if det.observe("app", float(-0.6 + rng.normal(0.0, 0.03))):
+                fired_at = i + 1
+                break
+        assert fired_at is not None and fired_at <= det.context_window
+        assert det.detections("app") == 1
+        assert det.pending("app")
+
+    def test_stationary_noise_never_fires(self):
+        det = self._detector()
+        rng = np.random.default_rng(1)
+        for v in self._stationary(rng, 200):
+            assert not det.observe("app", float(v))
+        assert det.detections("app") == 0
+        assert not det.pending("app")
+
+    def test_no_detection_before_min_baseline(self):
+        det = self._detector(min_baseline=5, context_window=3)
+        # 7 observations < min_baseline + context_window: even an enormous
+        # jump cannot fire yet.
+        for v in [0.0, 0.0, 0.0, 0.0, -5.0, -5.0, -5.0]:
+            assert not det.observe("app", v)
+
+    def test_series_restarts_after_detection(self):
+        det = self._detector()
+        rng = np.random.default_rng(2)
+        for v in self._stationary(rng, 10):
+            det.observe("app", float(v))
+        fired = any(det.observe("app", -0.6) for _ in range(det.context_window))
+        assert fired
+        # The new regime is now the baseline: staying at -0.6 must not
+        # re-fire, even over many more observations.
+        for _ in range(30):
+            assert not det.observe("app", float(-0.6 + rng.normal(0.0, 0.02)))
+        assert det.detections("app") == 1
+
+    def test_consume_clears_pending_once(self):
+        det = self._detector()
+        rng = np.random.default_rng(3)
+        for v in self._stationary(rng, 10):
+            det.observe("app", float(v))
+        assert any(det.observe("app", -0.8) for _ in range(det.context_window))
+        assert det.consume("app")
+        assert not det.pending("app")
+        assert not det.consume("app")
+
+    def test_apps_are_isolated(self):
+        det = self._detector()
+        rng = np.random.default_rng(4)
+        for v in self._stationary(rng, 10):
+            det.observe("calm", float(v))
+            det.observe("shifty", float(v))
+        for _ in range(det.context_window):
+            det.observe("shifty", -0.7)
+        assert det.detections("shifty") == 1
+        assert det.detections("calm") == 0
+        assert not det.pending("calm")
+
+    def test_lru_eviction_bounds_series(self):
+        det = self._detector(max_apps=2)
+        det.observe("a", 0.0)
+        det.observe("b", 0.0)
+        det.observe("a", 0.0)
+        det.observe("c", 0.0)
+        assert set(det.apps()) == {"a", "c"}
+        assert det.observations("b") == 0
+
+    def test_state_is_jsonable_snapshot(self):
+        import json
+
+        det = self._detector()
+        det.observe("app", 0.1)
+        state = det.state("app")
+        assert state["observations"] == 1 and state["series_n"] == 1
+        assert not state["pending"]
+        json.dumps(det.state_by_app())   # nan-free apart from last_z
+        assert det.state("unknown")["observations"] == 0
+
+    def test_pickle_roundtrip(self):
+        det = self._detector()
+        rng = np.random.default_rng(5)
+        for v in self._stationary(rng, 8):
+            det.observe("app", float(v))
+        clone = pickle.loads(pickle.dumps(det))
+        assert clone.observations("app") == det.observations("app")
+        clone.observe("app", 0.0)   # lock was rebuilt
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskSwitchDetector(context_window=0)
+        with pytest.raises(ValueError):
+            TaskSwitchDetector(min_baseline=1)
+        with pytest.raises(ValueError):
+            TaskSwitchDetector(max_apps=0)

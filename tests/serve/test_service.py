@@ -146,6 +146,12 @@ class TestFeedback:
         assert body["run_time_s"] > 0
         assert body["updated"] is False
         assert isinstance(body["drift"], dict)
+        # Per-app drift and task-switch state ride along: the tenant's
+        # aggregate window and this app's own window both saw the pairs.
+        assert isinstance(body["app_drift"], dict)
+        assert body["app_drift"]["n"] <= body["drift"]["n"]
+        assert set(body["switch"]) >= {"detections", "pending", "observations"}
+        assert body["switch"]["detections"] == 0
 
     def test_bad_conf_is_400(self, service):
         with pytest.raises(ServiceError) as excinfo:
@@ -177,3 +183,24 @@ class TestStatsAndHealth:
         assert body["inflight"] == 0
         assert body["registry"]["max_tenants"] == 4
         assert "counters" in body["metrics"] or body["metrics"]
+
+    def test_stats_exposes_per_tenant_drift_and_switch_state(self, service):
+        import json
+
+        rec = service.recommend(_payload())
+        service.feedback({
+            "tenant": "acme", "app": APP, "conf": rec["conf"],
+            "scale": "train0", "seed": 1,
+        })
+        body = service.stats()
+        drift = body["drift"]
+        # Every loaded tenant reports; feedback touched acme only.
+        assert "acme" in drift
+        state = drift["acme"]
+        assert set(state) >= {"aggregate", "by_app", "switch"}
+        assert state["aggregate"]["n"] >= 1
+        assert APP in state["by_app"]
+        assert state["by_app"][APP]["total_recorded"] >= 1
+        assert state["switch"]["enabled"] in (True, False)
+        assert state["switch"]["last_transfer"] is None
+        json.dumps(body)   # the whole stats payload stays JSON-able
